@@ -1,0 +1,148 @@
+// Command doradesign is the designer tool of the demo's Part 3 (§2.3):
+// it reads SQL-ish transaction specs and prints generated transaction
+// flow graphs (text or Graphviz DOT), or a physical-design suggestion
+// for a weighted workload.
+//
+// Usage:
+//
+//	doradesign -flow  spec.sql            # flow graph for each TXN block
+//	doradesign -flow  spec.sql -dot       # Graphviz output
+//	doradesign -phys  spec.sql -workers 8 # physical design; lines may be
+//	                                      # prefixed "FREQ <n>" per TXN
+//
+// With no file, specs are read from stdin. Partitioning fields default
+// to each table's first equality-probed column; override with
+// -parts table=field,table=field.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"dora/internal/designer"
+	"dora/internal/designer/sqlmini"
+)
+
+func main() {
+	var (
+		flow    = flag.Bool("flow", false, "generate transaction flow graphs")
+		phys    = flag.Bool("phys", false, "suggest a physical design")
+		dot     = flag.Bool("dot", false, "render flow graphs as Graphviz DOT")
+		workers = flag.Int("workers", 8, "micro-engine budget for -phys")
+		partsF  = flag.String("parts", "", "table=field overrides for partitioning fields")
+	)
+	flag.Parse()
+	if !*flow && !*phys {
+		fmt.Fprintln(os.Stderr, "doradesign: need -flow or -phys")
+		os.Exit(2)
+	}
+
+	src, err := readInput(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doradesign: %v\n", err)
+		os.Exit(1)
+	}
+	specs, freqs, err := splitSpecs(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doradesign: %v\n", err)
+		os.Exit(1)
+	}
+
+	partFields := map[string]string{}
+	for _, kv := range strings.Split(*partsF, ",") {
+		if kv == "" {
+			continue
+		}
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) == 2 {
+			partFields[parts[0]] = parts[1]
+		}
+	}
+
+	var txns []*sqlmini.Txn
+	for _, spec := range specs {
+		txn, err := sqlmini.ParseTxn(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doradesign: %v\n", err)
+			os.Exit(1)
+		}
+		txns = append(txns, txn)
+	}
+	// Default partitioning fields: most-probed equality column per table.
+	if len(partFields) == 0 {
+		var wl []designer.WeightedTxn
+		for i, txn := range txns {
+			wl = append(wl, designer.WeightedTxn{Txn: txn, Freq: freqs[i]})
+		}
+		d := designer.Advise(wl, nil, *workers)
+		for _, tp := range d.Tables {
+			partFields[tp.Table] = tp.PartitionField
+		}
+	}
+
+	if *flow {
+		for _, txn := range txns {
+			fp := designer.Generate(txn, partFields)
+			if *dot {
+				fmt.Println(fp.DOT())
+			} else {
+				fmt.Println(fp.Render())
+			}
+		}
+	}
+	if *phys {
+		var wl []designer.WeightedTxn
+		for i, txn := range txns {
+			wl = append(wl, designer.WeightedTxn{Txn: txn, Freq: freqs[i]})
+		}
+		d := designer.Advise(wl, nil, *workers)
+		fmt.Println(d.Render())
+	}
+}
+
+func readInput(args []string) (string, error) {
+	if len(args) == 0 {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(args[0])
+	return string(b), err
+}
+
+// splitSpecs cuts the input into TXN blocks, honouring optional
+// "FREQ <n>" lines before each block.
+func splitSpecs(src string) (specs []string, freqs []float64, err error) {
+	freq := 1.0
+	rest := src
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			return specs, freqs, nil
+		}
+		if up := strings.ToUpper(rest); strings.HasPrefix(up, "FREQ") {
+			nl := strings.IndexByte(rest, '\n')
+			if nl < 0 {
+				return nil, nil, fmt.Errorf("dangling FREQ line")
+			}
+			f, err := strconv.ParseFloat(strings.TrimSpace(rest[4:nl]), 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad FREQ line: %v", err)
+			}
+			freq = f
+			rest = rest[nl+1:]
+			continue
+		}
+		end := strings.IndexByte(rest, '}')
+		if end < 0 {
+			return nil, nil, fmt.Errorf("unterminated TXN block")
+		}
+		specs = append(specs, rest[:end+1])
+		freqs = append(freqs, freq)
+		freq = 1.0
+		rest = rest[end+1:]
+	}
+}

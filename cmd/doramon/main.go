@@ -1,0 +1,165 @@
+// Command doramon is the live-systems demo (§2.2): it runs a
+// conventional engine and a DORA prototype side by side over identical
+// TATP databases, drives both with a configurable client load, serves
+// real-time statistics over a TCP socket (one JSON snapshot per line —
+// the interface the demo GUI consumes), and renders a terminal view.
+//
+// Usage:
+//
+//	doramon -subscribers 20000 -clients 16 -listen 127.0.0.1:7070
+//
+// Attach any client (e.g. `nc 127.0.0.1 7070`) for the JSON stream.
+// The built-in balancer keeps re-partitioning DORA as the skewed load
+// (a slowly circling hot spot) moves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"dora/internal/dora"
+	"dora/internal/dora/balance"
+	"dora/internal/engine/conventional"
+	"dora/internal/metrics"
+	"dora/internal/monitor"
+	"dora/internal/sm"
+	"dora/internal/workload"
+	"dora/internal/workload/tatp"
+)
+
+func main() {
+	var (
+		subs    = flag.Int64("subscribers", 20000, "TATP scale")
+		clients = flag.Int("clients", 16, "clients per engine")
+		listen  = flag.String("listen", "127.0.0.1:7070", "stats socket address")
+		period  = flag.Duration("period", time.Second, "snapshot period")
+		dur     = flag.Duration("duration", 0, "run time (0 = until interrupt)")
+		hotFrac = flag.Float64("hot", 0.8, "fraction of accesses hitting the hot spot")
+	)
+	flag.Parse()
+
+	fmt.Printf("loading two TATP databases (%d subscribers each)...\n", *subs)
+	mk := func() (*tatp.DB, *metrics.CriticalSectionStats) {
+		cs := &metrics.CriticalSectionStats{}
+		s, err := sm.Open(sm.Options{Frames: 1 << 14, CS: cs})
+		fatal(err)
+		db, err := tatp.Load(s, *subs)
+		fatal(err)
+		return db, cs
+	}
+	convDB, _ := mk()
+	doraDB, doraCS := mk()
+	_ = doraCS
+
+	conv := conventional.New(convDB.SM)
+	de := dora.New(doraDB.SM, dora.Config{PartitionsPerTable: 2, Domains: doraDB.Domains()})
+	bal := balance.NewBalancer(de, balance.Policy{Every: 100 * time.Millisecond, MinParts: 2},
+		"subscriber", "access_info", "special_facility", "call_forwarding")
+	bal.Start()
+	defer bal.Stop()
+
+	// A hot spot that slowly circles the key space (the demo slider).
+	hot := workload.NewHotspot(1, *subs, *hotFrac, *subs/20)
+	go func() {
+		for i := 0; ; i++ {
+			time.Sleep(3 * time.Second)
+			hot.SetCenter(1 + (hot.Center()+*subs/10)%*subs)
+		}
+	}()
+
+	src := &monitor.Source{
+		SM:   doraDB.SM,
+		Dora: de,
+		Engines: []monitor.CommitCounter{
+			monitor.CounterAdapter{EngineName: "conventional", Committed: &conv.Committed, Aborted: &conv.Aborted},
+			monitor.CounterAdapter{EngineName: "dora", Committed: &de.Committed, Aborted: &de.Aborted},
+		},
+	}
+	sv := monitor.NewServer(src, *period)
+	addr, err := sv.Listen(*listen)
+	fatal(err)
+	defer sv.Close()
+	fmt.Printf("stats socket: %s (one JSON snapshot per line)\n", addr)
+
+	runDur := 100 * 365 * 24 * time.Hour
+	if *dur > 0 {
+		runDur = *dur
+	}
+	go func() {
+		(&workload.Driver{
+			Engine: conv, Mix: convDB.NewMix(tatp.MixOptions{SIDGen: hotCopy(hot, *subs, *hotFrac)}),
+			Clients: *clients, Duration: runDur, Seed: 1,
+		}).Run()
+	}()
+	go func() {
+		(&workload.Driver{
+			Engine: de, Mix: doraDB.NewMix(tatp.MixOptions{SIDGen: hot}),
+			Clients: *clients, Duration: runDur, Seed: 2,
+		}).Run()
+	}()
+
+	// Terminal view: refresh a summary line each period.
+	stopAt := time.Now().Add(runDur)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	var prev *monitor.Snapshot
+	lastT := time.Now()
+	tick := time.NewTicker(*period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Println("\ninterrupted")
+			return
+		case now := <-tick.C:
+			if now.After(stopAt) {
+				return
+			}
+			snap := src.Sample(prev, now.Sub(lastT))
+			prev, lastT = snap, now
+			printSnapshot(snap)
+		}
+	}
+}
+
+// hotCopy gives the conventional engine its own identically-moving
+// hotspot (the two engines must see the same access distribution).
+func hotCopy(h *workload.Hotspot, n int64, frac float64) *workload.Hotspot {
+	c := workload.NewHotspot(1, n, frac, n/20)
+	go func() {
+		for {
+			time.Sleep(200 * time.Millisecond)
+			c.SetCenter(h.Center())
+		}
+	}()
+	return c
+}
+
+func printSnapshot(s *monitor.Snapshot) {
+	fmt.Printf("-- %s --\n", s.At.Format("15:04:05"))
+	for _, e := range s.Engines {
+		fmt.Printf("  %-13s %8.0f tps  committed=%d aborted=%d\n",
+			e.Name, e.Throughput, e.Committed, e.Aborted)
+	}
+	fmt.Printf("  lockmgr CS=%d latch CS=%d contended=%d  buffer hit=%.3f\n",
+		s.CS.LockMgr, s.CS.Latch, s.CS.Contended, s.BufferHitRate)
+	byTable := map[string]int{}
+	for _, p := range s.Partitions {
+		byTable[p.Table]++
+	}
+	fmt.Printf("  dora partitions:")
+	for t, n := range byTable {
+		fmt.Printf(" %s=%d", t, n)
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doramon: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,15 @@
+// Package dora is a from-scratch Go reproduction of "A Data-oriented
+// Transaction Execution Engine and Supporting Tools" (Pandis et al.,
+// SIGMOD 2011): the DORA thread-to-data OLTP engine, the conventional
+// thread-to-transaction baseline, the Shore-MT-like storage-manager
+// substrate they share (buffer pool, B+trees, WAL + ARIES-style
+// recovery, hierarchical lock manager), the dynamic load balancer and
+// alignment advisor, the designer tools (flow-graph generation from
+// SQL-ish specs, physical-design advice), the live monitor, and the
+// TATP / TPC-C / TPC-B workloads.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the reproduced results. The packages live under
+// internal/; the runnable entry points are the examples/ programs and
+// the cmd/ tools.
+package dora

@@ -1,0 +1,72 @@
+// Designer: feed the TATP transactions (as SQL-ish text) through the
+// demo's Part-3 tools — the flow-graph generator, a user edit that the
+// data dependencies reject, and the physical-design advisor with its
+// "prepend the partitioning column" index rule.
+//
+//	go run ./examples/designer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dora/internal/designer"
+	"dora/internal/designer/sqlmini"
+)
+
+func main() {
+	// 1. A transaction in SQL-ish text: InsertCallForwarding probes by
+	//    sub_nbr, then inserts keyed by the discovered s_id.
+	src := `TXN InsertCallForwarding(:sub_nbr, :sf, :start, :end, :numberx) {
+	  SELECT s_id FROM subscriber WHERE sub_nbr = :sub_nbr;
+	  SELECT sf_type FROM special_facility WHERE s_id = s_id;
+	  INSERT INTO call_forwarding VALUES (s_id, :sf, :start, :end, :numberx);
+	}`
+	txn, err := sqlmini.ParseTxn(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts := map[string]string{
+		"subscriber": "s_id", "special_facility": "s_id", "call_forwarding": "s_id",
+	}
+	fp := designer.Generate(txn, parts)
+	fmt.Println("generated flow graph:")
+	fmt.Println(fp.Render())
+
+	// 2. User edits: forcing the facility probe before the insert is fine
+	//    (e.g. when the insert aborts often); running the insert in
+	//    parallel with the sub_nbr probe is rejected because the insert
+	//    consumes the probe's s_id output.
+	if err := fp.Serialize(1, 2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after serializing facility probe and insert:")
+	fmt.Println(fp.Render())
+	if err := fp.Parallelize(0, 2); err != nil {
+		fmt.Printf("parallelize(probe, insert) rejected as expected: %v\n\n", err)
+	}
+
+	// 3. Physical design for the full TATP mix.
+	mk := func(s string) *sqlmini.Txn {
+		t, err := sqlmini.ParseTxn(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return t
+	}
+	workload := []designer.WeightedTxn{
+		{Txn: mk(`TXN GetSubscriberData(:s) { SELECT * FROM subscriber WHERE s_id = :s; }`), Freq: 35},
+		{Txn: mk(`TXN GetAccessData(:s,:ai) { SELECT data1 FROM access_info WHERE s_id = :s AND ai_type = :ai; }`), Freq: 35},
+		{Txn: mk(`TXN UpdateLocation(:nbr,:v) {
+			SELECT s_id FROM subscriber WHERE sub_nbr = :nbr;
+			UPDATE subscriber SET vlr_location = :v WHERE s_id = s_id; }`), Freq: 14},
+		{Txn: txn, Freq: 2},
+	}
+	tables := map[string]designer.TableInfo{
+		"subscriber": {KeyFields: []string{"s_id"}, Rows: 100000, Indexes: [][]string{{"sub_nbr"}}},
+	}
+	d := designer.Advise(workload, tables, 8)
+	fmt.Println(d.Render())
+	fmt.Println("graphviz version of the flow graph:")
+	fmt.Println(fp.DOT())
+}

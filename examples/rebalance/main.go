@@ -1,0 +1,84 @@
+// Rebalance: watch DORA's load balancer chase a moving hot spot (the
+// demo's "slide it around to vary the locations of hot spots"). Every
+// second the hot window jumps; the balancer splits the newly hot ranges
+// and merges the abandoned ones, and the partition layout is printed as
+// it evolves.
+//
+//	go run ./examples/rebalance
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"time"
+
+	"dora/internal/dora"
+	"dora/internal/dora/balance"
+	"dora/internal/sm"
+	"dora/internal/workload"
+	"dora/internal/workload/tatp"
+)
+
+func main() {
+	const subscribers = 20000
+	s, err := sm.Open(sm.Options{Frames: 1 << 14})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("loading TATP...")
+	db, err := tatp.Load(s, subscribers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e := dora.New(s, dora.Config{PartitionsPerTable: 2, Domains: db.Domains()})
+	defer e.Close()
+
+	bal := balance.NewBalancer(e, balance.Policy{
+		Every: 50 * time.Millisecond, MinQueue: 4, MaxParts: 8, MinParts: 2,
+	}, "subscriber")
+	bal.Start()
+	defer bal.Stop()
+
+	hot := workload.NewHotspot(1, subscribers, 0.9, subscribers/20)
+	hot.SetCenter(subscribers / 10)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		(&workload.Driver{
+			Engine: e, Mix: db.NewMix(tatp.MixOptions{SIDGen: hot}),
+			Clients: 32, Duration: 6 * time.Second, Seed: 1,
+		}).Run()
+	}()
+
+	for i := 0; i < 6; i++ {
+		time.Sleep(time.Second)
+		hot.SetCenter((hot.Center() + subscribers/5) % subscribers)
+		fmt.Printf("t=%ds  hot center -> %d   splits=%d merges=%d\n",
+			i+1, hot.Center(), bal.Splits.Load(), bal.Merges.Load())
+		fmt.Println(layout(e))
+	}
+	wg.Wait()
+	fmt.Printf("final: %d subscriber partitions, %d splits, %d merges\n",
+		e.NumPartitions("subscriber"), bal.Splits.Load(), bal.Merges.Load())
+}
+
+// layout draws the subscriber routing table as a bar per partition.
+func layout(e *dora.Dora) string {
+	rt := e.Router("subscriber")
+	if rt == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, r := range rt.Ranges() {
+		width := int((r.Hi - r.Lo + 1) / 500)
+		if width < 1 {
+			width = 1
+		}
+		fmt.Fprintf(&b, "  [%6d..%6d] w%-3d %s\n", r.Lo, r.Hi, r.Part, strings.Repeat("#", width))
+	}
+	return b.String()
+}

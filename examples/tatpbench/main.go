@@ -1,0 +1,73 @@
+// TATP head-to-head: load the telecom benchmark and race the two
+// engines with the standard 7-transaction mix, printing throughput,
+// latency and the critical-section breakdown that explains the gap.
+//
+//	go run ./examples/tatpbench -subscribers 10000 -clients 16 -duration 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"dora/internal/dora"
+	"dora/internal/engine"
+	"dora/internal/engine/conventional"
+	"dora/internal/metrics"
+	"dora/internal/sm"
+	"dora/internal/workload"
+	"dora/internal/workload/tatp"
+)
+
+func main() {
+	var (
+		subs    = flag.Int64("subscribers", 10000, "TATP scale")
+		clients = flag.Int("clients", 16, "concurrent clients")
+		dur     = flag.Duration("duration", 2*time.Second, "measured run")
+		parts   = flag.Int("partitions", 4, "DORA partitions per table")
+	)
+	flag.Parse()
+
+	run := func(which string) {
+		cs := &metrics.CriticalSectionStats{}
+		s, err := sm.Open(sm.Options{Frames: 1 << 14, CS: cs})
+		if err != nil {
+			log.Fatal(err)
+		}
+		db, err := tatp.Load(s, *subs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var e engine.Engine
+		if which == "dora" {
+			e = dora.New(s, dora.Config{PartitionsPerTable: *parts, Domains: db.Domains()})
+		} else {
+			e = conventional.New(s)
+		}
+		defer e.Close()
+		cs.Reset()
+		res := (&workload.Driver{
+			Engine: e, Mix: db.NewMix(tatp.MixOptions{}),
+			Clients: *clients, Duration: *dur, Seed: 7,
+		}).Run()
+		snap := cs.Snapshot()
+		perTxn := func(v int64) float64 {
+			if res.Committed == 0 {
+				return 0
+			}
+			return float64(v) / float64(res.Committed)
+		}
+		fmt.Printf("%-13s %9.0f tps   p95 %5dus   aborts %d\n",
+			which, res.Throughput, res.P95US, res.Aborted)
+		fmt.Printf("              lockmgr %.1f/txn  latch %.1f/txn  log %.1f/txn  contended %.2f/txn\n",
+			perTxn(snap.LockMgr), perTxn(snap.Latch), perTxn(snap.Log), perTxn(snap.Contended))
+		for name, n := range res.PerTxn {
+			fmt.Printf("              %-22s %d\n", name, n)
+		}
+	}
+	fmt.Printf("TATP, %d subscribers, %d clients, %s per engine\n\n", *subs, *clients, *dur)
+	run("conventional")
+	fmt.Println()
+	run("dora")
+}

@@ -1,0 +1,333 @@
+// Package btree implements the storage manager's ordered access method:
+// an in-memory B+tree from int64 keys to 64-bit values (record ids),
+// latched per node with lock crabbing so readers and writers from many
+// worker threads can descend concurrently.
+//
+// Composite workload keys (for example TATP's (s_id, sf_type, start_time))
+// are bit-packed into the int64 by the workload schemas, so keys are
+// unique and range scans over a prefix become interval scans.
+//
+// Deletion is "lazy" in the PostgreSQL style: keys are removed from
+// leaves, and underfull leaves are left in place rather than merged; the
+// tree never returns deleted keys and keeps its search invariants, which
+// is what the transaction engines above require.
+package btree
+
+import (
+	"errors"
+	"sync"
+
+	"dora/internal/metrics"
+)
+
+// Order is the maximum number of keys in a node.
+const Order = 64
+
+const minKeys = Order / 2
+
+// ErrExists reports an insert of a key that is already present.
+var ErrExists = errors.New("btree: key exists")
+
+// ErrNotFound reports a lookup or delete of an absent key.
+var ErrNotFound = errors.New("btree: key not found")
+
+type node struct {
+	mu   sync.RWMutex
+	leaf bool
+	keys []int64
+	// vals is used by leaves, children by internal nodes.
+	vals     []uint64
+	children []*node
+	next     *node // leaf chain
+}
+
+func (n *node) full() bool { return len(n.keys) >= Order }
+
+// Tree is a latched B+tree. The zero value is not usable; call New.
+type Tree struct {
+	// rootMu guards the root pointer; descents take it briefly, in the
+	// same mode as the root node latch they are about to take.
+	rootMu sync.RWMutex
+	root   *node
+
+	cs *metrics.CriticalSectionStats
+
+	// Size is maintained atomically for statistics.
+	size metrics.Counter
+}
+
+// New returns an empty tree. cs may be nil; when set, node latch
+// acquisitions are counted as latch critical sections.
+func New(cs *metrics.CriticalSectionStats) *Tree {
+	return &Tree{root: &node{leaf: true}, cs: cs}
+}
+
+func (t *Tree) latchShared(n *node) {
+	if t.cs != nil {
+		t.cs.Latch.Inc()
+		if !n.mu.TryRLock() {
+			t.cs.Contended.Inc()
+			n.mu.RLock()
+		}
+		return
+	}
+	n.mu.RLock()
+}
+
+func (t *Tree) latchExcl(n *node) {
+	if t.cs != nil {
+		t.cs.Latch.Inc()
+		if !n.mu.TryLock() {
+			t.cs.Contended.Inc()
+			n.mu.Lock()
+		}
+		return
+	}
+	n.mu.Lock()
+}
+
+// Len returns the number of keys in the tree.
+func (t *Tree) Len() int { return int(t.size.Load()) }
+
+// search finds the child index for key in an internal node: the first
+// separator greater than key.
+func childIndex(keys []int64, key int64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if key < keys[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// leafIndex finds the position of key in a leaf (or where it would go).
+func leafIndex(keys []int64, key int64) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(keys) && keys[lo] == key
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key int64) (uint64, error) {
+	t.rootMu.RLock()
+	n := t.root
+	t.latchShared(n)
+	t.rootMu.RUnlock()
+	for !n.leaf {
+		c := n.children[childIndex(n.keys, key)]
+		t.latchShared(c)
+		n.mu.RUnlock()
+		n = c
+	}
+	i, ok := leafIndex(n.keys, key)
+	if !ok {
+		n.mu.RUnlock()
+		return 0, ErrNotFound
+	}
+	v := n.vals[i]
+	n.mu.RUnlock()
+	return v, nil
+}
+
+// Insert stores val under key, failing with ErrExists for duplicates.
+func (t *Tree) Insert(key int64, val uint64) error {
+	return t.upsert(key, val, false)
+}
+
+// Put stores val under key, overwriting any existing value.
+func (t *Tree) Put(key int64, val uint64) error {
+	return t.upsert(key, val, true)
+}
+
+// upsert descends with exclusive crabbing: parents stay latched until the
+// child is safe (not full), so splits can propagate without re-descending.
+func (t *Tree) upsert(key int64, val uint64, overwrite bool) error {
+	t.rootMu.Lock()
+	n := t.root
+	t.latchExcl(n)
+	if n.full() {
+		// Split the root while holding rootMu.
+		left := t.root
+		mid, right := t.split(left)
+		newRoot := &node{
+			leaf:     false,
+			keys:     []int64{mid},
+			children: []*node{left, right},
+		}
+		t.root = newRoot
+		// Continue the descent from the new root: re-latch.
+		t.latchExcl(newRoot)
+		n.mu.Unlock()
+		n = newRoot
+	}
+	t.rootMu.Unlock()
+
+	// Invariant: n is latched exclusively and not full.
+	for !n.leaf {
+		i := childIndex(n.keys, key)
+		c := n.children[i]
+		t.latchExcl(c)
+		if c.full() {
+			mid, right := t.split(c)
+			// Install separator in (non-full) parent n.
+			n.keys = append(n.keys, 0)
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = mid
+			n.children = append(n.children, nil)
+			copy(n.children[i+2:], n.children[i+1:])
+			n.children[i+1] = right
+			if key >= mid {
+				c.mu.Unlock()
+				c = right
+				t.latchExcl(c)
+			}
+		}
+		n.mu.Unlock()
+		n = c
+	}
+	i, ok := leafIndex(n.keys, key)
+	if ok {
+		if !overwrite {
+			n.mu.Unlock()
+			return ErrExists
+		}
+		n.vals[i] = val
+		n.mu.Unlock()
+		return nil
+	}
+	n.keys = append(n.keys, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = key
+	n.vals = append(n.vals, 0)
+	copy(n.vals[i+1:], n.vals[i:])
+	n.vals[i] = val
+	n.mu.Unlock()
+	t.size.Inc()
+	return nil
+}
+
+// split divides a full node (latched exclusively by the caller) into two,
+// returning the separator key and the new right sibling. The caller holds
+// the parent latch, so installing the separator is race-free.
+func (t *Tree) split(n *node) (int64, *node) {
+	half := len(n.keys) / 2
+	right := &node{leaf: n.leaf}
+	if n.leaf {
+		right.keys = append(right.keys, n.keys[half:]...)
+		right.vals = append(right.vals, n.vals[half:]...)
+		n.keys = n.keys[:half]
+		n.vals = n.vals[:half]
+		right.next = n.next
+		n.next = right
+		return right.keys[0], right
+	}
+	// Internal: middle key moves up.
+	mid := n.keys[half]
+	right.keys = append(right.keys, n.keys[half+1:]...)
+	right.children = append(right.children, n.children[half+1:]...)
+	n.keys = n.keys[:half]
+	n.children = n.children[:half+1]
+	return mid, right
+}
+
+// Delete removes key, returning its value. Leaves may become underfull
+// (lazy deletion); empty leaves are kept until the tree is rebuilt.
+func (t *Tree) Delete(key int64) (uint64, error) {
+	t.rootMu.RLock()
+	n := t.root
+	t.latchExcl(n)
+	t.rootMu.RUnlock()
+	for !n.leaf {
+		c := n.children[childIndex(n.keys, key)]
+		t.latchExcl(c)
+		n.mu.Unlock()
+		n = c
+	}
+	i, ok := leafIndex(n.keys, key)
+	if !ok {
+		n.mu.Unlock()
+		return 0, ErrNotFound
+	}
+	v := n.vals[i]
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	n.mu.Unlock()
+	t.size.Add(-1)
+	return v, nil
+}
+
+// AscendRange calls fn for every (key, value) with lo <= key <= hi, in
+// ascending order, until fn returns false. It crabs shared latches along
+// the leaf chain, so concurrent inserts into already-visited leaves are
+// not observed (the scan is a fuzzy read; transaction-level consistency
+// comes from the lock protocol above).
+func (t *Tree) AscendRange(lo, hi int64, fn func(key int64, val uint64) bool) {
+	t.rootMu.RLock()
+	n := t.root
+	t.latchShared(n)
+	t.rootMu.RUnlock()
+	for !n.leaf {
+		c := n.children[childIndex(n.keys, lo)]
+		t.latchShared(c)
+		n.mu.RUnlock()
+		n = c
+	}
+	i, _ := leafIndex(n.keys, lo)
+	for {
+		for ; i < len(n.keys); i++ {
+			if n.keys[i] > hi {
+				n.mu.RUnlock()
+				return
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				n.mu.RUnlock()
+				return
+			}
+		}
+		nx := n.next
+		if nx == nil {
+			n.mu.RUnlock()
+			return
+		}
+		t.latchShared(nx)
+		n.mu.RUnlock()
+		n = nx
+		i = 0
+	}
+}
+
+// Min returns the smallest key (testing/statistics helper).
+func (t *Tree) Min() (int64, uint64, bool) {
+	var k int64
+	var v uint64
+	found := false
+	t.AscendRange(-1<<63, 1<<63-1, func(key int64, val uint64) bool {
+		k, v, found = key, val, true
+		return false
+	})
+	return k, v, found
+}
+
+// Depth returns the height of the tree (1 for a lone leaf).
+func (t *Tree) Depth() int {
+	t.rootMu.RLock()
+	n := t.root
+	t.rootMu.RUnlock()
+	d := 1
+	for !n.leaf {
+		n = n.children[0]
+		d++
+	}
+	return d
+}

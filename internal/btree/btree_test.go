@@ -1,0 +1,350 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(nil)
+	if tr.Len() != 0 {
+		t.Fatal("empty tree should have Len 0")
+	}
+	if _, err := tr.Get(1); err != ErrNotFound {
+		t.Fatalf("Get on empty: %v", err)
+	}
+	if _, err := tr.Delete(1); err != ErrNotFound {
+		t.Fatalf("Delete on empty: %v", err)
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty should report false")
+	}
+}
+
+func TestInsertGetSequential(t *testing.T) {
+	tr := New(nil)
+	const n = 10000
+	for i := int64(0); i < n; i++ {
+		if err := tr.Insert(i, uint64(i*2)); err != nil {
+			t.Fatalf("Insert(%d): %v", i, err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	if tr.Depth() < 2 {
+		t.Fatal("tree should have split")
+	}
+	for i := int64(0); i < n; i++ {
+		v, err := tr.Get(i)
+		if err != nil || v != uint64(i*2) {
+			t.Fatalf("Get(%d) = %d, %v", i, v, err)
+		}
+	}
+}
+
+func TestInsertReverseAndRandom(t *testing.T) {
+	for name, keys := range map[string][]int64{
+		"reverse": genKeys(5000, func(i int) int64 { return int64(5000 - i) }),
+		"random":  shuffled(5000),
+	} {
+		tr := New(nil)
+		for _, k := range keys {
+			if err := tr.Insert(k, uint64(k)); err != nil {
+				t.Fatalf("%s Insert(%d): %v", name, k, err)
+			}
+		}
+		for _, k := range keys {
+			if v, err := tr.Get(k); err != nil || v != uint64(k) {
+				t.Fatalf("%s Get(%d) = %d, %v", name, k, v, err)
+			}
+		}
+	}
+}
+
+func genKeys(n int, f func(int) int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = f(i)
+	}
+	return out
+}
+
+func shuffled(n int) []int64 {
+	rng := rand.New(rand.NewSource(42))
+	out := genKeys(n, func(i int) int64 { return int64(i) })
+	rng.Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func TestDuplicateInsert(t *testing.T) {
+	tr := New(nil)
+	if err := tr.Insert(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(1, 20); err != ErrExists {
+		t.Fatalf("duplicate Insert: %v", err)
+	}
+	if v, _ := tr.Get(1); v != 10 {
+		t.Fatal("duplicate insert must not overwrite")
+	}
+	if err := tr.Put(1, 20); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tr.Get(1); v != 20 {
+		t.Fatal("Put must overwrite")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New(nil)
+	keys := shuffled(3000)
+	for _, k := range keys {
+		_ = tr.Insert(k, uint64(k))
+	}
+	for i, k := range keys {
+		v, err := tr.Delete(k)
+		if err != nil || v != uint64(k) {
+			t.Fatalf("Delete(%d) = %d, %v", k, v, err)
+		}
+		if _, err := tr.Get(k); err != ErrNotFound {
+			t.Fatalf("Get after delete: %v", err)
+		}
+		// Every undeleted key must still be present.
+		if i%500 == 0 {
+			for _, k2 := range keys[i+1:] {
+				if _, err := tr.Get(k2); err != nil {
+					t.Fatalf("lost key %d after deleting %d", k2, k)
+				}
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len after deleting all = %d", tr.Len())
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New(nil)
+	for i := int64(0); i < 1000; i += 2 {
+		_ = tr.Insert(i, uint64(i))
+	}
+	var got []int64
+	tr.AscendRange(100, 200, func(k int64, v uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 51 {
+		t.Fatalf("range [100,200] returned %d keys, want 51", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("range scan not sorted")
+	}
+	if got[0] != 100 || got[len(got)-1] != 200 {
+		t.Fatalf("range endpoints: %d..%d", got[0], got[len(got)-1])
+	}
+	// Early termination.
+	count := 0
+	tr.AscendRange(0, 1000, func(k int64, v uint64) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestNegativeKeys(t *testing.T) {
+	tr := New(nil)
+	for _, k := range []int64{-100, -1, 0, 1, 100} {
+		_ = tr.Insert(k, uint64(k+1000))
+	}
+	var got []int64
+	tr.AscendRange(-200, 200, func(k int64, v uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []int64{-100, -1, 0, 1, 100}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestQuickModel compares the tree against a map+sort model.
+func TestQuickModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New(nil)
+		model := map[int64]uint64{}
+		for op := 0; op < 2000; op++ {
+			k := int64(rng.Intn(500))
+			switch rng.Intn(4) {
+			case 0, 1:
+				v := rng.Uint64()
+				err := tr.Insert(k, v)
+				if _, exists := model[k]; exists {
+					if err != ErrExists {
+						return false
+					}
+				} else if err != nil {
+					return false
+				} else {
+					model[k] = v
+				}
+			case 2:
+				v, err := tr.Get(k)
+				want, exists := model[k]
+				if exists != (err == nil) {
+					return false
+				}
+				if exists && v != want {
+					return false
+				}
+			case 3:
+				v, err := tr.Delete(k)
+				want, exists := model[k]
+				if exists != (err == nil) {
+					return false
+				}
+				if exists {
+					if v != want {
+						return false
+					}
+					delete(model, k)
+				}
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		// Full scan must equal sorted model.
+		var keys []int64
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		var scanned []int64
+		tr.AscendRange(-1<<62, 1<<62, func(k int64, v uint64) bool {
+			scanned = append(scanned, k)
+			return v == model[k]
+		})
+		if len(scanned) != len(keys) {
+			return false
+		}
+		for i := range keys {
+			if scanned[i] != keys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentReadersWriters hammers the tree from many goroutines and
+// verifies no key is lost (run with -race for the real assertion).
+func TestConcurrentReadersWriters(t *testing.T) {
+	tr := New(nil)
+	const (
+		writers = 8
+		perW    = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				k := int64(w*perW + i)
+				if err := tr.Insert(k, uint64(k)); err != nil {
+					t.Errorf("Insert(%d): %v", k, err)
+					return
+				}
+				if i%7 == 0 {
+					// Interleave reads of our own keys.
+					if v, err := tr.Get(k); err != nil || v != uint64(k) {
+						t.Errorf("Get(%d) = %d, %v", k, v, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// Concurrent scanners.
+	stop := make(chan struct{})
+	var scanWG sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		scanWG.Add(1)
+		go func() {
+			defer scanWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				prev := int64(-1)
+				tr.AscendRange(0, writers*perW, func(k int64, v uint64) bool {
+					if k <= prev {
+						t.Errorf("scan out of order: %d after %d", k, prev)
+						return false
+					}
+					prev = k
+					return true
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scanWG.Wait()
+	if tr.Len() != writers*perW {
+		t.Fatalf("Len = %d, want %d", tr.Len(), writers*perW)
+	}
+	for k := int64(0); k < writers*perW; k++ {
+		if v, err := tr.Get(k); err != nil || v != uint64(k) {
+			t.Fatalf("lost key %d: %d, %v", k, v, err)
+		}
+	}
+}
+
+func TestConcurrentMixed(t *testing.T) {
+	tr := New(nil)
+	for k := int64(0); k < 10000; k++ {
+		_ = tr.Insert(k, uint64(k))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			// Each worker owns keys k where k%8==w: deletes and reinserts.
+			for i := 0; i < 3000; i++ {
+				k := int64(rng.Intn(1250))*8 + int64(w)
+				switch rng.Intn(3) {
+				case 0:
+					_, _ = tr.Delete(k)
+				case 1:
+					_ = tr.Put(k, uint64(k))
+				case 2:
+					if v, err := tr.Get(k); err == nil && v != uint64(k) {
+						t.Errorf("Get(%d) = %d", k, v)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,254 @@
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dora/internal/latch"
+	"dora/internal/metrics"
+	"dora/internal/page"
+)
+
+// LogForcer is the slice of the log manager the buffer pool needs to
+// enforce write-ahead logging: before a dirty page is written back, the
+// log must be durable up to the page's LSN.
+type LogForcer interface {
+	// Force blocks until all log records with LSN <= lsn are durable.
+	Force(lsn uint64) error
+}
+
+// ErrNoFrames reports that every frame is pinned and none can be evicted.
+var ErrNoFrames = errors.New("buffer: all frames pinned")
+
+// Frame is a buffer-pool slot holding one page. Callers access Page only
+// between Fetch/NewPage and Unpin, under the frame Latch (shared for
+// reads, exclusive for updates).
+type Frame struct {
+	// Latch protects Page content.
+	Latch latch.Latch
+	// Page is the cached page image.
+	Page page.Page
+
+	id    page.ID
+	idx   int
+	pins  atomic.Int32
+	dirty atomic.Bool
+	ref   atomic.Bool
+	valid bool
+}
+
+// ID returns the id of the page currently cached in the frame.
+func (f *Frame) ID() page.ID { return f.id }
+
+// MarkDirty records that the caller modified the page. Call while holding
+// the frame latch exclusively.
+func (f *Frame) MarkDirty() { f.dirty.Store(true) }
+
+// Pool is the buffer pool.
+type Pool struct {
+	mu     sync.Mutex
+	disk   Disk
+	log    LogForcer
+	frames []*Frame
+	table  map[page.ID]int
+	hand   int
+
+	// Hits and Misses count page lookups served from memory vs disk.
+	Hits   metrics.Counter
+	Misses metrics.Counter
+	// Evictions counts evicted frames; DirtyWrites counts write-backs.
+	Evictions   metrics.Counter
+	DirtyWrites metrics.Counter
+}
+
+// NewPool creates a pool with n frames over disk. log may be nil when no
+// WAL is attached (tests, read-only tools).
+func NewPool(n int, disk Disk, log LogForcer) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{
+		disk:   disk,
+		log:    log,
+		frames: make([]*Frame, n),
+		table:  make(map[page.ID]int, n),
+	}
+	for i := range p.frames {
+		p.frames[i] = &Frame{idx: i}
+	}
+	return p
+}
+
+// SetStats wires contention accounting into every frame latch.
+func (p *Pool) SetStats(cs *metrics.CriticalSectionStats) {
+	for _, f := range p.frames {
+		f.Latch.Stats = cs
+	}
+}
+
+// NumFrames returns the pool capacity in pages.
+func (p *Pool) NumFrames() int { return len(p.frames) }
+
+// Fetch pins the frame holding page id, reading it from disk on a miss.
+// The caller must Unpin it, and must latch Frame.Latch around access.
+func (p *Pool) Fetch(id page.ID) (*Frame, error) {
+	p.mu.Lock()
+	if idx, ok := p.table[id]; ok {
+		f := p.frames[idx]
+		f.pins.Add(1)
+		f.ref.Store(true)
+		p.mu.Unlock()
+		p.Hits.Inc()
+		return f, nil
+	}
+	f, err := p.victimLocked()
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	// Install mapping before releasing mu so a concurrent Fetch of the
+	// same id waits on the frame latch rather than double-reading.
+	f.id = id
+	f.valid = true
+	f.pins.Store(1)
+	f.ref.Store(true)
+	p.table[id] = p.frameIndex(f)
+	f.Latch.Lock()
+	p.mu.Unlock()
+	p.Misses.Inc()
+	err = p.disk.ReadPage(id, &f.Page)
+	f.Latch.Unlock()
+	if err != nil {
+		p.mu.Lock()
+		delete(p.table, id)
+		f.valid = false
+		f.pins.Add(-1)
+		p.mu.Unlock()
+		return nil, err
+	}
+	return f, nil
+}
+
+// NewPage allocates a fresh page on disk and returns it pinned and
+// initialized.
+func (p *Pool) NewPage() (*Frame, error) {
+	id, err := p.disk.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	f, err := p.victimLocked()
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	f.id = id
+	f.valid = true
+	f.pins.Store(1)
+	f.ref.Store(true)
+	p.table[id] = p.frameIndex(f)
+	f.Latch.Lock()
+	p.mu.Unlock()
+	f.Page.Init(id)
+	f.dirty.Store(true)
+	f.Latch.Unlock()
+	return f, nil
+}
+
+// Unpin releases one pin. If dirty, the page is marked for write-back.
+func (p *Pool) Unpin(f *Frame, dirty bool) {
+	if dirty {
+		f.dirty.Store(true)
+	}
+	if n := f.pins.Add(-1); n < 0 {
+		panic(fmt.Sprintf("buffer: negative pin count on page %d", f.id))
+	}
+}
+
+func (p *Pool) frameIndex(f *Frame) int { return f.idx }
+
+// victimLocked finds an unpinned frame (clock policy), flushing it if
+// dirty. Called with p.mu held; may briefly release it for I/O.
+func (p *Pool) victimLocked() (*Frame, error) {
+	for sweep := 0; sweep < 2*len(p.frames); sweep++ {
+		f := p.frames[p.hand]
+		p.hand = (p.hand + 1) % len(p.frames)
+		if f.pins.Load() != 0 {
+			continue
+		}
+		if f.ref.Swap(false) && f.valid {
+			continue
+		}
+		if !f.valid {
+			return f, nil
+		}
+		// Evict. Pin it so no one else grabs it while we do I/O.
+		f.pins.Store(1)
+		delete(p.table, f.id)
+		if f.dirty.Load() {
+			p.mu.Unlock()
+			err := p.writeBack(f)
+			p.mu.Lock()
+			if err != nil {
+				// Restore mapping and give up.
+				p.table[f.id] = p.frameIndex(f)
+				f.pins.Store(0)
+				return nil, err
+			}
+			p.DirtyWrites.Inc()
+		}
+		p.Evictions.Inc()
+		f.valid = false
+		f.pins.Store(0)
+		return f, nil
+	}
+	return nil, ErrNoFrames
+}
+
+// writeBack forces the WAL to the page LSN and writes the page image.
+func (p *Pool) writeBack(f *Frame) error {
+	f.Latch.RLock()
+	defer f.Latch.RUnlock()
+	if p.log != nil {
+		if err := p.log.Force(f.Page.LSN()); err != nil {
+			return err
+		}
+	}
+	if err := p.disk.WritePage(f.id, &f.Page); err != nil {
+		return err
+	}
+	f.dirty.Store(false)
+	return nil
+}
+
+// FlushAll writes back every dirty frame (checkpoint support).
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	frames := make([]*Frame, 0, len(p.frames))
+	for _, f := range p.frames {
+		if f.valid && f.dirty.Load() {
+			f.pins.Add(1)
+			frames = append(frames, f)
+		}
+	}
+	p.mu.Unlock()
+	var first error
+	for _, f := range frames {
+		if err := p.writeBack(f); err != nil && first == nil {
+			first = err
+		}
+		f.pins.Add(-1)
+	}
+	return first
+}
+
+// HitRate returns hits / (hits+misses), or 1 when no lookups happened.
+func (p *Pool) HitRate() float64 {
+	h, m := float64(p.Hits.Load()), float64(p.Misses.Load())
+	if h+m == 0 {
+		return 1
+	}
+	return h / (h + m)
+}

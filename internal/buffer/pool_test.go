@@ -1,0 +1,265 @@
+package buffer
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"dora/internal/page"
+)
+
+func TestNewPageAndFetch(t *testing.T) {
+	p := NewPool(4, NewMemDisk(), nil)
+	f, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := f.ID()
+	f.Latch.Lock()
+	if _, err := f.Page.Insert([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	f.MarkDirty()
+	f.Latch.Unlock()
+	p.Unpin(f, true)
+
+	g, err := p.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != f {
+		t.Fatal("second fetch should hit the same frame")
+	}
+	g.Latch.RLock()
+	b, err := g.Page.Get(0)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("Get: %q, %v", b, err)
+	}
+	g.Latch.RUnlock()
+	p.Unpin(g, false)
+	if p.Hits.Load() != 1 {
+		t.Fatalf("hits = %d, want 1", p.Hits.Load())
+	}
+}
+
+func TestEvictionWritesBack(t *testing.T) {
+	disk := NewMemDisk()
+	p := NewPool(2, disk, nil)
+	var ids []page.ID
+	for i := 0; i < 5; i++ {
+		f, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Latch.Lock()
+		if _, err := f.Page.Insert([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		f.Latch.Unlock()
+		ids = append(ids, f.ID())
+		p.Unpin(f, true)
+	}
+	// All five pages must be readable despite only 2 frames.
+	for i, id := range ids {
+		f, err := p.Fetch(id)
+		if err != nil {
+			t.Fatalf("Fetch(%d): %v", id, err)
+		}
+		f.Latch.RLock()
+		b, err := f.Page.Get(0)
+		if err != nil || b[0] != byte(i) {
+			t.Fatalf("page %d content: %v %v", id, b, err)
+		}
+		f.Latch.RUnlock()
+		p.Unpin(f, false)
+	}
+	if p.Evictions.Load() == 0 {
+		t.Fatal("expected evictions with 2 frames and 5 pages")
+	}
+}
+
+func TestAllPinnedFails(t *testing.T) {
+	p := NewPool(2, NewMemDisk(), nil)
+	a, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.NewPage(); err != ErrNoFrames {
+		t.Fatalf("want ErrNoFrames, got %v", err)
+	}
+	p.Unpin(a, false)
+	p.Unpin(b, false)
+	c, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(c, false)
+}
+
+// walProbe records the highest LSN forced.
+type walProbe struct {
+	mu    sync.Mutex
+	maxed uint64
+}
+
+func (w *walProbe) Force(lsn uint64) error {
+	w.mu.Lock()
+	if lsn > w.maxed {
+		w.maxed = lsn
+	}
+	w.mu.Unlock()
+	return nil
+}
+
+func TestWALForcedBeforeWriteBack(t *testing.T) {
+	probe := &walProbe{}
+	p := NewPool(1, NewMemDisk(), probe)
+	f, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Latch.Lock()
+	f.Page.SetLSN(777)
+	f.Latch.Unlock()
+	p.Unpin(f, true)
+	// Allocating another page evicts the dirty one.
+	g, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(g, false)
+	probe.mu.Lock()
+	defer probe.mu.Unlock()
+	if probe.maxed < 777 {
+		t.Fatalf("WAL forced only to %d before write-back of page with LSN 777", probe.maxed)
+	}
+}
+
+func TestFlushAllPersists(t *testing.T) {
+	disk := NewMemDisk()
+	p := NewPool(4, disk, nil)
+	f, _ := p.NewPage()
+	f.Latch.Lock()
+	_, _ = f.Page.Insert([]byte("persist me"))
+	f.Latch.Unlock()
+	id := f.ID()
+	p.Unpin(f, true)
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Read through a *different* pool: must come from disk.
+	p2 := NewPool(4, disk, nil)
+	g, err := p2.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Latch.RLock()
+	b, err := g.Page.Get(0)
+	g.Latch.RUnlock()
+	p2.Unpin(g, false)
+	if err != nil || string(b) != "persist me" {
+		t.Fatalf("after flush: %q, %v", b, err)
+	}
+}
+
+func TestFileDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.db")
+	d, err := OpenFileDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(2, d, nil)
+	f, _ := p.NewPage()
+	f.Latch.Lock()
+	_, _ = f.Page.Insert([]byte("on disk"))
+	f.Latch.Unlock()
+	id := f.ID()
+	p.Unpin(f, true)
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenFileDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.NumPages() != 1 {
+		t.Fatalf("NumPages = %d", d2.NumPages())
+	}
+	var pg page.Page
+	if err := d2.ReadPage(id, &pg); err != nil {
+		t.Fatal(err)
+	}
+	b, err := pg.Get(0)
+	if err != nil || string(b) != "on disk" {
+		t.Fatalf("file round trip: %q %v", b, err)
+	}
+}
+
+func TestConcurrentFetch(t *testing.T) {
+	disk := NewMemDisk()
+	p := NewPool(8, disk, nil)
+	var ids []page.ID
+	for i := 0; i < 32; i++ {
+		f, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Latch.Lock()
+		_, _ = f.Page.Insert([]byte{byte(i)})
+		f.Latch.Unlock()
+		ids = append(ids, f.ID())
+		p.Unpin(f, true)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := ids[(w*7+i)%len(ids)]
+				f, err := p.Fetch(id)
+				if err != nil {
+					t.Errorf("Fetch(%d): %v", id, err)
+					return
+				}
+				f.Latch.RLock()
+				b, err := f.Page.Get(0)
+				if err != nil || b[0] != byte(id) {
+					t.Errorf("page %d: %v %v", id, b, err)
+					f.Latch.RUnlock()
+					p.Unpin(f, false)
+					return
+				}
+				f.Latch.RUnlock()
+				p.Unpin(f, false)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestHitRate(t *testing.T) {
+	p := NewPool(4, NewMemDisk(), nil)
+	if p.HitRate() != 1 {
+		t.Fatal("empty pool hit rate should be 1")
+	}
+	f, _ := p.NewPage()
+	id := f.ID()
+	p.Unpin(f, false)
+	for i := 0; i < 9; i++ {
+		g, _ := p.Fetch(id)
+		p.Unpin(g, false)
+	}
+	if hr := p.HitRate(); hr != 1 {
+		t.Fatalf("hit rate = %f, want 1 (page never evicted)", hr)
+	}
+}

@@ -1,0 +1,155 @@
+// Package catalog holds the schema layer: table definitions (fields and
+// types), their heap files, and their B+tree indexes, including the key
+// extraction functions that bit-pack composite workload keys into int64s.
+//
+// The catalog also records each table's current partitioning field, which
+// the DORA router and the aligned-access monitor (experiment E7) consult.
+package catalog
+
+import (
+	"fmt"
+	"sync"
+
+	"dora/internal/btree"
+	"dora/internal/storage"
+	"dora/internal/tuple"
+)
+
+// Field describes one column.
+type Field struct {
+	Name string
+	Type tuple.Type
+}
+
+// KeyFunc extracts an int64 index key from a record.
+type KeyFunc func(tuple.Record) int64
+
+// Index is a secondary (or primary) index over a table.
+type Index struct {
+	// Name identifies the index.
+	Name string
+	// Fields lists the indexed column names, in order. The designer's
+	// physical advisor reasons over these.
+	Fields []string
+	// Key extracts the (unique) index key from a record.
+	Key KeyFunc
+	// Tree is the index structure.
+	Tree *btree.Tree
+}
+
+// Table is a table: schema, heap, primary index and secondaries.
+type Table struct {
+	// ID is the stable numeric id used in log records and lock names.
+	ID uint32
+	// Name is the table name.
+	Name string
+	// Fields is the ordered column list.
+	Fields []Field
+	// Heap stores the records.
+	Heap *storage.Heap
+	// Primary is the primary-key index (always present).
+	Primary *Index
+	// Secondaries are additional unique indexes.
+	Secondaries []*Index
+
+	// PartitionField names the column DORA currently routes on. It is
+	// mutable: the alignment advisor (E7) can re-partition on a new field.
+	partMu         sync.RWMutex
+	partitionField string
+}
+
+// FieldIndex returns the position of the named column, or -1.
+func (t *Table) FieldIndex(name string) int {
+	for i, f := range t.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// PartitionField returns the column DORA routes on.
+func (t *Table) PartitionField() string {
+	t.partMu.RLock()
+	defer t.partMu.RUnlock()
+	return t.partitionField
+}
+
+// SetPartitionField changes the routing column (logical re-partitioning).
+func (t *Table) SetPartitionField(f string) {
+	t.partMu.Lock()
+	t.partitionField = f
+	t.partMu.Unlock()
+}
+
+// IndexByName returns the index (primary or secondary) with that name.
+func (t *Table) IndexByName(name string) *Index {
+	if t.Primary != nil && t.Primary.Name == name {
+		return t.Primary
+	}
+	for _, ix := range t.Secondaries {
+		if ix.Name == name {
+			return ix
+		}
+	}
+	return nil
+}
+
+// Catalog is the set of tables.
+type Catalog struct {
+	mu     sync.RWMutex
+	byName map[string]*Table
+	byID   map[uint32]*Table
+	nextID uint32
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		byName: make(map[string]*Table),
+		byID:   make(map[uint32]*Table),
+		nextID: 1,
+	}
+}
+
+// AddTable registers a table built by the storage manager. The table is
+// assigned the next id; its primary index must already be set.
+func (c *Catalog) AddTable(t *Table) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.byName[t.Name]; dup {
+		return nil, fmt.Errorf("catalog: table %q exists", t.Name)
+	}
+	t.ID = c.nextID
+	c.nextID++
+	c.byName[t.Name] = t
+	c.byID[t.ID] = t
+	return t, nil
+}
+
+// Table returns the table with the given name, or nil.
+func (c *Catalog) Table(name string) *Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.byName[name]
+}
+
+// TableByID returns the table with the given id, or nil.
+func (c *Catalog) TableByID(id uint32) *Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.byID[id]
+}
+
+// Tables returns all tables in registration order.
+func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.byID))
+	for id := uint32(1); id < c.nextID; id++ {
+		if t := c.byID[id]; t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}

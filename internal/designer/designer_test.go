@@ -1,0 +1,188 @@
+package designer
+
+import (
+	"strings"
+	"testing"
+
+	"dora/internal/designer/sqlmini"
+)
+
+func parse(t *testing.T, src string) *sqlmini.Txn {
+	t.Helper()
+	txn, err := sqlmini.ParseTxn(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return txn
+}
+
+const insCF = `
+TXN InsertCallForwarding(:sub_nbr, :sf, :start, :end, :nbrx) {
+  SELECT s_id FROM subscriber WHERE sub_nbr = :sub_nbr;
+  SELECT sf_type FROM special_facility WHERE s_id = s_id;
+  INSERT INTO call_forwarding VALUES (s_id, :sf, :start, :end, :nbrx);
+}`
+
+var tatpParts = map[string]string{
+	"subscriber":       "s_id",
+	"special_facility": "s_id",
+	"call_forwarding":  "s_id",
+	"access_info":      "s_id",
+}
+
+func TestGeneratePhases(t *testing.T) {
+	fp := Generate(parse(t, insCF), tatpParts)
+	if len(fp.Actions) != 3 {
+		t.Fatalf("actions = %d", len(fp.Actions))
+	}
+	// Statement 1 (SF probe) and 2 (insert) both consume s_id produced by
+	// statement 0, so they land in a later phase; the insert also refers
+	// to s_id, so it depends on statement 0 too.
+	if fp.PhaseOf[0] != 0 {
+		t.Fatalf("phase of select = %d", fp.PhaseOf[0])
+	}
+	if fp.PhaseOf[1] == 0 || fp.PhaseOf[2] == 0 {
+		t.Fatalf("dependent statements in phase 0: %v", fp.PhaseOf)
+	}
+	if fp.NumPhases() < 2 {
+		t.Fatalf("phases = %d", fp.NumPhases())
+	}
+	// The sub_nbr probe is not aligned with s_id partitioning.
+	if fp.Actions[0].Aligned {
+		t.Fatal("sub_nbr probe wrongly marked aligned")
+	}
+	if !fp.Actions[1].Aligned {
+		t.Fatal("s_id probe should be aligned")
+	}
+}
+
+func TestParallelIndependentActions(t *testing.T) {
+	// Two updates on different tables with no value flow: same phase.
+	src := `TXN UpdateSubscriberData(:s, :bit, :data) {
+	  UPDATE subscriber SET bit_1 = :bit WHERE s_id = :s;
+	  UPDATE special_facility SET data_a = :data WHERE s_id = :s;
+	}`
+	fp := Generate(parse(t, src), tatpParts)
+	if fp.PhaseOf[0] != fp.PhaseOf[1] {
+		t.Fatalf("independent actions split into phases %v", fp.PhaseOf)
+	}
+	if fp.NumPhases() != 1 {
+		t.Fatalf("phases = %d", fp.NumPhases())
+	}
+}
+
+func TestSerializeAndParallelizeEdits(t *testing.T) {
+	src := `TXN T(:s) {
+	  UPDATE subscriber SET bit_1 = 1 WHERE s_id = :s;
+	  UPDATE special_facility SET data_a = 2 WHERE s_id = :s;
+	}`
+	fp := Generate(parse(t, src), tatpParts)
+	// User forces serial execution (e.g. high-abort action last).
+	if err := fp.Serialize(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if fp.PhaseOf[1] <= fp.PhaseOf[0] {
+		t.Fatalf("serialize had no effect: %v", fp.PhaseOf)
+	}
+	// Cannot serialize the opposite direction now.
+	if err := fp.Serialize(1, 0); err == nil {
+		t.Fatal("conflicting serialize must fail")
+	}
+
+	// Parallelize is refused when a data dependency exists.
+	fp2 := Generate(parse(t, insCF), tatpParts)
+	if err := fp2.Parallelize(0, 2); err == nil {
+		t.Fatal("parallelize across value flow must fail")
+	}
+	// And allowed when not.
+	fp3 := Generate(parse(t, src), tatpParts)
+	if err := fp3.Serialize(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fp3.Parallelize(0, 1); err == nil {
+		t.Fatal("parallelize should fail after explicit serialize (dependency recorded)")
+	}
+}
+
+func TestRenderAndDOT(t *testing.T) {
+	fp := Generate(parse(t, insCF), tatpParts)
+	txt := fp.Render()
+	for _, want := range []string{"InsertCallForwarding", "phase 1", "RVP", "commit"} {
+		if !strings.Contains(txt, want) {
+			t.Fatalf("Render missing %q:\n%s", want, txt)
+		}
+	}
+	dot := fp.DOT()
+	for _, want := range []string{"digraph", "rvp1", "commit", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestAdvise(t *testing.T) {
+	getSub := parse(t, `TXN GetSubscriberData(:s) {
+	  SELECT * FROM subscriber WHERE s_id = :s;
+	}`)
+	updLoc := parse(t, `TXN UpdateLocation(:nbr, :vlr) {
+	  SELECT s_id FROM subscriber WHERE sub_nbr = :nbr;
+	  UPDATE subscriber SET vlr_location = :vlr WHERE s_id = s_id;
+	}`)
+	workload := []WeightedTxn{
+		{Txn: getSub, Freq: 35},
+		{Txn: updLoc, Freq: 14},
+	}
+	tables := map[string]TableInfo{
+		"subscriber": {
+			KeyFields: []string{"s_id"},
+			Rows:      100000,
+			Indexes:   [][]string{{"sub_nbr"}},
+		},
+	}
+	d := Advise(workload, tables, 8)
+	if len(d.Tables) != 1 {
+		t.Fatalf("tables = %d", len(d.Tables))
+	}
+	tp := d.Tables[0]
+	// s_id is probed by 35+14 weighted accesses; sub_nbr by 14.
+	if tp.PartitionField != "s_id" {
+		t.Fatalf("partition field = %q", tp.PartitionField)
+	}
+	if tp.Partitions < 1 {
+		t.Fatalf("partitions = %d", tp.Partitions)
+	}
+	if tp.PartitionRows <= 0 {
+		t.Fatalf("partition rows = %d", tp.PartitionRows)
+	}
+	// The prepend rule fires for the (sub_nbr) index.
+	found := false
+	for _, ix := range d.Indexes {
+		if len(ix.Columns) >= 2 && ix.Columns[0] == "s_id" && ix.Columns[1] == "sub_nbr" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("prepend-partition-column proposal missing: %+v", d.Indexes)
+	}
+	if !strings.Contains(d.Render(), "partition by s_id") {
+		t.Fatalf("render:\n%s", d.Render())
+	}
+}
+
+func TestAdviseSkewedToHotTable(t *testing.T) {
+	hot := parse(t, `TXN Hot(:k) { UPDATE a SET v = 1 WHERE k = :k; }`)
+	cold := parse(t, `TXN Cold(:k) { SELECT * FROM b WHERE k = :k; }`)
+	d := Advise([]WeightedTxn{{hot, 90}, {cold, 10}}, nil, 10)
+	var pa, pb int
+	for _, tp := range d.Tables {
+		switch tp.Table {
+		case "a":
+			pa = tp.Partitions
+		case "b":
+			pb = tp.Partitions
+		}
+	}
+	if pa <= pb {
+		t.Fatalf("hot table got %d partitions, cold %d", pa, pb)
+	}
+}

@@ -1,0 +1,401 @@
+package designer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dora/internal/catalog"
+	"dora/internal/designer/sqlmini"
+	"dora/internal/tuple"
+	"dora/internal/xct"
+)
+
+// Bind completes the demo's plan-generator loop (§2.3: the user can
+// "see the generated execution plans, modify and run them"): it turns a
+// FlowPlan into an executable transaction flow graph by interpreting
+// each statement against the catalog. The returned flow runs on either
+// engine.
+//
+// Interpretation rules:
+//
+//   - equality predicates covering a table's primary-key columns locate
+//     the row: a probe record is built from the predicate values and the
+//     table's key function packs it, so the interpreter never needs to
+//     know the bit-packing;
+//   - a SELECT publishes its projected integer columns into the
+//     transaction's variable environment under their column names; later
+//     statements may reference them as bare identifiers (value flow
+//     across RVPs);
+//   - UPDATE applies its SET expressions (including col ± expr);
+//   - INSERT builds the record positionally from VALUES;
+//   - DELETE removes the row its predicates locate;
+//   - parameters (:name) are taken from params.
+//
+// A missing row makes the statement (and transaction) fail with the
+// storage manager's not-found error, which aborts — matching the
+// engines' semantics.
+func Bind(fp *FlowPlan, cat *catalog.Catalog, params map[string]int64) (*xct.Flow, error) {
+	env := &bindEnv{params: params, vars: map[string]int64{}}
+	flow := xct.NewFlow(fp.Txn.Name)
+	var late []rebinding
+	var all []*xct.Action
+	for _, idxs := range fp.Phases() {
+		var actions []*xct.Action
+		for _, i := range idxs {
+			a := fp.Actions[i]
+			tbl := cat.Table(a.Stmt.Table)
+			if tbl == nil {
+				return nil, fmt.Errorf("designer: unknown table %q", a.Stmt.Table)
+			}
+			act, err := bindAction(a, tbl, env, &late)
+			if err != nil {
+				return nil, err
+			}
+			actions = append(actions, act)
+			all = append(all, act)
+		}
+		flow.AddPhase(actions...)
+	}
+	// Late-bound routing keys (the key value is an identifier published
+	// by an earlier phase): after every action body, retry the pending
+	// bindings. Publishes happen before the next phase dispatches (RVP
+	// ordering), so the key is in place when the engine reads it.
+	if len(late) > 0 {
+		lateRefs := make([]*rebinding, len(late))
+		for i := range late {
+			lateRefs[i] = &late[i]
+		}
+		for _, act := range all {
+			run := act.Run
+			act.Run = func(x *xct.Env) error {
+				err := run(x)
+				if err == nil {
+					for _, rb := range lateRefs {
+						rb.try() // succeeds once its inputs are published
+					}
+				}
+				return err
+			}
+		}
+	}
+	return flow, nil
+}
+
+// bindEnv carries parameters and the inter-statement variable
+// environment. Vars are written by SELECTs and read by later phases;
+// actions of one phase may publish concurrently, hence the mutex.
+type bindEnv struct {
+	params map[string]int64
+	mu     sync.Mutex
+	vars   map[string]int64
+}
+
+func (e *bindEnv) set(name string, v int64) {
+	e.mu.Lock()
+	e.vars[name] = v
+	e.mu.Unlock()
+}
+
+func (e *bindEnv) eval(x sqlmini.Expr) (int64, error) {
+	switch {
+	case x.IsLit:
+		return x.Lit, nil
+	case x.Param != "":
+		v, ok := e.params[x.Param]
+		if !ok {
+			return 0, fmt.Errorf("designer: missing parameter :%s", x.Param)
+		}
+		return v, nil
+	case x.Ident != "":
+		e.mu.Lock()
+		v, ok := e.vars[x.Ident]
+		e.mu.Unlock()
+		if !ok {
+			return 0, fmt.Errorf("designer: unbound identifier %q", x.Ident)
+		}
+		return v, nil
+	}
+	return 0, errors.New("designer: empty expression")
+}
+
+// bindAction builds the runnable xct.Action for one plan node.
+func bindAction(a ActionPlan, tbl *catalog.Table, env *bindEnv, late *[]rebinding) (*xct.Action, error) {
+	st := a.Stmt
+	act := &xct.Action{
+		Table:    tbl.Name,
+		KeyField: a.KeyCol,
+		Mode:     xct.Read,
+		Label:    st.Kind.String(),
+	}
+	if st.IsWrite() {
+		act.Mode = xct.Write
+	}
+	// The plan generator works schema-free, so positional INSERT values
+	// can hide the routing column from it; with the catalog in hand, the
+	// partitioning field's position identifies the key.
+	if a.KeyCol == "" && st.Kind == sqlmini.Insert {
+		if pf := tbl.PartitionField(); pf != "" && tbl.FieldIndex(pf) < len(st.Values) {
+			a.KeyCol = pf
+			act.KeyField = pf
+		}
+	}
+	// Routing key: the key column's value, when computable at bind time;
+	// late-bound (identifier) keys are evaluated once the producing phase
+	// publishes their inputs (see Bind). The engines read act.Key at
+	// dispatch, after earlier phases ran, so lazy evaluation suffices.
+	if a.KeyCol != "" {
+		bindKey := func() error {
+			for _, p := range st.Preds {
+				if p.Col == a.KeyCol && !p.IsRange {
+					v, err := env.eval(*p.Eq)
+					if err != nil {
+						return err
+					}
+					act.Key = v
+					return nil
+				}
+			}
+			if st.Kind == sqlmini.Insert {
+				if i := tbl.FieldIndex(a.KeyCol); i >= 0 && i < len(st.Values) {
+					v, err := env.eval(st.Values[i])
+					if err != nil {
+						return err
+					}
+					act.Key = v
+					return nil
+				}
+			}
+			return fmt.Errorf("designer: no key value for %s.%s", tbl.Name, a.KeyCol)
+		}
+		if err := bindKey(); err != nil {
+			// The key references an identifier an earlier phase
+			// publishes: mark the action LateKey and retry the binding
+			// after each earlier action completes (see Bind).
+			act.LateKey = true
+			*late = append(*late, rebinding{bind: bindKey})
+		}
+	}
+	// Resolver: when an engine locks or routes on a different field than
+	// the action's key field (a non-partition-aligned access), it asks
+	// for the row's value of that field; the interpreter locates the row
+	// through whatever index the predicates allow.
+	act.Resolve = func(x *xct.Env, field string) (int64, error) {
+		if st.Kind == sqlmini.Insert {
+			fi := tbl.FieldIndex(field)
+			if fi < 0 || fi >= len(st.Values) {
+				return 0, fmt.Errorf("designer: INSERT into %s carries no %q", tbl.Name, field)
+			}
+			return env.eval(st.Values[fi])
+		}
+		rec, err := locate(st, tbl, env, x)
+		if err != nil {
+			return 0, err
+		}
+		fi := tbl.FieldIndex(field)
+		if fi < 0 {
+			return 0, fmt.Errorf("designer: %s has no field %q", tbl.Name, field)
+		}
+		return rec[fi].Int, nil
+	}
+	run, err := bindBody(st, tbl, env)
+	if err != nil {
+		return nil, err
+	}
+	act.Run = run
+	return act, nil
+}
+
+// rebinding defers routing-key evaluation for late-bound keys until the
+// producing phase has published the inputs. try is safe to call from
+// several publishing actions concurrently and binds at most once.
+type rebinding struct {
+	mu   sync.Mutex
+	done bool
+	bind func() error
+}
+
+func (rb *rebinding) try() {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if rb.done {
+		return
+	}
+	if rb.bind() == nil {
+		rb.done = true
+	}
+}
+
+// bindBody builds the statement interpreter.
+func bindBody(st sqlmini.Statement, tbl *catalog.Table, env *bindEnv) (func(*xct.Env) error, error) {
+	switch st.Kind {
+	case sqlmini.Select:
+		return func(x *xct.Env) error {
+			rec, err := locate(st, tbl, env, x)
+			if err != nil {
+				return err
+			}
+			publish(st, tbl, rec, env)
+			return nil
+		}, nil
+	case sqlmini.Update:
+		return func(x *xct.Env) error {
+			key, err := probeKey(st, tbl, env)
+			if err != nil {
+				return err
+			}
+			var evalErr error
+			err = x.Ses.Mutate(x.Txn, tbl, key, func(r tuple.Record) tuple.Record {
+				for i, col := range st.Cols {
+					fi := tbl.FieldIndex(col)
+					if fi < 0 {
+						evalErr = fmt.Errorf("designer: %s has no column %q", tbl.Name, col)
+						return r
+					}
+					v, err := evalSet(st.SetExprs[i], r, tbl, env)
+					if err != nil {
+						evalErr = err
+						return r
+					}
+					r[fi] = tuple.I(v)
+				}
+				return r
+			})
+			if evalErr != nil {
+				return evalErr
+			}
+			return err
+		}, nil
+	case sqlmini.Insert:
+		return func(x *xct.Env) error {
+			if len(st.Values) != len(tbl.Fields) {
+				return fmt.Errorf("designer: INSERT into %s has %d values, table has %d columns",
+					tbl.Name, len(st.Values), len(tbl.Fields))
+			}
+			rec := make(tuple.Record, len(st.Values))
+			for i, ve := range st.Values {
+				v, err := env.eval(ve)
+				if err != nil {
+					return err
+				}
+				rec[i] = tuple.I(v)
+			}
+			return x.Ses.Insert(x.Txn, tbl, rec)
+		}, nil
+	case sqlmini.Delete:
+		return func(x *xct.Env) error {
+			key, err := probeKey(st, tbl, env)
+			if err != nil {
+				return err
+			}
+			return x.Ses.Delete(x.Txn, tbl, key)
+		}, nil
+	}
+	return nil, fmt.Errorf("designer: cannot bind %v statement", st.Kind)
+}
+
+// locate reads the row a statement's predicates identify: by packed
+// primary key when the equality predicates cover the key columns, or
+// through a single-column secondary index otherwise (the resolver path
+// of a non-partition-aligned access).
+func locate(st sqlmini.Statement, tbl *catalog.Table, env *bindEnv, x *xct.Env) (tuple.Record, error) {
+	key, err := probeKey(st, tbl, env)
+	if err == nil {
+		return x.Ses.Read(x.Txn, tbl, key)
+	}
+	for _, ix := range tbl.Secondaries {
+		if len(ix.Fields) != 1 {
+			continue
+		}
+		for _, p := range st.Preds {
+			if p.IsRange || p.Col != ix.Fields[0] {
+				continue
+			}
+			v, verr := env.eval(*p.Eq)
+			if verr != nil {
+				return nil, verr
+			}
+			return x.Ses.ReadByIndex(x.Txn, tbl, ix.Name, v)
+		}
+	}
+	return nil, err
+}
+
+// probeKey builds a probe record from the equality predicates over the
+// primary-key columns and packs it with the table's key function.
+func probeKey(st sqlmini.Statement, tbl *catalog.Table, env *bindEnv) (int64, error) {
+	probe := make(tuple.Record, len(tbl.Fields))
+	for i := range probe {
+		probe[i] = tuple.I(0)
+	}
+	covered := map[string]bool{}
+	for _, p := range st.Preds {
+		if p.IsRange {
+			continue
+		}
+		fi := tbl.FieldIndex(p.Col)
+		if fi < 0 {
+			return 0, fmt.Errorf("designer: %s has no column %q", tbl.Name, p.Col)
+		}
+		v, err := env.eval(*p.Eq)
+		if err != nil {
+			return 0, err
+		}
+		probe[fi] = tuple.I(v)
+		covered[p.Col] = true
+	}
+	for _, kf := range tbl.Primary.Fields {
+		if !covered[kf] {
+			return 0, fmt.Errorf("designer: predicates on %s do not cover key column %q (secondary access needs an index hint)", tbl.Name, kf)
+		}
+	}
+	return tbl.Primary.Key(probe), nil
+}
+
+// publish stores the selected integer columns in the environment.
+func publish(st sqlmini.Statement, tbl *catalog.Table, rec tuple.Record, env *bindEnv) {
+	cols := st.Cols
+	if len(cols) == 0 { // SELECT *
+		for _, f := range tbl.Fields {
+			cols = append(cols, f.Name)
+		}
+	}
+	for _, c := range cols {
+		if fi := tbl.FieldIndex(c); fi >= 0 && rec[fi].Type == tuple.TInt {
+			env.set(c, rec[fi].Int)
+		}
+	}
+}
+
+// evalSet computes an UPDATE right-hand side; bare identifiers resolve
+// first against the current row, then the environment.
+func evalSet(se sqlmini.SetExpr, row tuple.Record, tbl *catalog.Table, env *bindEnv) (int64, error) {
+	evalOne := func(x sqlmini.Expr) (int64, error) {
+		if x.Ident != "" {
+			if fi := tbl.FieldIndex(x.Ident); fi >= 0 {
+				return row[fi].Int, nil
+			}
+		}
+		return env.eval(x)
+	}
+	a, err := evalOne(se.First)
+	if err != nil {
+		return 0, err
+	}
+	if se.Op == 0 {
+		return a, nil
+	}
+	b, err := evalOne(se.Second)
+	if err != nil {
+		return 0, err
+	}
+	switch se.Op {
+	case '+':
+		return a + b, nil
+	case '-':
+		return a - b, nil
+	case '*':
+		return a * b, nil
+	}
+	return 0, fmt.Errorf("designer: unknown operator %q", se.Op)
+}

@@ -1,0 +1,172 @@
+package designer
+
+import (
+	"errors"
+	"testing"
+
+	"dora/internal/dora"
+	"dora/internal/engine"
+	"dora/internal/engine/conventional"
+	"dora/internal/sm"
+	"dora/internal/workload/tatp"
+)
+
+// bindRig loads TATP and returns both engines over it.
+func bindRig(t *testing.T) (*tatp.DB, []engine.Engine) {
+	t.Helper()
+	s, err := sm.Open(sm.Options{Frames: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := tatp.Load(s, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	de := dora.New(s, dora.Config{PartitionsPerTable: 2, Domains: db.Domains()})
+	t.Cleanup(func() { _ = de.Close() })
+	return db, []engine.Engine{conventional.New(s), de}
+}
+
+func TestBindSelectByPrimaryKey(t *testing.T) {
+	db, engines := bindRig(t)
+	fp := Generate(parse(t, `TXN G(:s) { SELECT vlr_location FROM subscriber WHERE s_id = :s; }`),
+		map[string]string{"subscriber": "s_id"})
+	for _, e := range engines {
+		flow, err := Bind(fp, db.SM.Cat, map[string]int64{"s": 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Exec(0, flow); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+	}
+}
+
+func TestBindUpdateArithmetic(t *testing.T) {
+	db, engines := bindRig(t)
+	src := `TXN Bump(:s, :d) {
+	  UPDATE subscriber SET vlr_location = vlr_location + :d WHERE s_id = :s;
+	}`
+	ses := db.SM.Session(0)
+	before, _ := ses.Read(db.SM.Begin(), db.Subscriber, 9)
+	base := before[4].Int
+	for i, e := range engines {
+		fp := Generate(parse(t, src), map[string]string{"subscriber": "s_id"})
+		flow, err := Bind(fp, db.SM.Cat, map[string]int64{"s": 9, "d": 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Exec(0, flow); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		rec, _ := ses.Read(db.SM.Begin(), db.Subscriber, 9)
+		want := base + int64(i+1)*100
+		if rec[4].Int != want {
+			t.Fatalf("%s: vlr = %d, want %d", e.Name(), rec[4].Int, want)
+		}
+	}
+}
+
+func TestBindValueFlowAcrossRVP(t *testing.T) {
+	// UpdateLocation: the first SELECT resolves sub_nbr -> s_id (via the
+	// secondary index), the second statement consumes s_id in a later
+	// phase. Runs on both engines, including DORA's late-bound key.
+	db, engines := bindRig(t)
+	src := `TXN UpdateLocation(:nbr, :vlr) {
+	  SELECT s_id FROM subscriber WHERE sub_nbr = :nbr;
+	  UPDATE subscriber SET vlr_location = :vlr WHERE s_id = s_id;
+	}`
+	for i, e := range engines {
+		sid := int64(11 + i)
+		fp := Generate(parse(t, src), map[string]string{"subscriber": "s_id"})
+		if fp.NumPhases() != 2 {
+			t.Fatalf("phases = %d", fp.NumPhases())
+		}
+		flow, err := Bind(fp, db.SM.Cat, map[string]int64{
+			"nbr": db.SubNbr(sid), "vlr": 4242,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Exec(0, flow); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		rec, _ := db.SM.Session(0).Read(db.SM.Begin(), db.Subscriber, sid)
+		if rec[4].Int != 4242 {
+			t.Fatalf("%s: vlr = %d", e.Name(), rec[4].Int)
+		}
+	}
+}
+
+func TestBindInsertDeleteRoundTrip(t *testing.T) {
+	db, engines := bindRig(t)
+	e := engines[1] // DORA
+	ins := `TXN Ins(:s, :sf, :st, :end, :nx) {
+	  INSERT INTO call_forwarding VALUES (:s, :sf, :st, :end, :nx);
+	}`
+	del := `TXN Del(:s, :sf, :st) {
+	  DELETE FROM call_forwarding WHERE s_id = :s AND sf_type = :sf AND start_time = :st;
+	}`
+	parts := map[string]string{"call_forwarding": "s_id"}
+	params := map[string]int64{"s": 33, "sf": 2, "st": 8, "end": 20, "nx": 777}
+
+	// Clear any loaded row first (ignore failure).
+	fpDel := Generate(parse(t, del), parts)
+	if flow, err := Bind(fpDel, db.SM.Cat, params); err == nil {
+		_ = e.Exec(0, flow)
+	}
+	fpIns := Generate(parse(t, ins), parts)
+	flow, err := Bind(fpIns, db.SM.Cat, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Exec(0, flow); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	rec, err := db.SM.Session(0).Read(db.SM.Begin(), db.CallForward, tatp.CFKey(33, 2, 8))
+	if err != nil || rec[4].Int != 777 {
+		t.Fatalf("inserted row: %v %v", rec, err)
+	}
+	// Duplicate insert aborts.
+	flow2, _ := Bind(Generate(parse(t, ins), parts), db.SM.Cat, params)
+	if err := e.Exec(0, flow2); err == nil {
+		t.Fatal("duplicate insert must abort")
+	}
+	// Delete through a bound plan.
+	flow3, err := Bind(Generate(parse(t, del), parts), db.SM.Cat, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Exec(0, flow3); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	db, _ := bindRig(t)
+	// Unknown table.
+	fp := Generate(parse(t, `TXN T(:k) { SELECT * FROM nope WHERE k = :k; }`), nil)
+	if _, err := Bind(fp, db.SM.Cat, map[string]int64{"k": 1}); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	// Missing parameter surfaces at execution.
+	fp2 := Generate(parse(t, `TXN T(:s) { SELECT * FROM subscriber WHERE s_id = :s; }`),
+		map[string]string{"subscriber": "s_id"})
+	flow, err := Bind(fp2, db.SM.Cat, map[string]int64{})
+	if err == nil {
+		// Key binding may defer; executing must fail.
+		conv := conventional.New(db.SM)
+		if execErr := conv.Exec(0, flow); execErr == nil {
+			t.Fatal("missing parameter never surfaced")
+		}
+	}
+	// Missing row aborts.
+	flow3, err := Bind(fp2, db.SM.Cat, map[string]int64{"s": 99999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv := conventional.New(db.SM)
+	if execErr := conv.Exec(0, flow3); !errors.Is(execErr, sm.ErrNotFound) {
+		t.Fatalf("missing row: %v", execErr)
+	}
+}

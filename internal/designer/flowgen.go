@@ -1,0 +1,307 @@
+// Package designer implements the paper's two developer-support tools
+// (§2.3):
+//
+//   - the semi-automated transaction plan generator: SQL-ish transaction
+//     text in, transaction flow graph (actions + rendezvous points) out,
+//     with user edits (serialize / parallelize) validated against the
+//     statements' data dependencies;
+//
+//   - the semi-automated physical designer: a weighted workload in,
+//     per-table partitioning fields, partition counts/sizes and index
+//     proposals out — including the paper's "prepend the partitioning
+//     column to an index" rule that removes non-partition-aligned
+//     accesses.
+package designer
+
+import (
+	"fmt"
+	"strings"
+
+	"dora/internal/designer/sqlmini"
+)
+
+// ActionPlan is one node of a generated flow graph: one statement bound
+// to the table partition(s) its routing key selects.
+type ActionPlan struct {
+	// Index is the statement's position in the transaction.
+	Index int
+	// Stmt is the parsed statement.
+	Stmt sqlmini.Statement
+	// KeyCol is the column the action routes on: the equality-predicate
+	// column matching the table's partitioning field, if any.
+	KeyCol string
+	// Aligned reports whether KeyCol equals the partitioning field.
+	Aligned bool
+	// Write mirrors Stmt.IsWrite.
+	Write bool
+}
+
+// Label renders a short node label.
+func (a ActionPlan) Label() string {
+	mode := "R"
+	if a.Write {
+		mode = "W"
+	}
+	al := ""
+	if !a.Aligned {
+		al = " !aligned"
+	}
+	return fmt.Sprintf("%d:%s %s(%s)%s", a.Index, mode, a.Stmt.Kind, a.Stmt.Table, al)
+}
+
+// FlowPlan is a generated transaction flow graph: actions in phases with
+// an RVP between consecutive phases, plus the dependency edges that
+// constrain user edits.
+type FlowPlan struct {
+	Txn     *sqlmini.Txn
+	Actions []ActionPlan
+	// Deps[i] lists indices of actions that must precede action i.
+	Deps map[int][]int
+	// PhaseOf[i] is the phase assigned to action i.
+	PhaseOf []int
+}
+
+// Generate builds a flow plan. partitionFields maps table name to its
+// DORA partitioning field ("" or missing means the first equality column
+// is assumed to be the partitioning field).
+func Generate(txn *sqlmini.Txn, partitionFields map[string]string) *FlowPlan {
+	fp := &FlowPlan{
+		Txn:     txn,
+		Deps:    make(map[int][]int),
+		PhaseOf: make([]int, len(txn.Statements)),
+	}
+	// Outputs: which identifiers each SELECT makes available downstream.
+	produced := make([]map[string]bool, len(txn.Statements))
+	for i, st := range txn.Statements {
+		produced[i] = map[string]bool{}
+		if st.Kind == sqlmini.Select {
+			for _, c := range st.Cols {
+				produced[i][c] = true
+			}
+		}
+		pf := partitionFields[st.Table]
+		keyCol := ""
+		aligned := false
+		eqs := st.EqCols()
+		for _, c := range eqs {
+			if pf != "" && c == pf {
+				keyCol, aligned = c, true
+				break
+			}
+		}
+		if keyCol == "" && len(eqs) > 0 {
+			keyCol = eqs[0]
+			aligned = pf == "" || keyCol == pf
+		}
+		// INSERT carries its routing value inside VALUES: if one of the
+		// inserted expressions is (a reference to) the partitioning
+		// column, the insert routes on it.
+		if keyCol == "" && st.Kind == sqlmini.Insert && pf != "" {
+			for _, v := range st.Values {
+				if v.Ident == pf || v.Param == pf {
+					keyCol, aligned = pf, true
+					break
+				}
+			}
+		}
+		fp.Actions = append(fp.Actions, ActionPlan{
+			Index: i, Stmt: st, KeyCol: keyCol, Aligned: aligned, Write: st.IsWrite(),
+		})
+	}
+	// Dependencies:
+	//  1. value flow: statement j references an identifier produced by an
+	//     earlier SELECT i (e.g. INSERT ... VALUES (s_id, ...) after
+	//     SELECT s_id FROM subscriber);
+	//  2. table conflict: i and j touch the same table and at least one
+	//     writes (write-write or read-write order must be preserved).
+	refs := func(st sqlmini.Statement) map[string]bool {
+		out := map[string]bool{}
+		for _, e := range st.Values {
+			if e.Ident != "" {
+				out[e.Ident] = true
+			}
+		}
+		for _, se := range st.SetExprs {
+			for _, e := range []sqlmini.Expr{se.First, se.Second} {
+				if e.Ident != "" {
+					out[e.Ident] = true
+				}
+			}
+		}
+		for _, p := range st.Preds {
+			for _, e := range []*sqlmini.Expr{p.Eq, p.Lo, p.Hi} {
+				if e != nil && e.Ident != "" {
+					out[e.Ident] = true
+				}
+			}
+		}
+		return out
+	}
+	for j := range txn.Statements {
+		need := refs(txn.Statements[j])
+		for i := 0; i < j; i++ {
+			dep := false
+			for id := range need {
+				if produced[i][id] {
+					dep = true
+					break
+				}
+			}
+			if !dep && txn.Statements[i].Table == txn.Statements[j].Table &&
+				(txn.Statements[i].IsWrite() || txn.Statements[j].IsWrite()) {
+				dep = true
+			}
+			if dep {
+				fp.Deps[j] = append(fp.Deps[j], i)
+			}
+		}
+	}
+	fp.recomputePhases()
+	return fp
+}
+
+// recomputePhases assigns each action the earliest phase its
+// dependencies allow (longest-path layering).
+func (fp *FlowPlan) recomputePhases() {
+	for i := range fp.Actions {
+		ph := 0
+		for _, d := range fp.Deps[i] {
+			if fp.PhaseOf[d]+1 > ph {
+				ph = fp.PhaseOf[d] + 1
+			}
+		}
+		fp.PhaseOf[i] = ph
+	}
+}
+
+// NumPhases returns the number of phases (RVPs = NumPhases, counting the
+// final commit RVP).
+func (fp *FlowPlan) NumPhases() int {
+	max := 0
+	for _, p := range fp.PhaseOf {
+		if p > max {
+			max = p
+		}
+	}
+	return max + 1
+}
+
+// Phases groups action indices by phase.
+func (fp *FlowPlan) Phases() [][]int {
+	out := make([][]int, fp.NumPhases())
+	for i, p := range fp.PhaseOf {
+		out[p] = append(out[p], i)
+	}
+	return out
+}
+
+// dependsTransitively reports whether b depends (transitively) on a.
+func (fp *FlowPlan) dependsTransitively(a, b int) bool {
+	seen := map[int]bool{}
+	var walk func(int) bool
+	walk = func(n int) bool {
+		for _, d := range fp.Deps[n] {
+			if d == a || (!seen[d] && walk(d)) {
+				return true
+			}
+			seen[d] = true
+		}
+		return false
+	}
+	return walk(b)
+}
+
+// Serialize forces action b into a later phase than action a (the demo's
+// "selecting to run actions serially"; e.g. to delay actions with high
+// abort frequency). Always legal; it adds an explicit dependency.
+func (fp *FlowPlan) Serialize(a, b int) error {
+	if a < 0 || b < 0 || a >= len(fp.Actions) || b >= len(fp.Actions) || a == b {
+		return fmt.Errorf("designer: bad action indices %d, %d", a, b)
+	}
+	if fp.dependsTransitively(b, a) {
+		return fmt.Errorf("designer: %d already precedes %d; cannot serialize the other way", b, a)
+	}
+	fp.Deps[b] = append(fp.Deps[b], a)
+	fp.recomputePhases()
+	return nil
+}
+
+// Parallelize removes the user-addable ordering between a and b, merging
+// them into one phase — refused when a data dependency links them (the
+// demo: "as long as the data dependencies allow").
+func (fp *FlowPlan) Parallelize(a, b int) error {
+	if a < 0 || b < 0 || a >= len(fp.Actions) || b >= len(fp.Actions) || a == b {
+		return fmt.Errorf("designer: bad action indices %d, %d", a, b)
+	}
+	if fp.dependsTransitively(a, b) || fp.dependsTransitively(b, a) {
+		return fmt.Errorf("designer: actions %d and %d have a data dependency; cannot run in parallel", a, b)
+	}
+	// No dependency: layering already allows same phase; align them.
+	lo := fp.PhaseOf[a]
+	if fp.PhaseOf[b] < lo {
+		lo = fp.PhaseOf[b]
+	}
+	fp.PhaseOf[a], fp.PhaseOf[b] = lo, lo
+	return nil
+}
+
+// Render prints the flow graph as indented text.
+func (fp *FlowPlan) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "flow %s(%s): %d actions, %d phases\n",
+		fp.Txn.Name, strings.Join(fp.Txn.Params, ", "), len(fp.Actions), fp.NumPhases())
+	for pi, idxs := range fp.Phases() {
+		fmt.Fprintf(&b, "  phase %d:\n", pi+1)
+		for _, i := range idxs {
+			a := fp.Actions[i]
+			fmt.Fprintf(&b, "    [%s] key=%s  %s\n", a.Label(), orDash(a.KeyCol), a.Stmt.Raw)
+		}
+		if pi < fp.NumPhases()-1 {
+			fmt.Fprintf(&b, "  -- RVP%d --\n", pi+1)
+		}
+	}
+	fmt.Fprintf(&b, "  -- final RVP: commit/abort --\n")
+	return b.String()
+}
+
+// DOT renders the flow graph in Graphviz format (the demo GUI's view).
+func (fp *FlowPlan) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", fp.Txn.Name)
+	for pi, idxs := range fp.Phases() {
+		for _, i := range idxs {
+			a := fp.Actions[i]
+			shape := "box"
+			if !a.Aligned {
+				shape = "diamond"
+			}
+			fmt.Fprintf(&b, "  a%d [label=%q shape=%s];\n", i, a.Label(), shape)
+		}
+		if pi < fp.NumPhases()-1 {
+			fmt.Fprintf(&b, "  rvp%d [label=\"RVP%d\" shape=circle];\n", pi+1, pi+1)
+		}
+	}
+	fmt.Fprintf(&b, "  commit [label=\"final RVP\" shape=doublecircle];\n")
+	phases := fp.Phases()
+	for pi, idxs := range phases {
+		for _, i := range idxs {
+			if pi < len(phases)-1 {
+				fmt.Fprintf(&b, "  a%d -> rvp%d;\n", i, pi+1)
+			} else {
+				fmt.Fprintf(&b, "  a%d -> commit;\n", i)
+			}
+			if pi > 0 {
+				fmt.Fprintf(&b, "  rvp%d -> a%d;\n", pi, i)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

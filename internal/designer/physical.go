@@ -1,0 +1,263 @@
+package designer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dora/internal/designer/sqlmini"
+)
+
+// WeightedTxn is one workload entry: a transaction spec and its expected
+// execution frequency (per second, or any consistent unit).
+type WeightedTxn struct {
+	Txn  *sqlmini.Txn
+	Freq float64
+}
+
+// TableInfo supplies optional schema knowledge to the advisor.
+type TableInfo struct {
+	// KeyFields is the primary key, in order.
+	KeyFields []string
+	// Rows is the approximate cardinality (0 = unknown).
+	Rows int64
+	// Indexes lists existing index column lists (the advisor may propose
+	// prepending the partition column to one of them).
+	Indexes [][]string
+}
+
+// IndexProposal is one suggested index.
+type IndexProposal struct {
+	Table   string
+	Columns []string
+	// Reason explains the proposal (e.g. the prepend rule).
+	Reason string
+}
+
+// TablePlan is the advisor's output for one table.
+type TablePlan struct {
+	Table string
+	// PartitionField is the suggested routing column.
+	PartitionField string
+	// Partitions is the suggested number of partitions; PartitionRows is
+	// the approximate size of each (0 when table cardinality is unknown).
+	Partitions    int
+	PartitionRows int64
+	// AccessShare is the table's fraction of all weighted accesses.
+	AccessShare float64
+	// AlignedShare is the fraction of this table's accesses that would be
+	// partition-aligned under PartitionField.
+	AlignedShare float64
+	// FieldWeights lists each equality-probed column's weighted share
+	// (diagnostics for the demo GUI).
+	FieldWeights map[string]float64
+}
+
+// Design is the full physical-design suggestion.
+type Design struct {
+	Tables  []TablePlan
+	Indexes []IndexProposal
+}
+
+// Advise computes a physical design for the workload: per table, the
+// partitioning field that maximizes partition-aligned accesses, a
+// partition count proportional to the table's share of the load (scaled
+// to workerBudget micro-engines in total), each partition's size, and
+// index proposals — including prepending the partitioning column to an
+// index that lacks it, the paper's motivating example.
+func Advise(workload []WeightedTxn, tables map[string]TableInfo, workerBudget int) *Design {
+	if workerBudget <= 0 {
+		workerBudget = 8
+	}
+	// Weighted equality-probe counts per table/column, plus total
+	// accesses per table.
+	fieldW := map[string]map[string]float64{}
+	tableW := map[string]float64{}
+	var totalW float64
+	for _, wt := range workload {
+		for _, st := range wt.Txn.Statements {
+			tableW[st.Table] += wt.Freq
+			totalW += wt.Freq
+			fw := fieldW[st.Table]
+			if fw == nil {
+				fw = map[string]float64{}
+				fieldW[st.Table] = fw
+			}
+			for _, c := range st.EqCols() {
+				fw[c] += wt.Freq
+			}
+			// Range predicates also benefit from partitioning on their
+			// column, at half weight (a range may span partitions).
+			for _, p := range st.Preds {
+				if p.IsRange {
+					fw[p.Col] += wt.Freq / 2
+				}
+			}
+		}
+	}
+
+	var names []string
+	for t := range tableW {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+
+	d := &Design{}
+	for _, t := range names {
+		fw := fieldW[t]
+		info := tables[t]
+		lead := ""
+		if len(info.KeyFields) > 0 {
+			lead = info.KeyFields[0]
+		}
+		best, bestW := "", 0.0
+		for c, w := range fw {
+			better := w > bestW
+			if w == bestW {
+				// Ties prefer the leading primary-key column, then
+				// lexical order for determinism.
+				if c == lead && best != lead {
+					better = true
+				} else if best != lead && c < best {
+					better = true
+				}
+			}
+			if better {
+				best, bestW = c, w
+			}
+		}
+		if best == "" && len(info.KeyFields) > 0 {
+			best = info.KeyFields[0]
+		}
+		share := 0.0
+		if totalW > 0 {
+			share = tableW[t] / totalW
+		}
+		parts := int(share*float64(workerBudget) + 0.5)
+		if parts < 1 {
+			parts = 1
+		}
+		aligned := 0.0
+		if tableW[t] > 0 {
+			aligned = bestW / tableW[t]
+			if aligned > 1 {
+				aligned = 1
+			}
+		}
+		tp := TablePlan{
+			Table:          t,
+			PartitionField: best,
+			Partitions:     parts,
+			AccessShare:    share,
+			AlignedShare:   aligned,
+			FieldWeights:   map[string]float64{},
+		}
+		for c, w := range fw {
+			if tableW[t] > 0 {
+				tp.FieldWeights[c] = w / tableW[t]
+			}
+		}
+		if info.Rows > 0 {
+			tp.PartitionRows = info.Rows / int64(parts)
+		}
+		d.Tables = append(d.Tables, tp)
+
+		// Index proposals.
+		d.Indexes = append(d.Indexes, adviseIndexes(t, best, fw, info)...)
+	}
+	return d
+}
+
+// adviseIndexes proposes indexes for one table.
+func adviseIndexes(table, partField string, fw map[string]float64, info TableInfo) []IndexProposal {
+	var out []IndexProposal
+	hasIndexOn := func(cols []string, c string) bool {
+		return len(cols) > 0 && cols[0] == c
+	}
+	// 1. The prepend rule: an existing index that is probed together with
+	//    the partitioning column but does not lead with it gets the
+	//    partitioning column prepended, so those probes become
+	//    partition-aligned (paper §2.3's example).
+	for _, ix := range info.Indexes {
+		if partField == "" || hasIndexOn(ix, partField) {
+			continue
+		}
+		out = append(out, IndexProposal{
+			Table:   table,
+			Columns: append([]string{partField}, ix...),
+			Reason: fmt.Sprintf("prepend partitioning column %s to index (%s) so probes become partition-aligned",
+				partField, strings.Join(ix, ", ")),
+		})
+	}
+	// 2. A primary/probe index led by the partitioning field when none
+	//    exists yet.
+	covered := false
+	for _, ix := range info.Indexes {
+		if hasIndexOn(ix, partField) {
+			covered = true
+		}
+	}
+	if partField != "" && !covered && len(info.Indexes) == 0 {
+		cols := []string{partField}
+		for _, k := range info.KeyFields {
+			if k != partField {
+				cols = append(cols, k)
+			}
+		}
+		out = append(out, IndexProposal{
+			Table: table, Columns: cols,
+			Reason: "primary probe index led by the partitioning column",
+		})
+	}
+	// 3. Secondary indexes for heavily-probed non-partition columns (they
+	//    are the resolver path for non-aligned accesses).
+	type cw struct {
+		c string
+		w float64
+	}
+	var rest []cw
+	for c, w := range fw {
+		if c != partField {
+			rest = append(rest, cw{c, w})
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		if rest[i].w != rest[j].w {
+			return rest[i].w > rest[j].w
+		}
+		return rest[i].c < rest[j].c
+	})
+	for _, e := range rest {
+		if e.w <= 0 {
+			continue
+		}
+		out = append(out, IndexProposal{
+			Table: table, Columns: []string{e.c},
+			Reason: fmt.Sprintf("secondary index for non-aligned probes on %s (resolver path)", e.c),
+		})
+		break // one suggestion per table keeps the plan reviewable
+	}
+	return out
+}
+
+// Render prints the design as text (the demo GUI's designer panel).
+func (d *Design) Render() string {
+	var b strings.Builder
+	b.WriteString("physical design suggestion\n")
+	b.WriteString("==========================\n")
+	for _, t := range d.Tables {
+		fmt.Fprintf(&b, "table %-18s partition by %-12s partitions=%d",
+			t.Table, orDash(t.PartitionField), t.Partitions)
+		if t.PartitionRows > 0 {
+			fmt.Fprintf(&b, " (~%d rows each)", t.PartitionRows)
+		}
+		fmt.Fprintf(&b, "  load=%.1f%%  aligned=%.0f%%\n", 100*t.AccessShare, 100*t.AlignedShare)
+	}
+	if len(d.Indexes) > 0 {
+		b.WriteString("index proposals:\n")
+		for _, ix := range d.Indexes {
+			fmt.Fprintf(&b, "  %s(%s)  -- %s\n", ix.Table, strings.Join(ix.Columns, ", "), ix.Reason)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,443 @@
+// Package sqlmini parses the small SQL-ish transaction-spec language the
+// designer tools consume (paper §2.3: "the user can input arbitrary
+// transactions (in SQL text), see the generated execution plans, modify
+// and run them").
+//
+// Grammar (case-insensitive keywords; one statement per line or
+// semicolon-separated):
+//
+//	TXN <name>(<param>, ...) { <stmt>; ... }
+//	stmt := SELECT <cols> FROM <table> WHERE <pred> [AND <pred>]...
+//	      | UPDATE <table> SET <col> = <expr> [, ...] WHERE <pred>...
+//	      | INSERT INTO <table> VALUES (<expr>, ...)
+//	      | DELETE FROM <table> WHERE <pred>...
+//	pred := <col> = <expr> | <col> BETWEEN <expr> AND <expr>
+//	expr := :param | <integer literal> | <identifier>
+//
+// The parser produces Statement values carrying the accessed table, the
+// equality/range predicates on named columns, read/write columns, and
+// parameter references — everything the flow-graph generator and the
+// physical-design advisor need.
+package sqlmini
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Kind is the statement type.
+type Kind uint8
+
+const (
+	// Select reads rows.
+	Select Kind = iota + 1
+	// Update modifies rows.
+	Update
+	// Insert adds a row.
+	Insert
+	// Delete removes rows.
+	Delete
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Select:
+		return "SELECT"
+	case Update:
+		return "UPDATE"
+	case Insert:
+		return "INSERT"
+	case Delete:
+		return "DELETE"
+	}
+	return "?"
+}
+
+// Expr is a literal integer, a :parameter reference, or a bare
+// identifier (column reference).
+type Expr struct {
+	Param string // ":x" → "x"
+	Ident string
+	Lit   int64
+	IsLit bool
+}
+
+// String implements fmt.Stringer.
+func (e Expr) String() string {
+	switch {
+	case e.Param != "":
+		return ":" + e.Param
+	case e.Ident != "":
+		return e.Ident
+	default:
+		return strconv.FormatInt(e.Lit, 10)
+	}
+}
+
+// Pred is an equality or BETWEEN predicate on a column.
+type Pred struct {
+	Col     string
+	Eq      *Expr
+	Lo, Hi  *Expr // BETWEEN
+	IsRange bool
+}
+
+// SetExpr is an UPDATE right-hand side: a value, optionally combined
+// with a second operand by +, - or * (e.g. "ytd + :amount").
+type SetExpr struct {
+	First  Expr
+	Op     byte // 0, '+', '-' or '*'
+	Second Expr
+}
+
+// Statement is one parsed statement.
+type Statement struct {
+	Kind     Kind
+	Table    string
+	Cols     []string  // selected or SET columns; INSERT: empty
+	SetExprs []SetExpr // UPDATE: right-hand sides, aligned with Cols
+	Values   []Expr    // INSERT
+	Preds    []Pred
+	// Raw is the original text (for display).
+	Raw string
+}
+
+// EqCols returns the columns constrained by equality predicates.
+func (s *Statement) EqCols() []string {
+	var out []string
+	for _, p := range s.Preds {
+		if !p.IsRange {
+			out = append(out, p.Col)
+		}
+	}
+	return out
+}
+
+// IsWrite reports whether the statement modifies data.
+func (s *Statement) IsWrite() bool { return s.Kind != Select }
+
+// Txn is a parsed transaction spec.
+type Txn struct {
+	Name       string
+	Params     []string
+	Statements []Statement
+}
+
+// tokenizer
+
+type tokenizer struct {
+	src []rune
+	pos int
+}
+
+func (t *tokenizer) skipSpace() {
+	for t.pos < len(t.src) && unicode.IsSpace(t.src[t.pos]) {
+		t.pos++
+	}
+}
+
+func (t *tokenizer) peek() rune {
+	t.skipSpace()
+	if t.pos >= len(t.src) {
+		return 0
+	}
+	return t.src[t.pos]
+}
+
+func (t *tokenizer) next() string {
+	t.skipSpace()
+	if t.pos >= len(t.src) {
+		return ""
+	}
+	c := t.src[t.pos]
+	switch {
+	case unicode.IsLetter(c) || c == '_':
+		start := t.pos
+		for t.pos < len(t.src) && (unicode.IsLetter(t.src[t.pos]) || unicode.IsDigit(t.src[t.pos]) || t.src[t.pos] == '_') {
+			t.pos++
+		}
+		return string(t.src[start:t.pos])
+	case unicode.IsDigit(c) || (c == '-' && t.pos+1 < len(t.src) && unicode.IsDigit(t.src[t.pos+1])):
+		start := t.pos
+		t.pos++
+		for t.pos < len(t.src) && unicode.IsDigit(t.src[t.pos]) {
+			t.pos++
+		}
+		return string(t.src[start:t.pos])
+	case c == ':':
+		t.pos++
+		return ":" + t.next()
+	default:
+		t.pos++
+		return string(c)
+	}
+}
+
+func (t *tokenizer) expect(want string) error {
+	got := t.next()
+	if !strings.EqualFold(got, want) {
+		return fmt.Errorf("sqlmini: expected %q, got %q", want, got)
+	}
+	return nil
+}
+
+// ParseTxn parses a full TXN block.
+func ParseTxn(src string) (*Txn, error) {
+	t := &tokenizer{src: []rune(src)}
+	if err := t.expect("TXN"); err != nil {
+		return nil, err
+	}
+	name := t.next()
+	if name == "" {
+		return nil, fmt.Errorf("sqlmini: missing transaction name")
+	}
+	txn := &Txn{Name: name}
+	if err := t.expect("("); err != nil {
+		return nil, err
+	}
+	for t.peek() != ')' {
+		p := t.next()
+		if p == "," {
+			continue
+		}
+		if p == "" {
+			return nil, fmt.Errorf("sqlmini: unterminated parameter list")
+		}
+		txn.Params = append(txn.Params, strings.TrimPrefix(p, ":"))
+	}
+	t.next() // ')'
+	if err := t.expect("{"); err != nil {
+		return nil, err
+	}
+	for {
+		c := t.peek()
+		if c == 0 {
+			return nil, fmt.Errorf("sqlmini: unterminated transaction body")
+		}
+		if c == '}' {
+			t.next()
+			break
+		}
+		if c == ';' {
+			t.next()
+			continue
+		}
+		start := t.pos
+		st, err := parseStatement(t)
+		if err != nil {
+			return nil, err
+		}
+		st.Raw = strings.TrimSpace(string(t.src[start:t.pos]))
+		txn.Statements = append(txn.Statements, *st)
+	}
+	return txn, nil
+}
+
+// ParseStatement parses a single statement (tool REPL convenience).
+func ParseStatement(src string) (*Statement, error) {
+	t := &tokenizer{src: []rune(src)}
+	st, err := parseStatement(t)
+	if err != nil {
+		return nil, err
+	}
+	st.Raw = strings.TrimSpace(src)
+	return st, nil
+}
+
+func parseStatement(t *tokenizer) (*Statement, error) {
+	kw := t.next()
+	switch strings.ToUpper(kw) {
+	case "SELECT":
+		return parseSelect(t)
+	case "UPDATE":
+		return parseUpdate(t)
+	case "INSERT":
+		return parseInsert(t)
+	case "DELETE":
+		return parseDelete(t)
+	default:
+		return nil, fmt.Errorf("sqlmini: unknown statement %q", kw)
+	}
+}
+
+func parseExpr(t *tokenizer) (Expr, error) {
+	tok := t.next()
+	if tok == "" {
+		return Expr{}, fmt.Errorf("sqlmini: missing expression")
+	}
+	if strings.HasPrefix(tok, ":") {
+		return Expr{Param: tok[1:]}, nil
+	}
+	if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return Expr{Lit: n, IsLit: true}, nil
+	}
+	return Expr{Ident: tok}, nil
+}
+
+func parsePreds(t *tokenizer) ([]Pred, error) {
+	var preds []Pred
+	for {
+		col := t.next()
+		if col == "" {
+			return nil, fmt.Errorf("sqlmini: missing predicate column")
+		}
+		nxt := t.next()
+		switch {
+		case nxt == "=":
+			e, err := parseExpr(t)
+			if err != nil {
+				return nil, err
+			}
+			preds = append(preds, Pred{Col: col, Eq: &e})
+		case strings.EqualFold(nxt, "BETWEEN"):
+			lo, err := parseExpr(t)
+			if err != nil {
+				return nil, err
+			}
+			if err := t.expect("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := parseExpr(t)
+			if err != nil {
+				return nil, err
+			}
+			preds = append(preds, Pred{Col: col, Lo: &lo, Hi: &hi, IsRange: true})
+		default:
+			return nil, fmt.Errorf("sqlmini: bad predicate operator %q", nxt)
+		}
+		if !strings.EqualFold(peekWord(t), "AND") {
+			return preds, nil
+		}
+		t.next() // AND
+	}
+}
+
+// peekWord looks ahead one token without consuming it.
+func peekWord(t *tokenizer) string {
+	save := t.pos
+	w := t.next()
+	t.pos = save
+	return w
+}
+
+func parseSelect(t *tokenizer) (*Statement, error) {
+	st := &Statement{Kind: Select}
+	for {
+		col := t.next()
+		if col == "*" {
+			// all columns: leave Cols empty
+		} else {
+			st.Cols = append(st.Cols, col)
+		}
+		if t.peek() == ',' {
+			t.next()
+			continue
+		}
+		break
+	}
+	if err := t.expect("FROM"); err != nil {
+		return nil, err
+	}
+	st.Table = t.next()
+	if strings.EqualFold(peekWord(t), "WHERE") {
+		t.next()
+		preds, err := parsePreds(t)
+		if err != nil {
+			return nil, err
+		}
+		st.Preds = preds
+	}
+	return st, nil
+}
+
+func parseUpdate(t *tokenizer) (*Statement, error) {
+	st := &Statement{Kind: Update}
+	st.Table = t.next()
+	if err := t.expect("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col := t.next()
+		if err := t.expect("="); err != nil {
+			return nil, err
+		}
+		// RHS: <expr> or <expr> (+|-|*) <expr>.
+		first, err := parseExpr(t)
+		if err != nil {
+			return nil, err
+		}
+		se := SetExpr{First: first}
+		if w := peekWord(t); w == "+" || w == "-" || w == "*" {
+			t.next()
+			se.Op = w[0]
+			second, err := parseExpr(t)
+			if err != nil {
+				return nil, err
+			}
+			se.Second = second
+		}
+		st.Cols = append(st.Cols, col)
+		st.SetExprs = append(st.SetExprs, se)
+		if t.peek() == ',' {
+			t.next()
+			continue
+		}
+		break
+	}
+	if strings.EqualFold(peekWord(t), "WHERE") {
+		t.next()
+		preds, err := parsePreds(t)
+		if err != nil {
+			return nil, err
+		}
+		st.Preds = preds
+	}
+	return st, nil
+}
+
+func parseInsert(t *tokenizer) (*Statement, error) {
+	st := &Statement{Kind: Insert}
+	if err := t.expect("INTO"); err != nil {
+		return nil, err
+	}
+	st.Table = t.next()
+	if err := t.expect("VALUES"); err != nil {
+		return nil, err
+	}
+	if err := t.expect("("); err != nil {
+		return nil, err
+	}
+	for t.peek() != ')' {
+		if t.peek() == ',' {
+			t.next()
+			continue
+		}
+		e, err := parseExpr(t)
+		if err != nil {
+			return nil, err
+		}
+		st.Values = append(st.Values, e)
+	}
+	t.next() // ')'
+	return st, nil
+}
+
+func parseDelete(t *tokenizer) (*Statement, error) {
+	st := &Statement{Kind: Delete}
+	if err := t.expect("FROM"); err != nil {
+		return nil, err
+	}
+	st.Table = t.next()
+	if strings.EqualFold(peekWord(t), "WHERE") {
+		t.next()
+		preds, err := parsePreds(t)
+		if err != nil {
+			return nil, err
+		}
+		st.Preds = preds
+	}
+	return st, nil
+}

@@ -1,0 +1,107 @@
+package sqlmini
+
+import "testing"
+
+const updateLocation = `
+TXN UpdateLocation(:sub_nbr, :vlr) {
+  SELECT s_id FROM subscriber WHERE sub_nbr = :sub_nbr;
+  UPDATE subscriber SET vlr_location = :vlr WHERE s_id = s_id;
+}`
+
+func TestParseTxn(t *testing.T) {
+	txn, err := ParseTxn(updateLocation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if txn.Name != "UpdateLocation" {
+		t.Fatalf("name = %q", txn.Name)
+	}
+	if len(txn.Params) != 2 || txn.Params[0] != "sub_nbr" {
+		t.Fatalf("params = %v", txn.Params)
+	}
+	if len(txn.Statements) != 2 {
+		t.Fatalf("statements = %d", len(txn.Statements))
+	}
+	sel := txn.Statements[0]
+	if sel.Kind != Select || sel.Table != "subscriber" || len(sel.Cols) != 1 || sel.Cols[0] != "s_id" {
+		t.Fatalf("select = %+v", sel)
+	}
+	if len(sel.Preds) != 1 || sel.Preds[0].Col != "sub_nbr" || sel.Preds[0].Eq.Param != "sub_nbr" {
+		t.Fatalf("select preds = %+v", sel.Preds)
+	}
+	upd := txn.Statements[1]
+	if upd.Kind != Update || upd.Cols[0] != "vlr_location" || upd.SetExprs[0].First.Param != "vlr" {
+		t.Fatalf("update = %+v", upd)
+	}
+}
+
+func TestParseInsertDelete(t *testing.T) {
+	txn, err := ParseTxn(`TXN InsDel(:a) {
+	  INSERT INTO call_forwarding VALUES (s_id, :a, 8, 17, 42);
+	  DELETE FROM call_forwarding WHERE s_id = :a AND sf_type = 2;
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := txn.Statements[0]
+	if ins.Kind != Insert || len(ins.Values) != 5 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	if ins.Values[0].Ident != "s_id" || ins.Values[1].Param != "a" || !ins.Values[2].IsLit {
+		t.Fatalf("insert values = %+v", ins.Values)
+	}
+	del := txn.Statements[1]
+	if del.Kind != Delete || len(del.Preds) != 2 {
+		t.Fatalf("delete = %+v", del)
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	st, err := ParseStatement(`SELECT * FROM call_forwarding WHERE s_id = :s AND start_time BETWEEN 0 AND 16`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Preds) != 2 || !st.Preds[1].IsRange {
+		t.Fatalf("preds = %+v", st.Preds)
+	}
+	if st.Preds[1].Lo.Lit != 0 || st.Preds[1].Hi.Lit != 16 {
+		t.Fatalf("range = %+v", st.Preds[1])
+	}
+	if got := st.EqCols(); len(got) != 1 || got[0] != "s_id" {
+		t.Fatalf("EqCols = %v", got)
+	}
+}
+
+func TestParseArithmeticSet(t *testing.T) {
+	st, err := ParseStatement(`UPDATE district SET ytd = ytd + :amount, next_o_id = next_o_id + 1 WHERE w_id = :w AND d_id = :d`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Cols) != 2 || st.Cols[0] != "ytd" || st.Cols[1] != "next_o_id" {
+		t.Fatalf("cols = %v", st.Cols)
+	}
+	if len(st.Preds) != 2 {
+		t.Fatalf("preds = %+v", st.Preds)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"TXN {",
+		"TXN x() { FROB y; }",
+		"TXN x() { SELECT a FROM t WHERE b >< 2; }",
+		"TXN x() { SELECT a FROM t",
+	}
+	for _, src := range bad {
+		if _, err := ParseTxn(src); err == nil {
+			t.Fatalf("ParseTxn(%q) should fail", src)
+		}
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := ParseTxn("txn T() { select a from t where k = 1; }"); err != nil {
+		t.Fatal(err)
+	}
+}

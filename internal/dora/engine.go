@@ -1,0 +1,416 @@
+// Package dora implements the paper's contribution: the data-oriented
+// transaction execution engine. Work is assigned thread-to-data: the
+// database is decomposed into logical partitions by per-table routing
+// rules; each partition is owned by a micro-engine (worker goroutine)
+// that executes the actions routed to it serially against a private lock
+// table, bypassing the centralized lock manager entirely. Rendezvous
+// points coordinate the phases of each transaction's flow graph, and the
+// last action to report decides commit or abort.
+//
+// Partitions are purely logical (key ranges in routing tables), so load
+// imbalance is fixed by moving range boundaries — no data moves, and no
+// distributed transactions appear (paper §1.1).
+package dora
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dora/internal/catalog"
+	"dora/internal/dora/router"
+	"dora/internal/metrics"
+	"dora/internal/sm"
+	"dora/internal/xct"
+)
+
+// Config tunes the engine.
+type Config struct {
+	// PartitionsPerTable is the initial number of partitions each table
+	// gets (default 4).
+	PartitionsPerTable int
+	// Domains gives the routing-value domain [lo, hi] per table name.
+	// Tables without an entry default to [0, 1<<31].
+	Domains map[string][2]int64
+	// Committers is the size of the commit-service pool that runs log
+	// forces and rollbacks off the partition workers (default 4).
+	Committers int
+	// LocalTimeout bounds waits in partition lock tables (default 2s).
+	LocalTimeout time.Duration
+	// TickEvery is the timeout-sweep period (default 250ms).
+	TickEvery time.Duration
+	// DisableClaims turns off the up-front lock claims for later-phase
+	// actions (the deadlock-avoidance protocol). Only the ablation
+	// experiment uses this: without claims, multi-phase workloads
+	// deadlock across partitions and fall back to timeout aborts.
+	DisableClaims bool
+}
+
+func (c *Config) fill() {
+	if c.PartitionsPerTable <= 0 {
+		c.PartitionsPerTable = 4
+	}
+	if c.Committers <= 0 {
+		c.Committers = 4
+	}
+	if c.LocalTimeout <= 0 {
+		c.LocalTimeout = 2 * time.Second
+	}
+	if c.TickEvery <= 0 {
+		c.TickEvery = 250 * time.Millisecond
+	}
+}
+
+// Dora is the data-oriented execution engine.
+type Dora struct {
+	sm  *sm.SM
+	cfg Config
+
+	// execGate: Exec holds it shared for a transaction's lifetime;
+	// Repartition (partition-field change) takes it exclusively to
+	// quiesce the engine.
+	execGate sync.RWMutex
+
+	// topoMu guards the partition topology (tableParts, routers, nextID).
+	topoMu     sync.RWMutex
+	routers    map[uint32]*router.Table
+	tableParts map[uint32][]*partition // live partitions per table
+	byWorker   map[int]*partition
+	nextWorker int
+
+	coordSes *sm.Session
+	commitq  chan *flowRun
+	wg       sync.WaitGroup
+	commitWG sync.WaitGroup
+	stopTick chan struct{}
+	closed   bool
+
+	// Committed/Aborted count outcomes; Unaligned counts accesses whose
+	// key field was not the partitioning field (experiment E7 signal);
+	// Timeouts counts local lock-wait aborts.
+	Committed metrics.Counter
+	Aborted   metrics.Counter
+	Timeouts  metrics.Counter
+
+	unalignedMu sync.Mutex
+	unaligned   map[uint32]map[string]int64 // table -> probed field -> count
+	aligned     map[uint32]int64
+}
+
+// New builds a DORA engine over every table currently in the storage
+// manager's catalog and starts its worker threads.
+func New(s *sm.SM, cfg Config) *Dora {
+	cfg.fill()
+	e := &Dora{
+		sm:         s,
+		cfg:        cfg,
+		routers:    make(map[uint32]*router.Table),
+		tableParts: make(map[uint32][]*partition),
+		byWorker:   make(map[int]*partition),
+		coordSes:   s.Session(-1),
+		commitq:    make(chan *flowRun, 1024),
+		stopTick:   make(chan struct{}),
+		unaligned:  make(map[uint32]map[string]int64),
+		aligned:    make(map[uint32]int64),
+	}
+	for _, tbl := range s.Cat.Tables() {
+		lo, hi := int64(0), int64(1)<<31
+		if d, ok := cfg.Domains[tbl.Name]; ok {
+			lo, hi = d[0], d[1]
+		}
+		var handles []int
+		for i := 0; i < cfg.PartitionsPerTable; i++ {
+			p := newPartition(e, tbl, e.nextWorker, false)
+			e.byWorker[p.worker] = p
+			e.tableParts[tbl.ID] = append(e.tableParts[tbl.ID], p)
+			handles = append(handles, p.worker)
+			e.nextWorker++
+			e.wg.Add(1)
+			go p.loop()
+		}
+		e.routers[tbl.ID] = router.NewUniform(tbl.PartitionField(), lo, hi, handles)
+	}
+	for i := 0; i < cfg.Committers; i++ {
+		e.commitWG.Add(1)
+		go e.committer()
+	}
+	go e.ticker()
+	return e
+}
+
+// Name implements engine.Engine.
+func (e *Dora) Name() string { return "dora" }
+
+// Exec implements engine.Engine: decompose the flow into actions, route
+// phase 0, and wait for the final rendezvous point's verdict.
+func (e *Dora) Exec(worker int, flow *xct.Flow) error {
+	if len(flow.Phases) == 0 {
+		return nil
+	}
+	e.execGate.RLock()
+	defer e.execGate.RUnlock()
+	run := newFlowRun(e, flow, e.sm.Begin())
+	e.dispatchPhase(run, 0)
+	return <-run.done
+}
+
+// dispatchPhase routes every action of a phase and enqueues them
+// atomically in canonical partition order — DORA's deadlock-avoidance
+// protocol: conflicting actions of different transactions always appear
+// in every queue in the same relative order, so local waits form no
+// cycles (single-phase conflicts).
+func (e *Dora) dispatchPhase(run *flowRun, phase int) {
+	actions := run.flow.Phases[phase].Actions
+	r := newRVP(run, phase, len(actions))
+	type target struct {
+		p *partition
+		m *actionMsg
+	}
+	targets := make([]target, 0, len(actions))
+	var failed int
+	now := time.Now()
+	// With phase 0 we also enqueue lock *claims* for every later-phase
+	// action whose key is static and aligned, so the transaction's whole
+	// (static) lock set enters all queues in one atomic canonical batch —
+	// the paper's deadlock-avoidance protocol.
+	if phase == 0 && len(run.flow.Phases) > 1 && !e.cfg.DisableClaims {
+		for _, ph := range run.flow.Phases[1:] {
+			for _, a := range ph.Actions {
+				if a.LateKey {
+					continue
+				}
+				tbl := e.sm.Cat.Table(a.Table)
+				if tbl == nil || a.KeyField != tbl.PartitionField() {
+					continue
+				}
+				run.addTable(tbl.ID)
+				p := e.ownerOf(tbl, a.Key)
+				targets = append(targets, target{p, &actionMsg{
+					act: a, run: run, routeKey: a.Key, at: now, claim: true,
+				}})
+			}
+		}
+	}
+	for _, a := range actions {
+		tbl := e.sm.Cat.Table(a.Table)
+		if tbl == nil {
+			run.fail(fmt.Errorf("dora: unknown table %q", a.Table))
+			failed++
+			continue
+		}
+		run.addTable(tbl.ID)
+		pf := tbl.PartitionField()
+		rk := a.Key
+		if a.KeyField != pf {
+			e.noteUnaligned(tbl.ID, a.KeyField)
+			if a.Resolve == nil {
+				run.fail(fmt.Errorf("dora: action on %s keyed by %s needs a resolver", a.Table, a.KeyField))
+				failed++
+				continue
+			}
+			v, err := a.Resolve(&xct.Env{Txn: run.txn, Ses: e.coordSes}, pf)
+			if err != nil {
+				run.fail(err)
+				failed++
+				continue
+			}
+			rk = v
+		} else {
+			e.noteAligned(tbl.ID)
+		}
+		p := e.ownerOf(tbl, rk)
+		targets = append(targets, target{p, &actionMsg{act: a, run: run, rvp: r, routeKey: rk, at: now}})
+	}
+	// Canonical order: ascending worker id, then key.
+	sort.Slice(targets, func(i, j int) bool {
+		if targets[i].p.worker != targets[j].p.worker {
+			return targets[i].p.worker < targets[j].p.worker
+		}
+		return targets[i].m.routeKey < targets[j].m.routeKey
+	})
+	// Atomic multi-queue enqueue: lock all distinct inboxes in order.
+	var locked []*inbox
+	for _, t := range targets {
+		ib := t.p.in
+		if len(locked) == 0 || locked[len(locked)-1] != ib {
+			ib.lockForEnqueue()
+			locked = append(locked, ib)
+		}
+		ib.appendLocked(t.m)
+	}
+	for _, ib := range locked {
+		ib.unlockAfterEnqueue()
+	}
+	// Account for actions that never dispatched (resolve failures).
+	for i := 0; i < failed; i++ {
+		e.report(r, nil) // error already recorded on the run
+	}
+}
+
+// report is called once per action; the last reporter advances the flow.
+func (e *Dora) report(r *rvp, err error) {
+	if err != nil {
+		r.run.fail(err)
+	}
+	if r.remaining.Add(-1) != 0 {
+		return
+	}
+	run := r.run
+	if run.failed() || r.phase+1 >= len(run.flow.Phases) {
+		e.commitq <- run
+		return
+	}
+	e.dispatchPhase(run, r.phase+1)
+}
+
+// committer is the commit service: it takes finished runs off the
+// partition workers, forces the log (or rolls back), then broadcasts the
+// local-lock release to every partition of every touched table.
+func (e *Dora) committer() {
+	defer e.commitWG.Done()
+	for run := range e.commitq {
+		var err error
+		if ferr := run.firstErr(); ferr != nil {
+			// Rollback is safe off-partition: the run still holds its
+			// local locks, so no other transaction can touch its data.
+			if rbErr := e.sm.Rollback(run.txn); rbErr != nil {
+				panic(fmt.Sprintf("dora: rollback of txn %d failed: %v", run.txn.ID, rbErr))
+			}
+			e.Aborted.Inc()
+			err = ferr
+		} else if cErr := e.sm.Commit(run.txn); cErr != nil {
+			if rbErr := e.sm.Rollback(run.txn); rbErr != nil {
+				panic(fmt.Sprintf("dora: rollback of txn %d failed: %v", run.txn.ID, rbErr))
+			}
+			e.Aborted.Inc()
+			err = cErr
+		} else {
+			e.Committed.Inc()
+		}
+		e.broadcastRelease(run)
+		run.done <- err
+	}
+}
+
+// broadcastRelease tells every live partition of the touched tables to
+// drop the transaction's local locks.
+func (e *Dora) broadcastRelease(run *flowRun) {
+	ids := run.tableIDs()
+	e.topoMu.RLock()
+	var parts []*partition
+	for _, id := range ids {
+		parts = append(parts, e.tableParts[id]...)
+	}
+	e.topoMu.RUnlock()
+	for _, p := range parts {
+		p.in.push(releaseMsg{txn: run.txn.ID})
+	}
+}
+
+// ownerOf returns the partition currently owning routing value v of tbl.
+func (e *Dora) ownerOf(tbl *catalog.Table, v int64) *partition {
+	e.topoMu.RLock()
+	rt := e.routers[tbl.ID]
+	var p *partition
+	if rt != nil {
+		p = e.byWorker[rt.Route(v)]
+	}
+	e.topoMu.RUnlock()
+	return p
+}
+
+// Router exposes the routing table for a table (monitor, balancer, tests).
+func (e *Dora) Router(name string) *router.Table {
+	tbl := e.sm.Cat.Table(name)
+	if tbl == nil {
+		return nil
+	}
+	e.topoMu.RLock()
+	defer e.topoMu.RUnlock()
+	return e.routers[tbl.ID]
+}
+
+// ticker drives timeout sweeps in every partition.
+func (e *Dora) ticker() {
+	t := time.NewTicker(e.cfg.TickEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.stopTick:
+			return
+		case <-t.C:
+			e.topoMu.RLock()
+			var parts []*partition
+			for _, ps := range e.tableParts {
+				parts = append(parts, ps...)
+			}
+			e.topoMu.RUnlock()
+			for _, p := range parts {
+				p.in.push(tickMsg{})
+			}
+		}
+	}
+}
+
+func (e *Dora) noteUnaligned(table uint32, field string) {
+	e.unalignedMu.Lock()
+	m := e.unaligned[table]
+	if m == nil {
+		m = make(map[string]int64)
+		e.unaligned[table] = m
+	}
+	m[field]++
+	e.unalignedMu.Unlock()
+}
+
+func (e *Dora) noteAligned(table uint32) {
+	e.unalignedMu.Lock()
+	e.aligned[table]++
+	e.unalignedMu.Unlock()
+}
+
+// AlignmentStats reports, per table, aligned dispatches and the per-field
+// unaligned dispatch counts since the last reset. The alignment advisor
+// (experiment E7) consumes this.
+func (e *Dora) AlignmentStats(reset bool) (aligned map[uint32]int64, unaligned map[uint32]map[string]int64) {
+	e.unalignedMu.Lock()
+	defer e.unalignedMu.Unlock()
+	aligned = make(map[uint32]int64, len(e.aligned))
+	for k, v := range e.aligned {
+		aligned[k] = v
+	}
+	unaligned = make(map[uint32]map[string]int64, len(e.unaligned))
+	for k, m := range e.unaligned {
+		cp := make(map[string]int64, len(m))
+		for f, v := range m {
+			cp[f] = v
+		}
+		unaligned[k] = cp
+	}
+	if reset {
+		e.aligned = make(map[uint32]int64)
+		e.unaligned = make(map[uint32]map[string]int64)
+	}
+	return aligned, unaligned
+}
+
+// Close stops all workers. Pending transactions must have finished.
+func (e *Dora) Close() error {
+	e.execGate.Lock()
+	defer e.execGate.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	close(e.stopTick)
+	close(e.commitq)
+	e.commitWG.Wait()
+	e.topoMu.Lock()
+	for _, p := range e.byWorker {
+		p.in.close()
+	}
+	e.topoMu.Unlock()
+	e.wg.Wait()
+	return nil
+}

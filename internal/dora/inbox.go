@@ -1,0 +1,76 @@
+package dora
+
+import "sync"
+
+// inbox is a partition's work queue. It is a mutex-guarded slice rather
+// than a channel because DORA's deadlock-avoidance protocol requires
+// enqueueing all actions of a transaction phase into several partitions
+// *atomically* and in canonical partition order (the engine locks every
+// target inbox, appends everywhere, then unlocks) — channels cannot do a
+// multi-queue atomic insert.
+type inbox struct {
+	mu       sync.Mutex
+	nonEmpty *sync.Cond
+	items    []msg
+	closed   bool
+}
+
+func newInbox() *inbox {
+	ib := &inbox{}
+	ib.nonEmpty = sync.NewCond(&ib.mu)
+	return ib
+}
+
+// push appends one message (single-queue convenience path).
+func (ib *inbox) push(m msg) {
+	ib.mu.Lock()
+	ib.items = append(ib.items, m)
+	ib.mu.Unlock()
+	ib.nonEmpty.Signal()
+}
+
+// lockForEnqueue / appendLocked / unlockAfterEnqueue implement the
+// multi-partition atomic enqueue. Callers must lock all target inboxes
+// in canonical (ascending worker id) order.
+func (ib *inbox) lockForEnqueue()    { ib.mu.Lock() }
+func (ib *inbox) appendLocked(m msg) { ib.items = append(ib.items, m) }
+func (ib *inbox) unlockAfterEnqueue() {
+	ib.mu.Unlock()
+	ib.nonEmpty.Signal()
+}
+
+// pop blocks until a message is available or the inbox is closed.
+// It returns ok=false when closed and drained.
+func (ib *inbox) pop() (msg, bool) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for len(ib.items) == 0 && !ib.closed {
+		ib.nonEmpty.Wait()
+	}
+	if len(ib.items) == 0 {
+		return nil, false
+	}
+	m := ib.items[0]
+	// Avoid O(n) copies: reslice, re-compact occasionally.
+	ib.items[0] = nil
+	ib.items = ib.items[1:]
+	if len(ib.items) == 0 {
+		ib.items = nil
+	}
+	return m, true
+}
+
+// length returns the current queue length (load-balancer signal).
+func (ib *inbox) length() int {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	return len(ib.items)
+}
+
+// close wakes the worker to exit once the queue drains.
+func (ib *inbox) close() {
+	ib.mu.Lock()
+	ib.closed = true
+	ib.mu.Unlock()
+	ib.nonEmpty.Broadcast()
+}

@@ -1,0 +1,269 @@
+package dora
+
+import "dora/internal/xct"
+
+// localLockTable is a partition-private lock table (paper §1.1: "Each
+// worker thread receives actions and executes them in a sequential
+// fashion while maintaining a private lock table"). Because the owning
+// worker is the only thread that ever touches it, it needs no latching —
+// this absence is exactly how DORA eliminates the lock manager's
+// critical sections.
+//
+// Keys are values of the table's current partitioning field. Entries
+// track granted (transaction, mode) pairs and FIFO waiter queues of
+// undispatched actions.
+type localLockTable struct {
+	entries map[int64]*llEntry
+	// byTxn indexes the keys each transaction holds, for O(held) release.
+	byTxn map[uint64][]int64
+	// waiting counts parked waiters across all entries — the partition's
+	// real congestion signal (the inbox drains fast; contention parks
+	// actions here). Single-threaded like the rest of the table.
+	waiting int
+}
+
+type llHold struct {
+	txn  uint64
+	mode xct.Mode
+}
+
+type llEntry struct {
+	holders []llHold
+	waiters []*actionMsg
+}
+
+func newLocalLockTable() *localLockTable {
+	return &localLockTable{
+		entries: make(map[int64]*llEntry),
+		byTxn:   make(map[uint64][]int64),
+	}
+}
+
+// compatible reports whether a new request in mode m conflicts with an
+// existing hold h by a different transaction.
+func compatible(h llHold, m xct.Mode) bool {
+	return h.mode == xct.Read && m == xct.Read
+}
+
+// tryAcquire attempts to grant (txn, mode) on key. FIFO fairness: a new
+// request never overtakes existing waiters it conflicts with. A repeated
+// request by a holding transaction is granted (upgrading Read→Write only
+// when no other holder exists).
+func (lt *localLockTable) tryAcquire(key int64, txn uint64, mode xct.Mode) bool {
+	e := lt.entries[key]
+	if e == nil {
+		e = &llEntry{}
+		lt.entries[key] = e
+	}
+	mine := -1
+	for i, h := range e.holders {
+		if h.txn == txn {
+			mine = i
+			continue
+		}
+		if !compatible(h, mode) {
+			return false
+		}
+	}
+	if mine >= 0 {
+		// Already holding: possibly upgrade. Other-holder conflicts were
+		// checked above.
+		if mode == xct.Write && e.holders[mine].mode == xct.Read {
+			e.holders[mine].mode = xct.Write
+		}
+		return true
+	}
+	// FIFO: conflicting waiters ahead of us block the grant.
+	for _, w := range e.waiters {
+		if w.run.txn.ID == txn {
+			continue
+		}
+		if !(w.act.Mode == xct.Read && mode == xct.Read) {
+			return false
+		}
+	}
+	e.holders = append(e.holders, llHold{txn: txn, mode: mode})
+	lt.byTxn[txn] = append(lt.byTxn[txn], key)
+	return true
+}
+
+// wait parks an action at the tail of key's waiter queue.
+func (lt *localLockTable) wait(key int64, am *actionMsg) {
+	e := lt.entries[key]
+	if e == nil {
+		e = &llEntry{}
+		lt.entries[key] = e
+	}
+	e.waiters = append(e.waiters, am)
+	lt.waiting++
+}
+
+// release drops every hold of txn — and any still-waiting claims it has
+// (an aborted transaction may never have collected claims for phases
+// that never ran) — and returns the actions that became grantable.
+func (lt *localLockTable) release(txn uint64) []*actionMsg {
+	keys := lt.byTxn[txn]
+	delete(lt.byTxn, txn)
+	var runnable []*actionMsg
+	seen := make(map[int64]bool, len(keys))
+	for _, key := range keys {
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		e := lt.entries[key]
+		if e == nil {
+			continue
+		}
+		for i := 0; i < len(e.holders); {
+			if e.holders[i].txn == txn {
+				e.holders = append(e.holders[:i], e.holders[i+1:]...)
+			} else {
+				i++
+			}
+		}
+		lt.dropWaitersOf(e, txn)
+		runnable = append(runnable, lt.promoteWaiters(key, e)...)
+		if len(e.holders) == 0 && len(e.waiters) == 0 {
+			delete(lt.entries, key)
+		}
+	}
+	// Claims may wait on keys the transaction never held; sweep the rest.
+	for key, e := range lt.entries {
+		if seen[key] {
+			continue
+		}
+		before := len(e.waiters)
+		lt.dropClaimsOf(e, txn)
+		if len(e.waiters) != before {
+			runnable = append(runnable, lt.promoteWaiters(key, e)...)
+			if len(e.holders) == 0 && len(e.waiters) == 0 {
+				delete(lt.entries, key)
+			}
+		}
+	}
+	return runnable
+}
+
+// dropWaitersOf removes every waiting claim of txn on e (the real actions
+// of txn always resolve before release; claims may not).
+func (lt *localLockTable) dropWaitersOf(e *llEntry, txn uint64) {
+	lt.dropClaimsOf(e, txn)
+}
+
+func (lt *localLockTable) dropClaimsOf(e *llEntry, txn uint64) {
+	kept := e.waiters[:0]
+	for _, w := range e.waiters {
+		if w.claim && w.run.txn.ID == txn {
+			lt.waiting--
+			continue
+		}
+		kept = append(kept, w)
+	}
+	e.waiters = kept
+}
+
+// promoteWaiters grants waiters from the queue front while compatible.
+func (lt *localLockTable) promoteWaiters(key int64, e *llEntry) []*actionMsg {
+	var out []*actionMsg
+	for len(e.waiters) > 0 {
+		w := e.waiters[0]
+		txn := w.run.txn.ID
+		ok := true
+		for _, h := range e.holders {
+			if h.txn != txn && !compatible(h, w.act.Mode) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		e.waiters = e.waiters[:copy(e.waiters, e.waiters[1:])]
+		lt.waiting--
+		// Grant in place (mirrors tryAcquire's same-txn handling).
+		granted := false
+		for i := range e.holders {
+			if e.holders[i].txn == txn {
+				if w.act.Mode == xct.Write {
+					e.holders[i].mode = xct.Write
+				}
+				granted = true
+				break
+			}
+		}
+		if !granted {
+			e.holders = append(e.holders, llHold{txn: txn, mode: w.act.Mode})
+			lt.byTxn[txn] = append(lt.byTxn[txn], key)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// extractAbove removes and returns all entries with key >= cut (split
+// migration). Waiter actions travel with their entries.
+func (lt *localLockTable) extractAbove(cut int64) map[int64]*llEntry {
+	moved := make(map[int64]*llEntry)
+	for key, e := range lt.entries {
+		if key >= cut {
+			moved[key] = e
+			lt.waiting -= len(e.waiters)
+			delete(lt.entries, key)
+		}
+	}
+	// Fix the byTxn index.
+	for txn, keys := range lt.byTxn {
+		kept := keys[:0]
+		for _, k := range keys {
+			if k < cut {
+				kept = append(kept, k)
+			}
+		}
+		if len(kept) == 0 {
+			delete(lt.byTxn, txn)
+		} else {
+			lt.byTxn[txn] = kept
+		}
+	}
+	return moved
+}
+
+// extractAll removes and returns every entry (merge/evacuate migration).
+func (lt *localLockTable) extractAll() map[int64]*llEntry {
+	moved := lt.entries
+	lt.entries = make(map[int64]*llEntry)
+	lt.byTxn = make(map[uint64][]int64)
+	lt.waiting = 0
+	return moved
+}
+
+// adopt merges entries migrated from another partition. Key spaces are
+// disjoint by construction (the ranges were disjoint), but the map may
+// already hold an entry if an action for a migrated key arrived during
+// the hand-off window; the adopted holders/waiters are then prepended,
+// preserving their seniority.
+func (lt *localLockTable) adopt(entries map[int64]*llEntry) []*actionMsg {
+	var runnable []*actionMsg
+	for key, in := range entries {
+		lt.waiting += len(in.waiters)
+		cur := lt.entries[key]
+		if cur == nil {
+			lt.entries[key] = in
+		} else {
+			// Adopted state is older: it goes first.
+			in.holders = append(in.holders, cur.holders...)
+			in.waiters = append(in.waiters, cur.waiters...)
+			lt.entries[key] = in
+		}
+		e := lt.entries[key]
+		for _, h := range e.holders {
+			lt.byTxn[h.txn] = append(lt.byTxn[h.txn], key)
+		}
+		runnable = append(runnable, lt.promoteWaiters(key, e)...)
+	}
+	return runnable
+}
+
+// heldKeys reports how many keys are currently locked (statistics).
+func (lt *localLockTable) heldKeys() int { return len(lt.entries) }

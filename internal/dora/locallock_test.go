@@ -1,0 +1,200 @@
+package dora
+
+import (
+	"testing"
+
+	"dora/internal/tx"
+	"dora/internal/xct"
+)
+
+func mkMsg(txnID uint64, mode xct.Mode, claim bool) *actionMsg {
+	return &actionMsg{
+		act:   &xct.Action{Mode: mode},
+		run:   &flowRun{txn: &tx.Txn{ID: txnID}},
+		claim: claim,
+	}
+}
+
+func TestLocalLockReadersShare(t *testing.T) {
+	lt := newLocalLockTable()
+	if !lt.tryAcquire(1, 10, xct.Read) {
+		t.Fatal("first reader refused")
+	}
+	if !lt.tryAcquire(1, 11, xct.Read) {
+		t.Fatal("second reader refused")
+	}
+	if lt.tryAcquire(1, 12, xct.Write) {
+		t.Fatal("writer admitted alongside readers")
+	}
+}
+
+func TestLocalLockWriterExcludes(t *testing.T) {
+	lt := newLocalLockTable()
+	if !lt.tryAcquire(1, 10, xct.Write) {
+		t.Fatal("writer refused on free key")
+	}
+	if lt.tryAcquire(1, 11, xct.Read) || lt.tryAcquire(1, 11, xct.Write) {
+		t.Fatal("conflicting grant under writer")
+	}
+	// Same transaction re-acquires freely.
+	if !lt.tryAcquire(1, 10, xct.Read) || !lt.tryAcquire(1, 10, xct.Write) {
+		t.Fatal("same-txn re-acquire refused")
+	}
+}
+
+func TestLocalLockUpgrade(t *testing.T) {
+	lt := newLocalLockTable()
+	if !lt.tryAcquire(5, 20, xct.Read) {
+		t.Fatal("reader refused")
+	}
+	// Sole holder upgrades.
+	if !lt.tryAcquire(5, 20, xct.Write) {
+		t.Fatal("sole-holder upgrade refused")
+	}
+	if lt.tryAcquire(5, 21, xct.Read) {
+		t.Fatal("reader admitted under upgraded writer")
+	}
+	// Shared holders cannot upgrade.
+	lt2 := newLocalLockTable()
+	lt2.tryAcquire(7, 30, xct.Read)
+	lt2.tryAcquire(7, 31, xct.Read)
+	if lt2.tryAcquire(7, 30, xct.Write) {
+		t.Fatal("upgrade granted with co-holders")
+	}
+}
+
+func TestLocalLockFIFOWaiters(t *testing.T) {
+	lt := newLocalLockTable()
+	lt.tryAcquire(1, 10, xct.Write)
+	w1 := mkMsg(11, xct.Write, false)
+	w1.routeKey = 1
+	lt.wait(1, w1)
+	// A reader arriving later must not overtake the queued writer.
+	if lt.tryAcquire(1, 12, xct.Read) {
+		t.Fatal("reader overtook queued writer")
+	}
+	w2 := mkMsg(12, xct.Read, false)
+	w2.routeKey = 1
+	lt.wait(1, w2)
+	if lt.waiting != 2 {
+		t.Fatalf("waiting = %d", lt.waiting)
+	}
+	runnable := lt.release(10)
+	if len(runnable) != 1 || runnable[0] != w1 {
+		t.Fatalf("release granted %d waiters, want the writer first", len(runnable))
+	}
+	if lt.waiting != 1 {
+		t.Fatalf("waiting = %d after first grant", lt.waiting)
+	}
+	runnable = lt.release(11)
+	if len(runnable) != 1 || runnable[0] != w2 {
+		t.Fatal("reader not granted after writer release")
+	}
+}
+
+func TestLocalLockBatchedReaderGrant(t *testing.T) {
+	lt := newLocalLockTable()
+	lt.tryAcquire(1, 10, xct.Write)
+	r1, r2 := mkMsg(11, xct.Read, false), mkMsg(12, xct.Read, false)
+	lt.wait(1, r1)
+	lt.wait(1, r2)
+	runnable := lt.release(10)
+	if len(runnable) != 2 {
+		t.Fatalf("released %d readers, want both", len(runnable))
+	}
+}
+
+func TestLocalLockReleaseDropsWaitingClaims(t *testing.T) {
+	lt := newLocalLockTable()
+	lt.tryAcquire(1, 10, xct.Write)
+	cl := mkMsg(11, xct.Write, true)
+	lt.wait(1, cl)
+	// Txn 11 aborts elsewhere; its release must purge the parked claim
+	// even though it holds nothing.
+	_ = lt.release(11)
+	if lt.waiting != 0 {
+		t.Fatalf("claim leaked: waiting = %d", lt.waiting)
+	}
+	// And the key frees normally afterwards.
+	if got := lt.release(10); len(got) != 0 {
+		t.Fatalf("unexpected runnable: %d", len(got))
+	}
+	if lt.heldKeys() != 0 {
+		t.Fatalf("entries leaked: %d", lt.heldKeys())
+	}
+}
+
+func TestLocalLockExtractAndAdopt(t *testing.T) {
+	lt := newLocalLockTable()
+	lt.tryAcquire(10, 1, xct.Write)
+	lt.tryAcquire(90, 2, xct.Write)
+	w := mkMsg(3, xct.Write, false)
+	lt.wait(90, w)
+	moved := lt.extractAbove(50)
+	if len(moved) != 1 || moved[90] == nil {
+		t.Fatalf("moved = %v", moved)
+	}
+	if lt.waiting != 0 {
+		t.Fatalf("waiting after extract = %d", lt.waiting)
+	}
+	if _, ok := lt.entries[10]; !ok {
+		t.Fatal("low key lost in split")
+	}
+
+	dst := newLocalLockTable()
+	runnable := dst.adopt(moved)
+	if len(runnable) != 0 {
+		t.Fatal("waiter granted while holder still present")
+	}
+	if dst.waiting != 1 {
+		t.Fatalf("adopted waiting = %d", dst.waiting)
+	}
+	got := dst.release(2)
+	if len(got) != 1 || got[0] != w {
+		t.Fatal("adopted waiter not granted on release")
+	}
+}
+
+func TestInboxAtomicMultiEnqueueOrder(t *testing.T) {
+	a, b := newInbox(), newInbox()
+	m1, m2 := mkMsg(1, xct.Read, false), mkMsg(1, xct.Read, false)
+	a.lockForEnqueue()
+	b.lockForEnqueue()
+	a.appendLocked(m1)
+	b.appendLocked(m2)
+	a.unlockAfterEnqueue()
+	b.unlockAfterEnqueue()
+	if a.length() != 1 || b.length() != 1 {
+		t.Fatal("atomic enqueue lost messages")
+	}
+	got, ok := a.pop()
+	if !ok || got != m1 {
+		t.Fatal("pop order broken")
+	}
+}
+
+func TestInboxCloseDrains(t *testing.T) {
+	ib := newInbox()
+	ib.push(mkMsg(1, xct.Read, false))
+	ib.close()
+	if _, ok := ib.pop(); !ok {
+		t.Fatal("queued message lost at close")
+	}
+	if _, ok := ib.pop(); ok {
+		t.Fatal("pop on closed empty inbox returned a message")
+	}
+}
+
+func TestInboxBlockingPop(t *testing.T) {
+	ib := newInbox()
+	done := make(chan msg, 1)
+	go func() {
+		m, _ := ib.pop()
+		done <- m
+	}()
+	m := mkMsg(4, xct.Write, false)
+	ib.push(m)
+	if got := <-done; got != m {
+		t.Fatal("blocked pop returned wrong message")
+	}
+}

@@ -1,0 +1,274 @@
+package dora
+
+import (
+	"time"
+
+	"dora/internal/catalog"
+	"dora/internal/metrics"
+	"dora/internal/sm"
+	"dora/internal/xct"
+)
+
+// msg is anything a partition worker can receive.
+type msg interface{}
+
+// actionMsg carries one transaction action to the partition owning its
+// routing key.
+type actionMsg struct {
+	act      *xct.Action
+	run      *flowRun
+	rvp      *rvp  // nil for claims
+	routeKey int64 // value in the table's current partition-field space
+	at       time.Time
+	// claim marks an early lock acquisition for a later-phase action:
+	// enqueued atomically with phase 0, it makes every statically-keyed
+	// lock of the transaction appear in all queues in one canonical
+	// order, which is DORA's deadlock-avoidance protocol. A claim has no
+	// body and reports to no RVP.
+	claim bool
+}
+
+// releaseMsg tells a partition that txn finished; drop its local locks.
+type releaseMsg struct{ txn uint64 }
+
+// splitMsg tells a partition to hand keys >= at over to partition to.
+type splitMsg struct {
+	at int64
+	to *partition
+}
+
+// adoptMsg delivers migrated lock-table state.
+type adoptMsg struct{ entries map[int64]*llEntry }
+
+// evacuateMsg tells a partition to hand everything to partition to and
+// enter forwarding mode (merge).
+type evacuateMsg struct {
+	to  *partition
+	ack chan struct{}
+}
+
+// clearMsg resets the local lock table under a quiesced engine
+// (re-partitioning on a new field).
+type clearMsg struct{ ack chan struct{} }
+
+// dieMsg terminates the worker after the inbox drains to it.
+type dieMsg struct{ ack chan struct{} }
+
+// tickMsg triggers the waiter-timeout sweep.
+type tickMsg struct{}
+
+// partition is a DORA micro-engine: one goroutine owning one logical
+// partition of one table, executing its action queue serially against a
+// private lock table (paper §1.1).
+type partition struct {
+	eng    *Dora
+	tbl    *catalog.Table
+	worker int // global worker id; also the routing handle
+	in     *inbox
+	locks  *localLockTable
+	ses    *sm.Session
+
+	// forward is non-nil after evacuation (merge): everything is
+	// forwarded to the adopting partition.
+	forward *partition
+	// adoptWait buffers messages until migrated state arrives (split).
+	adoptWait bool
+	pending   []msg
+
+	// Executed counts actions run; Waited counts grant waits; Stale
+	// counts re-routed messages (arrived after a range moved away).
+	Executed metrics.Counter
+	Waited   metrics.Counter
+	Stale    metrics.Counter
+	// HeldKeys mirrors the local lock table size for the monitor;
+	// WaitingNow mirrors its parked-waiter count (congestion signal).
+	HeldKeys   metrics.Gauge
+	WaitingNow metrics.Gauge
+}
+
+func newPartition(e *Dora, tbl *catalog.Table, worker int, adoptWait bool) *partition {
+	return &partition{
+		eng:       e,
+		tbl:       tbl,
+		worker:    worker,
+		in:        newInbox(),
+		locks:     newLocalLockTable(),
+		ses:       e.sm.Session(worker),
+		adoptWait: adoptWait,
+	}
+}
+
+// loop is the worker body.
+func (p *partition) loop() {
+	defer p.eng.wg.Done()
+	for {
+		m, ok := p.in.pop()
+		if !ok {
+			return
+		}
+		exit := p.handle(m)
+		p.WaitingNow.Set(int64(p.locks.waiting))
+		p.HeldKeys.Set(int64(p.locks.heldKeys()))
+		if exit {
+			return
+		}
+	}
+}
+
+// handle processes one message; it returns true when the worker must exit.
+func (p *partition) handle(m msg) bool {
+	// Forwarding mode (after merge evacuation): everything moves on.
+	if p.forward != nil {
+		switch t := m.(type) {
+		case *dieMsg:
+			close(t.ack)
+			return true
+		default:
+			p.forward.in.push(m)
+			return false
+		}
+	}
+	// Adoption wait (split target): buffer until state arrives.
+	if p.adoptWait {
+		switch t := m.(type) {
+		case *adoptMsg:
+			p.adoptWait = false
+			runnable := p.locks.adopt(t.entries)
+			pend := p.pending
+			p.pending = nil
+			for _, am := range runnable {
+				p.execute(am)
+			}
+			for _, bm := range pend {
+				if p.handle(bm) {
+					return true
+				}
+			}
+		case *dieMsg:
+			close(t.ack)
+			return true
+		default:
+			p.pending = append(p.pending, m)
+		}
+		return false
+	}
+
+	switch t := m.(type) {
+	case *actionMsg:
+		p.handleAction(t)
+	case releaseMsg:
+		runnable := p.locks.release(t.txn)
+		p.HeldKeys.Set(int64(p.locks.heldKeys()))
+		for _, am := range runnable {
+			p.execute(am)
+		}
+	case *splitMsg:
+		entries := p.locks.extractAbove(t.at)
+		p.HeldKeys.Set(int64(p.locks.heldKeys()))
+		t.to.in.push(&adoptMsg{entries: entries})
+	case *adoptMsg:
+		// Merge adoption into a live partition.
+		runnable := p.locks.adopt(t.entries)
+		p.HeldKeys.Set(int64(p.locks.heldKeys()))
+		for _, am := range runnable {
+			p.execute(am)
+		}
+	case *evacuateMsg:
+		entries := p.locks.extractAll()
+		p.HeldKeys.Set(0)
+		t.to.in.push(&adoptMsg{entries: entries})
+		p.forward = t.to
+		close(t.ack)
+	case *clearMsg:
+		p.locks = newLocalLockTable()
+		p.HeldKeys.Set(0)
+		close(t.ack)
+	case tickMsg:
+		p.sweepTimeouts()
+	case *dieMsg:
+		close(t.ack)
+		return true
+	}
+	return false
+}
+
+func (p *partition) handleAction(am *actionMsg) {
+	// Stale routing: the range moved (split/merge raced the dispatch).
+	// Send it to the current owner.
+	if owner := p.eng.ownerOf(p.tbl, am.routeKey); owner != nil && owner != p {
+		p.Stale.Inc()
+		owner.in.push(am)
+		return
+	}
+	if am.claim && am.run.failed() {
+		return // aborted before the claim was processed: drop it
+	}
+	if p.locks.tryAcquire(am.routeKey, am.run.txn.ID, am.act.Mode) {
+		p.HeldKeys.Set(int64(p.locks.heldKeys()))
+		p.execute(am)
+		return
+	}
+	p.Waited.Inc()
+	p.locks.wait(am.routeKey, am)
+}
+
+// execute runs a granted action and reports to its RVP. Granted claims
+// have nothing to run: the lock is now held for the future action.
+func (p *partition) execute(am *actionMsg) {
+	if am.claim {
+		return
+	}
+	p.Executed.Inc()
+	if am.run.failed() {
+		// The transaction already aborted: skip the body, just report so
+		// the RVP completes and the rollback can proceed.
+		p.eng.report(am.rvp, nil)
+		return
+	}
+	env := &xct.Env{Txn: am.run.txn, Ses: p.ses}
+	err := am.act.Run(env)
+	p.eng.report(am.rvp, err)
+}
+
+// sweepTimeouts aborts waiters stuck beyond the engine's local timeout —
+// the safety net for cross-partition waits the canonical enqueue order
+// cannot serialize (multi-phase conflicts).
+func (p *partition) sweepTimeouts() {
+	limit := p.eng.cfg.LocalTimeout
+	if limit <= 0 {
+		return
+	}
+	now := time.Now()
+	for key, e := range p.locks.entries {
+		kept := e.waiters[:0]
+		for _, w := range e.waiters {
+			if w.claim {
+				// Claims never time out (the claimed action's own wait
+				// does); drop them once their transaction has failed.
+				if w.run.failed() {
+					continue
+				}
+				kept = append(kept, w)
+				continue
+			}
+			if now.Sub(w.at) > limit && !w.run.failed() {
+				p.eng.Timeouts.Inc()
+				p.eng.report(w.rvp, ErrLocalTimeout)
+				continue
+			}
+			// Already-failed runs: flush them out too, reporting.
+			if w.run.failed() {
+				p.eng.report(w.rvp, nil)
+				continue
+			}
+			kept = append(kept, w)
+		}
+		e.waiters = kept
+		if len(e.holders) == 0 && len(e.waiters) == 0 {
+			delete(p.locks.entries, key)
+		}
+	}
+}
+
+// queueLen reports the inbox length (load-balancing signal).
+func (p *partition) queueLen() int { return p.in.length() }

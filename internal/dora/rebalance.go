@@ -1,0 +1,178 @@
+package dora
+
+import (
+	"fmt"
+
+	"dora/internal/dora/router"
+)
+
+// PartitionStat is a monitoring snapshot of one micro-engine.
+type PartitionStat struct {
+	Table    string `json:"table"`
+	Worker   int    `json:"worker"`
+	QueueLen int    `json:"queue_len"`
+	Waiting  int64  `json:"waiting"` // actions parked in the local lock table
+	Executed int64  `json:"executed"`
+	Waited   int64  `json:"waited"`
+	HeldKeys int64  `json:"held_keys"`
+	// Ranges is the number of routing ranges assigned to this worker and
+	// Width their total value-space width.
+	Ranges int   `json:"ranges"`
+	Width  int64 `json:"width"`
+}
+
+// PartitionStats snapshots every live partition (monitor, balancer).
+func (e *Dora) PartitionStats() []PartitionStat {
+	e.topoMu.RLock()
+	defer e.topoMu.RUnlock()
+	var out []PartitionStat
+	for tblID, parts := range e.tableParts {
+		rt := e.routers[tblID]
+		for _, p := range parts {
+			st := PartitionStat{
+				Table:    p.tbl.Name,
+				Worker:   p.worker,
+				QueueLen: p.queueLen(),
+				Waiting:  p.WaitingNow.Load(),
+				Executed: p.Executed.Load(),
+				Waited:   p.Waited.Load(),
+				HeldKeys: p.HeldKeys.Load(),
+			}
+			if rt != nil {
+				for _, r := range rt.Ranges() {
+					if r.Part == p.worker {
+						st.Ranges++
+						st.Width += r.Hi - r.Lo + 1
+					}
+				}
+			}
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// SplitPartition splits the range of worker `from` of table `table` at
+// value mid: keys >= mid move to a freshly started micro-engine. The
+// migration is safe while transactions run: the new partition buffers
+// arriving work until the lock-table state for its range is adopted.
+func (e *Dora) SplitPartition(table string, from int, mid int64) (int, error) {
+	tbl := e.sm.Cat.Table(table)
+	if tbl == nil {
+		return 0, fmt.Errorf("dora: unknown table %q", table)
+	}
+	e.topoMu.Lock()
+	src := e.byWorker[from]
+	if src == nil || src.tbl != tbl {
+		e.topoMu.Unlock()
+		return 0, fmt.Errorf("dora: worker %d does not serve %s", from, table)
+	}
+	rt := e.routers[tbl.ID]
+	q := newPartition(e, tbl, e.nextWorker, true /* buffer until adopt */)
+	e.nextWorker++
+	if _, err := rt.Split(from, mid, q.worker); err != nil {
+		e.topoMu.Unlock()
+		return 0, err
+	}
+	e.byWorker[q.worker] = q
+	e.tableParts[tbl.ID] = append(e.tableParts[tbl.ID], q)
+	e.wg.Add(1)
+	go q.loop()
+	e.topoMu.Unlock()
+
+	// Tell the source to hand over the migrated keys' lock state. New
+	// dispatches for the moved range already go to q (buffered there).
+	src.in.push(&splitMsg{at: mid, to: q})
+	return q.worker, nil
+}
+
+// MergePartition retires worker `from` of table `table`, folding its
+// ranges and lock-table state into worker `into`. Messages in flight are
+// forwarded; the retired worker then exits.
+func (e *Dora) MergePartition(table string, from, into int) error {
+	tbl := e.sm.Cat.Table(table)
+	if tbl == nil {
+		return fmt.Errorf("dora: unknown table %q", table)
+	}
+	e.topoMu.RLock()
+	src, dst := e.byWorker[from], e.byWorker[into]
+	e.topoMu.RUnlock()
+	if src == nil || dst == nil || src.tbl != tbl || dst.tbl != tbl || src == dst {
+		return fmt.Errorf("dora: cannot merge %s worker %d into %d", table, from, into)
+	}
+	// 1. Evacuate lock state first; src enters forwarding mode. Anything
+	//    routed to src during the window is forwarded after the adopt
+	//    message, preserving order at dst.
+	ack := make(chan struct{})
+	src.in.push(&evacuateMsg{to: dst, ack: ack})
+	<-ack
+	// 2. Now repoint the routing rule and drop src from the live set.
+	e.topoMu.Lock()
+	e.routers[tbl.ID].Reassign(from, into)
+	parts := e.tableParts[tbl.ID]
+	for i, p := range parts {
+		if p == src {
+			e.tableParts[tbl.ID] = append(parts[:i], parts[i+1:]...)
+			break
+		}
+	}
+	delete(e.byWorker, from)
+	e.topoMu.Unlock()
+	// 3. Let the forwarder drain and die.
+	dack := make(chan struct{})
+	src.in.push(&dieMsg{ack: dack})
+	<-dack
+	return nil
+}
+
+// Repartition changes the partitioning FIELD of a table (the alignment
+// advisor's remedy in experiment E7). The engine quiesces: it waits for
+// all in-flight transactions, swaps the routing rule to a uniform split
+// of the new field's domain over the same workers, and clears the (now
+// empty) local lock tables.
+func (e *Dora) Repartition(table, field string, lo, hi int64) error {
+	tbl := e.sm.Cat.Table(table)
+	if tbl == nil {
+		return fmt.Errorf("dora: unknown table %q", table)
+	}
+	if tbl.FieldIndex(field) < 0 {
+		return fmt.Errorf("dora: table %s has no field %q", table, field)
+	}
+	e.execGate.Lock() // waits for every Exec's RLock to drain
+	defer e.execGate.Unlock()
+
+	e.topoMu.Lock()
+	parts := append([]*partition(nil), e.tableParts[tbl.ID]...)
+	handles := make([]int, len(parts))
+	for i, p := range parts {
+		handles[i] = p.worker
+	}
+	nrt := router.NewUniform(field, lo, hi, handles)
+	e.routers[tbl.ID].Replace(field, nrt.Ranges())
+	tbl.SetPartitionField(field)
+	e.topoMu.Unlock()
+
+	// No transactions are active, so the lock tables must be empty;
+	// clear them anyway via the owning workers (the table's key space
+	// changed meaning).
+	acks := make([]chan struct{}, len(parts))
+	for i, p := range parts {
+		acks[i] = make(chan struct{})
+		p.in.push(&clearMsg{ack: acks[i]})
+	}
+	for _, a := range acks {
+		<-a
+	}
+	return nil
+}
+
+// NumPartitions returns the live partition count for a table.
+func (e *Dora) NumPartitions(table string) int {
+	tbl := e.sm.Cat.Table(table)
+	if tbl == nil {
+		return 0
+	}
+	e.topoMu.RLock()
+	defer e.topoMu.RUnlock()
+	return len(e.tableParts[tbl.ID])
+}

@@ -1,0 +1,181 @@
+// Package router implements DORA's routing rules: per-table maps from
+// ranges of the partitioning field's values to logical partitions
+// (paper §1.1: "The partitioning is enforced by a set of routing rules,
+// one per table"). Partitions are identified by opaque int handles; the
+// engine maps handles to worker threads.
+//
+// Routing tables are read on every action dispatch and written only by
+// re-partitioning, so they use a read-write mutex and copy-on-write
+// range slices.
+package router
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Range assigns the value interval [Lo, Hi] (inclusive) to a partition.
+type Range struct {
+	Lo, Hi int64
+	Part   int
+}
+
+// Table is the routing rule for one database table.
+type Table struct {
+	mu     sync.RWMutex
+	field  string
+	ranges []Range // sorted by Lo, contiguous, covering [domainLo, domainHi]
+}
+
+// NewUniform builds a routing table splitting [lo, hi] evenly across the
+// given partition handles.
+func NewUniform(field string, lo, hi int64, parts []int) *Table {
+	if len(parts) == 0 {
+		panic("router: no partitions")
+	}
+	if hi < lo {
+		hi = lo
+	}
+	n := int64(len(parts))
+	span := hi - lo + 1
+	t := &Table{field: field}
+	start := lo
+	for i, p := range parts {
+		end := lo + span*int64(i+1)/n - 1
+		if i == len(parts)-1 {
+			end = hi
+		}
+		if end < start {
+			end = start
+		}
+		t.ranges = append(t.ranges, Range{Lo: start, Hi: end, Part: p})
+		start = end + 1
+	}
+	return t
+}
+
+// Field returns the partitioning field this table routes on.
+func (t *Table) Field() string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.field
+}
+
+// Route returns the partition handle owning value v. Values outside the
+// domain clamp to the first/last range (routing must be total).
+func (t *Table) Route(v int64) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.routeLocked(v)
+}
+
+func (t *Table) routeLocked(v int64) int {
+	rs := t.ranges
+	if v < rs[0].Lo {
+		return rs[0].Part
+	}
+	i := sort.Search(len(rs), func(i int) bool { return rs[i].Hi >= v })
+	if i == len(rs) {
+		return rs[len(rs)-1].Part
+	}
+	return rs[i].Part
+}
+
+// Ranges returns a copy of the current routing ranges.
+func (t *Table) Ranges() []Range {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Range, len(t.ranges))
+	copy(out, t.ranges)
+	return out
+}
+
+// NumPartitions returns the number of distinct partition handles.
+func (t *Table) NumPartitions() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	seen := map[int]bool{}
+	for _, r := range t.ranges {
+		seen[r.Part] = true
+	}
+	return len(seen)
+}
+
+// Split divides the range owned by part at value mid: values >= mid move
+// to newPart. It returns the moved interval. Split fails if part does
+// not own mid-1 and mid, or the cut would create an empty side.
+func (t *Table) Split(part int, mid int64, newPart int) (Range, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, r := range t.ranges {
+		if r.Part != part || mid <= r.Lo || mid > r.Hi {
+			continue
+		}
+		moved := Range{Lo: mid, Hi: r.Hi, Part: newPart}
+		t.ranges[i].Hi = mid - 1
+		// Insert the new range right after i.
+		t.ranges = append(t.ranges, Range{})
+		copy(t.ranges[i+2:], t.ranges[i+1:])
+		t.ranges[i+1] = moved
+		return moved, nil
+	}
+	return Range{}, fmt.Errorf("router: partition %d owns no range splittable at %d", part, mid)
+}
+
+// Reassign points every range owned by from at to instead (merge step).
+// It returns the number of ranges reassigned.
+func (t *Table) Reassign(from, to int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for i := range t.ranges {
+		if t.ranges[i].Part == from {
+			t.ranges[i].Part = to
+			n++
+		}
+	}
+	t.coalesceLocked()
+	return n
+}
+
+// Replace installs a completely new routing rule (re-partitioning on a
+// new field, experiment E7).
+func (t *Table) Replace(field string, ranges []Range) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.field = field
+	t.ranges = append([]Range(nil), ranges...)
+	sort.Slice(t.ranges, func(i, j int) bool { return t.ranges[i].Lo < t.ranges[j].Lo })
+	t.coalesceLocked()
+}
+
+// coalesceLocked merges adjacent ranges with the same owner.
+func (t *Table) coalesceLocked() {
+	if len(t.ranges) < 2 {
+		return
+	}
+	out := t.ranges[:1]
+	for _, r := range t.ranges[1:] {
+		last := &out[len(out)-1]
+		if last.Part == r.Part && last.Hi+1 == r.Lo {
+			last.Hi = r.Hi
+		} else {
+			out = append(out, r)
+		}
+	}
+	t.ranges = out
+}
+
+// PartWidth returns the total width of values owned by part.
+func (t *Table) PartWidth(part int) int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var w int64
+	for _, r := range t.ranges {
+		if r.Part == part {
+			w += r.Hi - r.Lo + 1
+		}
+	}
+	return w
+}

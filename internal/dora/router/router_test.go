@@ -1,0 +1,147 @@
+package router
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformCoversDomain(t *testing.T) {
+	rt := NewUniform("s_id", 1, 100, []int{10, 11, 12, 13})
+	ranges := rt.Ranges()
+	if len(ranges) != 4 {
+		t.Fatalf("%d ranges", len(ranges))
+	}
+	if ranges[0].Lo != 1 || ranges[len(ranges)-1].Hi != 100 {
+		t.Fatalf("domain not covered: %v", ranges)
+	}
+	for i := 1; i < len(ranges); i++ {
+		if ranges[i].Lo != ranges[i-1].Hi+1 {
+			t.Fatalf("gap between ranges: %v", ranges)
+		}
+	}
+	var width int64
+	for _, r := range ranges {
+		width += r.Hi - r.Lo + 1
+	}
+	if width != 100 {
+		t.Fatalf("total width %d", width)
+	}
+}
+
+func TestRouteClamps(t *testing.T) {
+	rt := NewUniform("k", 10, 20, []int{1, 2})
+	if rt.Route(-5) != 1 {
+		t.Fatal("below-domain must clamp to first")
+	}
+	if rt.Route(1000) != 2 {
+		t.Fatal("above-domain must clamp to last")
+	}
+}
+
+func TestRouteBoundaries(t *testing.T) {
+	rt := NewUniform("k", 1, 100, []int{7, 8})
+	ranges := rt.Ranges()
+	cut := ranges[0].Hi
+	if rt.Route(cut) != 7 || rt.Route(cut+1) != 8 {
+		t.Fatalf("boundary routing wrong at %d", cut)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	rt := NewUniform("k", 1, 100, []int{1})
+	moved, err := rt.Split(1, 51, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.Lo != 51 || moved.Hi != 100 || moved.Part != 2 {
+		t.Fatalf("moved = %+v", moved)
+	}
+	if rt.Route(50) != 1 || rt.Route(51) != 2 {
+		t.Fatal("split routing wrong")
+	}
+	if rt.NumPartitions() != 2 {
+		t.Fatalf("parts = %d", rt.NumPartitions())
+	}
+	// Splitting at a point nobody owns at an edge fails.
+	if _, err := rt.Split(1, 1, 3); err == nil {
+		t.Fatal("split at Lo must fail (empty left side)")
+	}
+	if _, err := rt.Split(99, 60, 3); err == nil {
+		t.Fatal("split of unknown partition must fail")
+	}
+}
+
+func TestReassignCoalesces(t *testing.T) {
+	rt := NewUniform("k", 1, 90, []int{1, 2, 3})
+	n := rt.Reassign(2, 1)
+	if n != 1 {
+		t.Fatalf("reassigned %d ranges", n)
+	}
+	// Ranges of 1 are adjacent now: must coalesce to a single range.
+	count := 0
+	for _, r := range rt.Ranges() {
+		if r.Part == 1 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("part 1 has %d ranges after coalesce: %v", count, rt.Ranges())
+	}
+	if rt.NumPartitions() != 2 {
+		t.Fatalf("parts = %d", rt.NumPartitions())
+	}
+}
+
+func TestReplace(t *testing.T) {
+	rt := NewUniform("s_id", 1, 100, []int{1, 2})
+	rt.Replace("sub_nbr", []Range{{Lo: 1000, Hi: 1499, Part: 1}, {Lo: 1500, Hi: 1999, Part: 2}})
+	if rt.Field() != "sub_nbr" {
+		t.Fatalf("field = %q", rt.Field())
+	}
+	if rt.Route(1200) != 1 || rt.Route(1700) != 2 {
+		t.Fatal("replaced routing wrong")
+	}
+}
+
+func TestPartWidth(t *testing.T) {
+	rt := NewUniform("k", 1, 100, []int{1, 2})
+	if rt.PartWidth(1)+rt.PartWidth(2) != 100 {
+		t.Fatal("widths don't sum to domain")
+	}
+}
+
+// TestQuickEveryValueRoutedExactlyOnce: after arbitrary splits, every
+// domain value routes to exactly one partition and ranges stay contiguous.
+func TestQuickEveryValueRouted(t *testing.T) {
+	f := func(seed int64) bool {
+		rt := NewUniform("k", 0, 499, []int{0})
+		next := 1
+		s := seed
+		for i := 0; i < 8; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			at := (s % 498)
+			if at < 0 {
+				at = -at
+			}
+			at++ // in [1, 498]
+			// Split whichever partition owns 'at'.
+			owner := rt.Route(at)
+			if _, err := rt.Split(owner, at, next); err == nil {
+				next++
+			}
+		}
+		ranges := rt.Ranges()
+		if ranges[0].Lo != 0 || ranges[len(ranges)-1].Hi != 499 {
+			return false
+		}
+		for i := 1; i < len(ranges); i++ {
+			if ranges[i].Lo != ranges[i-1].Hi+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

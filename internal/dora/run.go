@@ -1,0 +1,98 @@
+package dora
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"dora/internal/tx"
+	"dora/internal/xct"
+)
+
+// ErrLocalTimeout reports an action that waited too long in a partition's
+// local lock table (cross-partition conflict the canonical enqueue order
+// could not serialize); the transaction aborts and may be retried.
+var ErrLocalTimeout = errors.New("dora: local lock wait timeout")
+
+// flowRun is one in-flight transaction: the flow graph being executed,
+// its storage transaction, and completion plumbing. Actions of the same
+// run execute on several partition workers concurrently, so all mutable
+// state is synchronized.
+type flowRun struct {
+	eng  *Dora
+	flow *xct.Flow
+	txn  *tx.Txn
+	done chan error
+
+	mu     sync.Mutex
+	err    error
+	tables map[uint32]struct{}
+
+	failedFlag atomic.Bool
+}
+
+func newFlowRun(e *Dora, flow *xct.Flow, txn *tx.Txn) *flowRun {
+	return &flowRun{
+		eng:    e,
+		flow:   flow,
+		txn:    txn,
+		done:   make(chan error, 1),
+		tables: make(map[uint32]struct{}, 4),
+	}
+}
+
+// fail records the first error; later errors are dropped.
+func (r *flowRun) fail(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.mu.Unlock()
+	r.failedFlag.Store(true)
+}
+
+// failed reports whether the run has aborted.
+func (r *flowRun) failed() bool { return r.failedFlag.Load() }
+
+// firstErr returns the recorded error.
+func (r *flowRun) firstErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// addTable records that the run dispatched work to a table (its
+// partitions receive the release broadcast at the end).
+func (r *flowRun) addTable(id uint32) {
+	r.mu.Lock()
+	r.tables[id] = struct{}{}
+	r.mu.Unlock()
+}
+
+// tableIDs snapshots the touched tables.
+func (r *flowRun) tableIDs() []uint32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]uint32, 0, len(r.tables))
+	for id := range r.tables {
+		out = append(out, id)
+	}
+	return out
+}
+
+// rvp is a rendezvous point: the shared countdown between the actions of
+// one phase (paper §1.1: "initialized to the number of threads that have
+// to report to them... The last thread to report on a rendezvous point
+// decides whether the corresponding transaction should commit or abort,
+// or whether a new set of actions needs to be submitted").
+type rvp struct {
+	run       *flowRun
+	phase     int
+	remaining atomic.Int32
+}
+
+func newRVP(run *flowRun, phase, count int) *rvp {
+	r := &rvp{run: run, phase: phase}
+	r.remaining.Store(int32(count))
+	return r
+}

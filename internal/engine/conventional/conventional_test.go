@@ -1,0 +1,206 @@
+package conventional
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"dora/internal/catalog"
+	"dora/internal/metrics"
+	"dora/internal/sm"
+	"dora/internal/tuple"
+	"dora/internal/xct"
+)
+
+func rig(t *testing.T, n int64) (*sm.SM, *catalog.Table, *Engine) {
+	t.Helper()
+	cs := &metrics.CriticalSectionStats{}
+	s, err := sm.Open(sm.Options{Frames: 256, CS: cs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := s.CreateTable(sm.TableSpec{
+		Name: "accounts",
+		Fields: []catalog.Field{
+			{Name: "id", Type: tuple.TInt},
+			{Name: "balance", Type: tuple.TInt},
+		},
+		KeyFields: []string{"id"},
+		Key:       func(r tuple.Record) int64 { return r[0].Int },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses := s.Session(0)
+	load := s.Begin()
+	for i := int64(1); i <= n; i++ {
+		if err := ses.Insert(load, tbl, tuple.Record{tuple.I(i), tuple.I(100)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(load); err != nil {
+		t.Fatal(err)
+	}
+	return s, tbl, New(s)
+}
+
+func incFlow(tbl *catalog.Table, id, delta int64) *xct.Flow {
+	return xct.NewFlow("inc").AddPhase(&xct.Action{
+		Table: "accounts", KeyField: "id", Key: id, Mode: xct.Write,
+		Run: func(env *xct.Env) error {
+			return env.Ses.Mutate(env.Txn, tbl, id, func(r tuple.Record) tuple.Record {
+				r[1] = tuple.I(r[1].Int + delta)
+				return r
+			})
+		},
+	})
+}
+
+func TestExecCommit(t *testing.T) {
+	s, tbl, e := rig(t, 10)
+	if err := e.Exec(0, incFlow(tbl, 1, 50)); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := s.Session(0).Read(s.Begin(), tbl, 1)
+	if rec[1].Int != 150 {
+		t.Fatalf("balance = %d", rec[1].Int)
+	}
+	if e.Committed.Load() != 1 {
+		t.Fatal("commit not counted")
+	}
+	// All locks released.
+	if held := e.LM.HeldModes(1); len(held) != 0 {
+		t.Fatalf("locks leaked after load txn? %v", held)
+	}
+}
+
+func TestExecAbortRollsBack(t *testing.T) {
+	s, tbl, e := rig(t, 10)
+	boom := errors.New("boom")
+	flow := xct.NewFlow("failing").AddPhase(
+		&xct.Action{
+			Table: "accounts", KeyField: "id", Key: 1, Mode: xct.Write,
+			Run: func(env *xct.Env) error {
+				return env.Ses.Update(env.Txn, tbl, 1, tuple.Record{tuple.I(1), tuple.I(999)})
+			},
+		},
+		&xct.Action{
+			Table: "accounts", KeyField: "id", Key: 2, Mode: xct.Write,
+			Run: func(env *xct.Env) error { return boom },
+		},
+	)
+	if err := e.Exec(0, flow); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	rec, _ := s.Session(0).Read(s.Begin(), tbl, 1)
+	if rec[1].Int != 100 {
+		t.Fatalf("aborted write persisted: %d", rec[1].Int)
+	}
+	if e.Aborted.Load() != 1 {
+		t.Fatal("abort not counted")
+	}
+}
+
+func TestConcurrentIncrementsSerialize(t *testing.T) {
+	s, tbl, e := rig(t, 4)
+	var wg sync.WaitGroup
+	const workers, per = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				for {
+					err := e.Exec(w, incFlow(tbl, 1, 1))
+					if err == nil {
+						break
+					}
+					if !IsAbort(err) {
+						t.Errorf("unexpected: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	rec, _ := s.Session(0).Read(s.Begin(), tbl, 1)
+	if rec[1].Int != 100+workers*per {
+		t.Fatalf("balance = %d, want %d", rec[1].Int, 100+workers*per)
+	}
+}
+
+func TestDeadlockVictimRetries(t *testing.T) {
+	_, tbl, e := rig(t, 4)
+	// Opposite-order two-key writers force deadlocks; with retries both
+	// eventually commit.
+	mk := func(a, b int64) *xct.Flow {
+		w := func(id int64) *xct.Action {
+			return &xct.Action{
+				Table: "accounts", KeyField: "id", Key: id, Mode: xct.Write,
+				Run: func(env *xct.Env) error {
+					return env.Ses.Mutate(env.Txn, tbl, id, func(r tuple.Record) tuple.Record {
+						r[1] = tuple.I(r[1].Int + 1)
+						return r
+					})
+				},
+			}
+		}
+		// Two *phases* so locks are acquired incrementally.
+		return xct.NewFlow("ab").AddPhase(w(a)).AddPhase(w(b))
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2*40)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a, b := int64(1), int64(2)
+			if i == 1 {
+				a, b = b, a
+			}
+			for n := 0; n < 40; n++ {
+				for {
+					err := e.Exec(i, mk(a, b))
+					if err == nil {
+						break
+					}
+					if !IsAbort(err) {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+func TestCriticalSectionsCounted(t *testing.T) {
+	s, tbl, e := rig(t, 10)
+	before := s.CS.LockMgr.Load()
+	if err := e.Exec(0, incFlow(tbl, 3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	delta := s.CS.LockMgr.Load() - before
+	// One action: DB lock + table lock + row lock + held-map entries +
+	// release — at least 6 lock-manager critical sections.
+	if delta < 6 {
+		t.Fatalf("lock-manager critical sections per simple txn = %d, want >= 6", delta)
+	}
+}
+
+func TestResolverRequiredForForeignKeyField(t *testing.T) {
+	_, _, e := rig(t, 5)
+	flow := xct.NewFlow("bad").AddPhase(&xct.Action{
+		Table: "accounts", KeyField: "not_the_pk", Key: 1, Mode: xct.Read,
+		Run: func(env *xct.Env) error { return nil },
+	})
+	if err := e.Exec(0, flow); err == nil {
+		t.Fatal("foreign key field without resolver must fail")
+	}
+}

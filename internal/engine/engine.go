@@ -1,0 +1,23 @@
+// Package engine defines the execution-engine interface shared by the
+// conventional (thread-to-transaction) implementation and DORA
+// (thread-to-data), plus common statistics plumbing. Workload drivers
+// program against this interface so every experiment can run the same
+// workload on both engines.
+package engine
+
+import (
+	"dora/internal/xct"
+)
+
+// Engine executes transaction flow graphs.
+type Engine interface {
+	// Name identifies the engine ("conventional" or "dora").
+	Name() string
+	// Exec runs the flow to completion on behalf of client worker,
+	// blocking until commit or abort. A non-nil error means the
+	// transaction aborted (deadlock victim, timeout, or action error);
+	// the caller may rebuild the flow and retry.
+	Exec(worker int, flow *xct.Flow) error
+	// Close releases engine resources (worker threads).
+	Close() error
+}

@@ -1,0 +1,159 @@
+package exp
+
+import (
+	"time"
+
+	"dora/internal/dora"
+	"dora/internal/engine"
+	"dora/internal/metrics"
+	"dora/internal/sm"
+	"dora/internal/wal"
+	"dora/internal/workload"
+	"dora/internal/workload/tatp"
+	"dora/internal/workload/tpcc"
+)
+
+// A1PartitionCount ablates the number of micro-engines per table: too
+// few serialize unrelated keys behind one worker; too many (beyond the
+// hardware contexts) only add queue hops. The balancer's job (E6) is to
+// find this knee at runtime.
+func A1PartitionCount(c Config, counts []int) (*Table, error) {
+	c = c.fill()
+	if len(counts) == 0 {
+		counts = []int{1, 2, 4, 8, 16}
+	}
+	tb := &Table{
+		Title:  "A1  ablation: DORA partitions per table vs TATP throughput",
+		Header: []string{"partitions/table", "dora tps"},
+	}
+	for _, n := range counts {
+		cs := &metrics.CriticalSectionStats{}
+		s, err := sm.Open(sm.Options{Frames: 1 << 14, CS: cs})
+		if err != nil {
+			return nil, err
+		}
+		db, err := tatp.Load(s, c.Subscribers)
+		if err != nil {
+			return nil, err
+		}
+		e := dora.New(s, dora.Config{PartitionsPerTable: n, Domains: db.Domains()})
+		res := (&workload.Driver{
+			Engine: e, Mix: db.NewMix(tatp.MixOptions{}),
+			Clients: c.Clients, Duration: c.Duration, Seed: 101,
+		}).Run()
+		_ = e.Close()
+		tb.Rows = append(tb.Rows, []string{d2(int64(n)), f1(res.Throughput)})
+	}
+	return tb, nil
+}
+
+// slowStore wraps the in-memory log store with a simulated device sync
+// latency, so group commit has a real batching window to exploit (an
+// instant "fsync" never lets two commits overlap).
+type slowStore struct {
+	*wal.MemStore
+	delay time.Duration
+}
+
+func (s *slowStore) Sync() error {
+	time.Sleep(s.delay)
+	return s.MemStore.Sync()
+}
+
+// A2GroupCommit ablates the group-commit path: with a 200µs simulated
+// log-device sync, the fraction of commit forces absorbed by another
+// transaction's flush grows with the client count, and throughput holds
+// far above the 1/sync-latency ceiling a one-commit-per-sync log would
+// impose.
+func A2GroupCommit(c Config, clients []int) (*Table, error) {
+	c = c.fill()
+	if len(clients) == 0 {
+		clients = []int{1, 4, 16, 64}
+	}
+	const syncDelay = 200 * time.Microsecond
+	tb := &Table{
+		Title:  "A2  ablation: group commit under a 200us log-sync latency (DORA, TATP)",
+		Header: []string{"clients", "tps", "log syncs", "grouped %"},
+		Caption: "grouped % = forces satisfied by another transaction's flush;\n" +
+			"without batching, tps could not exceed 1/sync-latency = 5000/s\n" +
+			"for the update transactions.",
+	}
+	for _, n := range clients {
+		cs := &metrics.CriticalSectionStats{}
+		s, err := sm.Open(sm.Options{
+			Frames:   1 << 14,
+			CS:       cs,
+			LogStore: &slowStore{MemStore: wal.NewMemStore(), delay: syncDelay},
+		})
+		if err != nil {
+			return nil, err
+		}
+		db, err := tatp.Load(s, c.Subscribers)
+		if err != nil {
+			return nil, err
+		}
+		e := dora.New(s, dora.Config{PartitionsPerTable: c.Partitions, Domains: db.Domains()})
+		log := s.Log
+		f0, g0 := log.Forces.Load(), log.GroupedCommits.Load()
+		res := (&workload.Driver{
+			Engine: e, Mix: db.NewMix(tatp.MixOptions{}),
+			Clients: n, Duration: c.Duration, Seed: 102,
+		}).Run()
+		forces := log.Forces.Load() - f0
+		grouped := log.GroupedCommits.Load() - g0
+		_ = e.Close()
+		pct := 0.0
+		if forces > 0 {
+			pct = 100 * float64(grouped) / float64(forces)
+		}
+		tb.Rows = append(tb.Rows, []string{
+			d2(int64(n)), f1(res.Throughput), d2(forces - grouped), f1(pct),
+		})
+	}
+	return tb, nil
+}
+
+// A3Claims ablates DORA's deadlock-avoidance protocol (the atomic
+// canonical enqueue of up-front lock claims for later-phase actions) on
+// TPC-C, whose multi-phase NewOrder/Delivery conflicts deadlock across
+// partitions without it and then burn the local-wait timeout.
+func A3Claims(c Config) (*Table, error) {
+	c = c.fill()
+	tb := &Table{
+		Title:  "A3  ablation: up-front lock claims (deadlock avoidance), TPC-C (DORA)",
+		Header: []string{"claims", "tps", "local timeouts", "aborted"},
+		Caption: "without claims, cross-phase lock cycles between NewOrder and\n" +
+			"Delivery resolve only via the local wait timeout.",
+	}
+	for _, disabled := range []bool{false, true} {
+		cs := &metrics.CriticalSectionStats{}
+		s, err := sm.Open(sm.Options{Frames: 1 << 14, CS: cs})
+		if err != nil {
+			return nil, err
+		}
+		db, err := tpcc.Load(s, tpcc.DefaultScale(c.Warehouses))
+		if err != nil {
+			return nil, err
+		}
+		var e engine.Engine = dora.New(s, dora.Config{
+			PartitionsPerTable: c.Partitions,
+			Domains:            db.Domains(),
+			DisableClaims:      disabled,
+			LocalTimeout:       500 * time.Millisecond,
+		})
+		de := e.(*dora.Dora)
+		res := (&workload.Driver{
+			Engine: e, Mix: db.NewMix(tpcc.MixOptions{}),
+			Clients: c.Clients, Duration: c.Duration, Seed: 103, MaxRetries: 3,
+		}).Run()
+		name := "on"
+		if disabled {
+			name = "off"
+		}
+		tb.Rows = append(tb.Rows, []string{
+			name, f1(res.Throughput), d2(de.Timeouts.Load()), d2(res.Aborted),
+		})
+		_ = e.Close()
+	}
+	return tb, nil
+}

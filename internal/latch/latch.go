@@ -1,0 +1,64 @@
+// Package latch implements reader-writer latches with contention
+// accounting. Latches protect physical structures (pages, B+tree nodes,
+// buffer-pool frames) for the duration of one operation; they are held
+// briefly, unlike logical locks, which are held to transaction end.
+//
+// DORA eliminates *lock-manager* critical sections but keeps latching, so
+// both engines in this repo share this package; the per-subsystem counters
+// let experiment E4 show exactly which class of serialization disappears.
+package latch
+
+import (
+	"sync"
+
+	"dora/internal/metrics"
+)
+
+// Latch is a reader-writer latch. The zero value is unlatched and usable.
+// If Stats is non-nil, every acquisition increments Stats.Latch and
+// acquisitions that blocked increment Stats.Contended.
+type Latch struct {
+	mu    sync.RWMutex
+	Stats *metrics.CriticalSectionStats
+}
+
+// Lock acquires the latch in exclusive mode.
+func (l *Latch) Lock() {
+	if l.Stats != nil {
+		l.Stats.Latch.Inc()
+		if !l.mu.TryLock() {
+			l.Stats.Contended.Inc()
+			l.mu.Lock()
+		}
+		return
+	}
+	l.mu.Lock()
+}
+
+// Unlock releases an exclusive hold.
+func (l *Latch) Unlock() { l.mu.Unlock() }
+
+// RLock acquires the latch in shared mode.
+func (l *Latch) RLock() {
+	if l.Stats != nil {
+		l.Stats.Latch.Inc()
+		if !l.mu.TryRLock() {
+			l.Stats.Contended.Inc()
+			l.mu.RLock()
+		}
+		return
+	}
+	l.mu.RLock()
+}
+
+// RUnlock releases a shared hold.
+func (l *Latch) RUnlock() { l.mu.RUnlock() }
+
+// TryLock attempts an exclusive acquisition without blocking.
+func (l *Latch) TryLock() bool {
+	ok := l.mu.TryLock()
+	if ok && l.Stats != nil {
+		l.Stats.Latch.Inc()
+	}
+	return ok
+}

@@ -1,0 +1,78 @@
+package latch
+
+import (
+	"sync"
+	"testing"
+
+	"dora/internal/metrics"
+)
+
+func TestExclusiveMutualExclusion(t *testing.T) {
+	var l Latch
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8000 {
+		t.Fatalf("counter = %d (lost updates)", counter)
+	}
+}
+
+func TestSharedReaders(t *testing.T) {
+	var l Latch
+	l.RLock()
+	l.RLock() // second reader must not block
+	l.RUnlock()
+	l.RUnlock()
+}
+
+func TestTryLock(t *testing.T) {
+	var l Latch
+	if !l.TryLock() {
+		t.Fatal("TryLock on free latch failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held latch succeeded")
+	}
+	l.Unlock()
+}
+
+func TestStatsCounting(t *testing.T) {
+	cs := &metrics.CriticalSectionStats{}
+	l := Latch{Stats: cs}
+	l.Lock()
+	l.Unlock()
+	l.RLock()
+	l.RUnlock()
+	if cs.Latch.Load() != 2 {
+		t.Fatalf("latch count = %d", cs.Latch.Load())
+	}
+	if cs.Contended.Load() != 0 {
+		t.Fatalf("contended = %d on uncontended latch", cs.Contended.Load())
+	}
+	// Force contention.
+	l.Lock()
+	done := make(chan struct{})
+	go func() {
+		l.Lock()
+		l.Unlock()
+		close(done)
+	}()
+	for cs.Contended.Load() == 0 {
+	}
+	l.Unlock()
+	<-done
+	if cs.Contended.Load() == 0 {
+		t.Fatal("contention not counted")
+	}
+}

@@ -1,0 +1,558 @@
+// Package lockmgr implements the centralized hierarchical lock manager
+// used by the conventional (thread-to-transaction) engine: intention and
+// absolute modes (IS/IX/S/X), a bucketed lock table with FIFO wait
+// queues, lock upgrades, deadlock detection on a global waits-for graph
+// with a timeout fallback, and release-all at transaction end.
+//
+// Every operation enters at least one critical section (a lock-table
+// bucket mutex), and hierarchical acquisition multiplies that per record
+// access — this is precisely the serialization the DORA design removes,
+// and the per-call instrumentation feeds experiment E4.
+package lockmgr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dora/internal/metrics"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+const (
+	// None is the absence of a lock.
+	None Mode = iota
+	// IS is intention-shared.
+	IS
+	// IX is intention-exclusive.
+	IX
+	// S is shared.
+	S
+	// X is exclusive.
+	X
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case None:
+		return "N"
+	case IS:
+		return "IS"
+	case IX:
+		return "IX"
+	case S:
+		return "S"
+	case X:
+		return "X"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// compatible is the classic multi-granularity compatibility matrix.
+var compatible = [5][5]bool{
+	None: {None: true, IS: true, IX: true, S: true, X: true},
+	IS:   {None: true, IS: true, IX: true, S: true, X: false},
+	IX:   {None: true, IS: true, IX: true, S: false, X: false},
+	S:    {None: true, IS: true, IX: false, S: true, X: false},
+	X:    {None: true, IS: false, IX: false, S: false, X: false},
+}
+
+// Compatible reports whether a and b can be held simultaneously by
+// different transactions.
+func Compatible(a, b Mode) bool { return compatible[a][b] }
+
+// supremum[a][b] is the weakest mode covering both a and b (for upgrades).
+var supremum = [5][5]Mode{
+	None: {None: None, IS: IS, IX: IX, S: S, X: X},
+	IS:   {None: IS, IS: IS, IX: IX, S: S, X: X},
+	IX:   {None: IX, IS: IX, IX: IX, S: X, X: X},
+	S:    {None: S, IS: S, IX: X, S: S, X: X},
+	X:    {None: X, IS: X, IX: X, S: X, X: X},
+}
+
+// Covers reports whether holding a satisfies a request for b.
+func Covers(a, b Mode) bool { return supremum[a][b] == a }
+
+// Level is the granularity of a lock name.
+type Level uint8
+
+const (
+	// LevelDB is the whole-database lock.
+	LevelDB Level = iota
+	// LevelTable is a table lock.
+	LevelTable
+	// LevelRow is a row (key) lock.
+	LevelRow
+)
+
+// Name identifies a lockable object.
+type Name struct {
+	Level Level
+	Table uint32
+	Key   int64
+}
+
+// DBName returns the database lock name.
+func DBName() Name { return Name{Level: LevelDB} }
+
+// TableName returns the lock name for a table.
+func TableName(t uint32) Name { return Name{Level: LevelTable, Table: t} }
+
+// RowName returns the lock name for a row key in a table.
+func RowName(t uint32, k int64) Name { return Name{Level: LevelRow, Table: t, Key: k} }
+
+// ErrDeadlock reports that the request was chosen as a deadlock victim.
+var ErrDeadlock = errors.New("lockmgr: deadlock victim")
+
+// ErrTimeout reports that a lock wait exceeded the manager's timeout.
+var ErrTimeout = errors.New("lockmgr: lock wait timeout")
+
+const numBuckets = 256
+
+type request struct {
+	txn     uint64
+	mode    Mode
+	granted bool
+	// convert is non-None when this is an upgrade of an already-granted
+	// request; the waiter stays at the head of the queue.
+	convert Mode
+	ready   chan struct{}
+	err     error
+}
+
+type lockHead struct {
+	queue []*request // granted requests first, then FIFO waiters
+}
+
+type bucket struct {
+	mu    sync.Mutex
+	locks map[Name]*lockHead
+}
+
+// Manager is the centralized lock manager.
+type Manager struct {
+	buckets [numBuckets]bucket
+
+	// held tracks, per transaction, every name it holds (for ReleaseAll).
+	heldMu sync.Mutex
+	held   map[uint64]map[Name]Mode
+
+	// waits-for graph for deadlock detection.
+	wfMu sync.Mutex
+	wf   map[uint64]map[uint64]struct{}
+
+	cs *metrics.CriticalSectionStats
+
+	// Timeout bounds lock waits (fallback when the waits-for check at
+	// block time missed a cycle formed later).
+	Timeout time.Duration
+
+	// Requests, Waits and Deadlocks count lock operations.
+	Requests  metrics.Counter
+	Waits     metrics.Counter
+	Deadlocks metrics.Counter
+	Upgrades  metrics.Counter
+}
+
+// New returns a lock manager. cs may be nil.
+func New(cs *metrics.CriticalSectionStats) *Manager {
+	m := &Manager{
+		held:    make(map[uint64]map[Name]Mode),
+		wf:      make(map[uint64]map[uint64]struct{}),
+		cs:      cs,
+		Timeout: 2 * time.Second,
+	}
+	for i := range m.buckets {
+		m.buckets[i].locks = make(map[Name]*lockHead)
+	}
+	return m
+}
+
+func (m *Manager) bucketFor(n Name) *bucket {
+	h := uint64(n.Table)*0x9E3779B97F4A7C15 ^ uint64(n.Key)*0xBF58476D1CE4E5B9 ^ uint64(n.Level)<<56
+	h ^= h >> 29
+	return &m.buckets[h%numBuckets]
+}
+
+func (m *Manager) enterCS(contended bool) {
+	if m.cs == nil {
+		return
+	}
+	m.cs.LockMgr.Inc()
+	if contended {
+		m.cs.Contended.Inc()
+	}
+}
+
+// Lock acquires name in mode on behalf of txn, blocking while conflicting
+// holders exist. Re-requests covered by a held mode return immediately;
+// stronger re-requests upgrade. Returns ErrDeadlock or ErrTimeout when
+// the wait cannot be satisfied.
+func (m *Manager) Lock(txn uint64, name Name, mode Mode) error {
+	m.Requests.Inc()
+
+	// Per-txn held map: one more shared structure on the critical path.
+	m.heldMu.Lock()
+	m.enterCS(false)
+	hm := m.held[txn]
+	if hm == nil {
+		hm = make(map[Name]Mode, 8)
+		m.held[txn] = hm
+	}
+	cur := hm[name]
+	m.heldMu.Unlock()
+	if Covers(cur, mode) && cur != None {
+		return nil
+	}
+	want := supremum[cur][mode]
+
+	b := m.bucketFor(name)
+	contended := !b.mu.TryLock()
+	if contended {
+		b.mu.Lock()
+	}
+	m.enterCS(contended)
+	lh := b.locks[name]
+	if lh == nil {
+		lh = &lockHead{}
+		b.locks[name] = lh
+	}
+
+	var req *request
+	if cur != None {
+		// Upgrade: find our granted request and convert it.
+		m.Upgrades.Inc()
+		for _, r := range lh.queue {
+			if r.txn == txn && r.granted {
+				req = r
+				break
+			}
+		}
+		if req == nil {
+			// Held map said we hold it but the queue disagrees; treat as
+			// fresh request (can happen only through misuse).
+			req = &request{txn: txn, mode: want, ready: make(chan struct{})}
+			lh.queue = append(lh.queue, req)
+		} else if m.upgradeGrantable(lh, req, want) {
+			req.mode = want
+			b.mu.Unlock()
+			m.noteHeld(txn, name, want)
+			return nil
+		} else {
+			req.convert = want
+			req.ready = make(chan struct{})
+		}
+	} else {
+		req = &request{txn: txn, mode: want, ready: make(chan struct{})}
+		if m.grantable(lh, req) {
+			req.granted = true
+			lh.queue = append(lh.queue, req)
+			b.mu.Unlock()
+			m.noteHeld(txn, name, want)
+			return nil
+		}
+		lh.queue = append(lh.queue, req)
+	}
+
+	// We must wait. Record waits-for edges and check for a cycle now.
+	m.Waits.Inc()
+	blockers := m.blockersOf(lh, req)
+	b.mu.Unlock()
+
+	if m.addEdgesAndCheck(txn, blockers) {
+		// Deadlock: withdraw the request.
+		m.Deadlocks.Inc()
+		m.withdraw(b, lh, name, req)
+		m.clearEdges(txn)
+		return ErrDeadlock
+	}
+
+	timer := time.NewTimer(m.Timeout)
+	defer timer.Stop()
+	select {
+	case <-req.ready:
+		m.clearEdges(txn)
+		if req.err != nil {
+			return req.err
+		}
+		m.noteHeld(txn, name, req.mode)
+		return nil
+	case <-timer.C:
+		m.clearEdges(txn)
+		// Re-check under the bucket: the grant may have raced the timer.
+		b.mu.Lock()
+		m.enterCS(false)
+		select {
+		case <-req.ready:
+			b.mu.Unlock()
+			if req.err != nil {
+				return req.err
+			}
+			m.noteHeld(txn, name, req.mode)
+			return nil
+		default:
+		}
+		m.withdrawLocked(lh, name, req, b)
+		b.mu.Unlock()
+		m.Deadlocks.Inc()
+		return ErrTimeout
+	}
+}
+
+// noteHeld records that txn now holds name in mode.
+func (m *Manager) noteHeld(txn uint64, name Name, mode Mode) {
+	m.heldMu.Lock()
+	m.enterCS(false)
+	hm := m.held[txn]
+	if hm == nil {
+		hm = make(map[Name]Mode, 8)
+		m.held[txn] = hm
+	}
+	hm[name] = mode
+	m.heldMu.Unlock()
+}
+
+// grantable reports whether req conflicts with any queue entry *ahead of
+// it* (granted or waiting; FIFO fairness forbids overtaking a conflicting
+// waiter). Entries behind req never block it: a granted entry behind req
+// proved compatibility with the whole queue — req included — when it was
+// granted, and compatibility is symmetric. If req is not in the queue yet
+// (initial probe) the whole queue is "ahead".
+func (m *Manager) grantable(lh *lockHead, req *request) bool {
+	for _, r := range lh.queue {
+		if r == req {
+			return true
+		}
+		if r.txn == req.txn {
+			continue
+		}
+		mode := r.mode
+		if r.granted && r.convert != None {
+			mode = r.convert // pending conversions block as their target
+		}
+		if !Compatible(mode, req.mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// upgradeGrantable reports whether req (already granted) can convert to
+// want immediately: no *other* granted request conflicts with want.
+func (m *Manager) upgradeGrantable(lh *lockHead, req *request, want Mode) bool {
+	for _, r := range lh.queue {
+		if r == req || !r.granted {
+			continue
+		}
+		if !Compatible(r.mode, want) {
+			return false
+		}
+	}
+	return true
+}
+
+// blockersOf lists transactions req waits on. Bucket mutex must be held.
+func (m *Manager) blockersOf(lh *lockHead, req *request) []uint64 {
+	want := req.mode
+	if req.convert != None {
+		want = req.convert
+	}
+	var out []uint64
+	for _, r := range lh.queue {
+		if r == req || r.txn == req.txn {
+			continue
+		}
+		if r.granted && !Compatible(r.mode, want) {
+			out = append(out, r.txn)
+		}
+	}
+	return out
+}
+
+// addEdgesAndCheck installs waiter→blockers edges and reports whether a
+// cycle through txn exists.
+func (m *Manager) addEdgesAndCheck(txn uint64, blockers []uint64) bool {
+	m.wfMu.Lock()
+	defer m.wfMu.Unlock()
+	m.enterCS(false)
+	set := m.wf[txn]
+	if set == nil {
+		set = make(map[uint64]struct{}, len(blockers))
+		m.wf[txn] = set
+	}
+	for _, b := range blockers {
+		set[b] = struct{}{}
+	}
+	// DFS from txn looking for a path back to txn.
+	seen := map[uint64]bool{}
+	var dfs func(u uint64) bool
+	dfs = func(u uint64) bool {
+		for v := range m.wf[u] {
+			if v == txn {
+				return true
+			}
+			if !seen[v] {
+				seen[v] = true
+				if dfs(v) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(txn)
+}
+
+func (m *Manager) clearEdges(txn uint64) {
+	m.wfMu.Lock()
+	m.enterCS(false)
+	delete(m.wf, txn)
+	m.wfMu.Unlock()
+}
+
+// withdraw removes a waiting request after deadlock/timeout.
+func (m *Manager) withdraw(b *bucket, lh *lockHead, name Name, req *request) {
+	contended := !b.mu.TryLock()
+	if contended {
+		b.mu.Lock()
+	}
+	m.enterCS(contended)
+	m.withdrawLocked(lh, name, req, b)
+	b.mu.Unlock()
+}
+
+func (m *Manager) withdrawLocked(lh *lockHead, name Name, req *request, b *bucket) {
+	if req.convert != None {
+		// Failed upgrade: keep the original grant, drop the conversion.
+		req.convert = None
+		req.err = nil
+	} else {
+		for i, r := range lh.queue {
+			if r == req {
+				lh.queue = append(lh.queue[:i], lh.queue[i+1:]...)
+				break
+			}
+		}
+	}
+	m.grantWaitersLocked(lh, name, b)
+}
+
+// Release drops txn's hold on name and wakes newly grantable waiters.
+func (m *Manager) Release(txn uint64, name Name) {
+	b := m.bucketFor(name)
+	contended := !b.mu.TryLock()
+	if contended {
+		b.mu.Lock()
+	}
+	m.enterCS(contended)
+	lh := b.locks[name]
+	if lh != nil {
+		for i, r := range lh.queue {
+			if r.txn == txn && r.granted {
+				lh.queue = append(lh.queue[:i], lh.queue[i+1:]...)
+				break
+			}
+		}
+		m.grantWaitersLocked(lh, name, b)
+		if len(lh.queue) == 0 {
+			delete(b.locks, name)
+		}
+	}
+	b.mu.Unlock()
+
+	m.heldMu.Lock()
+	m.enterCS(false)
+	if hm := m.held[txn]; hm != nil {
+		delete(hm, name)
+	}
+	m.heldMu.Unlock()
+}
+
+// grantWaitersLocked scans the queue front-to-back waking every request
+// that is now grantable. Bucket mutex must be held.
+func (m *Manager) grantWaitersLocked(lh *lockHead, name Name, b *bucket) {
+	if lh == nil {
+		return
+	}
+	// First serve pending conversions (they have priority: they already
+	// hold the lock and block everyone behind them).
+	for _, r := range lh.queue {
+		if r.granted && r.convert != None && m.upgradeGrantable(lh, r, r.convert) {
+			r.mode = r.convert
+			r.convert = None
+			close(r.ready)
+		}
+	}
+	for _, r := range lh.queue {
+		if r.granted {
+			continue
+		}
+		if m.grantable(lh, r) {
+			r.granted = true
+			close(r.ready)
+		} else {
+			break // FIFO: stop at the first ungrantable waiter
+		}
+	}
+}
+
+// ReleaseAll drops every lock txn holds (transaction end under strict
+// two-phase locking).
+func (m *Manager) ReleaseAll(txn uint64) {
+	m.heldMu.Lock()
+	m.enterCS(false)
+	hm := m.held[txn]
+	delete(m.held, txn)
+	m.heldMu.Unlock()
+	if hm == nil {
+		return
+	}
+	// Release rows before tables before the DB lock, mirroring the
+	// hierarchical acquisition order in reverse.
+	for lvl := LevelRow; ; lvl-- {
+		for name := range hm {
+			if name.Level != lvl {
+				continue
+			}
+			b := m.bucketFor(name)
+			contended := !b.mu.TryLock()
+			if contended {
+				b.mu.Lock()
+			}
+			m.enterCS(contended)
+			lh := b.locks[name]
+			if lh != nil {
+				for i, r := range lh.queue {
+					if r.txn == txn && r.granted {
+						lh.queue = append(lh.queue[:i], lh.queue[i+1:]...)
+						break
+					}
+				}
+				m.grantWaitersLocked(lh, name, b)
+				if len(lh.queue) == 0 {
+					delete(b.locks, name)
+				}
+			}
+			b.mu.Unlock()
+		}
+		if lvl == LevelDB {
+			break
+		}
+	}
+	m.clearEdges(txn)
+}
+
+// HeldModes returns a copy of the modes txn currently holds (testing).
+func (m *Manager) HeldModes(txn uint64) map[Name]Mode {
+	m.heldMu.Lock()
+	defer m.heldMu.Unlock()
+	out := make(map[Name]Mode, len(m.held[txn]))
+	for k, v := range m.held[txn] {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,300 @@
+package lockmgr
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dora/internal/metrics"
+)
+
+func TestCompatibilityMatrix(t *testing.T) {
+	cases := []struct {
+		a, b Mode
+		ok   bool
+	}{
+		{IS, IS, true}, {IS, IX, true}, {IS, S, true}, {IS, X, false},
+		{IX, IX, true}, {IX, S, false}, {IX, X, false},
+		{S, S, true}, {S, X, false},
+		{X, X, false},
+	}
+	for _, c := range cases {
+		if Compatible(c.a, c.b) != c.ok || Compatible(c.b, c.a) != c.ok {
+			t.Fatalf("Compatible(%v,%v) != %v", c.a, c.b, c.ok)
+		}
+	}
+}
+
+func TestCovers(t *testing.T) {
+	if !Covers(X, S) || !Covers(X, IX) || !Covers(S, IS) || !Covers(S, S) {
+		t.Fatal("stronger modes must cover weaker")
+	}
+	if Covers(IS, S) || Covers(S, IX) || Covers(IX, S) {
+		t.Fatal("weaker/incomparable modes must not cover")
+	}
+}
+
+func TestGrantAndRelease(t *testing.T) {
+	m := New(nil)
+	n := RowName(1, 42)
+	if err := m.Lock(1, n, S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, n, S); err != nil {
+		t.Fatal(err) // S-S compatible
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Lock(3, n, X) }()
+	select {
+	case <-done:
+		t.Fatal("X granted while S held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(3)
+}
+
+func TestReentrantAndUpgrade(t *testing.T) {
+	m := New(nil)
+	n := RowName(1, 7)
+	if err := m.Lock(1, n, S); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(1, n, S); err != nil {
+		t.Fatal(err) // re-request
+	}
+	if err := m.Lock(1, n, X); err != nil {
+		t.Fatal(err) // sole holder upgrade
+	}
+	held := m.HeldModes(1)
+	if held[n] != X {
+		t.Fatalf("mode after upgrade = %v", held[n])
+	}
+	// A second txn must now block.
+	blocked := make(chan error, 1)
+	go func() { blocked <- m.Lock(2, n, S) }()
+	select {
+	case <-blocked:
+		t.Fatal("S granted under X")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	if err := <-blocked; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFONoStarvation(t *testing.T) {
+	m := New(nil)
+	n := RowName(1, 1)
+	if err := m.Lock(1, n, S); err != nil {
+		t.Fatal(err)
+	}
+	// Writer queues behind the S holder.
+	var order []int
+	var mu sync.Mutex
+	note := func(id int) {
+		mu.Lock()
+		order = append(order, id)
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := m.Lock(2, n, X); err != nil {
+			t.Error(err)
+			return
+		}
+		note(2)
+		m.ReleaseAll(2)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// A later reader must not overtake the queued writer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := m.Lock(3, n, S); err != nil {
+			t.Error(err)
+			return
+		}
+		note(3)
+		m.ReleaseAll(3)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	m.ReleaseAll(1)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != 2 || order[1] != 3 {
+		t.Fatalf("grant order %v, want [2 3]", order)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := New(nil)
+	m.Timeout = 5 * time.Second // rely on graph detection, not timeout
+	a, b := RowName(1, 1), RowName(1, 2)
+	if err := m.Lock(1, a, X); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, b, X); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- m.Lock(1, b, X) }() // 1 waits on 2
+	time.Sleep(30 * time.Millisecond)
+	go func() { errs <- m.Lock(2, a, X) }() // 2 waits on 1 -> cycle
+	var deadlocked, granted int
+	for i := 0; i < 1; i++ {
+		select {
+		case err := <-errs:
+			if errors.Is(err, ErrDeadlock) || errors.Is(err, ErrTimeout) {
+				deadlocked++
+			} else if err == nil {
+				granted++
+			} else {
+				t.Fatalf("unexpected error: %v", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("deadlock not detected in time")
+		}
+	}
+	if deadlocked == 0 {
+		t.Fatal("no transaction was chosen as deadlock victim")
+	}
+	// Unwind: victim releases, survivor proceeds.
+	m.ReleaseAll(2)
+	m.ReleaseAll(1)
+}
+
+func TestTimeoutFallback(t *testing.T) {
+	m := New(nil)
+	m.Timeout = 50 * time.Millisecond
+	n := RowName(1, 5)
+	if err := m.Lock(1, n, X); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := m.Lock(2, n, X)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Fatal("timed out too early")
+	}
+	m.ReleaseAll(1)
+	// Lock must be acquirable now (the timed-out request was withdrawn).
+	if err := m.Lock(3, n, X); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(3)
+}
+
+func TestHierarchicalIntention(t *testing.T) {
+	m := New(nil)
+	// Txn 1: IX on table, X on row (a writer).
+	if err := m.Lock(1, TableName(1), IX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(1, RowName(1, 10), X); err != nil {
+		t.Fatal(err)
+	}
+	// Txn 2: IS on the table is compatible; S on another row fine.
+	if err := m.Lock(2, TableName(1), IS); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, RowName(1, 11), S); err != nil {
+		t.Fatal(err)
+	}
+	// Txn 3: table S blocks on IX.
+	done := make(chan error, 1)
+	go func() { done <- m.Lock(3, TableName(1), S) }()
+	select {
+	case <-done:
+		t.Fatal("table S granted while IX held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(3)
+}
+
+func TestCriticalSectionAccounting(t *testing.T) {
+	cs := &metrics.CriticalSectionStats{}
+	m := New(cs)
+	for i := 0; i < 10; i++ {
+		if err := m.Lock(1, RowName(1, int64(i)), X); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.ReleaseAll(1)
+	if cs.LockMgr.Load() == 0 {
+		t.Fatal("lock-manager critical sections not counted")
+	}
+}
+
+func TestConcurrentDisjointKeys(t *testing.T) {
+	m := New(nil)
+	var wg sync.WaitGroup
+	var errs atomic.Int64
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				txn := uint64(w*1000 + i + 1)
+				k := RowName(1, int64(w*1000+i))
+				if err := m.Lock(txn, k, X); err != nil {
+					errs.Add(1)
+					continue
+				}
+				m.ReleaseAll(txn)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if errs.Load() != 0 {
+		t.Fatalf("%d errors on disjoint keys", errs.Load())
+	}
+}
+
+func TestConcurrentSameKeyMutex(t *testing.T) {
+	m := New(nil)
+	n := RowName(1, 99)
+	var inCS atomic.Int64
+	var maxSeen atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				txn := uint64(w*1000 + i + 1)
+				if err := m.Lock(txn, n, X); err != nil {
+					t.Errorf("lock: %v", err)
+					return
+				}
+				v := inCS.Add(1)
+				if v > maxSeen.Load() {
+					maxSeen.Store(v)
+				}
+				inCS.Add(-1)
+				m.ReleaseAll(txn)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if maxSeen.Load() > 1 {
+		t.Fatalf("X lock admitted %d concurrent holders", maxSeen.Load())
+	}
+}

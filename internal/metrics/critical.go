@@ -1,0 +1,59 @@
+package metrics
+
+// CriticalSectionStats counts entries into contended critical sections,
+// classified by subsystem. This is the instrument behind experiment E4:
+// the companion DORA paper's central claim is that the conventional
+// thread-to-transaction design forces every transaction through a large
+// number of lock-manager critical sections, while DORA's thread-to-data
+// design eliminates nearly all of them.
+type CriticalSectionStats struct {
+	// LockMgr counts entries into the centralized lock manager's internal
+	// critical sections (lock-table bucket latches, wait-queue mutation,
+	// deadlock-detector registration).
+	LockMgr Counter
+	// Latch counts page/node latch acquisitions (these remain in DORA;
+	// the paper removes *lock-manager* serialization, not latching).
+	Latch Counter
+	// Log counts log-manager serialization points (buffer reservation).
+	Log Counter
+	// TxnMgr counts transaction-manager critical sections (begin/commit
+	// bookkeeping in shared structures).
+	TxnMgr Counter
+	// Contended counts critical-section entries that had to wait (the
+	// acquisition was not immediately granted).
+	Contended Counter
+}
+
+// SnapshotCS is a point-in-time copy of CriticalSectionStats.
+type SnapshotCS struct {
+	LockMgr   int64 `json:"lock_mgr"`
+	Latch     int64 `json:"latch"`
+	Log       int64 `json:"log"`
+	TxnMgr    int64 `json:"txn_mgr"`
+	Contended int64 `json:"contended"`
+}
+
+// Snapshot returns current values.
+func (c *CriticalSectionStats) Snapshot() SnapshotCS {
+	return SnapshotCS{
+		LockMgr:   c.LockMgr.Load(),
+		Latch:     c.Latch.Load(),
+		Log:       c.Log.Load(),
+		TxnMgr:    c.TxnMgr.Load(),
+		Contended: c.Contended.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (c *CriticalSectionStats) Reset() {
+	c.LockMgr.Reset()
+	c.Latch.Reset()
+	c.Log.Reset()
+	c.TxnMgr.Reset()
+	c.Contended.Reset()
+}
+
+// Total returns the sum of all critical-section entries.
+func (s SnapshotCS) Total() int64 {
+	return s.LockMgr + s.Latch + s.Log + s.TxnMgr
+}

@@ -1,0 +1,197 @@
+// Package metrics provides low-overhead counters, histograms and throughput
+// meters used to instrument both the conventional and the DORA execution
+// engines. The demo paper's live monitor (its Figure 1) is a view over
+// exactly these statistics; internal/monitor serializes them over a socket.
+//
+// All types in this package are safe for concurrent use unless noted
+// otherwise. Hot-path counters are padded to avoid false sharing between
+// worker threads, because the whole point of the reproduced system is to
+// measure (and remove) cross-thread interference.
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// cacheLinePad separates hot atomics that belong to different writers.
+const cacheLine = 64
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta to the counter.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Reset sets the counter to zero and returns the previous value.
+func (c *Counter) Reset() int64 { return c.v.Swap(0) }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket latency histogram with power-of-two bucket
+// boundaries starting at 1µs. It records durations and can report count,
+// mean, and approximate percentiles.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [40]int64 // bucket i covers [2^i, 2^(i+1)) microseconds
+	count   int64
+	sumUS   int64
+	maxUS   int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	idx := 0
+	for v := us; v > 1 && idx < len(h.buckets)-1; v >>= 1 {
+		idx++
+	}
+	h.mu.Lock()
+	h.buckets[idx]++
+	h.count++
+	h.sumUS += us
+	if us > h.maxUS {
+		h.maxUS = us
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// MeanMicros returns the mean observation in microseconds (0 if empty).
+func (h *Histogram) MeanMicros() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sumUS) / float64(h.count)
+}
+
+// MaxMicros returns the largest observation in microseconds.
+func (h *Histogram) MaxMicros() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.maxUS
+}
+
+// Quantile returns an upper bound (bucket boundary) for quantile q in
+// microseconds; q must be in (0,1].
+func (h *Histogram) Quantile(q float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.count))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, b := range h.buckets {
+		seen += b
+		if seen >= target {
+			return int64(1) << uint(i+1)
+		}
+	}
+	return h.maxUS
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets = [40]int64{}
+	h.count, h.sumUS, h.maxUS = 0, 0, 0
+}
+
+// Meter measures throughput: events per second over the lifetime of the
+// meter and over sampling windows.
+type Meter struct {
+	events  atomic.Int64
+	started atomic.Int64 // unix nanos
+
+	mu       sync.Mutex
+	lastSnap int64 // events at last Window call
+	lastTime time.Time
+}
+
+// NewMeter returns a started meter.
+func NewMeter() *Meter {
+	m := &Meter{}
+	m.started.Store(time.Now().UnixNano())
+	m.lastTime = time.Now()
+	return m
+}
+
+// Mark records n events.
+func (m *Meter) Mark(n int64) { m.events.Add(n) }
+
+// Total returns the number of events recorded so far.
+func (m *Meter) Total() int64 { return m.events.Load() }
+
+// Rate returns lifetime events/second.
+func (m *Meter) Rate() float64 {
+	elapsed := time.Since(time.Unix(0, m.started.Load())).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.events.Load()) / elapsed
+}
+
+// Window returns events/second since the previous Window call.
+func (m *Meter) Window() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := time.Now()
+	cur := m.events.Load()
+	dt := now.Sub(m.lastTime).Seconds()
+	de := cur - m.lastSnap
+	m.lastSnap = cur
+	m.lastTime = now
+	if dt <= 0 {
+		return 0
+	}
+	return float64(de) / dt
+}
+
+// Restart zeroes the meter and restarts its clock.
+func (m *Meter) Restart() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events.Store(0)
+	m.started.Store(time.Now().UnixNano())
+	m.lastSnap = 0
+	m.lastTime = time.Now()
+}

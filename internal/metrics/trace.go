@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"sync"
+)
+
+// Access records one record touch: which worker thread accessed which
+// logical key of which table. Traces of these drive experiment E1, the
+// demo's "Access Patterns" panel: conventional workers scatter across the
+// whole key space while each DORA worker stays inside its partition.
+type Access struct {
+	Worker int   // worker/thread id
+	Table  int   // table id
+	Key    int64 // primary routing key touched
+	Write  bool  // true for update/insert/delete
+}
+
+// AccessTracer collects a bounded trace of record accesses. When the
+// bound is reached further accesses are dropped (the experiment only
+// needs a representative window). The zero value is a disabled tracer.
+type AccessTracer struct {
+	mu    sync.Mutex
+	buf   []Access
+	limit int
+	on    bool
+}
+
+// NewAccessTracer returns a tracer that keeps at most limit accesses.
+func NewAccessTracer(limit int) *AccessTracer {
+	return &AccessTracer{buf: make([]Access, 0, limit), limit: limit, on: true}
+}
+
+// Enabled reports whether the tracer is collecting.
+func (t *AccessTracer) Enabled() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.on && len(t.buf) < t.limit
+}
+
+// Record appends one access if the tracer is enabled and under its limit.
+func (t *AccessTracer) Record(a Access) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.on && len(t.buf) < t.limit {
+		t.buf = append(t.buf, a)
+	}
+	t.mu.Unlock()
+}
+
+// Trace returns a copy of the collected accesses.
+func (t *AccessTracer) Trace() []Access {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Access, len(t.buf))
+	copy(out, t.buf)
+	return out
+}
+
+// Reset clears the trace and re-enables collection.
+func (t *AccessTracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.buf = t.buf[:0]
+	t.on = true
+	t.mu.Unlock()
+}
+
+// PredictabilityStats summarizes how "data-oriented" a trace is.
+type PredictabilityStats struct {
+	Accesses int
+	// Workers is the number of distinct workers observed.
+	Workers int
+	// MeanRunLength is the mean length of maximal runs of consecutive
+	// accesses by the same worker to the same table. Long runs mean the
+	// worker batches related work (DORA); runs near 1 mean chaos.
+	MeanRunLength float64
+	// KeySpread is the mean, over workers, of (distinct key-space span the
+	// worker touched) / (global span). A conventional worker wanders the
+	// whole space (→1); a DORA worker stays in its partition (→1/N).
+	KeySpread float64
+}
+
+// Predictability computes PredictabilityStats for the accesses of one table.
+func Predictability(trace []Access, table int) PredictabilityStats {
+	var st PredictabilityStats
+	type span struct{ lo, hi int64 }
+	spans := map[int]*span{}
+	var gLo, gHi int64
+	first := true
+	var prevWorker = -1
+	runLen, runs, runSum := 0, 0, 0
+	for _, a := range trace {
+		if a.Table != table {
+			continue
+		}
+		st.Accesses++
+		if first {
+			gLo, gHi = a.Key, a.Key
+			first = false
+		} else {
+			if a.Key < gLo {
+				gLo = a.Key
+			}
+			if a.Key > gHi {
+				gHi = a.Key
+			}
+		}
+		s, ok := spans[a.Worker]
+		if !ok {
+			spans[a.Worker] = &span{a.Key, a.Key}
+		} else {
+			if a.Key < s.lo {
+				s.lo = a.Key
+			}
+			if a.Key > s.hi {
+				s.hi = a.Key
+			}
+		}
+		if a.Worker == prevWorker {
+			runLen++
+		} else {
+			if runLen > 0 {
+				runs++
+				runSum += runLen
+			}
+			runLen = 1
+			prevWorker = a.Worker
+		}
+	}
+	if runLen > 0 {
+		runs++
+		runSum += runLen
+	}
+	st.Workers = len(spans)
+	if runs > 0 {
+		st.MeanRunLength = float64(runSum) / float64(runs)
+	}
+	gSpan := float64(gHi-gLo) + 1
+	if gSpan > 0 && len(spans) > 0 {
+		var acc float64
+		for _, s := range spans {
+			acc += (float64(s.hi-s.lo) + 1) / gSpan
+		}
+		st.KeySpread = acc / float64(len(spans))
+	}
+	return st
+}

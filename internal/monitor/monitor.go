@@ -1,0 +1,260 @@
+// Package monitor implements the live-systems interface of the demo
+// (§2.2): a TCP server that streams JSON snapshots of both engines'
+// real-time statistics — throughput, per-micro-engine utilization and
+// queue lengths, partitioning information as it changes under the load
+// balancer, lock-manager critical-section counts, and alignment
+// counters. The demo GUI (its Figure 1) is a client of exactly this
+// interface; cmd/doramon ships a terminal client.
+package monitor
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"sync"
+	"time"
+
+	"dora/internal/dora"
+	"dora/internal/metrics"
+	"dora/internal/sm"
+)
+
+// EngineView is the per-engine slice of a snapshot.
+type EngineView struct {
+	Name       string  `json:"name"`
+	Committed  int64   `json:"committed"`
+	Aborted    int64   `json:"aborted"`
+	Throughput float64 `json:"throughput"` // txn/s since previous snapshot
+}
+
+// Snapshot is one monitoring sample.
+type Snapshot struct {
+	At         time.Time            `json:"at"`
+	Engines    []EngineView         `json:"engines"`
+	Partitions []dora.PartitionStat `json:"partitions,omitempty"`
+	// Routing lists, per table, the current ranges (partitioning info
+	// "which dynamically changes, as DORA adjusts").
+	Routing map[string][]RangeView `json:"routing,omitempty"`
+	// CS is the critical-section accounting of the shared storage manager.
+	CS metrics.SnapshotCS `json:"critical_sections"`
+	// Unaligned is per-table, per-field non-aligned dispatch counts.
+	Unaligned map[string]map[string]int64 `json:"unaligned,omitempty"`
+	// BufferHitRate is the buffer pool hit rate.
+	BufferHitRate float64 `json:"buffer_hit_rate"`
+	// LogAppends / LogForces / GroupCommits describe the WAL.
+	LogAppends   int64 `json:"log_appends"`
+	LogForces    int64 `json:"log_forces"`
+	GroupCommits int64 `json:"group_commits"`
+}
+
+// RangeView is one routing range.
+type RangeView struct {
+	Lo   int64 `json:"lo"`
+	Hi   int64 `json:"hi"`
+	Part int   `json:"part"`
+}
+
+// CommitCounter exposes an engine's outcome counters (both engines'
+// Committed/Aborted metrics satisfy it via adapters below).
+type CommitCounter interface {
+	Name() string
+	CommittedCount() int64
+	AbortedCount() int64
+}
+
+// Source bundles what the monitor samples.
+type Source struct {
+	SM      *sm.SM
+	Dora    *dora.Dora      // optional
+	Engines []CommitCounter // any number of engines
+}
+
+// Sample builds one snapshot; prev (may be nil) supplies deltas for
+// throughput computation.
+func (s *Source) Sample(prev *Snapshot, dt time.Duration) *Snapshot {
+	snap := &Snapshot{At: time.Now(), Routing: map[string][]RangeView{}}
+	for i, e := range s.Engines {
+		v := EngineView{Name: e.Name(), Committed: e.CommittedCount(), Aborted: e.AbortedCount()}
+		if prev != nil && i < len(prev.Engines) && dt > 0 {
+			v.Throughput = float64(v.Committed-prev.Engines[i].Committed) / dt.Seconds()
+		}
+		snap.Engines = append(snap.Engines, v)
+	}
+	if s.SM != nil {
+		if s.SM.CS != nil {
+			snap.CS = s.SM.CS.Snapshot()
+		}
+		snap.BufferHitRate = s.SM.Pool.HitRate()
+		snap.LogAppends = s.SM.Log.Appends.Load()
+		snap.LogForces = s.SM.Log.Forces.Load()
+		snap.GroupCommits = s.SM.Log.GroupedCommits.Load()
+	}
+	if s.Dora != nil {
+		snap.Partitions = s.Dora.PartitionStats()
+		for _, tbl := range s.SM.Cat.Tables() {
+			rt := s.Dora.Router(tbl.Name)
+			if rt == nil {
+				continue
+			}
+			for _, r := range rt.Ranges() {
+				snap.Routing[tbl.Name] = append(snap.Routing[tbl.Name],
+					RangeView{Lo: r.Lo, Hi: r.Hi, Part: r.Part})
+			}
+		}
+		_, unaligned := s.Dora.AlignmentStats(false)
+		if len(unaligned) > 0 {
+			snap.Unaligned = map[string]map[string]int64{}
+			for id, m := range unaligned {
+				if tbl := s.SM.Cat.TableByID(id); tbl != nil {
+					snap.Unaligned[tbl.Name] = m
+				}
+			}
+		}
+	}
+	return snap
+}
+
+// Server streams snapshots to TCP clients, one JSON object per line.
+type Server struct {
+	src    *Source
+	every  time.Duration
+	ln     net.Listener
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewServer builds a monitor server sampling at the given period.
+func NewServer(src *Source, every time.Duration) *Server {
+	if every <= 0 {
+		every = time.Second
+	}
+	return &Server{src: src, every: every, conns: map[net.Conn]struct{}{}, stop: make(chan struct{})}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:7070") and starts streaming.
+// It returns the bound address (useful with ":0").
+func (sv *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	sv.ln = ln
+	sv.wg.Add(2)
+	go sv.acceptLoop()
+	go sv.broadcastLoop()
+	return ln.Addr().String(), nil
+}
+
+func (sv *Server) acceptLoop() {
+	defer sv.wg.Done()
+	for {
+		c, err := sv.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		sv.mu.Lock()
+		if sv.closed {
+			sv.mu.Unlock()
+			c.Close()
+			return
+		}
+		sv.conns[c] = struct{}{}
+		sv.mu.Unlock()
+	}
+}
+
+func (sv *Server) broadcastLoop() {
+	defer sv.wg.Done()
+	t := time.NewTicker(sv.every)
+	defer t.Stop()
+	var prev *Snapshot
+	last := time.Now()
+	for {
+		select {
+		case <-sv.stop:
+			return
+		case now := <-t.C:
+			snap := sv.src.Sample(prev, now.Sub(last))
+			prev, last = snap, now
+			line, err := json.Marshal(snap)
+			if err != nil {
+				continue
+			}
+			line = append(line, '\n')
+			sv.mu.Lock()
+			for c := range sv.conns {
+				c.SetWriteDeadline(time.Now().Add(200 * time.Millisecond))
+				if _, err := c.Write(line); err != nil {
+					c.Close()
+					delete(sv.conns, c)
+				}
+			}
+			sv.mu.Unlock()
+		}
+	}
+}
+
+// Close stops the server and disconnects clients.
+func (sv *Server) Close() error {
+	sv.mu.Lock()
+	if sv.closed {
+		sv.mu.Unlock()
+		return nil
+	}
+	sv.closed = true
+	for c := range sv.conns {
+		c.Close()
+		delete(sv.conns, c)
+	}
+	sv.mu.Unlock()
+	close(sv.stop)
+	err := sv.ln.Close()
+	sv.wg.Wait()
+	return err
+}
+
+// ReadSnapshots connects to a monitor server and delivers n snapshots
+// (client helper for tools and tests).
+func ReadSnapshots(addr string, n int, timeout time.Duration) ([]*Snapshot, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(timeout))
+	sc := bufio.NewScanner(c)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []*Snapshot
+	for len(out) < n && sc.Scan() {
+		var s Snapshot
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			return out, err
+		}
+		out = append(out, &s)
+	}
+	return out, sc.Err()
+}
+
+// CounterAdapter adapts any engine with metrics counters to CommitCounter.
+type CounterAdapter struct {
+	EngineName string
+	Committed  *metrics.Counter
+	Aborted    *metrics.Counter
+}
+
+// Name implements CommitCounter.
+func (a CounterAdapter) Name() string { return a.EngineName }
+
+// CommittedCount implements CommitCounter.
+func (a CounterAdapter) CommittedCount() int64 { return a.Committed.Load() }
+
+// AbortedCount implements CommitCounter.
+func (a CounterAdapter) AbortedCount() int64 {
+	if a.Aborted == nil {
+		return 0
+	}
+	return a.Aborted.Load()
+}

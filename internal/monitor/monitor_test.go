@@ -1,0 +1,122 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"dora/internal/catalog"
+	"dora/internal/dora"
+	"dora/internal/engine/conventional"
+	"dora/internal/metrics"
+	"dora/internal/sm"
+	"dora/internal/tuple"
+	"dora/internal/xct"
+)
+
+func rig(t *testing.T) (*sm.SM, *catalog.Table, *dora.Dora, *conventional.Engine) {
+	t.Helper()
+	cs := &metrics.CriticalSectionStats{}
+	s, err := sm.Open(sm.Options{Frames: 128, CS: cs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := s.CreateTable(sm.TableSpec{
+		Name:      "kv",
+		Fields:    []catalog.Field{{Name: "k", Type: tuple.TInt}, {Name: "v", Type: tuple.TInt}},
+		KeyFields: []string{"k"},
+		Key:       func(r tuple.Record) int64 { return r[0].Int },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses := s.Session(0)
+	load := s.Begin()
+	for i := int64(1); i <= 100; i++ {
+		_ = ses.Insert(load, tbl, tuple.Record{tuple.I(i), tuple.I(0)})
+	}
+	_ = s.Commit(load)
+	de := dora.New(s, dora.Config{PartitionsPerTable: 2, Domains: map[string][2]int64{"kv": {1, 100}}})
+	t.Cleanup(func() { _ = de.Close() })
+	return s, tbl, de, conventional.New(s)
+}
+
+func TestSampleFields(t *testing.T) {
+	s, tbl, de, conv := rig(t)
+	src := &Source{
+		SM:   s,
+		Dora: de,
+		Engines: []CommitCounter{
+			CounterAdapter{EngineName: "conventional", Committed: &conv.Committed, Aborted: &conv.Aborted},
+			CounterAdapter{EngineName: "dora", Committed: &de.Committed, Aborted: &de.Aborted},
+		},
+	}
+	flow := func(k int64) *xct.Flow {
+		return xct.NewFlow("w").AddPhase(&xct.Action{
+			Table: "kv", KeyField: "k", Key: k, Mode: xct.Write,
+			Run: func(env *xct.Env) error {
+				return env.Ses.Mutate(env.Txn, tbl, k, func(r tuple.Record) tuple.Record {
+					r[1] = tuple.I(r[1].Int + 1)
+					return r
+				})
+			},
+		})
+	}
+	for i := int64(1); i <= 10; i++ {
+		if err := conv.Exec(0, flow(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := de.Exec(0, flow(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prev := src.Sample(nil, 0)
+	snap := src.Sample(prev, time.Second)
+	if len(snap.Engines) != 2 {
+		t.Fatalf("engines = %d", len(snap.Engines))
+	}
+	if snap.Engines[0].Committed != 10 || snap.Engines[1].Committed != 10 {
+		t.Fatalf("commit counts: %+v", snap.Engines)
+	}
+	if len(snap.Partitions) != 2 {
+		t.Fatalf("partitions = %d", len(snap.Partitions))
+	}
+	if len(snap.Routing["kv"]) != 2 {
+		t.Fatalf("routing = %v", snap.Routing)
+	}
+	if snap.CS.Total() == 0 {
+		t.Fatal("critical sections not sampled")
+	}
+	if snap.LogAppends == 0 {
+		t.Fatal("log appends not sampled")
+	}
+}
+
+func TestServerStreams(t *testing.T) {
+	s, _, de, conv := rig(t)
+	src := &Source{
+		SM: s, Dora: de,
+		Engines: []CommitCounter{
+			CounterAdapter{EngineName: "conventional", Committed: &conv.Committed, Aborted: &conv.Aborted},
+		},
+	}
+	sv := NewServer(src, 20*time.Millisecond)
+	addr, err := sv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+
+	snaps, err := ReadSnapshots(addr, 3, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 3 {
+		t.Fatalf("snapshots = %d", len(snaps))
+	}
+	if snaps[0].At.IsZero() {
+		t.Fatal("zero timestamp")
+	}
+	if len(snaps[0].Partitions) == 0 {
+		t.Fatal("no partition stats over the wire")
+	}
+}

@@ -1,0 +1,250 @@
+// Package page defines the on-disk page format used by the storage
+// manager: fixed-size slotted pages with a header carrying the page LSN
+// (for ARIES-style recovery) and a slot directory growing from the tail.
+//
+// Layout of a page (Size bytes):
+//
+//	offset 0  : uint64 page LSN
+//	offset 8  : uint32 page id
+//	offset 12 : uint16 slot count
+//	offset 14 : uint16 free-space pointer (offset of first free byte)
+//	offset 16 : record data, growing up
+//	...        free space ...
+//	tail      : slot directory, growing down; slot i occupies the 4 bytes
+//	            at Size-4*(i+1): uint16 offset, uint16 length
+//
+// A slot with offset 0xFFFF is a tombstone (deleted record); tombstoned
+// slots keep their slot number so RIDs of other records stay stable.
+package page
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Size is the page size in bytes.
+const Size = 8192
+
+// HeaderSize is the number of bytes reserved for the page header.
+const HeaderSize = 16
+
+const (
+	slotEntrySize = 4
+	tombstone     = 0xFFFF
+)
+
+// ErrPageFull reports that a record does not fit in the page.
+var ErrPageFull = errors.New("page: full")
+
+// ErrBadSlot reports an out-of-range or deleted slot.
+var ErrBadSlot = errors.New("page: bad slot")
+
+// ID identifies a page within a store.
+type ID uint32
+
+// InvalidID is never a valid page id.
+const InvalidID = ID(0xFFFFFFFF)
+
+// Page is a fixed-size byte buffer with slotted-page accessors. It carries
+// no synchronization; callers latch the owning buffer frame.
+type Page struct {
+	Data [Size]byte
+}
+
+// Init formats p as an empty slotted page with the given id.
+func (p *Page) Init(id ID) {
+	for i := range p.Data[:HeaderSize] {
+		p.Data[i] = 0
+	}
+	binary.LittleEndian.PutUint32(p.Data[8:], uint32(id))
+	binary.LittleEndian.PutUint16(p.Data[12:], 0)
+	binary.LittleEndian.PutUint16(p.Data[14:], HeaderSize)
+}
+
+// LSN returns the page LSN.
+func (p *Page) LSN() uint64 { return binary.LittleEndian.Uint64(p.Data[0:]) }
+
+// SetLSN stores the page LSN.
+func (p *Page) SetLSN(l uint64) { binary.LittleEndian.PutUint64(p.Data[0:], l) }
+
+// ID returns the page id stored in the header.
+func (p *Page) ID() ID { return ID(binary.LittleEndian.Uint32(p.Data[8:])) }
+
+// NumSlots returns the slot count, including tombstones.
+func (p *Page) NumSlots() int { return int(binary.LittleEndian.Uint16(p.Data[12:])) }
+
+func (p *Page) setNumSlots(n int) { binary.LittleEndian.PutUint16(p.Data[12:], uint16(n)) }
+
+func (p *Page) freePtr() int { return int(binary.LittleEndian.Uint16(p.Data[14:])) }
+
+func (p *Page) setFreePtr(o int) { binary.LittleEndian.PutUint16(p.Data[14:], uint16(o)) }
+
+func (p *Page) slotPos(i int) int { return Size - slotEntrySize*(i+1) }
+
+func (p *Page) slot(i int) (off, ln int) {
+	pos := p.slotPos(i)
+	return int(binary.LittleEndian.Uint16(p.Data[pos:])),
+		int(binary.LittleEndian.Uint16(p.Data[pos+2:]))
+}
+
+func (p *Page) setSlot(i, off, ln int) {
+	pos := p.slotPos(i)
+	binary.LittleEndian.PutUint16(p.Data[pos:], uint16(off))
+	binary.LittleEndian.PutUint16(p.Data[pos+2:], uint16(ln))
+}
+
+// FreeSpace returns the number of bytes available for a new record,
+// accounting for the slot-directory entry the insert would add.
+func (p *Page) FreeSpace() int {
+	fs := p.slotPos(p.NumSlots()) - p.freePtr() - slotEntrySize
+	if fs < 0 {
+		return 0
+	}
+	return fs
+}
+
+// Insert stores rec in the page and returns its slot number. Tombstoned
+// slots are reused when the record fits in contiguous free space.
+func (p *Page) Insert(rec []byte) (int, error) {
+	if len(rec) > p.FreeSpace() && !p.canReuseSlot(len(rec)) {
+		return 0, ErrPageFull
+	}
+	// Prefer reusing a tombstoned slot number (keeps directory small).
+	n := p.NumSlots()
+	slotNo := -1
+	for i := 0; i < n; i++ {
+		if off, _ := p.slot(i); off == tombstone {
+			slotNo = i
+			break
+		}
+	}
+	need := len(rec)
+	if slotNo == -1 {
+		// New slot entry also consumes directory space.
+		if p.slotPos(n)-slotEntrySize-p.freePtr() < need {
+			return 0, ErrPageFull
+		}
+		slotNo = n
+		p.setNumSlots(n + 1)
+	} else if p.slotPos(n)-p.freePtr() < need {
+		return 0, ErrPageFull
+	}
+	off := p.freePtr()
+	copy(p.Data[off:off+need], rec)
+	p.setFreePtr(off + need)
+	p.setSlot(slotNo, off, need)
+	return slotNo, nil
+}
+
+func (p *Page) canReuseSlot(need int) bool {
+	n := p.NumSlots()
+	for i := 0; i < n; i++ {
+		if off, _ := p.slot(i); off == tombstone {
+			return p.slotPos(n)-p.freePtr() >= need
+		}
+	}
+	return false
+}
+
+// Get returns the record bytes stored at slot i. The returned slice
+// aliases the page buffer; callers must copy before unlatching.
+func (p *Page) Get(i int) ([]byte, error) {
+	if i < 0 || i >= p.NumSlots() {
+		return nil, fmt.Errorf("%w: slot %d of %d", ErrBadSlot, i, p.NumSlots())
+	}
+	off, ln := p.slot(i)
+	if off == tombstone {
+		return nil, fmt.Errorf("%w: slot %d deleted", ErrBadSlot, i)
+	}
+	return p.Data[off : off+ln], nil
+}
+
+// Update replaces the record at slot i. Records that shrink or keep their
+// size are updated in place; growth is honoured if the tail has room,
+// otherwise ErrPageFull is returned (the caller relocates the record).
+func (p *Page) Update(i int, rec []byte) error {
+	if i < 0 || i >= p.NumSlots() {
+		return fmt.Errorf("%w: slot %d", ErrBadSlot, i)
+	}
+	off, ln := p.slot(i)
+	if off == tombstone {
+		return fmt.Errorf("%w: slot %d deleted", ErrBadSlot, i)
+	}
+	if len(rec) <= ln {
+		copy(p.Data[off:off+len(rec)], rec)
+		p.setSlot(i, off, len(rec))
+		return nil
+	}
+	need := len(rec)
+	if p.slotPos(p.NumSlots())-p.freePtr() < need {
+		return ErrPageFull
+	}
+	noff := p.freePtr()
+	copy(p.Data[noff:noff+need], rec)
+	p.setFreePtr(noff + need)
+	p.setSlot(i, noff, need)
+	return nil
+}
+
+// CanUpdate reports whether a record of n bytes can replace slot i
+// without failing (in place, or relocated to the free tail).
+func (p *Page) CanUpdate(i, n int) bool {
+	if i < 0 || i >= p.NumSlots() {
+		return false
+	}
+	off, ln := p.slot(i)
+	if off == tombstone {
+		return false
+	}
+	if n <= ln {
+		return true
+	}
+	return p.slotPos(p.NumSlots())-p.freePtr() >= n
+}
+
+// Delete tombstones slot i. The space is reclaimed by Compact.
+func (p *Page) Delete(i int) error {
+	if i < 0 || i >= p.NumSlots() {
+		return fmt.Errorf("%w: slot %d", ErrBadSlot, i)
+	}
+	if off, _ := p.slot(i); off == tombstone {
+		return fmt.Errorf("%w: slot %d already deleted", ErrBadSlot, i)
+	}
+	p.setSlot(i, tombstone, 0)
+	return nil
+}
+
+// Deleted reports whether slot i is a tombstone.
+func (p *Page) Deleted(i int) bool {
+	if i < 0 || i >= p.NumSlots() {
+		return true
+	}
+	off, _ := p.slot(i)
+	return off == tombstone
+}
+
+// Compact rewrites live records contiguously, reclaiming space freed by
+// deletions and in-page relocations. Slot numbers are preserved.
+func (p *Page) Compact() {
+	var scratch [Size]byte
+	w := HeaderSize
+	n := p.NumSlots()
+	type ent struct{ off, ln int }
+	ents := make([]ent, n)
+	for i := 0; i < n; i++ {
+		off, ln := p.slot(i)
+		if off == tombstone {
+			ents[i] = ent{tombstone, 0}
+			continue
+		}
+		copy(scratch[w:w+ln], p.Data[off:off+ln])
+		ents[i] = ent{w, ln}
+		w += ln
+	}
+	copy(p.Data[HeaderSize:w], scratch[HeaderSize:w])
+	for i, e := range ents {
+		p.setSlot(i, e.off, e.ln)
+	}
+	p.setFreePtr(w)
+}

@@ -1,0 +1,245 @@
+package page
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInitEmpty(t *testing.T) {
+	var p Page
+	p.Init(7)
+	if p.ID() != 7 {
+		t.Fatalf("ID = %d, want 7", p.ID())
+	}
+	if p.NumSlots() != 0 {
+		t.Fatalf("NumSlots = %d, want 0", p.NumSlots())
+	}
+	if p.LSN() != 0 {
+		t.Fatalf("LSN = %d, want 0", p.LSN())
+	}
+	if p.FreeSpace() < Size-HeaderSize-2*slotEntrySize {
+		t.Fatalf("FreeSpace = %d too small", p.FreeSpace())
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	var p Page
+	p.Init(1)
+	recs := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")}
+	var slots []int
+	for _, r := range recs {
+		s, err := p.Insert(r)
+		if err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		slots = append(slots, s)
+	}
+	for i, s := range slots {
+		got, err := p.Get(s)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", s, err)
+		}
+		if !bytes.Equal(got, recs[i]) {
+			t.Fatalf("Get(%d) = %q, want %q", s, got, recs[i])
+		}
+	}
+}
+
+func TestSlotNumbersSequential(t *testing.T) {
+	var p Page
+	p.Init(1)
+	for i := 0; i < 10; i++ {
+		s, err := p.Insert([]byte{byte(i)})
+		if err != nil {
+			t.Fatalf("Insert %d: %v", i, err)
+		}
+		if s != i {
+			t.Fatalf("slot = %d, want %d", s, i)
+		}
+	}
+}
+
+func TestDeleteAndTombstoneReuse(t *testing.T) {
+	var p Page
+	p.Init(1)
+	s0, _ := p.Insert([]byte("one"))
+	s1, _ := p.Insert([]byte("two"))
+	if err := p.Delete(s0); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if !p.Deleted(s0) {
+		t.Fatal("slot 0 should be deleted")
+	}
+	if p.Deleted(s1) {
+		t.Fatal("slot 1 should be live")
+	}
+	if _, err := p.Get(s0); err == nil {
+		t.Fatal("Get of deleted slot should fail")
+	}
+	if err := p.Delete(s0); err == nil {
+		t.Fatal("double Delete should fail")
+	}
+	// Reinsert reuses the tombstoned slot number.
+	s2, err := p.Insert([]byte("three"))
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if s2 != s0 {
+		t.Fatalf("reused slot = %d, want %d", s2, s0)
+	}
+}
+
+func TestUpdateInPlaceAndGrow(t *testing.T) {
+	var p Page
+	p.Init(1)
+	s, _ := p.Insert([]byte("hello world"))
+	if err := p.Update(s, []byte("hi")); err != nil {
+		t.Fatalf("shrink update: %v", err)
+	}
+	got, _ := p.Get(s)
+	if string(got) != "hi" {
+		t.Fatalf("got %q", got)
+	}
+	// Grow: relocates within the page.
+	long := bytes.Repeat([]byte("x"), 100)
+	if err := p.Update(s, long); err != nil {
+		t.Fatalf("grow update: %v", err)
+	}
+	got, _ = p.Get(s)
+	if !bytes.Equal(got, long) {
+		t.Fatal("grown record mismatch")
+	}
+}
+
+func TestCanUpdate(t *testing.T) {
+	var p Page
+	p.Init(1)
+	s, _ := p.Insert(make([]byte, 64))
+	if !p.CanUpdate(s, 64) {
+		t.Fatal("same-size update must be possible")
+	}
+	if !p.CanUpdate(s, 10) {
+		t.Fatal("shrink must be possible")
+	}
+	if p.CanUpdate(s, Size) {
+		t.Fatal("page-sized growth must be impossible")
+	}
+	if p.CanUpdate(99, 10) {
+		t.Fatal("bad slot must not be updatable")
+	}
+}
+
+func TestPageFull(t *testing.T) {
+	var p Page
+	p.Init(1)
+	rec := make([]byte, 512)
+	n := 0
+	for {
+		if _, err := p.Insert(rec); err != nil {
+			break
+		}
+		n++
+	}
+	if n < 10 || n > 16 {
+		t.Fatalf("fit %d 512-byte records in 8KB page, expected ~15", n)
+	}
+}
+
+func TestCompactReclaims(t *testing.T) {
+	var p Page
+	p.Init(1)
+	var slots []int
+	rec := make([]byte, 256)
+	for i := 0; i < 8; i++ {
+		s, err := p.Insert(rec)
+		if err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		slots = append(slots, s)
+	}
+	for i := 0; i < 8; i += 2 {
+		if err := p.Delete(slots[i]); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	}
+	before := p.FreeSpace()
+	// Fill survivor slots with recognizable content first.
+	for i := 1; i < 8; i += 2 {
+		if err := p.Update(slots[i], []byte{byte(i)}); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+	}
+	p.Compact()
+	if p.FreeSpace() <= before {
+		t.Fatalf("Compact did not reclaim: before=%d after=%d", before, p.FreeSpace())
+	}
+	for i := 1; i < 8; i += 2 {
+		got, err := p.Get(slots[i])
+		if err != nil || len(got) != 1 || got[0] != byte(i) {
+			t.Fatalf("survivor %d corrupted after Compact: %v %v", i, got, err)
+		}
+	}
+}
+
+func TestLSNRoundTrip(t *testing.T) {
+	var p Page
+	p.Init(3)
+	p.SetLSN(0xDEADBEEF)
+	if p.LSN() != 0xDEADBEEF {
+		t.Fatalf("LSN = %x", p.LSN())
+	}
+}
+
+// TestQuickInsertGetDelete drives random operations against a map model.
+func TestQuickInsertGetDelete(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var p Page
+		p.Init(1)
+		model := map[int][]byte{}
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(3) {
+			case 0: // insert
+				rec := make([]byte, 1+rng.Intn(64))
+				rng.Read(rec)
+				s, err := p.Insert(rec)
+				if err != nil {
+					continue // full
+				}
+				if _, exists := model[s]; exists {
+					return false // reused a live slot
+				}
+				model[s] = rec
+			case 1: // delete random live slot
+				for s := range model {
+					if p.Delete(s) != nil {
+						return false
+					}
+					delete(model, s)
+					break
+				}
+			case 2: // update random live slot
+				for s := range model {
+					rec := make([]byte, 1+rng.Intn(64))
+					rng.Read(rec)
+					if err := p.Update(s, rec); err == nil {
+						model[s] = rec
+					}
+					break
+				}
+			}
+		}
+		for s, want := range model {
+			got, err := p.Get(s)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

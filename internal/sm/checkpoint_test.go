@@ -1,0 +1,126 @@
+package sm
+
+import (
+	"testing"
+
+	"dora/internal/wal"
+)
+
+func TestCheckpointBoundsRedo(t *testing.T) {
+	rig := newRig()
+	s := rig.open(t)
+	tbl := testTable(t, s)
+	ses := s.Session(0)
+
+	// Phase 1: committed work, then a checkpoint.
+	t1 := s.Begin()
+	for i := int64(1); i <= 30; i++ {
+		if err := ses.Insert(t1, tbl, acct(i, "pre", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: more committed work after the checkpoint.
+	t2 := s.Begin()
+	for i := int64(31); i <= 40; i++ {
+		if err := ses.Insert(t2, tbl, acct(i, "post", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(t2); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := rig.crash(t)
+	tbl2 := testTable(t, s2)
+	st, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Redo is bounded: only post-checkpoint records replay (10 inserts +
+	// bookkeeping), not the 30 pre-checkpoint ones.
+	if st.Redone > 15 {
+		t.Fatalf("redone %d records; checkpoint should have bounded it to ~10", st.Redone)
+	}
+	ses2 := s2.Session(0)
+	for i := int64(1); i <= 40; i++ {
+		rec, err := ses2.Read(s2.Begin(), tbl2, i)
+		if err != nil || rec[2].Int != i {
+			t.Fatalf("key %d after checkpointed recovery: %v %v", i, rec, err)
+		}
+	}
+	if st.Rebuilt != 40 {
+		t.Fatalf("rebuilt %d index entries, want 40", st.Rebuilt)
+	}
+}
+
+func TestCheckpointWithInFlightLoser(t *testing.T) {
+	// A transaction spanning the checkpoint and still active at the
+	// crash must roll back across the checkpoint boundary.
+	rig := newRig()
+	s := rig.open(t)
+	tbl := testTable(t, s)
+	ses := s.Session(0)
+
+	base := s.Begin()
+	_ = ses.Insert(base, tbl, acct(1, "v", 10))
+	if err := s.Commit(base); err != nil {
+		t.Fatal(err)
+	}
+
+	loser := s.Begin()
+	_ = ses.Update(loser, tbl, 1, acct(1, "v", 111)) // before checkpoint
+	if _, err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	_ = ses.Insert(loser, tbl, acct(2, "phantom", 222)) // after checkpoint
+	if err := s.Log.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := rig.crash(t)
+	tbl2 := testTable(t, s2)
+	if _, err := s2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	ses2 := s2.Session(0)
+	rec, err := ses2.Read(s2.Begin(), tbl2, 1)
+	if err != nil || rec[2].Int != 10 {
+		t.Fatalf("pre-checkpoint loser update survived: %v %v", rec, err)
+	}
+	if _, err := ses2.Read(s2.Begin(), tbl2, 2); err == nil {
+		t.Fatal("post-checkpoint loser insert survived")
+	}
+}
+
+func TestCheckpointRecordInLog(t *testing.T) {
+	s := open(t)
+	tbl := testTable(t, s)
+	ses := s.Session(0)
+	txn := s.Begin()
+	_ = ses.Insert(txn, tbl, acct(1, "x", 1))
+	_ = s.Commit(txn)
+	lsn, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found *wal.Record
+	_ = s.Log.Scan(func(r *wal.Record) error {
+		if r.Kind == wal.KCheckpoint {
+			found = r
+		}
+		return nil
+	})
+	if found == nil || found.LSN != lsn {
+		t.Fatalf("checkpoint record: %+v (want lsn %d)", found, lsn)
+	}
+	if uint64(found.Key) == 0 || uint64(found.Key) > lsn {
+		t.Fatalf("redo point %d out of range", found.Key)
+	}
+}

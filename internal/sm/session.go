@@ -1,0 +1,257 @@
+package sm
+
+import (
+	"errors"
+	"fmt"
+
+	"dora/internal/btree"
+	"dora/internal/catalog"
+	"dora/internal/metrics"
+	"dora/internal/storage"
+	"dora/internal/tuple"
+	"dora/internal/tx"
+	"dora/internal/wal"
+)
+
+// Session is a per-worker access handle. It exists so the access tracer
+// (experiment E1) can attribute every record touch to the worker thread
+// that performed it — the raw material of the demo's "Access Patterns"
+// panel. Sessions add no synchronization and are not themselves
+// goroutine-safe; each worker owns one.
+type Session struct {
+	sm     *SM
+	worker int
+}
+
+// Worker returns the worker id this session is tagged with.
+func (ss *Session) Worker() int { return ss.worker }
+
+// SM returns the underlying storage manager.
+func (ss *Session) SM() *SM { return ss.sm }
+
+func (ss *Session) trace(tbl *catalog.Table, key int64, write bool) {
+	tr := ss.sm.Tracer
+	if tr == nil || !tr.Enabled() {
+		return
+	}
+	tr.Record(metrics.Access{Worker: ss.worker, Table: int(tbl.ID), Key: key, Write: write})
+}
+
+// Read returns the record with the given primary key.
+func (ss *Session) Read(t *tx.Txn, tbl *catalog.Table, key int64) (tuple.Record, error) {
+	ss.trace(tbl, key, false)
+	v, err := tbl.Primary.Tree.Get(key)
+	if err != nil {
+		if errors.Is(err, btree.ErrNotFound) {
+			return nil, fmt.Errorf("%w: %s[%d]", ErrNotFound, tbl.Name, key)
+		}
+		return nil, err
+	}
+	img, err := tbl.Heap.Get(storage.UnpackRID(v))
+	if err != nil {
+		return nil, err
+	}
+	return tuple.Decode(img)
+}
+
+// ReadByIndex returns the record whose secondary index entry equals key.
+func (ss *Session) ReadByIndex(t *tx.Txn, tbl *catalog.Table, idx string, key int64) (tuple.Record, error) {
+	ix := tbl.IndexByName(idx)
+	if ix == nil {
+		return nil, fmt.Errorf("sm: no index %q on %s", idx, tbl.Name)
+	}
+	v, err := ix.Tree.Get(key)
+	if err != nil {
+		if errors.Is(err, btree.ErrNotFound) {
+			return nil, fmt.Errorf("%w: %s.%s[%d]", ErrNotFound, tbl.Name, idx, key)
+		}
+		return nil, err
+	}
+	img, err := tbl.Heap.Get(storage.UnpackRID(v))
+	if err != nil {
+		return nil, err
+	}
+	rec, err := tuple.Decode(img)
+	if err != nil {
+		return nil, err
+	}
+	ss.trace(tbl, tbl.Primary.Key(rec), false)
+	return rec, nil
+}
+
+// ScanRange visits records with lo <= primary key <= hi in key order.
+func (ss *Session) ScanRange(t *tx.Txn, tbl *catalog.Table, lo, hi int64, fn func(key int64, rec tuple.Record) bool) error {
+	type hit struct {
+		key int64
+		rid storage.RID
+	}
+	var hits []hit
+	tbl.Primary.Tree.AscendRange(lo, hi, func(key int64, val uint64) bool {
+		hits = append(hits, hit{key, storage.UnpackRID(val)})
+		return true
+	})
+	for _, h := range hits {
+		ss.trace(tbl, h.key, false)
+		img, err := tbl.Heap.Get(h.rid)
+		if err != nil {
+			// Deleted between index scan and heap fetch: engines prevent
+			// this via their isolation protocol; skip defensively.
+			continue
+		}
+		rec, err := tuple.Decode(img)
+		if err != nil {
+			return err
+		}
+		if !fn(h.key, rec) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Insert stores rec under its primary key, maintaining all indexes and
+// logging for redo/undo.
+func (ss *Session) Insert(t *tx.Txn, tbl *catalog.Table, rec tuple.Record) error {
+	key := tbl.Primary.Key(rec)
+	ss.trace(tbl, key, true)
+	if _, err := tbl.Primary.Tree.Get(key); err == nil {
+		return fmt.Errorf("%w: %s[%d]", ErrDuplicate, tbl.Name, key)
+	}
+	enc := tuple.Encode(rec)
+	var prevLSN, opLSN uint64
+	rid, err := tbl.Heap.InsertWith(enc, func(rid storage.RID) uint64 {
+		return t.Chain(func(prev uint64) uint64 {
+			prevLSN = prev
+			opLSN = ss.sm.Log.Append(&wal.Record{
+				Kind: wal.KInsert, TxnID: t.ID, PrevLSN: prev,
+				Table: tbl.ID, Page: rid.Page, Slot: rid.Slot, Key: key,
+				Redo: enc,
+			})
+			return opLSN
+		})
+	})
+	if err != nil {
+		return err
+	}
+	if err := tbl.Primary.Tree.Insert(key, rid.Pack()); err != nil {
+		return fmt.Errorf("sm: primary index insert %s[%d]: %w", tbl.Name, key, err)
+	}
+	for _, ix := range tbl.Secondaries {
+		if err := ix.Tree.Put(ix.Key(rec), rid.Pack()); err != nil {
+			return err
+		}
+	}
+	t.AddUndo(tx.Undo{
+		Kind: tx.UInsert, Table: tbl.ID, Key: key, RID: rid,
+		LSN: opLSN, PrevLSN: prevLSN,
+	})
+	return nil
+}
+
+// Update replaces the record stored under key with rec (primary key must
+// be unchanged).
+func (ss *Session) Update(t *tx.Txn, tbl *catalog.Table, key int64, rec tuple.Record) error {
+	if nk := tbl.Primary.Key(rec); nk != key {
+		return fmt.Errorf("sm: update changes primary key %d -> %d on %s", key, nk, tbl.Name)
+	}
+	ss.trace(tbl, key, true)
+	v, err := tbl.Primary.Tree.Get(key)
+	if err != nil {
+		if errors.Is(err, btree.ErrNotFound) {
+			return fmt.Errorf("%w: %s[%d]", ErrNotFound, tbl.Name, key)
+		}
+		return err
+	}
+	rid := storage.UnpackRID(v)
+	enc := tuple.Encode(rec)
+	var beforeCopy []byte
+	var prevLSN, opLSN uint64
+	err = tbl.Heap.UpdateWith(rid, enc, func(before []byte) uint64 {
+		beforeCopy = append([]byte(nil), before...)
+		return t.Chain(func(prev uint64) uint64 {
+			prevLSN = prev
+			opLSN = ss.sm.Log.Append(&wal.Record{
+				Kind: wal.KUpdate, TxnID: t.ID, PrevLSN: prev,
+				Table: tbl.ID, Page: rid.Page, Slot: rid.Slot, Key: key,
+				Redo: enc, Undo: beforeCopy,
+			})
+			return opLSN
+		})
+	})
+	if err != nil {
+		return err
+	}
+	old, err := tuple.Decode(beforeCopy)
+	if err != nil {
+		return err
+	}
+	for _, ix := range tbl.Secondaries {
+		okey, nkey := ix.Key(old), ix.Key(rec)
+		if okey != nkey {
+			ix.Tree.Delete(okey)
+			if err := ix.Tree.Put(nkey, rid.Pack()); err != nil {
+				return err
+			}
+		}
+	}
+	t.AddUndo(tx.Undo{
+		Kind: tx.UUpdate, Table: tbl.ID, Key: key, RID: rid,
+		Before: beforeCopy, LSN: opLSN, PrevLSN: prevLSN,
+	})
+	return nil
+}
+
+// Mutate reads the record under key, applies fn, and writes it back.
+func (ss *Session) Mutate(t *tx.Txn, tbl *catalog.Table, key int64, fn func(tuple.Record) tuple.Record) error {
+	rec, err := ss.Read(t, tbl, key)
+	if err != nil {
+		return err
+	}
+	return ss.Update(t, tbl, key, fn(rec.Clone()))
+}
+
+// Delete removes the record under key from the table and all indexes.
+func (ss *Session) Delete(t *tx.Txn, tbl *catalog.Table, key int64) error {
+	ss.trace(tbl, key, true)
+	v, err := tbl.Primary.Tree.Get(key)
+	if err != nil {
+		if errors.Is(err, btree.ErrNotFound) {
+			return fmt.Errorf("%w: %s[%d]", ErrNotFound, tbl.Name, key)
+		}
+		return err
+	}
+	rid := storage.UnpackRID(v)
+	// Remove index entries first so no reader can follow a dangling RID.
+	tbl.Primary.Tree.Delete(key)
+	var beforeCopy []byte
+	var prevLSN, opLSN uint64
+	err = tbl.Heap.DeleteWith(rid, func(before []byte) uint64 {
+		beforeCopy = append([]byte(nil), before...)
+		return t.Chain(func(prev uint64) uint64 {
+			prevLSN = prev
+			opLSN = ss.sm.Log.Append(&wal.Record{
+				Kind: wal.KDelete, TxnID: t.ID, PrevLSN: prev,
+				Table: tbl.ID, Page: rid.Page, Slot: rid.Slot, Key: key,
+				Undo: beforeCopy,
+			})
+			return opLSN
+		})
+	})
+	if err != nil {
+		// Restore the index entry we removed.
+		_ = tbl.Primary.Tree.Put(key, rid.Pack())
+		return err
+	}
+	old, err := tuple.Decode(beforeCopy)
+	if err != nil {
+		return err
+	}
+	for _, ix := range tbl.Secondaries {
+		ix.Tree.Delete(ix.Key(old))
+	}
+	t.AddUndo(tx.Undo{
+		Kind: tx.UDelete, Table: tbl.ID, Key: key, RID: rid,
+		Before: beforeCopy, LSN: opLSN, PrevLSN: prevLSN,
+	})
+	return nil
+}

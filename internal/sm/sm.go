@@ -1,0 +1,322 @@
+// Package sm is the storage-manager facade — the role Shore-MT plays for
+// the paper's prototype. It wires the buffer pool, heaps, B+tree access
+// methods, write-ahead log and crash recovery into a single substrate
+// that both execution engines run on.
+//
+// The storage manager is deliberately lock-free at this layer: it
+// provides atomic, latched, logged *operations* (read / insert / update /
+// delete by key), while *isolation* between transactions is the engine's
+// job — hierarchical locks in the conventional engine, partition
+// ownership plus local lock tables in DORA. This split mirrors the paper:
+// DORA "bypasses the centralized lock manager" but reuses everything else
+// in the storage manager unchanged.
+package sm
+
+import (
+	"errors"
+	"fmt"
+
+	"dora/internal/btree"
+	"dora/internal/buffer"
+	"dora/internal/catalog"
+	"dora/internal/metrics"
+	"dora/internal/storage"
+	"dora/internal/tuple"
+	"dora/internal/tx"
+	"dora/internal/wal"
+)
+
+// ErrNotFound reports a missing key.
+var ErrNotFound = errors.New("sm: key not found")
+
+// ErrDuplicate reports a primary-key violation.
+var ErrDuplicate = errors.New("sm: duplicate key")
+
+// Options configures Open.
+type Options struct {
+	// Frames is the buffer-pool size in pages (default 4096).
+	Frames int
+	// Disk backs the pages (default: in-memory).
+	Disk buffer.Disk
+	// LogStore backs the WAL (default: in-memory).
+	LogStore wal.Store
+	// CS receives critical-section accounting (optional).
+	CS *metrics.CriticalSectionStats
+	// Tracer receives record-access events (optional, experiment E1).
+	Tracer *metrics.AccessTracer
+}
+
+// SM is an open storage manager instance.
+type SM struct {
+	Disk   buffer.Disk
+	Pool   *buffer.Pool
+	Log    *wal.Log
+	Cat    *catalog.Catalog
+	CS     *metrics.CriticalSectionStats
+	Tracer *metrics.AccessTracer
+
+	ids tx.IDGen
+
+	// Commits and Aborts count finished transactions.
+	Commits metrics.Counter
+	Aborts  metrics.Counter
+}
+
+// Open creates a storage manager over the given (or default in-memory)
+// disk and log store. Call Recover afterwards when reopening after a
+// crash.
+func Open(opt Options) (*SM, error) {
+	if opt.Frames <= 0 {
+		opt.Frames = 4096
+	}
+	if opt.Disk == nil {
+		opt.Disk = buffer.NewMemDisk()
+	}
+	if opt.LogStore == nil {
+		opt.LogStore = wal.NewMemStore()
+	}
+	log, err := wal.New(opt.LogStore, opt.CS)
+	if err != nil {
+		return nil, err
+	}
+	pool := buffer.NewPool(opt.Frames, opt.Disk, log)
+	if opt.CS != nil {
+		pool.SetStats(opt.CS)
+	}
+	return &SM{
+		Disk:   opt.Disk,
+		Pool:   pool,
+		Log:    log,
+		Cat:    catalog.New(),
+		CS:     opt.CS,
+		Tracer: opt.Tracer,
+	}, nil
+}
+
+// IndexSpec declares a secondary index in a TableSpec.
+type IndexSpec struct {
+	Name   string
+	Fields []string
+	Key    catalog.KeyFunc
+}
+
+// TableSpec declares a table for CreateTable.
+type TableSpec struct {
+	Name   string
+	Fields []catalog.Field
+	// KeyFields names the primary-key columns (metadata for the designer).
+	KeyFields []string
+	// Key extracts the packed primary key from a record.
+	Key catalog.KeyFunc
+	// PartitionField is the column DORA initially routes on (defaults to
+	// the first key field).
+	PartitionField string
+	Secondaries    []IndexSpec
+}
+
+// CreateTable registers a new table with its heap and indexes.
+func (s *SM) CreateTable(spec TableSpec) (*catalog.Table, error) {
+	if spec.Key == nil {
+		return nil, fmt.Errorf("sm: table %q needs a primary key function", spec.Name)
+	}
+	pf := spec.PartitionField
+	if pf == "" && len(spec.KeyFields) > 0 {
+		pf = spec.KeyFields[0]
+	}
+	t := &catalog.Table{
+		Name:   spec.Name,
+		Fields: spec.Fields,
+		Heap:   storage.NewHeap(s.Pool),
+		Primary: &catalog.Index{
+			Name:   spec.Name + "_pk",
+			Fields: spec.KeyFields,
+			Key:    spec.Key,
+			Tree:   btree.New(s.CS),
+		},
+	}
+	t.SetPartitionField(pf)
+	for _, is := range spec.Secondaries {
+		t.Secondaries = append(t.Secondaries, &catalog.Index{
+			Name:   is.Name,
+			Fields: is.Fields,
+			Key:    is.Key,
+			Tree:   btree.New(s.CS),
+		})
+	}
+	return s.Cat.AddTable(t)
+}
+
+// Begin starts a transaction.
+func (s *SM) Begin() *tx.Txn { return s.ids.NewTxn() }
+
+// Session returns an access handle tagged with a worker id for the
+// access tracer; engines create one per worker thread.
+func (s *SM) Session(worker int) *Session { return &Session{sm: s, worker: worker} }
+
+// Commit makes t durable: a commit record is appended and the log forced
+// (group commit batches concurrent forcers), then an end record written.
+func (s *SM) Commit(t *tx.Txn) error {
+	if t.LastLSN() == 0 {
+		// Read-only: nothing to force.
+		t.SetStatus(tx.Committed)
+		s.Commits.Inc()
+		return nil
+	}
+	lsn := t.Chain(func(prev uint64) uint64 {
+		return s.Log.Append(&wal.Record{Kind: wal.KCommit, TxnID: t.ID, PrevLSN: prev})
+	})
+	if err := s.Log.Force(lsn); err != nil {
+		return err
+	}
+	t.Chain(func(prev uint64) uint64 {
+		return s.Log.Append(&wal.Record{Kind: wal.KEnd, TxnID: t.ID, PrevLSN: prev})
+	})
+	t.SetStatus(tx.Committed)
+	s.Commits.Inc()
+	return nil
+}
+
+// Rollback undoes every operation of t (in reverse), logging CLRs, and
+// marks it aborted. The conventional engine calls this directly; DORA
+// routes the per-entry ApplyUndo calls through the owning partitions and
+// then calls FinishRollback.
+func (s *SM) Rollback(t *tx.Txn) error {
+	if t.LastLSN() != 0 {
+		t.Chain(func(prev uint64) uint64 {
+			return s.Log.Append(&wal.Record{Kind: wal.KAbort, TxnID: t.ID, PrevLSN: prev})
+		})
+	}
+	for _, u := range t.TakeUndos() {
+		if err := s.ApplyUndo(t, u); err != nil {
+			return fmt.Errorf("sm: rollback txn %d: %w", t.ID, err)
+		}
+	}
+	return s.FinishRollback(t)
+}
+
+// FinishRollback logs the end record after all undo entries have been
+// applied (by Rollback, or by DORA's partition-routed compensation).
+func (s *SM) FinishRollback(t *tx.Txn) error {
+	if t.LastLSN() != 0 {
+		t.Chain(func(prev uint64) uint64 {
+			return s.Log.Append(&wal.Record{Kind: wal.KEnd, TxnID: t.ID, PrevLSN: prev})
+		})
+	}
+	t.SetStatus(tx.Aborted)
+	s.Aborts.Inc()
+	return nil
+}
+
+// ApplyUndo compensates one logical undo entry, logging a CLR. Exposed so
+// the DORA engine can execute compensation on the partition that owns the
+// data (thread-to-data is preserved under rollback).
+func (s *SM) ApplyUndo(t *tx.Txn, u tx.Undo) error {
+	tbl := s.Cat.TableByID(u.Table)
+	if tbl == nil {
+		return fmt.Errorf("sm: undo references unknown table %d", u.Table)
+	}
+	switch u.Kind {
+	case tx.UInsert:
+		// Compensate an insert: remove the record and its index entries.
+		img, err := tbl.Heap.Get(u.RID)
+		if err != nil {
+			return err
+		}
+		rec, err := tuple.Decode(img)
+		if err != nil {
+			return err
+		}
+		err = tbl.Heap.DeleteWith(u.RID, func(before []byte) uint64 {
+			return t.Chain(func(prev uint64) uint64 {
+				return s.Log.Append(&wal.Record{
+					Kind: wal.KCLR, Sub: wal.KDelete, TxnID: t.ID, PrevLSN: prev,
+					UndoNext: u.PrevLSN, Table: u.Table,
+					Page: u.RID.Page, Slot: u.RID.Slot, Key: u.Key,
+				})
+			})
+		})
+		if err != nil {
+			return err
+		}
+		tbl.Primary.Tree.Delete(u.Key)
+		for _, ix := range tbl.Secondaries {
+			ix.Tree.Delete(ix.Key(rec))
+		}
+		return nil
+
+	case tx.UUpdate:
+		// Restore the before image; fix secondary entries if keys moved.
+		curImg, err := tbl.Heap.Get(u.RID)
+		if err != nil {
+			return err
+		}
+		cur, err := tuple.Decode(curImg)
+		if err != nil {
+			return err
+		}
+		old, err := tuple.Decode(u.Before)
+		if err != nil {
+			return err
+		}
+		err = tbl.Heap.UpdateWith(u.RID, u.Before, func(before []byte) uint64 {
+			return t.Chain(func(prev uint64) uint64 {
+				return s.Log.Append(&wal.Record{
+					Kind: wal.KCLR, Sub: wal.KUpdate, TxnID: t.ID, PrevLSN: prev,
+					UndoNext: u.PrevLSN, Table: u.Table,
+					Page: u.RID.Page, Slot: u.RID.Slot, Key: u.Key,
+					Redo: u.Before,
+				})
+			})
+		})
+		if err != nil {
+			return err
+		}
+		for _, ix := range tbl.Secondaries {
+			ok, nk := ix.Key(cur), ix.Key(old)
+			if ok != nk {
+				ix.Tree.Delete(ok)
+				_ = ix.Tree.Put(nk, u.RID.Pack())
+			}
+		}
+		return nil
+
+	case tx.UDelete:
+		// Re-insert the deleted record (possibly at a new RID).
+		old, err := tuple.Decode(u.Before)
+		if err != nil {
+			return err
+		}
+		rid, err := tbl.Heap.InsertWith(u.Before, func(rid storage.RID) uint64 {
+			return t.Chain(func(prev uint64) uint64 {
+				return s.Log.Append(&wal.Record{
+					Kind: wal.KCLR, Sub: wal.KInsert, TxnID: t.ID, PrevLSN: prev,
+					UndoNext: u.PrevLSN, Table: u.Table,
+					Page: rid.Page, Slot: rid.Slot, Key: u.Key,
+					Redo: u.Before,
+				})
+			})
+		})
+		if err != nil {
+			return err
+		}
+		if err := tbl.Primary.Tree.Put(u.Key, rid.Pack()); err != nil {
+			return err
+		}
+		for _, ix := range tbl.Secondaries {
+			_ = ix.Tree.Put(ix.Key(old), rid.Pack())
+		}
+		return nil
+	}
+	return fmt.Errorf("sm: unknown undo kind %d", u.Kind)
+}
+
+// SetTxnIDFloor ensures future transaction ids exceed floor (recovery).
+func (s *SM) SetTxnIDFloor(floor uint64) { s.ids.EnsureAtLeast(floor) }
+
+// Close flushes dirty pages and the log.
+func (s *SM) Close() error {
+	if err := s.Log.FlushAll(); err != nil {
+		return err
+	}
+	return s.Pool.FlushAll()
+}

@@ -1,0 +1,439 @@
+// Package storage implements heap files on top of the buffer pool:
+// collections of slotted pages addressed by record ids (RIDs). The
+// storage-manager facade (internal/sm) combines heaps with B+tree
+// indexes, the WAL and a lock manager into the full substrate.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dora/internal/buffer"
+	"dora/internal/page"
+)
+
+// RID identifies a record: a page and a slot within it.
+type RID struct {
+	Page page.ID
+	Slot uint16
+}
+
+// Pack encodes the RID into a uint64 for storage in B+tree values.
+func (r RID) Pack() uint64 { return uint64(r.Page)<<16 | uint64(r.Slot) }
+
+// UnpackRID decodes a packed RID.
+func UnpackRID(v uint64) RID {
+	return RID{Page: page.ID(v >> 16), Slot: uint16(v & 0xFFFF)}
+}
+
+// String implements fmt.Stringer.
+func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
+
+// ErrRecordTooLarge reports a record that cannot fit in any page.
+var ErrRecordTooLarge = errors.New("storage: record larger than page")
+
+// Heap is a heap file: an unordered collection of records in slotted
+// pages. Heap methods latch pages internally; callers provide isolation
+// through the lock protocol (conventional engine) or partition ownership
+// (DORA).
+type Heap struct {
+	pool *buffer.Pool
+
+	mu    sync.Mutex
+	pages []page.ID
+	// fillHint is the index in pages of the page most recently found to
+	// have free space; inserts try it first.
+	fillHint int
+}
+
+// NewHeap returns an empty heap over pool.
+func NewHeap(pool *buffer.Pool) *Heap { return &Heap{pool: pool} }
+
+// Pages returns a snapshot of the heap's page ids (scan support).
+func (h *Heap) Pages() []page.ID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]page.ID, len(h.pages))
+	copy(out, h.pages)
+	return out
+}
+
+// Insert stores rec and stamps the page with lsn, returning the new RID.
+func (h *Heap) Insert(rec []byte, lsn uint64) (RID, error) {
+	if len(rec) > page.Size-page.HeaderSize-8 {
+		return RID{}, ErrRecordTooLarge
+	}
+	// Try the hinted page, then allocate.
+	h.mu.Lock()
+	var candidates []page.ID
+	if len(h.pages) > 0 {
+		candidates = append(candidates, h.pages[h.fillHint])
+	}
+	h.mu.Unlock()
+
+	for _, pid := range candidates {
+		rid, ok, err := h.tryInsert(pid, rec, lsn)
+		if err != nil {
+			return RID{}, err
+		}
+		if ok {
+			return rid, nil
+		}
+	}
+
+	// Allocate a new page and insert there.
+	f, err := h.pool.NewPage()
+	if err != nil {
+		return RID{}, err
+	}
+	f.Latch.Lock()
+	slot, err := f.Page.Insert(rec)
+	if err != nil {
+		f.Latch.Unlock()
+		h.pool.Unpin(f, false)
+		return RID{}, err
+	}
+	if lsn != 0 {
+		f.Page.SetLSN(lsn)
+	}
+	f.MarkDirty()
+	pid := f.ID()
+	f.Latch.Unlock()
+	h.pool.Unpin(f, true)
+
+	h.mu.Lock()
+	h.pages = append(h.pages, pid)
+	h.fillHint = len(h.pages) - 1
+	h.mu.Unlock()
+	return RID{Page: pid, Slot: uint16(slot)}, nil
+}
+
+func (h *Heap) tryInsert(pid page.ID, rec []byte, lsn uint64) (RID, bool, error) {
+	f, err := h.pool.Fetch(pid)
+	if err != nil {
+		return RID{}, false, err
+	}
+	f.Latch.Lock()
+	slot, err := f.Page.Insert(rec)
+	if err == nil {
+		if lsn != 0 {
+			f.Page.SetLSN(lsn)
+		}
+		f.MarkDirty()
+		f.Latch.Unlock()
+		h.pool.Unpin(f, true)
+		return RID{Page: pid, Slot: uint16(slot)}, true, nil
+	}
+	f.Latch.Unlock()
+	h.pool.Unpin(f, false)
+	if errors.Is(err, page.ErrPageFull) {
+		return RID{}, false, nil
+	}
+	return RID{}, false, err
+}
+
+// InsertWith stores rec like Insert, but invokes mkLSN with the chosen
+// RID while the page latch is held, stamping the page with the returned
+// LSN. This lets the storage manager append the log record *before* the
+// modified page can reach disk (write-ahead rule) without exposing a
+// half-placed record.
+func (h *Heap) InsertWith(rec []byte, mkLSN func(RID) uint64) (RID, error) {
+	if len(rec) > page.Size-page.HeaderSize-8 {
+		return RID{}, ErrRecordTooLarge
+	}
+	h.mu.Lock()
+	var hint page.ID
+	hasHint := len(h.pages) > 0
+	if hasHint {
+		hint = h.pages[h.fillHint]
+	}
+	h.mu.Unlock()
+
+	if hasHint {
+		rid, ok, err := h.tryInsertWith(hint, rec, mkLSN)
+		if err != nil {
+			return RID{}, err
+		}
+		if ok {
+			return rid, nil
+		}
+	}
+	f, err := h.pool.NewPage()
+	if err != nil {
+		return RID{}, err
+	}
+	f.Latch.Lock()
+	slot, err := f.Page.Insert(rec)
+	if err != nil {
+		f.Latch.Unlock()
+		h.pool.Unpin(f, false)
+		return RID{}, err
+	}
+	rid := RID{Page: f.ID(), Slot: uint16(slot)}
+	f.Page.SetLSN(mkLSN(rid))
+	f.MarkDirty()
+	f.Latch.Unlock()
+	h.pool.Unpin(f, true)
+
+	h.mu.Lock()
+	h.pages = append(h.pages, rid.Page)
+	h.fillHint = len(h.pages) - 1
+	h.mu.Unlock()
+	return rid, nil
+}
+
+func (h *Heap) tryInsertWith(pid page.ID, rec []byte, mkLSN func(RID) uint64) (RID, bool, error) {
+	f, err := h.pool.Fetch(pid)
+	if err != nil {
+		return RID{}, false, err
+	}
+	f.Latch.Lock()
+	slot, err := f.Page.Insert(rec)
+	if err == nil {
+		rid := RID{Page: pid, Slot: uint16(slot)}
+		f.Page.SetLSN(mkLSN(rid))
+		f.MarkDirty()
+		f.Latch.Unlock()
+		h.pool.Unpin(f, true)
+		return rid, true, nil
+	}
+	f.Latch.Unlock()
+	h.pool.Unpin(f, false)
+	if errors.Is(err, page.ErrPageFull) {
+		return RID{}, false, nil
+	}
+	return RID{}, false, err
+}
+
+// UpdateWith rewrites the record at rid in place; mkLSN receives the
+// before image (aliasing the page; it must copy) while the latch is held
+// and returns the LSN to stamp.
+func (h *Heap) UpdateWith(rid RID, rec []byte, mkLSN func(before []byte) uint64) error {
+	f, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	f.Latch.Lock()
+	old, err := f.Page.Get(int(rid.Slot))
+	if err != nil {
+		f.Latch.Unlock()
+		h.pool.Unpin(f, false)
+		return err
+	}
+	// The log record must not be written unless the update will apply.
+	if !f.Page.CanUpdate(int(rid.Slot), len(rec)) {
+		f.Latch.Unlock()
+		h.pool.Unpin(f, false)
+		return page.ErrPageFull
+	}
+	lsn := mkLSN(old)
+	if err = f.Page.Update(int(rid.Slot), rec); err != nil {
+		f.Latch.Unlock()
+		h.pool.Unpin(f, false)
+		return err
+	}
+	f.Page.SetLSN(lsn)
+	f.MarkDirty()
+	f.Latch.Unlock()
+	h.pool.Unpin(f, true)
+	return nil
+}
+
+// DeleteWith tombstones the record at rid; mkLSN receives the before
+// image (aliasing the page; it must copy) and returns the LSN to stamp.
+func (h *Heap) DeleteWith(rid RID, mkLSN func(before []byte) uint64) error {
+	f, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	f.Latch.Lock()
+	old, err := f.Page.Get(int(rid.Slot))
+	if err != nil {
+		f.Latch.Unlock()
+		h.pool.Unpin(f, false)
+		return err
+	}
+	lsn := mkLSN(old)
+	if err = f.Page.Delete(int(rid.Slot)); err != nil {
+		f.Latch.Unlock()
+		h.pool.Unpin(f, false)
+		return err
+	}
+	f.Page.SetLSN(lsn)
+	f.MarkDirty()
+	f.Latch.Unlock()
+	h.pool.Unpin(f, true)
+	return nil
+}
+
+// RedoInsert replays an insert on a specific page during recovery,
+// verifying that the record lands in the slot the log recorded.
+func (h *Heap) RedoInsert(rid RID, rec []byte, lsn uint64) error {
+	f, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer h.pool.Unpin(f, true)
+	f.Latch.Lock()
+	defer f.Latch.Unlock()
+	if f.Page.LSN() >= lsn {
+		return nil // already applied
+	}
+	slot, err := f.Page.Insert(rec)
+	if err != nil {
+		return fmt.Errorf("storage: redo insert on page %d: %w", rid.Page, err)
+	}
+	if uint16(slot) != rid.Slot {
+		return fmt.Errorf("storage: redo insert landed in slot %d, log says %d", slot, rid.Slot)
+	}
+	f.Page.SetLSN(lsn)
+	f.MarkDirty()
+	return nil
+}
+
+// Get returns a copy of the record at rid.
+func (h *Heap) Get(rid RID) ([]byte, error) {
+	f, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	f.Latch.RLock()
+	b, err := f.Page.Get(int(rid.Slot))
+	var out []byte
+	if err == nil {
+		out = append([]byte(nil), b...)
+	}
+	f.Latch.RUnlock()
+	h.pool.Unpin(f, false)
+	return out, err
+}
+
+// Update rewrites the record at rid in place and stamps lsn. If the new
+// image no longer fits the page, ErrPageFull is returned and the caller
+// must relocate (delete + insert).
+func (h *Heap) Update(rid RID, rec []byte, lsn uint64) error {
+	f, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	f.Latch.Lock()
+	err = f.Page.Update(int(rid.Slot), rec)
+	if err == nil {
+		if lsn != 0 {
+			f.Page.SetLSN(lsn)
+		}
+		f.MarkDirty()
+	}
+	f.Latch.Unlock()
+	h.pool.Unpin(f, err == nil)
+	return err
+}
+
+// RedoUpdate replays an update during recovery (idempotent via page LSN).
+func (h *Heap) RedoUpdate(rid RID, rec []byte, lsn uint64) error {
+	f, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer h.pool.Unpin(f, true)
+	f.Latch.Lock()
+	defer f.Latch.Unlock()
+	if f.Page.LSN() >= lsn {
+		return nil
+	}
+	if err := f.Page.Update(int(rid.Slot), rec); err != nil {
+		return fmt.Errorf("storage: redo update: %w", err)
+	}
+	f.Page.SetLSN(lsn)
+	f.MarkDirty()
+	return nil
+}
+
+// Delete tombstones the record at rid.
+func (h *Heap) Delete(rid RID, lsn uint64) error {
+	f, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	f.Latch.Lock()
+	err = f.Page.Delete(int(rid.Slot))
+	if err == nil {
+		if lsn != 0 {
+			f.Page.SetLSN(lsn)
+		}
+		f.MarkDirty()
+	}
+	f.Latch.Unlock()
+	h.pool.Unpin(f, err == nil)
+	return err
+}
+
+// RedoDelete replays a delete during recovery (idempotent via page LSN).
+func (h *Heap) RedoDelete(rid RID, lsn uint64) error {
+	f, err := h.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer h.pool.Unpin(f, true)
+	f.Latch.Lock()
+	defer f.Latch.Unlock()
+	if f.Page.LSN() >= lsn {
+		return nil
+	}
+	if err := f.Page.Delete(int(rid.Slot)); err != nil {
+		return fmt.Errorf("storage: redo delete: %w", err)
+	}
+	f.Page.SetLSN(lsn)
+	f.MarkDirty()
+	return nil
+}
+
+// AttachPage registers an existing page id with the heap (recovery: the
+// heap page set is rebuilt from the log).
+func (h *Heap) AttachPage(pid page.ID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, p := range h.pages {
+		if p == pid {
+			return
+		}
+	}
+	h.pages = append(h.pages, pid)
+}
+
+// Scan invokes fn with a copy of every live record and its RID, until fn
+// returns false.
+func (h *Heap) Scan(fn func(rid RID, rec []byte) bool) error {
+	for _, pid := range h.Pages() {
+		f, err := h.pool.Fetch(pid)
+		if err != nil {
+			return err
+		}
+		f.Latch.RLock()
+		n := f.Page.NumSlots()
+		type item struct {
+			rid RID
+			rec []byte
+		}
+		items := make([]item, 0, n)
+		for s := 0; s < n; s++ {
+			if f.Page.Deleted(s) {
+				continue
+			}
+			b, err := f.Page.Get(s)
+			if err != nil {
+				continue
+			}
+			items = append(items, item{RID{pid, uint16(s)}, append([]byte(nil), b...)})
+		}
+		f.Latch.RUnlock()
+		h.pool.Unpin(f, false)
+		for _, it := range items {
+			if !fn(it.rid, it.rec) {
+				return nil
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package tuple
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	recs := []Record{
+		{},
+		{I(0)},
+		{I(-1), I(1 << 62)},
+		{S("")},
+		{S("hello"), I(42), S("world")},
+		{I(7), S("a"), I(8), S("bb"), I(9)},
+	}
+	for _, r := range recs {
+		got, err := Decode(Encode(r))
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", r, err)
+		}
+		if !got.Equal(r) {
+			t.Fatalf("round trip %v -> %v", r, got)
+		}
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1},
+		{2, 0, byte(TInt)},         // truncated int
+		{1, 0, byte(TString), 200}, // truncated string header
+		{1, 0, 99, 0, 0},           // unknown type
+	}
+	for i, b := range cases {
+		if _, err := Decode(b); err == nil {
+			t.Fatalf("case %d: Decode should fail", i)
+		}
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !I(5).Equal(I(5)) || I(5).Equal(I(6)) {
+		t.Fatal("int equality broken")
+	}
+	if !S("x").Equal(S("x")) || S("x").Equal(S("y")) {
+		t.Fatal("string equality broken")
+	}
+	if I(5).Equal(S("5")) {
+		t.Fatal("cross-type equality must be false")
+	}
+}
+
+func TestClone(t *testing.T) {
+	r := Record{I(1), S("a")}
+	c := r.Clone()
+	c[0] = I(2)
+	if r[0].Int != 1 {
+		t.Fatal("Clone aliases source")
+	}
+}
+
+func randomRecord(rng *rand.Rand) Record {
+	n := rng.Intn(10)
+	r := make(Record, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			r = append(r, I(rng.Int63()-rng.Int63()))
+		} else {
+			b := make([]byte, rng.Intn(50))
+			for j := range b {
+				b[j] = byte(rng.Intn(256))
+			}
+			r = append(r, S(string(b)))
+		}
+	}
+	return r
+}
+
+// TestQuickRoundTrip: Decode(Encode(r)) == r for arbitrary records.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 20; i++ {
+			r := randomRecord(rng)
+			got, err := Decode(Encode(r))
+			if err != nil || !got.Equal(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	r := Record{I(1), S("x")}
+	if r.String() != `(1, "x")` {
+		t.Fatalf("String() = %s", r.String())
+	}
+	if TInt.String() != "int" || TString.String() != "string" {
+		t.Fatal("type names")
+	}
+}

@@ -1,0 +1,156 @@
+// Package tx defines the transaction context shared by both engines:
+// identity, status, the per-transaction log-record chain, and the
+// in-memory logical undo list used for rollback.
+//
+// A Txn must tolerate concurrent use: under DORA, actions of the same
+// transaction execute in parallel on different partition workers, all
+// logging against the same context.
+package tx
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dora/internal/storage"
+)
+
+// Status is the transaction state.
+type Status uint8
+
+const (
+	// Active transactions may read and write.
+	Active Status = iota
+	// Committed transactions are durable.
+	Committed
+	// Aborted transactions have been rolled back.
+	Aborted
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	}
+	return "unknown"
+}
+
+// UndoKind tells how to compensate an operation.
+type UndoKind uint8
+
+const (
+	// UInsert is undone by deleting the inserted record.
+	UInsert UndoKind = iota + 1
+	// UUpdate is undone by restoring the before image.
+	UUpdate
+	// UDelete is undone by re-inserting the before image.
+	UDelete
+)
+
+// Undo is one logical undo entry.
+type Undo struct {
+	Kind   UndoKind
+	Table  uint32
+	Key    int64
+	RID    storage.RID
+	Before []byte // encoded before image (update, delete)
+	// LSN is the log record this entry compensates; PrevLSN its chain
+	// predecessor (becomes the CLR's UndoNext).
+	LSN     uint64
+	PrevLSN uint64
+}
+
+// Txn is a transaction context.
+type Txn struct {
+	// ID is the globally unique transaction id.
+	ID uint64
+
+	mu      sync.Mutex
+	status  Status
+	lastLSN uint64
+	undos   []Undo
+}
+
+// IDGen allocates transaction ids.
+type IDGen struct{ next atomic.Uint64 }
+
+// NewTxn returns a fresh active transaction.
+func (g *IDGen) NewTxn() *Txn { return &Txn{ID: g.next.Add(1)} }
+
+// EnsureAtLeast raises the generator so future ids exceed v (recovery
+// must not reuse ids that appear in the log).
+func (g *IDGen) EnsureAtLeast(v uint64) {
+	for {
+		cur := g.next.Load()
+		if cur >= v {
+			return
+		}
+		if g.next.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Status returns the current state.
+func (t *Txn) Status() Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.status
+}
+
+// SetStatus transitions the state.
+func (t *Txn) SetStatus(s Status) {
+	t.mu.Lock()
+	t.status = s
+	t.mu.Unlock()
+}
+
+// LastLSN returns the most recent log record of this transaction.
+func (t *Txn) LastLSN() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastLSN
+}
+
+// Chain atomically runs fn with the current chain head and installs the
+// LSN fn returns as the new head. The storage manager calls this with a
+// closure that appends the log record, keeping the per-transaction
+// PrevLSN chain consistent even when DORA runs actions in parallel.
+func (t *Txn) Chain(fn func(prev uint64) uint64) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	lsn := fn(t.lastLSN)
+	t.lastLSN = lsn
+	return lsn
+}
+
+// AddUndo appends a logical undo entry.
+func (t *Txn) AddUndo(u Undo) {
+	t.mu.Lock()
+	t.undos = append(t.undos, u)
+	t.mu.Unlock()
+}
+
+// TakeUndos returns the undo entries in apply (reverse) order and clears
+// the list. Called exactly once, by rollback.
+func (t *Txn) TakeUndos() []Undo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Undo, len(t.undos))
+	for i, u := range t.undos {
+		out[len(t.undos)-1-i] = u
+	}
+	t.undos = nil
+	return out
+}
+
+// UndoCount returns the number of pending undo entries.
+func (t *Txn) UndoCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.undos)
+}

@@ -1,0 +1,123 @@
+package tx
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestIDGenUnique(t *testing.T) {
+	var g IDGen
+	seen := sync.Map{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				id := g.NewTxn().ID
+				if _, dup := seen.LoadOrStore(id, true); dup {
+					t.Errorf("duplicate txn id %d", id)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestEnsureAtLeast(t *testing.T) {
+	var g IDGen
+	g.EnsureAtLeast(100)
+	if id := g.NewTxn().ID; id <= 100 {
+		t.Fatalf("id = %d, want > 100", id)
+	}
+	g.EnsureAtLeast(50) // lowering must be a no-op
+	if id := g.NewTxn().ID; id <= 100 {
+		t.Fatalf("id = %d after no-op lower", id)
+	}
+}
+
+func TestChainOrdering(t *testing.T) {
+	txn := &Txn{ID: 1}
+	var order []uint64
+	for i := uint64(1); i <= 5; i++ {
+		txn.Chain(func(prev uint64) uint64 {
+			order = append(order, prev)
+			return i * 10
+		})
+	}
+	want := []uint64{0, 10, 20, 30, 40}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("chain order %v", order)
+		}
+	}
+	if txn.LastLSN() != 50 {
+		t.Fatalf("last = %d", txn.LastLSN())
+	}
+}
+
+func TestConcurrentChain(t *testing.T) {
+	// DORA runs actions of one txn on several workers; the chain must
+	// stay consistent: each append sees the previous LSN.
+	txn := &Txn{ID: 1}
+	var mu sync.Mutex
+	seen := map[uint64]bool{}
+	var wg sync.WaitGroup
+	next := make(chan uint64, 1000)
+	for i := 0; i < 1000; i++ {
+		next <- uint64(i+1) * 7
+	}
+	close(next)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for lsn := range next {
+				txn.Chain(func(prev uint64) uint64 {
+					mu.Lock()
+					if seen[prev] {
+						t.Errorf("prev %d seen twice", prev)
+					}
+					seen[prev] = true
+					mu.Unlock()
+					return lsn
+				})
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestUndoReverseOrder(t *testing.T) {
+	txn := &Txn{ID: 1}
+	for i := int64(0); i < 5; i++ {
+		txn.AddUndo(Undo{Key: i})
+	}
+	if txn.UndoCount() != 5 {
+		t.Fatalf("count = %d", txn.UndoCount())
+	}
+	undos := txn.TakeUndos()
+	for i, u := range undos {
+		if u.Key != int64(4-i) {
+			t.Fatalf("undo order: %v", undos)
+		}
+	}
+	if txn.UndoCount() != 0 {
+		t.Fatal("TakeUndos must clear")
+	}
+}
+
+func TestStatusTransitions(t *testing.T) {
+	txn := &Txn{ID: 1}
+	if txn.Status() != Active {
+		t.Fatal("new txn not active")
+	}
+	txn.SetStatus(Committed)
+	if txn.Status() != Committed {
+		t.Fatal("status not set")
+	}
+	if Active.String() != "active" || Committed.String() != "committed" || Aborted.String() != "aborted" {
+		t.Fatal("status strings")
+	}
+}

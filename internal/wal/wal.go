@@ -1,0 +1,453 @@
+// Package wal implements the write-ahead log: an append-only stream of
+// physiological log records with offset-based LSNs, a group-commit force
+// path, and a scanner for ARIES-style recovery (analysis / redo / undo is
+// driven by internal/sm on top of this package).
+//
+// The append path serializes on a single mutex — the log-buffer critical
+// section that every update of every transaction must enter in both the
+// conventional and the DORA engine. It is instrumented so experiment E4
+// can report it separately from lock-manager serialization.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+
+	"dora/internal/metrics"
+	"dora/internal/page"
+)
+
+// LSN is a log sequence number: the byte offset of the record in the log
+// stream. 0 is never a valid LSN (the stream starts with a file header).
+type LSN = uint64
+
+// Kind enumerates log-record types.
+type Kind uint8
+
+const (
+	// KUpdate logs an in-place record update (before and after images).
+	KUpdate Kind = iota + 1
+	// KInsert logs a record insertion (after image only).
+	KInsert
+	// KDelete logs a record deletion (before image only).
+	KDelete
+	// KCommit marks transaction commit.
+	KCommit
+	// KAbort marks the start of rollback.
+	KAbort
+	// KEnd marks transaction completion (after commit or full rollback).
+	KEnd
+	// KCLR is a compensation log record written during rollback; its
+	// UndoNext points at the next record of the transaction to undo.
+	KCLR
+	// KCheckpoint carries a fuzzy checkpoint (unused fields otherwise).
+	KCheckpoint
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KUpdate:
+		return "update"
+	case KInsert:
+		return "insert"
+	case KDelete:
+		return "delete"
+	case KCommit:
+		return "commit"
+	case KAbort:
+		return "abort"
+	case KEnd:
+		return "end"
+	case KCLR:
+		return "clr"
+	case KCheckpoint:
+		return "checkpoint"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Record is one log record. Table/Page/Slot/Key locate the change; Redo
+// and Undo carry after/before images of the record payload.
+type Record struct {
+	LSN     LSN
+	PrevLSN LSN // previous record of the same transaction
+	TxnID   uint64
+	Kind    Kind
+	// Sub qualifies KCLR records with the physical operation the
+	// compensation performs (KInsert, KUpdate or KDelete); zero otherwise.
+	Sub      Kind
+	Table    uint32
+	Page     page.ID
+	Slot     uint16
+	Key      int64
+	UndoNext LSN // CLR only: next LSN of this txn to undo
+	Redo     []byte
+	Undo     []byte
+}
+
+const fileHeader = "DORALOG1"
+
+// ErrCorrupt reports a checksum or framing failure while scanning.
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+// Store is the durable byte sink behind the log.
+type Store interface {
+	// Write appends b at the end of the store.
+	Write(b []byte) error
+	// Sync makes all written bytes durable.
+	Sync() error
+	// Contents returns the full stream for recovery scans.
+	Contents() ([]byte, error)
+	// Close releases resources.
+	Close() error
+}
+
+// MemStore is an in-memory Store for tests and I/O-free benchmarks. Its
+// CrashCopy method returns only the synced prefix, letting tests simulate
+// the loss of unsynced log data at a crash.
+type MemStore struct {
+	mu     sync.Mutex
+	buf    []byte
+	synced int
+}
+
+// CrashCopy returns a new MemStore containing only the bytes that were
+// durable (synced) — what a real disk would hold after a crash.
+func (s *MemStore) CrashCopy() *MemStore {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := &MemStore{buf: append([]byte(nil), s.buf[:s.synced]...)}
+	out.synced = len(out.buf)
+	return out
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Write implements Store.
+func (s *MemStore) Write(b []byte) error {
+	s.mu.Lock()
+	s.buf = append(s.buf, b...)
+	s.mu.Unlock()
+	return nil
+}
+
+// Sync implements Store.
+func (s *MemStore) Sync() error {
+	s.mu.Lock()
+	s.synced = len(s.buf)
+	s.mu.Unlock()
+	return nil
+}
+
+// Contents implements Store.
+func (s *MemStore) Contents() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]byte, len(s.buf))
+	copy(out, s.buf)
+	return out, nil
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }
+
+// FileStore is a file-backed Store.
+type FileStore struct {
+	f *os.File
+}
+
+// OpenFileStore opens (creating if needed) the log file at path and
+// positions writes at its end.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return &FileStore{f: f}, nil
+}
+
+// Write implements Store.
+func (s *FileStore) Write(b []byte) error {
+	_, err := s.f.Write(b)
+	return err
+}
+
+// Sync implements Store.
+func (s *FileStore) Sync() error { return s.f.Sync() }
+
+// Contents implements Store.
+func (s *FileStore) Contents() ([]byte, error) { return os.ReadFile(s.f.Name()) }
+
+// Close implements Store.
+func (s *FileStore) Close() error { return s.f.Close() }
+
+// Log is the log manager.
+type Log struct {
+	mu      sync.Mutex // append critical section
+	buf     []byte     // appended but not yet handed to store
+	nextLSN LSN        // offset the next record will get
+
+	flushMu sync.Mutex // serializes Force (group commit)
+	durable LSN        // all records below this offset are durable (atomic via mu)
+
+	store Store
+	cs    *metrics.CriticalSectionStats
+
+	// Appends and Forces count operations; GroupedCommits counts Force
+	// calls satisfied by an earlier flush (the group-commit win).
+	Appends        metrics.Counter
+	Forces         metrics.Counter
+	GroupedCommits metrics.Counter
+}
+
+// New creates a log manager over store. If the store is empty the file
+// header is written; otherwise appends continue after existing content.
+func New(store Store, cs *metrics.CriticalSectionStats) (*Log, error) {
+	existing, err := store.Contents()
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{store: store, cs: cs}
+	if len(existing) == 0 {
+		if err := store.Write([]byte(fileHeader)); err != nil {
+			return nil, err
+		}
+		if err := store.Sync(); err != nil {
+			return nil, err
+		}
+		l.nextLSN = LSN(len(fileHeader))
+	} else {
+		if len(existing) < len(fileHeader) || string(existing[:len(fileHeader)]) != fileHeader {
+			return nil, fmt.Errorf("%w: bad header", ErrCorrupt)
+		}
+		l.nextLSN = LSN(len(existing))
+	}
+	l.durable = l.nextLSN
+	return l, nil
+}
+
+// Append assigns an LSN to rec, serializes it into the log buffer, and
+// returns the LSN. The record is not durable until Force.
+func (l *Log) Append(rec *Record) LSN {
+	b := encode(rec)
+	l.mu.Lock()
+	if l.cs != nil {
+		l.cs.Log.Inc()
+	}
+	rec.LSN = l.nextLSN
+	// Patch the LSN into the already-encoded frame.
+	binary.LittleEndian.PutUint64(b[8:], rec.LSN)
+	// Recompute checksum over payload (LSN is inside the payload).
+	binary.LittleEndian.PutUint32(b[4:], crc32.ChecksumIEEE(b[8:]))
+	l.buf = append(l.buf, b...)
+	l.nextLSN += LSN(len(b))
+	l.Appends.Inc()
+	l.mu.Unlock()
+	return rec.LSN
+}
+
+// Durable returns the LSN up to which (exclusive) the log is durable.
+func (l *Log) Durable() LSN {
+	l.mu.Lock()
+	d := l.durable
+	l.mu.Unlock()
+	return d
+}
+
+// Next returns the LSN the next Append will receive.
+func (l *Log) Next() LSN {
+	l.mu.Lock()
+	n := l.nextLSN
+	l.mu.Unlock()
+	return n
+}
+
+// Force blocks until every record with LSN <= lsn is durable. Concurrent
+// forcers are batched: the first flush covers all earlier appends, and
+// later callers return without touching the store (group commit).
+func (l *Log) Force(lsn LSN) error {
+	l.Forces.Inc()
+	l.mu.Lock()
+	if l.durable > lsn {
+		l.mu.Unlock()
+		l.GroupedCommits.Inc()
+		return nil
+	}
+	l.mu.Unlock()
+
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	l.mu.Lock()
+	if l.durable > lsn {
+		l.mu.Unlock()
+		l.GroupedCommits.Inc()
+		return nil
+	}
+	pend := l.buf
+	l.buf = nil
+	upTo := l.nextLSN
+	l.mu.Unlock()
+
+	if len(pend) > 0 {
+		if err := l.store.Write(pend); err != nil {
+			return err
+		}
+	}
+	if err := l.store.Sync(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.durable = upTo
+	l.mu.Unlock()
+	return nil
+}
+
+// FlushAll forces everything appended so far.
+func (l *Log) FlushAll() error {
+	l.mu.Lock()
+	target := l.nextLSN
+	l.mu.Unlock()
+	if target == 0 {
+		return nil
+	}
+	return l.Force(target - 1)
+}
+
+// Scan decodes every record in the durable+buffered stream in order,
+// invoking fn for each. Used by recovery and by log-inspection tools.
+func (l *Log) Scan(fn func(*Record) error) error {
+	if err := l.FlushAll(); err != nil {
+		return err
+	}
+	raw, err := l.store.Contents()
+	if err != nil {
+		return err
+	}
+	return ScanBytes(raw, fn)
+}
+
+// ScanBytes decodes a raw log image (including header).
+func ScanBytes(raw []byte, fn func(*Record) error) error {
+	if len(raw) < len(fileHeader) || string(raw[:len(fileHeader)]) != fileHeader {
+		return fmt.Errorf("%w: bad header", ErrCorrupt)
+	}
+	off := len(fileHeader)
+	for off < len(raw) {
+		if off+8 > len(raw) {
+			return nil // torn tail: ignore, standard recovery behaviour
+		}
+		ln := int(binary.LittleEndian.Uint32(raw[off:]))
+		crc := binary.LittleEndian.Uint32(raw[off+4:])
+		if off+ln > len(raw) || ln < 8 {
+			return nil // torn record
+		}
+		payload := raw[off+8 : off+ln]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return nil // torn / corrupt tail ends the scan
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return err
+		}
+		if rec.LSN != LSN(off) {
+			return fmt.Errorf("%w: LSN %d at offset %d", ErrCorrupt, rec.LSN, off)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+		off += ln
+	}
+	return nil
+}
+
+// encode frames rec: u32 total length, u32 crc, then payload beginning
+// with the (to-be-patched) LSN.
+func encode(r *Record) []byte {
+	n := 8 + // frame header
+		8 + 8 + 8 + 1 + 1 + 4 + 4 + 2 + 8 + 8 + // fixed payload
+		4 + len(r.Redo) + 4 + len(r.Undo)
+	b := make([]byte, n)
+	binary.LittleEndian.PutUint32(b[0:], uint32(n))
+	w := 8
+	binary.LittleEndian.PutUint64(b[w:], r.LSN)
+	w += 8
+	binary.LittleEndian.PutUint64(b[w:], r.PrevLSN)
+	w += 8
+	binary.LittleEndian.PutUint64(b[w:], r.TxnID)
+	w += 8
+	b[w] = byte(r.Kind)
+	w++
+	b[w] = byte(r.Sub)
+	w++
+	binary.LittleEndian.PutUint32(b[w:], r.Table)
+	w += 4
+	binary.LittleEndian.PutUint32(b[w:], uint32(r.Page))
+	w += 4
+	binary.LittleEndian.PutUint16(b[w:], r.Slot)
+	w += 2
+	binary.LittleEndian.PutUint64(b[w:], uint64(r.Key))
+	w += 8
+	binary.LittleEndian.PutUint64(b[w:], r.UndoNext)
+	w += 8
+	binary.LittleEndian.PutUint32(b[w:], uint32(len(r.Redo)))
+	w += 4
+	copy(b[w:], r.Redo)
+	w += len(r.Redo)
+	binary.LittleEndian.PutUint32(b[w:], uint32(len(r.Undo)))
+	w += 4
+	copy(b[w:], r.Undo)
+	return b
+}
+
+func decodePayload(p []byte) (*Record, error) {
+	const fixed = 8 + 8 + 8 + 1 + 1 + 4 + 4 + 2 + 8 + 8
+	if len(p) < fixed {
+		return nil, fmt.Errorf("%w: short payload", ErrCorrupt)
+	}
+	r := &Record{}
+	w := 0
+	r.LSN = binary.LittleEndian.Uint64(p[w:])
+	w += 8
+	r.PrevLSN = binary.LittleEndian.Uint64(p[w:])
+	w += 8
+	r.TxnID = binary.LittleEndian.Uint64(p[w:])
+	w += 8
+	r.Kind = Kind(p[w])
+	w++
+	r.Sub = Kind(p[w])
+	w++
+	r.Table = binary.LittleEndian.Uint32(p[w:])
+	w += 4
+	r.Page = page.ID(binary.LittleEndian.Uint32(p[w:]))
+	w += 4
+	r.Slot = binary.LittleEndian.Uint16(p[w:])
+	w += 2
+	r.Key = int64(binary.LittleEndian.Uint64(p[w:]))
+	w += 8
+	r.UndoNext = binary.LittleEndian.Uint64(p[w:])
+	w += 8
+	rl := int(binary.LittleEndian.Uint32(p[w:]))
+	w += 4
+	if w+rl+4 > len(p) {
+		return nil, fmt.Errorf("%w: bad redo length", ErrCorrupt)
+	}
+	if rl > 0 {
+		r.Redo = append([]byte(nil), p[w:w+rl]...)
+	}
+	w += rl
+	ul := int(binary.LittleEndian.Uint32(p[w:]))
+	w += 4
+	if w+ul > len(p) {
+		return nil, fmt.Errorf("%w: bad undo length", ErrCorrupt)
+	}
+	if ul > 0 {
+		r.Undo = append([]byte(nil), p[w:w+ul]...)
+	}
+	return r, nil
+}

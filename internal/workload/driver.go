@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"dora/internal/engine"
+	"dora/internal/metrics"
+	"dora/internal/xct"
+)
+
+// TxnType is one transaction in a mix.
+type TxnType struct {
+	// Name labels the transaction (statistics).
+	Name string
+	// Weight is the relative frequency in the mix.
+	Weight int
+	// Build constructs a fresh flow (a retry rebuilds it).
+	Build func(rng *rand.Rand) *xct.Flow
+}
+
+// Mix is a weighted set of transaction types.
+type Mix []TxnType
+
+// Pick draws a transaction type by weight.
+func (m Mix) Pick(rng *rand.Rand) *TxnType {
+	total := 0
+	for i := range m {
+		total += m[i].Weight
+	}
+	n := rng.Intn(total)
+	for i := range m {
+		n -= m[i].Weight
+		if n < 0 {
+			return &m[i]
+		}
+	}
+	return &m[len(m)-1]
+}
+
+// Driver runs a mix against an engine with a population of emulated
+// clients (the demo's workload panel: "number of clients, the mix of
+// transactions to execute, and the distribution of data accesses").
+type Driver struct {
+	Engine  engine.Engine
+	Mix     Mix
+	Clients int
+	// Duration bounds the measured run.
+	Duration time.Duration
+	// ThinkTime is the idle pause between a client's transactions.
+	ThinkTime time.Duration
+	// MaxRetries bounds abort-retry loops per transaction (default 20).
+	MaxRetries int
+	// Seed randomizes clients deterministically (client c uses Seed+c).
+	Seed int64
+	// SampleEvery, when > 0, records a throughput timeline (E6).
+	SampleEvery time.Duration
+	// OnSample, when set, observes each timeline sample as it is taken.
+	OnSample func(i int, tps float64)
+}
+
+// Result summarizes a run.
+type Result struct {
+	Committed int64
+	Aborted   int64 // transactions that ultimately failed (retries exhausted)
+	Retries   int64 // individual aborted attempts that were retried
+	Elapsed   time.Duration
+	// Throughput is committed transactions per second.
+	Throughput float64
+	// LatencyMeanUS / P95US / P99US describe committed-txn latency.
+	LatencyMeanUS float64
+	P50US         int64
+	P95US         int64
+	P99US         int64
+	// PerTxn counts commits per transaction type.
+	PerTxn map[string]int64
+	// Timeline holds throughput samples (tx/s) when SampleEvery was set.
+	Timeline []float64
+}
+
+// Run executes the workload and blocks until Duration elapses and all
+// clients stop.
+func (d *Driver) Run() Result {
+	maxRetries := d.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = 20
+	}
+	var (
+		committed metrics.Counter
+		aborted   metrics.Counter
+		retries   metrics.Counter
+		lat       metrics.Histogram
+		perTxn    sync.Map
+		stop      = make(chan struct{})
+		wg        sync.WaitGroup
+	)
+	meter := metrics.NewMeter()
+
+	start := time.Now()
+	for c := 0; c < d.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(d.Seed + int64(c)*7919))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tt := d.Mix.Pick(rng)
+				t0 := time.Now()
+				var err error
+				ok := false
+				for attempt := 0; attempt <= maxRetries; attempt++ {
+					flow := tt.Build(rng)
+					err = d.Engine.Exec(c, flow)
+					if err == nil {
+						ok = true
+						break
+					}
+					retries.Inc()
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+				if ok {
+					committed.Inc()
+					meter.Mark(1)
+					lat.Observe(time.Since(t0))
+					v, _ := perTxn.LoadOrStore(tt.Name, new(metrics.Counter))
+					v.(*metrics.Counter).Inc()
+				} else {
+					aborted.Inc()
+				}
+				if d.ThinkTime > 0 {
+					select {
+					case <-stop:
+						return
+					case <-time.After(d.ThinkTime):
+					}
+				}
+			}
+		}(c)
+	}
+
+	var timeline []float64
+	if d.SampleEvery > 0 {
+		ticker := time.NewTicker(d.SampleEvery)
+		deadline := time.After(d.Duration)
+		meter.Window() // reset window baseline
+	sampling:
+		for {
+			select {
+			case <-ticker.C:
+				tps := meter.Window()
+				if d.OnSample != nil {
+					d.OnSample(len(timeline), tps)
+				}
+				timeline = append(timeline, tps)
+			case <-deadline:
+				break sampling
+			}
+		}
+		ticker.Stop()
+	} else {
+		time.Sleep(d.Duration)
+	}
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{
+		Committed:     committed.Load(),
+		Aborted:       aborted.Load(),
+		Retries:       retries.Load(),
+		Elapsed:       elapsed,
+		LatencyMeanUS: lat.MeanMicros(),
+		P50US:         lat.Quantile(0.50),
+		P95US:         lat.Quantile(0.95),
+		P99US:         lat.Quantile(0.99),
+		PerTxn:        map[string]int64{},
+		Timeline:      timeline,
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(res.Committed) / elapsed.Seconds()
+	}
+	perTxn.Range(func(k, v any) bool {
+		res.PerTxn[k.(string)] = v.(*metrics.Counter).Load()
+		return true
+	})
+	return res
+}

@@ -1,0 +1,131 @@
+// Package workload provides the benchmark driver used by every
+// experiment: configurable client counts, think times, transaction
+// mixes, and skewed key generators (including the demo's movable
+// hot spot), with throughput/latency/abort accounting and an optional
+// throughput timeline for the re-balancing experiments.
+package workload
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// KeyGen produces keys in a domain with some distribution. Implementations
+// must be safe for use from one goroutine per Next call site (the driver
+// gives each client its own rand.Rand).
+type KeyGen interface {
+	// Next draws a key using rng.
+	Next(rng *rand.Rand) int64
+	// Domain returns the inclusive key bounds.
+	Domain() (lo, hi int64)
+}
+
+// Uniform draws uniformly from [Lo, Hi].
+type Uniform struct {
+	Lo, Hi int64
+}
+
+// Next implements KeyGen.
+func (u Uniform) Next(rng *rand.Rand) int64 { return u.Lo + rng.Int63n(u.Hi-u.Lo+1) }
+
+// Domain implements KeyGen.
+func (u Uniform) Domain() (int64, int64) { return u.Lo, u.Hi }
+
+// Zipf draws Zipf-distributed keys: rank r drawn with P(r) ∝ 1/(r+1)^S,
+// then mapped onto [Lo, Hi] via a fixed pseudo-random permutation so the
+// hot keys are scattered (as TATP prescribes) unless Sequential is set.
+type Zipf struct {
+	Lo, Hi     int64
+	S          float64 // skew exponent, > 1
+	Sequential bool    // hot keys at the start of the domain (for demos)
+
+	zipfs sync.Map // *rand.Rand -> *rand.Zipf, lazily built per client rng
+}
+
+// NewZipf returns a Zipf generator with exponent s over [lo, hi].
+func NewZipf(lo, hi int64, s float64) *Zipf {
+	if s <= 1 {
+		s = 1.001
+	}
+	return &Zipf{Lo: lo, Hi: hi, S: s}
+}
+
+// Next implements KeyGen.
+func (z *Zipf) Next(rng *rand.Rand) int64 {
+	var zf *rand.Zipf
+	if v, ok := z.zipfs.Load(rng); ok {
+		zf = v.(*rand.Zipf)
+	} else {
+		zf = rand.NewZipf(rng, z.S, 1, uint64(z.Hi-z.Lo))
+		z.zipfs.Store(rng, zf)
+	}
+	rank := int64(zf.Uint64())
+	if z.Sequential {
+		return z.Lo + rank
+	}
+	// Scatter via a multiplicative hash permutation within the domain.
+	n := z.Hi - z.Lo + 1
+	return z.Lo + (rank*2654435761)%n
+}
+
+// Domain implements KeyGen.
+func (z *Zipf) Domain() (int64, int64) { return z.Lo, z.Hi }
+
+// Hotspot sends HotFrac of draws into a narrow window of the domain whose
+// center can be moved at runtime — the demo's "slide it around to vary
+// the locations of hot spots". The rest of the draws are uniform.
+type Hotspot struct {
+	Lo, Hi int64
+	// HotFrac is the probability a draw lands in the hot window.
+	HotFrac float64
+	// HotWidth is the window width in keys.
+	HotWidth int64
+
+	center atomic.Int64
+}
+
+// NewHotspot builds a hotspot generator centered mid-domain.
+func NewHotspot(lo, hi int64, hotFrac float64, width int64) *Hotspot {
+	h := &Hotspot{Lo: lo, Hi: hi, HotFrac: hotFrac, HotWidth: width}
+	h.center.Store((lo + hi) / 2)
+	return h
+}
+
+// SetCenter moves the hot window.
+func (h *Hotspot) SetCenter(c int64) {
+	if c < h.Lo {
+		c = h.Lo
+	}
+	if c > h.Hi {
+		c = h.Hi
+	}
+	h.center.Store(c)
+}
+
+// Center returns the current hot-window center.
+func (h *Hotspot) Center() int64 { return h.center.Load() }
+
+// Next implements KeyGen.
+func (h *Hotspot) Next(rng *rand.Rand) int64 {
+	if rng.Float64() < h.HotFrac {
+		c := h.center.Load()
+		lo := c - h.HotWidth/2
+		if lo < h.Lo {
+			lo = h.Lo
+		}
+		hi := lo + h.HotWidth - 1
+		if hi > h.Hi {
+			hi = h.Hi
+			lo = hi - h.HotWidth + 1
+			if lo < h.Lo {
+				lo = h.Lo
+			}
+		}
+		return lo + rng.Int63n(hi-lo+1)
+	}
+	return h.Lo + rng.Int63n(h.Hi-h.Lo+1)
+}
+
+// Domain implements KeyGen.
+func (h *Hotspot) Domain() (int64, int64) { return h.Lo, h.Hi }

@@ -1,0 +1,477 @@
+// Package tatp implements the TATP (Telecom Application Transaction
+// Processing) benchmark the demo runs on both engines: the four-table
+// telecom schema and the standard seven-transaction mix, expressed as
+// transaction flow graphs both engines execute.
+//
+// Key packing: composite primary keys are bit-packed into int64s —
+// access_info (s_id, ai_type) → s_id*4 + ai_type-1; special_facility
+// (s_id, sf_type) → s_id*4 + sf_type-1; call_forwarding (s_id, sf_type,
+// start_time) → (s_id*4 + sf_type-1)*4 + start_time/8. Every table's
+// partitioning field is s_id, so all accesses keyed by s_id are
+// partition-aligned; the by-sub_nbr transactions (UpdateLocation,
+// Insert/DeleteCallForwarding) resolve sub_nbr → s_id through the
+// subscriber secondary index, exactly the non-aligned accesses the
+// alignment advisor (experiment E7) watches.
+package tatp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"dora/internal/catalog"
+	"dora/internal/sm"
+	"dora/internal/tuple"
+	"dora/internal/workload"
+	"dora/internal/xct"
+)
+
+// Subscriber field positions.
+const (
+	subSID = iota
+	subNbr
+	subBit1
+	subMSCLoc
+	subVLRLoc
+)
+
+// DB holds the loaded TATP tables.
+type DB struct {
+	SM          *sm.SM
+	N           int64 // subscribers
+	Subscriber  *catalog.Table
+	AccessInfo  *catalog.Table
+	SpecialFac  *catalog.Table
+	CallForward *catalog.Table
+}
+
+// SubNbr maps s_id to its sub_nbr (a fixed bijection over [1, N]).
+func (db *DB) SubNbr(sid int64) int64 { return db.N + 1 - sid }
+
+// SIDFromNbr inverts SubNbr.
+func (db *DB) SIDFromNbr(nbr int64) int64 { return db.N + 1 - nbr }
+
+// AIKey packs the access_info primary key.
+func AIKey(sid int64, aiType int64) int64 { return sid*4 + aiType - 1 }
+
+// SFKey packs the special_facility primary key.
+func SFKey(sid int64, sfType int64) int64 { return sid*4 + sfType - 1 }
+
+// CFKey packs the call_forwarding primary key.
+func CFKey(sid, sfType, startTime int64) int64 {
+	return (sid*4+sfType-1)*4 + startTime/8
+}
+
+// Domains returns the DORA routing domains for all TATP tables.
+func (db *DB) Domains() map[string][2]int64 {
+	return map[string][2]int64{
+		"subscriber":       {1, db.N},
+		"access_info":      {1, db.N},
+		"special_facility": {1, db.N},
+		"call_forwarding":  {1, db.N},
+	}
+}
+
+// Load creates and populates the TATP schema with n subscribers.
+func Load(s *sm.SM, n int64) (*DB, error) {
+	db := &DB{SM: s, N: n}
+	var err error
+	db.Subscriber, err = s.CreateTable(sm.TableSpec{
+		Name: "subscriber",
+		Fields: []catalog.Field{
+			{Name: "s_id", Type: tuple.TInt},
+			{Name: "sub_nbr", Type: tuple.TInt},
+			{Name: "bit_1", Type: tuple.TInt},
+			{Name: "msc_location", Type: tuple.TInt},
+			{Name: "vlr_location", Type: tuple.TInt},
+		},
+		KeyFields: []string{"s_id"},
+		Key:       func(r tuple.Record) int64 { return r[subSID].Int },
+		Secondaries: []sm.IndexSpec{{
+			Name:   "sub_by_nbr",
+			Fields: []string{"sub_nbr"},
+			Key:    func(r tuple.Record) int64 { return r[subNbr].Int },
+		}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.AccessInfo, err = s.CreateTable(sm.TableSpec{
+		Name: "access_info",
+		Fields: []catalog.Field{
+			{Name: "s_id", Type: tuple.TInt},
+			{Name: "ai_type", Type: tuple.TInt},
+			{Name: "data1", Type: tuple.TInt},
+			{Name: "data2", Type: tuple.TInt},
+			{Name: "data3", Type: tuple.TString},
+			{Name: "data4", Type: tuple.TString},
+		},
+		KeyFields:      []string{"s_id", "ai_type"},
+		Key:            func(r tuple.Record) int64 { return AIKey(r[0].Int, r[1].Int) },
+		PartitionField: "s_id",
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.SpecialFac, err = s.CreateTable(sm.TableSpec{
+		Name: "special_facility",
+		Fields: []catalog.Field{
+			{Name: "s_id", Type: tuple.TInt},
+			{Name: "sf_type", Type: tuple.TInt},
+			{Name: "is_active", Type: tuple.TInt},
+			{Name: "error_cntrl", Type: tuple.TInt},
+			{Name: "data_a", Type: tuple.TInt},
+			{Name: "data_b", Type: tuple.TString},
+		},
+		KeyFields:      []string{"s_id", "sf_type"},
+		Key:            func(r tuple.Record) int64 { return SFKey(r[0].Int, r[1].Int) },
+		PartitionField: "s_id",
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.CallForward, err = s.CreateTable(sm.TableSpec{
+		Name: "call_forwarding",
+		Fields: []catalog.Field{
+			{Name: "s_id", Type: tuple.TInt},
+			{Name: "sf_type", Type: tuple.TInt},
+			{Name: "start_time", Type: tuple.TInt},
+			{Name: "end_time", Type: tuple.TInt},
+			{Name: "numberx", Type: tuple.TInt},
+		},
+		KeyFields:      []string{"s_id", "sf_type", "start_time"},
+		Key:            func(r tuple.Record) int64 { return CFKey(r[0].Int, r[1].Int, r[2].Int) },
+		PartitionField: "s_id",
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(4242))
+	ses := s.Session(0)
+	const batch = 1000
+	txn := s.Begin()
+	inBatch := 0
+	flush := func() error {
+		if err := s.Commit(txn); err != nil {
+			return err
+		}
+		txn = s.Begin()
+		inBatch = 0
+		return nil
+	}
+	for sid := int64(1); sid <= n; sid++ {
+		err := ses.Insert(txn, db.Subscriber, tuple.Record{
+			tuple.I(sid), tuple.I(db.SubNbr(sid)),
+			tuple.I(rng.Int63n(2)), tuple.I(rng.Int63n(1 << 16)), tuple.I(rng.Int63n(1 << 16)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		// 1..4 access_info rows.
+		nAI := 1 + rng.Intn(4)
+		for ai := int64(1); ai <= int64(nAI); ai++ {
+			err := ses.Insert(txn, db.AccessInfo, tuple.Record{
+				tuple.I(sid), tuple.I(ai),
+				tuple.I(rng.Int63n(256)), tuple.I(rng.Int63n(256)),
+				tuple.S("AAA"), tuple.S("BBBBB"),
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		// 1..4 special_facility rows; each active with P=0.85.
+		nSF := 1 + rng.Intn(4)
+		for sf := int64(1); sf <= int64(nSF); sf++ {
+			active := int64(0)
+			if rng.Float64() < 0.85 {
+				active = 1
+			}
+			err := ses.Insert(txn, db.SpecialFac, tuple.Record{
+				tuple.I(sid), tuple.I(sf), tuple.I(active),
+				tuple.I(rng.Int63n(256)), tuple.I(rng.Int63n(256)), tuple.S("CCCCC"),
+			})
+			if err != nil {
+				return nil, err
+			}
+			// 0..3 call_forwarding rows at start times 0, 8, 16.
+			for _, st := range []int64{0, 8, 16} {
+				if rng.Float64() < 0.25 {
+					err := ses.Insert(txn, db.CallForward, tuple.Record{
+						tuple.I(sid), tuple.I(sf), tuple.I(st),
+						tuple.I(st + 1 + rng.Int63n(8)), tuple.I(rng.Int63n(1 << 30)),
+					})
+					if err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		inBatch++
+		if inBatch >= batch {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := s.Commit(txn); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// resolveBySID returns a Resolver for actions keyed by s_id: it reads the
+// subscriber row by primary key and projects the requested field.
+func (db *DB) resolveBySID(sid int64) xct.Resolver {
+	return func(env *xct.Env, field string) (int64, error) {
+		rec, err := env.Ses.Read(env.Txn, db.Subscriber, sid)
+		if err != nil {
+			return 0, err
+		}
+		i := db.Subscriber.FieldIndex(field)
+		if i < 0 {
+			return 0, fmt.Errorf("tatp: subscriber has no field %q", field)
+		}
+		return rec[i].Int, nil
+	}
+}
+
+// resolveByNbr returns a Resolver for actions keyed by sub_nbr: it probes
+// the sub_by_nbr secondary index.
+func (db *DB) resolveByNbr(nbr int64) xct.Resolver {
+	return func(env *xct.Env, field string) (int64, error) {
+		rec, err := env.Ses.ReadByIndex(env.Txn, db.Subscriber, "sub_by_nbr", nbr)
+		if err != nil {
+			return 0, err
+		}
+		i := db.Subscriber.FieldIndex(field)
+		if i < 0 {
+			return 0, fmt.Errorf("tatp: subscriber has no field %q", field)
+		}
+		return rec[i].Int, nil
+	}
+}
+
+// GetSubscriberData returns the flow for TATP GET_SUBSCRIBER_DATA.
+func (db *DB) GetSubscriberData(sid int64) *xct.Flow {
+	return xct.NewFlow("GetSubscriberData").AddPhase(&xct.Action{
+		Table: "subscriber", KeyField: "s_id", Key: sid, Mode: xct.Read,
+		Resolve: db.resolveBySID(sid), Label: "read-sub",
+		Run: func(env *xct.Env) error {
+			_, err := env.Ses.Read(env.Txn, db.Subscriber, sid)
+			return err
+		},
+	})
+}
+
+// GetNewDestination returns the flow for TATP GET_NEW_DESTINATION:
+// phase 1 checks the special facility is active, phase 2 scans matching
+// call forwardings.
+func (db *DB) GetNewDestination(sid, sfType, startTime, endTime int64) *xct.Flow {
+	active := new(bool)
+	return xct.NewFlow("GetNewDestination").
+		AddPhase(&xct.Action{
+			Table: "special_facility", KeyField: "s_id", Key: sid, Mode: xct.Read,
+			Label: "read-sf",
+			Run: func(env *xct.Env) error {
+				rec, err := env.Ses.Read(env.Txn, db.SpecialFac, SFKey(sid, sfType))
+				if err != nil {
+					if errors.Is(err, sm.ErrNotFound) {
+						return nil // no such facility: valid empty result
+					}
+					return err
+				}
+				*active = rec[2].Int == 1
+				return nil
+			},
+		}).
+		AddPhase(&xct.Action{
+			Table: "call_forwarding", KeyField: "s_id", Key: sid, Mode: xct.Read,
+			Label: "scan-cf",
+			Run: func(env *xct.Env) error {
+				if !*active {
+					return nil
+				}
+				lo := CFKey(sid, sfType, 0)
+				hi := CFKey(sid, sfType, 16)
+				return env.Ses.ScanRange(env.Txn, db.CallForward, lo, hi,
+					func(k int64, rec tuple.Record) bool {
+						// start_time <= startTime && endTime < end_time
+						return !(rec[2].Int <= startTime && endTime < rec[3].Int)
+					})
+			},
+		})
+}
+
+// GetAccessData returns the flow for TATP GET_ACCESS_DATA.
+func (db *DB) GetAccessData(sid, aiType int64) *xct.Flow {
+	return xct.NewFlow("GetAccessData").AddPhase(&xct.Action{
+		Table: "access_info", KeyField: "s_id", Key: sid, Mode: xct.Read,
+		Label: "read-ai",
+		Run: func(env *xct.Env) error {
+			_, err := env.Ses.Read(env.Txn, db.AccessInfo, AIKey(sid, aiType))
+			if errors.Is(err, sm.ErrNotFound) {
+				return nil // ~37% of probes are misses by design
+			}
+			return err
+		},
+	})
+}
+
+// UpdateSubscriberData returns the flow for TATP UPDATE_SUBSCRIBER_DATA:
+// two parallel single-site writes.
+func (db *DB) UpdateSubscriberData(sid, sfType, bit, dataA int64) *xct.Flow {
+	return xct.NewFlow("UpdateSubscriberData").AddPhase(
+		&xct.Action{
+			Table: "subscriber", KeyField: "s_id", Key: sid, Mode: xct.Write,
+			Resolve: db.resolveBySID(sid), Label: "upd-sub",
+			Run: func(env *xct.Env) error {
+				return env.Ses.Mutate(env.Txn, db.Subscriber, sid, func(r tuple.Record) tuple.Record {
+					r[subBit1] = tuple.I(bit)
+					return r
+				})
+			},
+		},
+		&xct.Action{
+			Table: "special_facility", KeyField: "s_id", Key: sid, Mode: xct.Write,
+			Label: "upd-sf",
+			Run: func(env *xct.Env) error {
+				err := env.Ses.Mutate(env.Txn, db.SpecialFac, SFKey(sid, sfType), func(r tuple.Record) tuple.Record {
+					r[4] = tuple.I(dataA)
+					return r
+				})
+				if errors.Is(err, sm.ErrNotFound) {
+					return nil
+				}
+				return err
+			},
+		},
+	)
+}
+
+// UpdateLocation returns the flow for TATP UPDATE_LOCATION — keyed by
+// sub_nbr, the canonical non-partition-aligned access.
+func (db *DB) UpdateLocation(nbr, vlr int64) *xct.Flow {
+	return xct.NewFlow("UpdateLocation").AddPhase(&xct.Action{
+		Table: "subscriber", KeyField: "sub_nbr", Key: nbr, Mode: xct.Write,
+		Resolve: db.resolveByNbr(nbr), Label: "upd-loc",
+		Run: func(env *xct.Env) error {
+			rec, err := env.Ses.ReadByIndex(env.Txn, db.Subscriber, "sub_by_nbr", nbr)
+			if err != nil {
+				return err
+			}
+			sid := rec[subSID].Int
+			return env.Ses.Mutate(env.Txn, db.Subscriber, sid, func(r tuple.Record) tuple.Record {
+				r[subVLRLoc] = tuple.I(vlr)
+				return r
+			})
+		},
+	})
+}
+
+// InsertCallForwarding returns the flow for TATP INSERT_CALL_FORWARDING.
+// Phase 1 resolves the subscriber and checks the facility; phase 2
+// inserts. A duplicate forwarding aborts the transaction (per spec).
+func (db *DB) InsertCallForwarding(nbr, sfType, startTime, endTime, numberx int64) *xct.Flow {
+	sid := new(int64)
+	// Phase 2's routing key (the resolved s_id) is produced by phase 1:
+	// the first action fills it in before the RVP dispatches the insert.
+	ins := &xct.Action{
+		Table: "call_forwarding", KeyField: "s_id", Mode: xct.Write,
+		Label: "ins-cf", LateKey: true,
+		Run: func(env *xct.Env) error {
+			return env.Ses.Insert(env.Txn, db.CallForward, tuple.Record{
+				tuple.I(*sid), tuple.I(sfType), tuple.I(startTime),
+				tuple.I(endTime), tuple.I(numberx),
+			})
+		},
+	}
+	return xct.NewFlow("InsertCallForwarding").
+		AddPhase(&xct.Action{
+			Table: "subscriber", KeyField: "sub_nbr", Key: nbr, Mode: xct.Read,
+			Resolve: db.resolveByNbr(nbr), Label: "find-sub",
+			Run: func(env *xct.Env) error {
+				rec, err := env.Ses.ReadByIndex(env.Txn, db.Subscriber, "sub_by_nbr", nbr)
+				if err != nil {
+					return err
+				}
+				*sid = rec[subSID].Int
+				ins.Key = *sid
+				return nil
+			},
+		}).
+		AddPhase(ins)
+}
+
+// DeleteCallForwarding returns the flow for TATP DELETE_CALL_FORWARDING.
+// Deleting a non-existent forwarding aborts (per spec).
+func (db *DB) DeleteCallForwarding(nbr, sfType, startTime int64) *xct.Flow {
+	sid := new(int64)
+	del := &xct.Action{
+		Table: "call_forwarding", KeyField: "s_id", Mode: xct.Write,
+		Label: "del-cf", LateKey: true,
+		Run: func(env *xct.Env) error {
+			return env.Ses.Delete(env.Txn, db.CallForward, CFKey(*sid, sfType, startTime))
+		},
+	}
+	return xct.NewFlow("DeleteCallForwarding").
+		AddPhase(&xct.Action{
+			Table: "subscriber", KeyField: "sub_nbr", Key: nbr, Mode: xct.Read,
+			Resolve: db.resolveByNbr(nbr), Label: "find-sub",
+			Run: func(env *xct.Env) error {
+				rec, err := env.Ses.ReadByIndex(env.Txn, db.Subscriber, "sub_by_nbr", nbr)
+				if err != nil {
+					return err
+				}
+				*sid = rec[subSID].Int
+				del.Key = *sid
+				return nil
+			},
+		}).
+		AddPhase(del)
+}
+
+// MixOptions parameterize NewMix.
+type MixOptions struct {
+	// SIDGen draws subscriber ids (default uniform over [1, N]).
+	SIDGen workload.KeyGen
+}
+
+// NewMix returns the standard TATP mix (35/10/35/2/14/2/2).
+func (db *DB) NewMix(opt MixOptions) workload.Mix {
+	gen := opt.SIDGen
+	if gen == nil {
+		gen = workload.Uniform{Lo: 1, Hi: db.N}
+	}
+	sid := func(rng *rand.Rand) int64 { return gen.Next(rng) }
+	return workload.Mix{
+		{Name: "GetSubscriberData", Weight: 35, Build: func(rng *rand.Rand) *xct.Flow {
+			return db.GetSubscriberData(sid(rng))
+		}},
+		{Name: "GetNewDestination", Weight: 10, Build: func(rng *rand.Rand) *xct.Flow {
+			return db.GetNewDestination(sid(rng), 1+rng.Int63n(4), 8*rng.Int63n(3), 1+rng.Int63n(24))
+		}},
+		{Name: "GetAccessData", Weight: 35, Build: func(rng *rand.Rand) *xct.Flow {
+			return db.GetAccessData(sid(rng), 1+rng.Int63n(4))
+		}},
+		{Name: "UpdateSubscriberData", Weight: 2, Build: func(rng *rand.Rand) *xct.Flow {
+			return db.UpdateSubscriberData(sid(rng), 1+rng.Int63n(4), rng.Int63n(2), rng.Int63n(256))
+		}},
+		{Name: "UpdateLocation", Weight: 14, Build: func(rng *rand.Rand) *xct.Flow {
+			return db.UpdateLocation(db.SubNbr(sid(rng)), rng.Int63n(1<<16))
+		}},
+		{Name: "InsertCallForwarding", Weight: 2, Build: func(rng *rand.Rand) *xct.Flow {
+			return db.InsertCallForwarding(db.SubNbr(sid(rng)), 1+rng.Int63n(4), 8*rng.Int63n(3), 1+rng.Int63n(24), rng.Int63n(1<<30))
+		}},
+		{Name: "DeleteCallForwarding", Weight: 2, Build: func(rng *rand.Rand) *xct.Flow {
+			return db.DeleteCallForwarding(db.SubNbr(sid(rng)), 1+rng.Int63n(4), 8*rng.Int63n(3))
+		}},
+	}
+}
+
+// ReadOnlyMix returns only the three read transactions (80% of standard
+// TATP); useful for the intra-transaction-parallelism experiment.
+func (db *DB) ReadOnlyMix(opt MixOptions) workload.Mix {
+	m := db.NewMix(opt)
+	return workload.Mix{m[0], m[1], m[2]}
+}

@@ -1,0 +1,200 @@
+// Package tpcb implements the TPC-B benchmark (the companion DORA paper's
+// third workload): branches, tellers, accounts and a history table, with
+// the single account-update transaction. Its interest here is the branch
+// row hotspot: every transaction updates one of few branch rows, which
+// stresses both the centralized lock manager (conventional) and a single
+// partition queue (DORA).
+package tpcb
+
+import (
+	"math/rand"
+
+	"dora/internal/catalog"
+	"dora/internal/sm"
+	"dora/internal/tuple"
+	"dora/internal/workload"
+	"dora/internal/xct"
+)
+
+// Per spec ratios (scaled down by default).
+const (
+	// TellersPerBranch is the spec ratio.
+	TellersPerBranch = 10
+)
+
+// DB holds the loaded TPC-B tables.
+type DB struct {
+	SM       *sm.SM
+	Branches int64
+	// AccountsPerBranch is configurable (spec: 100000).
+	AccountsPerBranch int64
+
+	Branch  *catalog.Table
+	Teller  *catalog.Table
+	Account *catalog.Table
+	History *catalog.Table
+
+	hseq int64
+}
+
+// TKey packs a teller key; AKey an account key.
+func (db *DB) TKey(b, t int64) int64 { return b*TellersPerBranch + t }
+
+// AKey packs an account key.
+func (db *DB) AKey(b, a int64) int64 { return b*db.AccountsPerBranch + a }
+
+// Domains returns DORA routing domains.
+func (db *DB) Domains() map[string][2]int64 {
+	return map[string][2]int64{
+		"branch":       {1, db.Branches},
+		"teller":       {1, db.Branches},
+		"account":      {1, db.Branches},
+		"history_tpcb": {1, db.Branches},
+	}
+}
+
+// Load creates and fills the schema with b branches.
+func Load(s *sm.SM, branches, accountsPerBranch int64) (*DB, error) {
+	db := &DB{SM: s, Branches: branches, AccountsPerBranch: accountsPerBranch}
+	intf := func(names ...string) []catalog.Field {
+		out := make([]catalog.Field, len(names))
+		for i, n := range names {
+			out[i] = catalog.Field{Name: n, Type: tuple.TInt}
+		}
+		return out
+	}
+	var err error
+	db.Branch, err = s.CreateTable(sm.TableSpec{
+		Name: "branch", Fields: intf("b_id", "balance"),
+		KeyFields: []string{"b_id"},
+		Key:       func(r tuple.Record) int64 { return r[0].Int },
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.Teller, err = s.CreateTable(sm.TableSpec{
+		Name: "teller", Fields: intf("b_id", "t_id", "balance"),
+		KeyFields: []string{"b_id", "t_id"},
+		Key:       func(r tuple.Record) int64 { return db.TKey(r[0].Int, r[1].Int) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.Account, err = s.CreateTable(sm.TableSpec{
+		Name: "account", Fields: intf("b_id", "a_id", "balance"),
+		KeyFields: []string{"b_id", "a_id"},
+		Key:       func(r tuple.Record) int64 { return db.AKey(r[0].Int, r[1].Int) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.History, err = s.CreateTable(sm.TableSpec{
+		Name: "history_tpcb", Fields: intf("b_id", "h_seq", "t_id", "a_id", "delta"),
+		KeyFields: []string{"b_id", "h_seq"},
+		Key:       func(r tuple.Record) int64 { return r[0].Int<<40 | r[1].Int },
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ses := s.Session(0)
+	txn := s.Begin()
+	count := 0
+	ins := func(t *catalog.Table, vals ...int64) error {
+		rec := make(tuple.Record, len(vals))
+		for i, v := range vals {
+			rec[i] = tuple.I(v)
+		}
+		if err := ses.Insert(txn, t, rec); err != nil {
+			return err
+		}
+		count++
+		if count%2000 == 0 {
+			if err := s.Commit(txn); err != nil {
+				return err
+			}
+			txn = s.Begin()
+		}
+		return nil
+	}
+	for b := int64(1); b <= branches; b++ {
+		if err := ins(db.Branch, b, 0); err != nil {
+			return nil, err
+		}
+		for t := int64(1); t <= TellersPerBranch; t++ {
+			if err := ins(db.Teller, b, t, 0); err != nil {
+				return nil, err
+			}
+		}
+		for a := int64(1); a <= accountsPerBranch; a++ {
+			if err := ins(db.Account, b, a, 0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := s.Commit(txn); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// AccountUpdate builds the TPC-B transaction: update account, teller and
+// branch balances by delta (three parallel single-site writes), then
+// insert the history row.
+func (db *DB) AccountUpdate(b, t, a, delta, hseq int64) *xct.Flow {
+	return xct.NewFlow("AccountUpdate").
+		AddPhase(
+			&xct.Action{
+				Table: "account", KeyField: "b_id", Key: b, Mode: xct.Write, Label: "upd-acct",
+				Run: func(env *xct.Env) error {
+					return env.Ses.Mutate(env.Txn, db.Account, db.AKey(b, a), func(r tuple.Record) tuple.Record {
+						r[2] = tuple.I(r[2].Int + delta)
+						return r
+					})
+				},
+			},
+			&xct.Action{
+				Table: "teller", KeyField: "b_id", Key: b, Mode: xct.Write, Label: "upd-teller",
+				Run: func(env *xct.Env) error {
+					return env.Ses.Mutate(env.Txn, db.Teller, db.TKey(b, t), func(r tuple.Record) tuple.Record {
+						r[2] = tuple.I(r[2].Int + delta)
+						return r
+					})
+				},
+			},
+			&xct.Action{
+				Table: "branch", KeyField: "b_id", Key: b, Mode: xct.Write, Label: "upd-branch",
+				Run: func(env *xct.Env) error {
+					return env.Ses.Mutate(env.Txn, db.Branch, b, func(r tuple.Record) tuple.Record {
+						r[1] = tuple.I(r[1].Int + delta)
+						return r
+					})
+				},
+			},
+		).
+		AddPhase(&xct.Action{
+			Table: "history_tpcb", KeyField: "b_id", Key: b, Mode: xct.Write, Label: "ins-h",
+			Run: func(env *xct.Env) error {
+				return env.Ses.Insert(env.Txn, db.History, tuple.Record{
+					tuple.I(b), tuple.I(hseq), tuple.I(t), tuple.I(a), tuple.I(delta),
+				})
+			},
+		})
+}
+
+// NewMix returns the single-transaction TPC-B mix. The history sequence
+// is drawn from the client rng (collision-free per client via stride).
+func (db *DB) NewMix(bgen workload.KeyGen) workload.Mix {
+	if bgen == nil {
+		bgen = workload.Uniform{Lo: 1, Hi: db.Branches}
+	}
+	return workload.Mix{
+		{Name: "AccountUpdate", Weight: 100, Build: func(rng *rand.Rand) *xct.Flow {
+			b := bgen.Next(rng)
+			t := 1 + rng.Int63n(TellersPerBranch)
+			a := 1 + rng.Int63n(db.AccountsPerBranch)
+			hseq := rng.Int63n(1 << 39) // sparse: collisions abort & retry
+			return db.AccountUpdate(b, t, a, rng.Int63n(2000)-1000, hseq)
+		}},
+	}
+}

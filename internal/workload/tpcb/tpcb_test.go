@@ -1,0 +1,99 @@
+package tpcb
+
+import (
+	"testing"
+	"time"
+
+	"dora/internal/dora"
+	"dora/internal/engine"
+	"dora/internal/engine/conventional"
+	"dora/internal/sm"
+	"dora/internal/workload"
+)
+
+func loadDB(t *testing.T) *DB {
+	t.Helper()
+	s, err := sm.Open(sm.Options{Frames: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Load(s, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestLoadCounts(t *testing.T) {
+	db := loadDB(t)
+	if got := db.Branch.Primary.Tree.Len(); got != 4 {
+		t.Fatalf("branches = %d", got)
+	}
+	if got := db.Teller.Primary.Tree.Len(); got != 4*TellersPerBranch {
+		t.Fatalf("tellers = %d", got)
+	}
+	if got := db.Account.Primary.Tree.Len(); got != 400 {
+		t.Fatalf("accounts = %d", got)
+	}
+}
+
+func TestAccountUpdateBothEngines(t *testing.T) {
+	for _, mk := range []func(db *DB) engine.Engine{
+		func(db *DB) engine.Engine { return conventional.New(db.SM) },
+		func(db *DB) engine.Engine {
+			return dora.New(db.SM, dora.Config{PartitionsPerTable: 2, Domains: db.Domains()})
+		},
+	} {
+		db := loadDB(t)
+		e := mk(db)
+		if err := e.Exec(0, db.AccountUpdate(2, 3, 7, 500, 1)); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		ses := db.SM.Session(0)
+		brec, _ := ses.Read(db.SM.Begin(), db.Branch, 2)
+		if brec[1].Int != 500 {
+			t.Fatalf("%s branch balance = %d", e.Name(), brec[1].Int)
+		}
+		arec, _ := ses.Read(db.SM.Begin(), db.Account, db.AKey(2, 7))
+		if arec[2].Int != 500 {
+			t.Fatalf("%s account balance = %d", e.Name(), arec[2].Int)
+		}
+		if db.History.Primary.Tree.Len() != 1 {
+			t.Fatalf("%s history rows = %d", e.Name(), db.History.Primary.Tree.Len())
+		}
+		_ = e.Close()
+	}
+}
+
+func TestBranchBalanceInvariant(t *testing.T) {
+	// Branch balance must equal the sum of its tellers' balances and the
+	// sum of history deltas for that branch (TPC-B consistency rule).
+	db := loadDB(t)
+	e := dora.New(db.SM, dora.Config{PartitionsPerTable: 2, Domains: db.Domains()})
+	defer e.Close()
+	res := (&workload.Driver{
+		Engine: e, Mix: db.NewMix(nil), Clients: 8,
+		Duration: 300 * time.Millisecond, Seed: 5,
+	}).Run()
+	if res.Committed < 50 {
+		t.Fatalf("committed = %d", res.Committed)
+	}
+	ses := db.SM.Session(0)
+	for b := int64(1); b <= db.Branches; b++ {
+		brec, err := ses.Read(db.SM.Begin(), db.Branch, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tellers int64
+		for tt := int64(1); tt <= TellersPerBranch; tt++ {
+			trec, err := ses.Read(db.SM.Begin(), db.Teller, db.TKey(b, tt))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tellers += trec[2].Int
+		}
+		if brec[1].Int != tellers {
+			t.Fatalf("branch %d balance %d != teller sum %d", b, brec[1].Int, tellers)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+// Package tpcc implements a TPC-C benchmark (all five transactions —
+// NewOrder, Payment, OrderStatus, Delivery, StockLevel) as transaction
+// flow graphs runnable on both execution engines. The demo's second
+// pre-defined workload (§2.2 "Access Patterns") is TPC-C.
+//
+// Composite keys are bit-packed: district (w,d) → w*16+d; customer
+// (w,d,c) → (w*16+d)<<12|c; stock (w,i) → w<<17|i; orders/new_order
+// (w,d,o) → (w*16+d)<<32|o; order_line adds <<4|ol. Every table's
+// partitioning field is its warehouse id (item, a global read-mostly
+// table, partitions by i_id), so a transaction decomposes into actions
+// per warehouse plus one read action per item — the decomposition the
+// DORA paper uses for TPC-C.
+package tpcc
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"dora/internal/catalog"
+	"dora/internal/sm"
+	"dora/internal/tuple"
+)
+
+// Scale parameterizes database size. The TPC-C spec values are large;
+// tests use cut-down scales with identical shape.
+type Scale struct {
+	Warehouses        int64
+	DistrictsPerW     int64 // spec: 10
+	CustomersPerD     int64 // spec: 3000
+	Items             int64 // spec: 100000
+	InitialOrdersPerD int64 // spec: 3000 (orders 2101..3000 are new)
+}
+
+// DefaultScale returns a laptop-scale configuration preserving ratios.
+func DefaultScale(warehouses int64) Scale {
+	return Scale{
+		Warehouses:        warehouses,
+		DistrictsPerW:     10,
+		CustomersPerD:     300,
+		Items:             1000,
+		InitialOrdersPerD: 30,
+	}
+}
+
+// Key packing.
+
+// DKey packs a district key.
+func DKey(w, d int64) int64 { return w*16 + d }
+
+// CKey packs a customer key.
+func CKey(w, d, c int64) int64 { return DKey(w, d)<<12 | c }
+
+// SKey packs a stock key.
+func SKey(w, i int64) int64 { return w<<17 | i }
+
+// OKey packs an order (and new_order) key.
+func OKey(w, d, o int64) int64 { return DKey(w, d)<<32 | o }
+
+// OLKey packs an order-line key.
+func OLKey(w, d, o, ol int64) int64 { return OKey(w, d, o)<<4 | ol }
+
+// Field positions (kept small but representative).
+const (
+	dNextOID = 3 // district: w_id, d_id, ytd, next_o_id
+	cBalance = 3 // customer: w_id, d_id, c_id, balance, ytd_payment, payment_cnt, last
+	oCID     = 3 // orders: w_id, d_id, o_id, c_id, carrier_id, ol_cnt
+	oCarrier = 4
+	oOlCnt   = 5
+	olIID    = 4 // order_line: w_id, d_id, o_id, ol, i_id, qty, amount
+	olAmount = 6
+	sQty     = 2 // stock: w_id, i_id, quantity, ytd, order_cnt
+)
+
+// DB holds the loaded TPC-C tables.
+type DB struct {
+	SM    *sm.SM
+	Scale Scale
+
+	Warehouse *catalog.Table
+	District  *catalog.Table
+	Customer  *catalog.Table
+	History   *catalog.Table
+	NewOrder  *catalog.Table
+	Orders    *catalog.Table
+	OrderLine *catalog.Table
+	Item      *catalog.Table
+	Stock     *catalog.Table
+
+	hseq atomic.Int64 // history sequence
+}
+
+// Domains returns DORA routing domains for all tables.
+func (db *DB) Domains() map[string][2]int64 {
+	w := db.Scale.Warehouses
+	return map[string][2]int64{
+		"warehouse":  {1, w},
+		"district":   {1, w},
+		"customer":   {1, w},
+		"history":    {1, w},
+		"new_order":  {1, w},
+		"orders":     {1, w},
+		"order_line": {1, w},
+		"stock":      {1, w},
+		"item":       {1, db.Scale.Items},
+	}
+}
+
+// Load creates and populates the schema.
+func Load(s *sm.SM, sc Scale) (*DB, error) {
+	db := &DB{SM: s, Scale: sc}
+	intf := func(names ...string) []catalog.Field {
+		out := make([]catalog.Field, len(names))
+		for i, n := range names {
+			out[i] = catalog.Field{Name: n, Type: tuple.TInt}
+		}
+		return out
+	}
+	var err error
+	db.Warehouse, err = s.CreateTable(sm.TableSpec{
+		Name: "warehouse", Fields: intf("w_id", "ytd", "tax"),
+		KeyFields: []string{"w_id"},
+		Key:       func(r tuple.Record) int64 { return r[0].Int },
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.District, err = s.CreateTable(sm.TableSpec{
+		Name: "district", Fields: intf("w_id", "d_id", "ytd", "next_o_id"),
+		KeyFields: []string{"w_id", "d_id"},
+		Key:       func(r tuple.Record) int64 { return DKey(r[0].Int, r[1].Int) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.Customer, err = s.CreateTable(sm.TableSpec{
+		Name:      "customer",
+		Fields:    intf("w_id", "d_id", "c_id", "balance", "ytd_payment", "payment_cnt", "last"),
+		KeyFields: []string{"w_id", "d_id", "c_id"},
+		Key:       func(r tuple.Record) int64 { return CKey(r[0].Int, r[1].Int, r[2].Int) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.History, err = s.CreateTable(sm.TableSpec{
+		Name: "history", Fields: intf("w_id", "h_seq", "d_id", "c_id", "amount"),
+		KeyFields: []string{"w_id", "h_seq"},
+		Key:       func(r tuple.Record) int64 { return r[0].Int<<40 | r[1].Int },
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.NewOrder, err = s.CreateTable(sm.TableSpec{
+		Name: "new_order", Fields: intf("w_id", "d_id", "o_id"),
+		KeyFields: []string{"w_id", "d_id", "o_id"},
+		Key:       func(r tuple.Record) int64 { return OKey(r[0].Int, r[1].Int, r[2].Int) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.Orders, err = s.CreateTable(sm.TableSpec{
+		Name:      "orders",
+		Fields:    intf("w_id", "d_id", "o_id", "c_id", "carrier_id", "ol_cnt"),
+		KeyFields: []string{"w_id", "d_id", "o_id"},
+		Key:       func(r tuple.Record) int64 { return OKey(r[0].Int, r[1].Int, r[2].Int) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.OrderLine, err = s.CreateTable(sm.TableSpec{
+		Name:      "order_line",
+		Fields:    intf("w_id", "d_id", "o_id", "ol", "i_id", "qty", "amount"),
+		KeyFields: []string{"w_id", "d_id", "o_id", "ol"},
+		Key:       func(r tuple.Record) int64 { return OLKey(r[0].Int, r[1].Int, r[2].Int, r[3].Int) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.Item, err = s.CreateTable(sm.TableSpec{
+		Name: "item", Fields: intf("i_id", "price", "im_id"),
+		KeyFields: []string{"i_id"},
+		Key:       func(r tuple.Record) int64 { return r[0].Int },
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.Stock, err = s.CreateTable(sm.TableSpec{
+		Name: "stock", Fields: intf("w_id", "i_id", "quantity", "ytd", "order_cnt"),
+		KeyFields: []string{"w_id", "i_id"},
+		Key:       func(r tuple.Record) int64 { return SKey(r[0].Int, r[1].Int) },
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(77))
+	ses := s.Session(0)
+	txn := s.Begin()
+	count := 0
+	step := func() error {
+		count++
+		if count%2000 == 0 {
+			if err := s.Commit(txn); err != nil {
+				return err
+			}
+			txn = s.Begin()
+		}
+		return nil
+	}
+	ins := func(t *catalog.Table, vals ...int64) error {
+		rec := make(tuple.Record, len(vals))
+		for i, v := range vals {
+			rec[i] = tuple.I(v)
+		}
+		if err := ses.Insert(txn, t, rec); err != nil {
+			return err
+		}
+		return step()
+	}
+
+	for i := int64(1); i <= sc.Items; i++ {
+		if err := ins(db.Item, i, 100+rng.Int63n(9900), rng.Int63n(10000)); err != nil {
+			return nil, err
+		}
+	}
+	for w := int64(1); w <= sc.Warehouses; w++ {
+		if err := ins(db.Warehouse, w, 300000, rng.Int63n(2000)); err != nil {
+			return nil, err
+		}
+		for i := int64(1); i <= sc.Items; i++ {
+			if err := ins(db.Stock, w, i, 10+rng.Int63n(91), 0, 0); err != nil {
+				return nil, err
+			}
+		}
+		for d := int64(1); d <= sc.DistrictsPerW; d++ {
+			if err := ins(db.District, w, d, 30000, sc.InitialOrdersPerD+1); err != nil {
+				return nil, err
+			}
+			for c := int64(1); c <= sc.CustomersPerD; c++ {
+				if err := ins(db.Customer, w, d, c, -1000, 1000, 1, c%97); err != nil {
+					return nil, err
+				}
+			}
+			for o := int64(1); o <= sc.InitialOrdersPerD; o++ {
+				cid := 1 + rng.Int63n(sc.CustomersPerD)
+				olCnt := 5 + rng.Int63n(11)
+				carrier := int64(0)
+				isNew := o > sc.InitialOrdersPerD*2/3
+				if !isNew {
+					carrier = 1 + rng.Int63n(10)
+				}
+				if err := ins(db.Orders, w, d, o, cid, carrier, olCnt); err != nil {
+					return nil, err
+				}
+				if isNew {
+					if err := ins(db.NewOrder, w, d, o); err != nil {
+						return nil, err
+					}
+				}
+				for ol := int64(1); ol <= olCnt; ol++ {
+					iid := 1 + rng.Int63n(sc.Items)
+					if err := ins(db.OrderLine, w, d, o, ol, iid, 5, rng.Int63n(10000)); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	if err := s.Commit(txn); err != nil {
+		return nil, err
+	}
+	db.hseq.Store(1)
+	return db, nil
+}
+
+// NextHSeq allocates a history row sequence number.
+func (db *DB) NextHSeq() int64 { return db.hseq.Add(1) }

@@ -1,0 +1,457 @@
+package tpcc
+
+import (
+	"errors"
+	"math/rand"
+
+	"dora/internal/sm"
+	"dora/internal/tuple"
+	"dora/internal/workload"
+	"dora/internal/xct"
+)
+
+// ErrInvalidItem is the TPC-C 1% NewOrder rollback (unused item id).
+var ErrInvalidItem = errors.New("tpcc: invalid item")
+
+// OrderItem is one NewOrder line request.
+type OrderItem struct {
+	IID     int64
+	SupplyW int64
+	Qty     int64
+}
+
+// NewOrderTxn builds the NEW-ORDER flow: phase 1 reads the warehouse and
+// customer, allocates the order id from the district, reads the items
+// (one action per item partition) and updates the stocks (one action per
+// supply warehouse); phase 2 inserts the order, new-order and order
+// lines. The o_id data dependency is what separates the phases.
+func (db *DB) NewOrderTxn(w, d, c int64, items []OrderItem) *xct.Flow {
+	oID := new(int64)
+	amount := new(int64)
+	prices := make([]int64, len(items)) // filled by the item read actions
+
+	flow := xct.NewFlow("NewOrder")
+	var phase1 []*xct.Action
+	phase1 = append(phase1, &xct.Action{
+		Table: "warehouse", KeyField: "w_id", Key: w, Mode: xct.Read, Label: "read-w",
+		Run: func(env *xct.Env) error {
+			_, err := env.Ses.Read(env.Txn, db.Warehouse, w)
+			return err
+		},
+	})
+	phase1 = append(phase1, &xct.Action{
+		Table: "district", KeyField: "w_id", Key: w, Mode: xct.Write, Label: "alloc-oid",
+		Run: func(env *xct.Env) error {
+			return env.Ses.Mutate(env.Txn, db.District, DKey(w, d), func(r tuple.Record) tuple.Record {
+				*oID = r[dNextOID].Int
+				r[dNextOID] = tuple.I(*oID + 1)
+				return r
+			})
+		},
+	})
+	phase1 = append(phase1, &xct.Action{
+		Table: "customer", KeyField: "w_id", Key: w, Mode: xct.Read, Label: "read-c",
+		Run: func(env *xct.Env) error {
+			_, err := env.Ses.Read(env.Txn, db.Customer, CKey(w, d, c))
+			return err
+		},
+	})
+	// One read action per item (item is partitioned by i_id). Each action
+	// writes only its own prices slot, so the phase's actions stay
+	// data-independent; phase 2 reads the slots after the RVP.
+	for n, it := range items {
+		n, it := n, it
+		phase1 = append(phase1, &xct.Action{
+			Table: "item", KeyField: "i_id", Key: it.IID, Mode: xct.Read, Label: "read-item",
+			Run: func(env *xct.Env) error {
+				rec, err := env.Ses.Read(env.Txn, db.Item, it.IID)
+				if err != nil {
+					if errors.Is(err, sm.ErrNotFound) {
+						return ErrInvalidItem // spec: 1% rollback
+					}
+					return err
+				}
+				prices[n] = rec[1].Int
+				return nil
+			},
+		})
+	}
+	// One stock-update action per distinct supply warehouse.
+	bySupply := map[int64][]OrderItem{}
+	for _, it := range items {
+		bySupply[it.SupplyW] = append(bySupply[it.SupplyW], it)
+	}
+	for sw, its := range bySupply {
+		sw, its := sw, its
+		phase1 = append(phase1, &xct.Action{
+			Table: "stock", KeyField: "w_id", Key: sw, Mode: xct.Write, Label: "upd-stock",
+			Run: func(env *xct.Env) error {
+				for _, it := range its {
+					err := env.Ses.Mutate(env.Txn, db.Stock, SKey(sw, it.IID), func(r tuple.Record) tuple.Record {
+						q := r[sQty].Int - it.Qty
+						if q < 10 {
+							q += 91
+						}
+						r[sQty] = tuple.I(q)
+						r[3] = tuple.I(r[3].Int + it.Qty)
+						r[4] = tuple.I(r[4].Int + 1)
+						return r
+					})
+					if err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		})
+	}
+	flow.AddPhase(phase1...)
+
+	// Phase 2: inserts, one action per table (all routed by w).
+	flow.AddPhase(
+		&xct.Action{
+			Table: "orders", KeyField: "w_id", Key: w, Mode: xct.Write, Label: "ins-order",
+			Run: func(env *xct.Env) error {
+				return env.Ses.Insert(env.Txn, db.Orders, tuple.Record{
+					tuple.I(w), tuple.I(d), tuple.I(*oID), tuple.I(c),
+					tuple.I(0), tuple.I(int64(len(items))),
+				})
+			},
+		},
+		&xct.Action{
+			Table: "new_order", KeyField: "w_id", Key: w, Mode: xct.Write, Label: "ins-neworder",
+			Run: func(env *xct.Env) error {
+				return env.Ses.Insert(env.Txn, db.NewOrder, tuple.Record{
+					tuple.I(w), tuple.I(d), tuple.I(*oID),
+				})
+			},
+		},
+		&xct.Action{
+			Table: "order_line", KeyField: "w_id", Key: w, Mode: xct.Write, Label: "ins-ol",
+			Run: func(env *xct.Env) error {
+				var total int64
+				for n, it := range items {
+					amt := prices[n] * it.Qty
+					total += amt
+					err := env.Ses.Insert(env.Txn, db.OrderLine, tuple.Record{
+						tuple.I(w), tuple.I(d), tuple.I(*oID), tuple.I(int64(n + 1)),
+						tuple.I(it.IID), tuple.I(it.Qty), tuple.I(amt),
+					})
+					if err != nil {
+						return err
+					}
+				}
+				*amount = total
+				return nil
+			},
+		},
+	)
+	return flow
+}
+
+// PaymentTxn builds the PAYMENT flow: warehouse/district/customer updates
+// in parallel (the customer may live at a remote warehouse), then the
+// history insert.
+func (db *DB) PaymentTxn(w, d, cw, cd, c, amount int64) *xct.Flow {
+	return xct.NewFlow("Payment").
+		AddPhase(
+			&xct.Action{
+				Table: "warehouse", KeyField: "w_id", Key: w, Mode: xct.Write, Label: "upd-w",
+				Run: func(env *xct.Env) error {
+					return env.Ses.Mutate(env.Txn, db.Warehouse, w, func(r tuple.Record) tuple.Record {
+						r[1] = tuple.I(r[1].Int + amount)
+						return r
+					})
+				},
+			},
+			&xct.Action{
+				Table: "district", KeyField: "w_id", Key: w, Mode: xct.Write, Label: "upd-d",
+				Run: func(env *xct.Env) error {
+					return env.Ses.Mutate(env.Txn, db.District, DKey(w, d), func(r tuple.Record) tuple.Record {
+						r[2] = tuple.I(r[2].Int + amount)
+						return r
+					})
+				},
+			},
+			&xct.Action{
+				Table: "customer", KeyField: "w_id", Key: cw, Mode: xct.Write, Label: "upd-c",
+				Run: func(env *xct.Env) error {
+					return env.Ses.Mutate(env.Txn, db.Customer, CKey(cw, cd, c), func(r tuple.Record) tuple.Record {
+						r[cBalance] = tuple.I(r[cBalance].Int - amount)
+						r[4] = tuple.I(r[4].Int + amount)
+						r[5] = tuple.I(r[5].Int + 1)
+						return r
+					})
+				},
+			},
+		).
+		AddPhase(&xct.Action{
+			Table: "history", KeyField: "w_id", Key: w, Mode: xct.Write, Label: "ins-h",
+			Run: func(env *xct.Env) error {
+				return env.Ses.Insert(env.Txn, db.History, tuple.Record{
+					tuple.I(w), tuple.I(db.NextHSeq()), tuple.I(d), tuple.I(c), tuple.I(amount),
+				})
+			},
+		})
+}
+
+// OrderStatusTxn builds ORDER-STATUS: read the customer and find the
+// district's latest order, then read it with its lines.
+func (db *DB) OrderStatusTxn(w, d, c int64) *xct.Flow {
+	lastO := new(int64)
+	return xct.NewFlow("OrderStatus").
+		AddPhase(
+			&xct.Action{
+				Table: "customer", KeyField: "w_id", Key: w, Mode: xct.Read, Label: "read-c",
+				Run: func(env *xct.Env) error {
+					_, err := env.Ses.Read(env.Txn, db.Customer, CKey(w, d, c))
+					return err
+				},
+			},
+			&xct.Action{
+				Table: "district", KeyField: "w_id", Key: w, Mode: xct.Read, Label: "read-d",
+				Run: func(env *xct.Env) error {
+					rec, err := env.Ses.Read(env.Txn, db.District, DKey(w, d))
+					if err != nil {
+						return err
+					}
+					*lastO = rec[dNextOID].Int - 1
+					return nil
+				},
+			},
+		).
+		AddPhase(&xct.Action{
+			Table: "orders", KeyField: "w_id", Key: w, Mode: xct.Read, Label: "read-o",
+			Run: func(env *xct.Env) error {
+				if *lastO < 1 {
+					return nil
+				}
+				if _, err := env.Ses.Read(env.Txn, db.Orders, OKey(w, d, *lastO)); err != nil {
+					if errors.Is(err, sm.ErrNotFound) {
+						return nil
+					}
+					return err
+				}
+				return env.Ses.ScanRange(env.Txn, db.OrderLine,
+					OLKey(w, d, *lastO, 0), OLKey(w, d, *lastO, 15),
+					func(k int64, r tuple.Record) bool { return true })
+			},
+		})
+}
+
+// DeliveryTxn builds DELIVERY for one warehouse: per district, pop the
+// oldest new-order, mark the order delivered, and credit the customer.
+func (db *DB) DeliveryTxn(w, carrier int64) *xct.Flow {
+	nd := db.Scale.DistrictsPerW
+	oIDs := make([]int64, nd+1)
+	cIDs := make([]int64, nd+1)
+	amounts := make([]int64, nd+1)
+
+	var popActions, updActions, custActions []*xct.Action
+	for d := int64(1); d <= nd; d++ {
+		d := d
+		popActions = append(popActions, &xct.Action{
+			Table: "new_order", KeyField: "w_id", Key: w, Mode: xct.Write, Label: "pop-no",
+			Run: func(env *xct.Env) error {
+				var oldest int64 = -1
+				err := env.Ses.ScanRange(env.Txn, db.NewOrder,
+					OKey(w, d, 0), OKey(w, d, 1<<31),
+					func(k int64, r tuple.Record) bool {
+						oldest = r[2].Int
+						return false
+					})
+				if err != nil {
+					return err
+				}
+				oIDs[d] = oldest
+				if oldest < 0 {
+					return nil // district fully delivered: skip
+				}
+				return env.Ses.Delete(env.Txn, db.NewOrder, OKey(w, d, oldest))
+			},
+		})
+		updActions = append(updActions, &xct.Action{
+			Table: "orders", KeyField: "w_id", Key: w, Mode: xct.Write, Label: "upd-o",
+			Run: func(env *xct.Env) error {
+				o := oIDs[d]
+				if o < 0 {
+					return nil
+				}
+				err := env.Ses.Mutate(env.Txn, db.Orders, OKey(w, d, o), func(r tuple.Record) tuple.Record {
+					cIDs[d] = r[oCID].Int
+					r[oCarrier] = tuple.I(carrier)
+					return r
+				})
+				if err != nil {
+					return err
+				}
+				var total int64
+				err = env.Ses.ScanRange(env.Txn, db.OrderLine,
+					OLKey(w, d, o, 0), OLKey(w, d, o, 15),
+					func(k int64, r tuple.Record) bool {
+						total += r[olAmount].Int
+						return true
+					})
+				amounts[d] = total
+				return err
+			},
+		})
+		custActions = append(custActions, &xct.Action{
+			Table: "customer", KeyField: "w_id", Key: w, Mode: xct.Write, Label: "credit-c",
+			Run: func(env *xct.Env) error {
+				if oIDs[d] < 0 {
+					return nil
+				}
+				return env.Ses.Mutate(env.Txn, db.Customer, CKey(w, d, cIDs[d]), func(r tuple.Record) tuple.Record {
+					r[cBalance] = tuple.I(r[cBalance].Int + amounts[d])
+					return r
+				})
+			},
+		})
+	}
+	return xct.NewFlow("Delivery").
+		AddPhase(popActions...).
+		AddPhase(updActions...).
+		AddPhase(custActions...)
+}
+
+// StockLevelTxn builds STOCK-LEVEL: examine the district's last 20
+// orders' lines and count stocks below the threshold.
+func (db *DB) StockLevelTxn(w, d, threshold int64) *xct.Flow {
+	nextO := new(int64)
+	itemSet := new([]int64)
+	return xct.NewFlow("StockLevel").
+		AddPhase(&xct.Action{
+			Table: "district", KeyField: "w_id", Key: w, Mode: xct.Read, Label: "read-d",
+			Run: func(env *xct.Env) error {
+				rec, err := env.Ses.Read(env.Txn, db.District, DKey(w, d))
+				if err != nil {
+					return err
+				}
+				*nextO = rec[dNextOID].Int
+				return nil
+			},
+		}).
+		AddPhase(&xct.Action{
+			Table: "order_line", KeyField: "w_id", Key: w, Mode: xct.Read, Label: "scan-ol",
+			Run: func(env *xct.Env) error {
+				lo := *nextO - 20
+				if lo < 1 {
+					lo = 1
+				}
+				seen := map[int64]bool{}
+				err := env.Ses.ScanRange(env.Txn, db.OrderLine,
+					OLKey(w, d, lo, 0), OLKey(w, d, *nextO, 0),
+					func(k int64, r tuple.Record) bool {
+						seen[r[olIID].Int] = true
+						return true
+					})
+				if err != nil {
+					return err
+				}
+				for iid := range seen {
+					*itemSet = append(*itemSet, iid)
+				}
+				return nil
+			},
+		}).
+		AddPhase(&xct.Action{
+			Table: "stock", KeyField: "w_id", Key: w, Mode: xct.Read, Label: "count-stock",
+			Run: func(env *xct.Env) error {
+				low := 0
+				for _, iid := range *itemSet {
+					rec, err := env.Ses.Read(env.Txn, db.Stock, SKey(w, iid))
+					if err != nil {
+						return err
+					}
+					if rec[sQty].Int < threshold {
+						low++
+					}
+				}
+				return nil
+			},
+		})
+}
+
+// MixOptions parameterize NewMix.
+type MixOptions struct {
+	// WGen draws the home warehouse (default uniform).
+	WGen workload.KeyGen
+	// RemotePct is the probability a Payment customer or NewOrder supply
+	// warehouse is remote (default 0.15 and 0.01 resp. when zero and
+	// Warehouses > 1).
+	RemotePct float64
+	// InvalidItemPct is the NewOrder rollback rate (default 0.01).
+	InvalidItemPct float64
+}
+
+// NewMix returns the standard TPC-C mix (45/43/4/4/4).
+func (db *DB) NewMix(opt MixOptions) workload.Mix {
+	sc := db.Scale
+	wgen := opt.WGen
+	if wgen == nil {
+		wgen = workload.Uniform{Lo: 1, Hi: sc.Warehouses}
+	}
+	remote := opt.RemotePct
+	if remote == 0 && sc.Warehouses > 1 {
+		remote = 0.15
+	}
+	invalid := opt.InvalidItemPct
+	if invalid == 0 {
+		invalid = 0.01
+	}
+	otherW := func(rng *rand.Rand, w int64) int64 {
+		if sc.Warehouses == 1 {
+			return w
+		}
+		for {
+			o := 1 + rng.Int63n(sc.Warehouses)
+			if o != w {
+				return o
+			}
+		}
+	}
+	return workload.Mix{
+		{Name: "NewOrder", Weight: 45, Build: func(rng *rand.Rand) *xct.Flow {
+			w := wgen.Next(rng)
+			d := 1 + rng.Int63n(sc.DistrictsPerW)
+			c := 1 + rng.Int63n(sc.CustomersPerD)
+			n := 5 + rng.Intn(11)
+			items := make([]OrderItem, n)
+			for i := range items {
+				iid := 1 + rng.Int63n(sc.Items)
+				if i == n-1 && rng.Float64() < invalid {
+					iid = sc.Items + 1000 // unused item: 1% rollback
+				}
+				sw := w
+				if rng.Float64() < 0.01 {
+					sw = otherW(rng, w)
+				}
+				items[i] = OrderItem{IID: iid, SupplyW: sw, Qty: 1 + rng.Int63n(10)}
+			}
+			return db.NewOrderTxn(w, d, c, items)
+		}},
+		{Name: "Payment", Weight: 43, Build: func(rng *rand.Rand) *xct.Flow {
+			w := wgen.Next(rng)
+			d := 1 + rng.Int63n(sc.DistrictsPerW)
+			cw, cd := w, d
+			if rng.Float64() < remote {
+				cw = otherW(rng, w)
+				cd = 1 + rng.Int63n(sc.DistrictsPerW)
+			}
+			c := 1 + rng.Int63n(sc.CustomersPerD)
+			return db.PaymentTxn(w, d, cw, cd, c, 1+rng.Int63n(5000))
+		}},
+		{Name: "OrderStatus", Weight: 4, Build: func(rng *rand.Rand) *xct.Flow {
+			w := wgen.Next(rng)
+			return db.OrderStatusTxn(w, 1+rng.Int63n(sc.DistrictsPerW), 1+rng.Int63n(sc.CustomersPerD))
+		}},
+		{Name: "Delivery", Weight: 4, Build: func(rng *rand.Rand) *xct.Flow {
+			return db.DeliveryTxn(wgen.Next(rng), 1+rng.Int63n(10))
+		}},
+		{Name: "StockLevel", Weight: 4, Build: func(rng *rand.Rand) *xct.Flow {
+			w := wgen.Next(rng)
+			return db.StockLevelTxn(w, 1+rng.Int63n(sc.DistrictsPerW), 10+rng.Int63n(11))
+		}},
+	}
+}

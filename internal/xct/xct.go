@@ -1,0 +1,116 @@
+// Package xct defines the engine-neutral transaction representation: a
+// transaction flow graph — phases of actions separated by rendezvous
+// points (RVPs) exactly as in the paper's Section 1.1 and its designer
+// tool (Section 2.3, "the graph of actions and RVPs constitute the flow
+// graph of the transaction").
+//
+// Both engines execute the same flow graphs. The conventional engine
+// walks them serially in one worker thread, taking hierarchical locks
+// per action (thread-to-transaction). The DORA engine dispatches each
+// phase's actions to the partitions that own their data and lets the
+// RVP's last finisher trigger the next phase or the commit decision
+// (thread-to-data). Workloads therefore define each transaction once.
+package xct
+
+import (
+	"dora/internal/sm"
+	"dora/internal/tuple"
+	"dora/internal/tx"
+)
+
+// Mode declares the kind of access an action performs on its key.
+type Mode uint8
+
+const (
+	// Read actions only read rows under their routing key.
+	Read Mode = iota
+	// Write actions may insert, update or delete rows under their key.
+	Write
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Write {
+		return "W"
+	}
+	return "R"
+}
+
+// Env is the execution environment handed to action bodies: the shared
+// transaction context plus the worker-tagged storage session of whichever
+// thread runs the action.
+type Env struct {
+	Txn *tx.Txn
+	Ses *sm.Session
+}
+
+// Resolver maps an action's key to the row's value of another field,
+// typically via a secondary-index probe (for example TATP sub_nbr →
+// s_id). Engines invoke it when the declared key field is not the field
+// they lock or route on — a non-partitioning-aligned access in the
+// paper's terms (the subject of experiment E7).
+type Resolver func(env *Env, field string) (int64, error)
+
+// Action is one unit of transaction work, bound to a single value of a
+// single field of a single table — the granularity DORA routes on.
+type Action struct {
+	// Table names the table this action touches.
+	Table string
+	// KeyField is the field Key is a value of (e.g. "s_id" or "sub_nbr").
+	KeyField string
+	// Key is the routing/locking value in KeyField's space. Every row the
+	// body touches must carry this value in KeyField.
+	Key int64
+	// Mode is Read or Write.
+	Mode Mode
+	// Resolve translates Key into other fields' value spaces when the
+	// engine locks or routes on a different field. May be nil when
+	// KeyField always matches the lock and partition fields.
+	Resolve Resolver
+	// Run is the body. A non-nil error aborts the transaction.
+	Run func(env *Env) error
+	// Label is an optional human-readable name (designer, monitor).
+	Label string
+	// LateKey marks actions whose Key is computed by an earlier phase
+	// (the builder leaves it zero and a prior action fills it in). The
+	// DORA engine then cannot claim this action's lock up front, so such
+	// actions fall outside the deadlock-freedom guarantee and rely on the
+	// local wait timeout.
+	LateKey bool
+}
+
+// Phase is a set of actions with no data dependencies among them; they
+// may execute in parallel. Consecutive phases are separated by an RVP.
+type Phase struct {
+	Actions []*Action
+}
+
+// Flow is a transaction flow graph: phases executed in order, with an
+// implicit rendezvous point between consecutive phases and a final RVP
+// deciding commit or abort.
+type Flow struct {
+	// Name identifies the transaction type (statistics, designer).
+	Name   string
+	Phases []Phase
+}
+
+// NewFlow starts a flow-graph builder.
+func NewFlow(name string) *Flow { return &Flow{Name: name} }
+
+// AddPhase appends a phase with the given actions and returns the flow.
+func (f *Flow) AddPhase(actions ...*Action) *Flow {
+	f.Phases = append(f.Phases, Phase{Actions: actions})
+	return f
+}
+
+// NumActions returns the total number of actions in the flow.
+func (f *Flow) NumActions() int {
+	n := 0
+	for _, p := range f.Phases {
+		n += len(p.Actions)
+	}
+	return n
+}
+
+// Record is re-exported for workload convenience.
+type Record = tuple.Record

@@ -1,0 +1,28 @@
+package xct
+
+import "testing"
+
+func TestFlowBuilder(t *testing.T) {
+	a1 := &Action{Table: "t", KeyField: "k", Key: 1, Mode: Read}
+	a2 := &Action{Table: "t", KeyField: "k", Key: 2, Mode: Write}
+	a3 := &Action{Table: "u", KeyField: "k", Key: 3, Mode: Write}
+	f := NewFlow("demo").AddPhase(a1, a2).AddPhase(a3)
+	if f.Name != "demo" {
+		t.Fatalf("name = %q", f.Name)
+	}
+	if len(f.Phases) != 2 {
+		t.Fatalf("phases = %d", len(f.Phases))
+	}
+	if f.NumActions() != 3 {
+		t.Fatalf("actions = %d", f.NumActions())
+	}
+	if len(f.Phases[0].Actions) != 2 || f.Phases[0].Actions[1] != a2 {
+		t.Fatal("phase 0 contents wrong")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Read.String() != "R" || Write.String() != "W" {
+		t.Fatal("mode strings")
+	}
+}
