@@ -1,6 +1,6 @@
-// Benchmarks regenerating every experiment of EXPERIMENTS.md (one per
-// table/figure of the demonstrated system; see DESIGN.md's index).
-// Each benchmark prints the experiment's table via b.Log, so
+// Benchmarks regenerating every experiment (one per table/figure of the
+// demonstrated system; see README.md's experiment index). Each benchmark
+// prints the experiment's table via b.Log, so
 //
 //	go test -bench=. -benchmem
 //
@@ -10,6 +10,7 @@ package dora_test
 
 import (
 	"testing"
+	"time"
 
 	"dora/internal/exp"
 )
@@ -51,7 +52,7 @@ func BenchmarkE5PeakThroughput(b *testing.B) {
 
 func BenchmarkE6Rebalance(b *testing.B) {
 	cfg := quickCfg()
-	cfg.Duration = 800e6 // 800ms: the balancer needs time to react
+	cfg.Duration = 800 * time.Millisecond // the balancer needs time to react
 	runTable(b, func() (*exp.Table, error) { return exp.E6Rebalance(cfg) })
 }
 
@@ -91,6 +92,10 @@ func BenchmarkE9PhysicalDesign(b *testing.B) {
 
 func BenchmarkE10CoreScaling(b *testing.B) {
 	runTable(b, func() (*exp.Table, error) { return exp.E10CoreScaling(quickCfg(), []int{1, 2, 4}) })
+}
+
+func BenchmarkE11LogScalability(b *testing.B) {
+	runTable(b, func() (*exp.Table, error) { return exp.E11LogScalability(quickCfg(), []int{1, 4, 8}) })
 }
 
 func BenchmarkA1PartitionCount(b *testing.B) {

@@ -8,8 +8,7 @@
 // SQL-ish specs, physical-design advice), the live monitor, and the
 // TATP / TPC-C / TPC-B workloads.
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for the reproduced results. The packages live under
-// internal/; the runnable entry points are the examples/ programs and
-// the cmd/ tools.
+// See README.md for the package tour, quickstart, and the experiment
+// index. The packages live under internal/; the runnable entry points
+// are the examples/ programs and the cmd/ tools.
 package dora

@@ -1,0 +1,3 @@
+module dora
+
+go 1.22

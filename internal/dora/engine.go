@@ -265,12 +265,17 @@ func (e *Dora) report(r *rvp, err error) {
 }
 
 // committer is the commit service: it takes finished runs off the
-// partition workers, forces the log (or rolls back), then broadcasts the
-// local-lock release to every partition of every touched table.
+// partition workers, appends their commit records (or rolls them back),
+// and broadcasts the local-lock release to every partition of every
+// touched table. Commits are pipelined: the committer does not wait for
+// the log sync — the log's flush daemon completes the transaction (and
+// unblocks its client) once the commit record hardens, while the locks
+// are already released at commit-LSN assignment (early lock release; safe
+// because the log flushes in LSN order, so no dependent transaction can
+// become durable first).
 func (e *Dora) committer() {
 	defer e.commitWG.Done()
 	for run := range e.commitq {
-		var err error
 		if ferr := run.firstErr(); ferr != nil {
 			// Rollback is safe off-partition: the run still holds its
 			// local locks, so no other transaction can touch its data.
@@ -278,18 +283,22 @@ func (e *Dora) committer() {
 				panic(fmt.Sprintf("dora: rollback of txn %d failed: %v", run.txn.ID, rbErr))
 			}
 			e.Aborted.Inc()
-			err = ferr
-		} else if cErr := e.sm.Commit(run.txn); cErr != nil {
-			if rbErr := e.sm.Rollback(run.txn); rbErr != nil {
-				panic(fmt.Sprintf("dora: rollback of txn %d failed: %v", run.txn.ID, rbErr))
-			}
-			e.Aborted.Inc()
-			err = cErr
-		} else {
-			e.Committed.Inc()
+			e.broadcastRelease(run)
+			run.done <- ferr
+			continue
 		}
+		e.sm.CommitAsync(run.txn, func(err error) {
+			if err != nil {
+				// Log-device failure after the locks were released: the
+				// log is dead, so physical rollback is pointless — report
+				// the abort to the client.
+				e.Aborted.Inc()
+			} else {
+				e.Committed.Inc()
+			}
+			run.done <- err
+		})
 		e.broadcastRelease(run)
-		run.done <- err
 	}
 }
 

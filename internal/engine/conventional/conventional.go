@@ -76,11 +76,21 @@ func (e *Engine) Exec(worker int, flow *xct.Flow) error {
 			}
 		}
 	}
-	if err := e.SM.Commit(txn); err != nil {
-		e.abort(env)
+	done := make(chan error, 1)
+	e.SM.CommitAsync(txn, func(err error) { done <- err })
+	// Early lock release: the commit LSN is assigned, so conflicting
+	// transactions may run now — log-LSN flush order guarantees none of
+	// them becomes durable before this one. Durability itself completes on
+	// the log's flush pipeline while we wait.
+	e.LM.ReleaseAll(txn.ID)
+	if err := <-done; err != nil {
+		// Only a log-device failure lands here. The locks are already
+		// gone, so a physical rollback could stomp rows a successor
+		// transaction now owns — the log is dead anyway, so just report
+		// the abort (mirrors the DORA committer).
+		e.Aborted.Inc()
 		return err
 	}
-	e.LM.ReleaseAll(txn.ID)
 	e.Committed.Inc()
 	return nil
 }

@@ -1,0 +1,227 @@
+// Conformance test: both execution engines must implement engine.Engine
+// with the same observable semantics — committed effects visible,
+// aborted flows rolled back completely, concurrent increments isolated —
+// over the same storage manager substrate and flow graphs.
+package engine_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"dora/internal/catalog"
+	"dora/internal/dora"
+	"dora/internal/engine"
+	"dora/internal/engine/conventional"
+	"dora/internal/sm"
+	"dora/internal/tuple"
+	"dora/internal/wal"
+	"dora/internal/xct"
+)
+
+const nAccounts = 64
+
+type rig struct {
+	s   *sm.SM
+	tbl *catalog.Table
+	e   engine.Engine
+}
+
+// newRig loads a fresh accounts table and the requested engine over it.
+func newRig(t *testing.T, which string) *rig {
+	t.Helper()
+	s, err := sm.Open(sm.Options{Frames: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := s.CreateTable(sm.TableSpec{
+		Name: "accounts",
+		Fields: []catalog.Field{
+			{Name: "id", Type: tuple.TInt},
+			{Name: "balance", Type: tuple.TInt},
+		},
+		KeyFields: []string{"id"},
+		Key:       func(r tuple.Record) int64 { return r[0].Int },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses := s.Session(0)
+	setup := s.Begin()
+	for i := int64(0); i < nAccounts; i++ {
+		if err := ses.Insert(setup, tbl, tuple.Record{tuple.I(i), tuple.I(100)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(setup); err != nil {
+		t.Fatal(err)
+	}
+	var e engine.Engine
+	switch which {
+	case "conventional":
+		e = conventional.New(s)
+	case "dora":
+		e = dora.New(s, dora.Config{
+			PartitionsPerTable: 4,
+			Domains:            map[string][2]int64{"accounts": {0, nAccounts}},
+		})
+	default:
+		t.Fatalf("unknown engine %q", which)
+	}
+	t.Cleanup(func() {
+		if err := e.Close(); err != nil {
+			t.Errorf("close %s: %v", which, err)
+		}
+	})
+	return &rig{s: s, tbl: tbl, e: e}
+}
+
+func engines() []string { return []string{"conventional", "dora"} }
+
+// addFlow builds a two-action single-phase flow moving delta onto two
+// accounts; failAfterFirst injects an error into the second action.
+func (r *rig) addFlow(a, b, delta int64, failSecond bool) *xct.Flow {
+	mk := func(key int64, fail bool) *xct.Action {
+		return &xct.Action{
+			Table: "accounts", KeyField: "id", Key: key, Mode: xct.Write,
+			Label: fmt.Sprintf("add-%d", key),
+			Run: func(env *xct.Env) error {
+				if fail {
+					return errors.New("injected failure")
+				}
+				return env.Ses.Mutate(env.Txn, r.tbl, key, func(rec tuple.Record) tuple.Record {
+					rec[1] = tuple.I(rec[1].Int + delta)
+					return rec
+				})
+			},
+		}
+	}
+	return xct.NewFlow("add").AddPhase(mk(a, false), mk(b, failSecond))
+}
+
+func (r *rig) balance(t *testing.T, key int64) int64 {
+	t.Helper()
+	rec, err := r.s.Session(0).Read(r.s.Begin(), r.tbl, key)
+	if err != nil {
+		t.Fatalf("read %d: %v", key, err)
+	}
+	return rec[1].Int
+}
+
+func TestEngineName(t *testing.T) {
+	for _, which := range engines() {
+		r := newRig(t, which)
+		if r.e.Name() != which {
+			t.Fatalf("Name() = %q, want %q", r.e.Name(), which)
+		}
+	}
+}
+
+func TestEngineCommitVisible(t *testing.T) {
+	for _, which := range engines() {
+		t.Run(which, func(t *testing.T) {
+			r := newRig(t, which)
+			if err := r.e.Exec(0, r.addFlow(1, 2, 25, false)); err != nil {
+				t.Fatal(err)
+			}
+			if got := r.balance(t, 1); got != 125 {
+				t.Fatalf("account 1 = %d, want 125", got)
+			}
+			if got := r.balance(t, 2); got != 125 {
+				t.Fatalf("account 2 = %d, want 125", got)
+			}
+			// The commit record must be durable once Exec returns (early
+			// lock release must not weaken the durability guarantee).
+			committed := false
+			if err := r.s.Log.Scan(func(rec *wal.Record) error {
+				if rec.Kind == wal.KCommit {
+					committed = true
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if !committed {
+				t.Fatal("no commit record in the log after Exec returned")
+			}
+		})
+	}
+}
+
+func TestEngineAbortRollsBackBothActions(t *testing.T) {
+	for _, which := range engines() {
+		t.Run(which, func(t *testing.T) {
+			r := newRig(t, which)
+			err := r.e.Exec(0, r.addFlow(3, 4, 50, true))
+			if err == nil {
+				t.Fatal("flow with injected failure must report an error")
+			}
+			// The first action's update must be rolled back too.
+			if got := r.balance(t, 3); got != 100 {
+				t.Fatalf("account 3 = %d after abort, want 100", got)
+			}
+			if got := r.balance(t, 4); got != 100 {
+				t.Fatalf("account 4 = %d after abort, want 100", got)
+			}
+		})
+	}
+}
+
+func TestEngineConcurrentIncrementsSerialize(t *testing.T) {
+	const workers, perWorker = 8, 20
+	for _, which := range engines() {
+		t.Run(which, func(t *testing.T) {
+			r := newRig(t, which)
+			var wg sync.WaitGroup
+			errs := make(chan error, workers*perWorker)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						// All workers hammer the same two accounts; locks
+						// (global or partition-local) must serialize them.
+						if err := r.e.Exec(w, r.addFlow(5, 6, 1, false)); err != nil {
+							errs <- err
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			failed := 0
+			for err := range errs {
+				t.Logf("retryable abort: %v", err)
+				failed++
+			}
+			want := int64(100 + workers*perWorker - failed)
+			if got := r.balance(t, 5); got != want {
+				t.Fatalf("account 5 = %d, want %d", got, want)
+			}
+			if got := r.balance(t, 6); got != want {
+				t.Fatalf("account 6 = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestEngineCommitDurableAtReturn checks the flush-pipelining contract:
+// when Exec returns success the commit record is already hardened, even
+// though locks were released before the sync.
+func TestEngineCommitDurableAtReturn(t *testing.T) {
+	for _, which := range engines() {
+		t.Run(which, func(t *testing.T) {
+			r := newRig(t, which)
+			if err := r.e.Exec(0, r.addFlow(7, 8, 5, false)); err != nil {
+				t.Fatal(err)
+			}
+			if d, n := r.s.Log.Durable(), r.s.Log.Next(); d == 0 || d > n {
+				t.Fatalf("durable horizon %d inconsistent with next %d", d, n)
+			}
+			if r.s.Commits.Load() == 0 {
+				t.Fatal("no commit counted")
+			}
+		})
+	}
+}

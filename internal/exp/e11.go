@@ -1,0 +1,168 @@
+package exp
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dora/internal/wal"
+	"dora/internal/wal/clog"
+)
+
+// nullStore discards log bytes (after the header handshake), isolating
+// E11's measurement to the append path itself: no device time, no memory
+// growth, syncs are free — exactly the regime where the log-buffer
+// critical section is the bottleneck.
+type nullStore struct {
+	mu     sync.Mutex
+	header []byte
+}
+
+func (s *nullStore) Write(b []byte) error {
+	s.mu.Lock()
+	if len(s.header) < wal.HeaderSize {
+		keep := wal.HeaderSize - len(s.header)
+		if keep > len(b) {
+			keep = len(b)
+		}
+		s.header = append(s.header, b[:keep]...)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *nullStore) Sync() error { return nil }
+
+func (s *nullStore) Contents() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.header...), nil
+}
+
+func (s *nullStore) Close() error { return nil }
+
+// E11LogScalability measures the tentpole claim of the consolidation-array
+// log manager: append throughput as concurrent appenders grow, single-
+// mutex log vs clog. The legacy log serializes checksum + memcpy of every
+// record behind one mutex, so it flattens (then degrades) as appenders
+// convoy; clog serializes only per-group pointer bumps — its consolidated
+// share grows with contention and throughput keeps scaling.
+func E11LogScalability(c Config, appenders []int) (*Table, error) {
+	c = c.fill()
+	if len(appenders) == 0 {
+		appenders = []int{1, 2, 4, 8, 16}
+	}
+	payload := make([]byte, 48)
+	undo := make([]byte, 16)
+
+	run := func(mk func() (wal.Manager, error), n int) (persec float64, stats wal.Stats, err error) {
+		l, err := mk()
+		if err != nil {
+			return 0, wal.Stats{}, err
+		}
+		var total atomic.Int64
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rec := wal.Record{Kind: wal.KUpdate, TxnID: uint64(w + 1), Redo: payload, Undo: undo}
+				count := int64(0)
+				for {
+					select {
+					case <-stop:
+						total.Add(count)
+						return
+					default:
+					}
+					for i := 0; i < 64; i++ {
+						rec.LSN = 0
+						l.Append(&rec)
+					}
+					count += 64
+				}
+			}(w)
+		}
+		start := time.Now()
+		time.Sleep(c.Duration)
+		close(stop)
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		stats = l.Stats()
+		if cerr := l.Close(); cerr != nil {
+			return 0, stats, cerr
+		}
+		return float64(total.Load()) / elapsed, stats, nil
+	}
+
+	tb := &Table{
+		Title: "E11  log-manager scalability: appends/s vs concurrent appenders",
+		Header: []string{"appenders", "mutex log/s", "clog/s", "clog/mutex",
+			"consolidated %"},
+		Caption: "mutex log = single-mutex append path (checksum+memcpy inside the\n" +
+			"critical section); clog = consolidation-array reservation with\n" +
+			"parallel buffer fill. consolidated % = appends that piggybacked on\n" +
+			"another thread's reservation and never touched the shared tail.",
+	}
+	for _, n := range appenders {
+		if n < 1 {
+			n = 1
+		}
+		legacyTPS, _, err := run(func() (wal.Manager, error) {
+			l, err := wal.New(&nullStore{}, nil)
+			if err != nil {
+				return nil, err
+			}
+			// The legacy log buffers appends until forced; drain it in the
+			// background so memory stays flat while we measure appends.
+			stopDrain := make(chan struct{})
+			go func() {
+				t := time.NewTicker(time.Millisecond)
+				defer t.Stop()
+				for {
+					select {
+					case <-stopDrain:
+						return
+					case <-t.C:
+						_ = l.FlushAll()
+					}
+				}
+			}()
+			return &drainedLog{Log: l, stop: stopDrain}, nil
+		}, n)
+		if err != nil {
+			return nil, err
+		}
+		clogTPS, cst, err := run(func() (wal.Manager, error) {
+			return clog.New(&nullStore{}, nil)
+		}, n)
+		if err != nil {
+			return nil, err
+		}
+		ratio := 0.0
+		if legacyTPS > 0 {
+			ratio = clogTPS / legacyTPS
+		}
+		consolidated := 0.0
+		if cst.Appends > 0 {
+			consolidated = 100 * float64(cst.Consolidated) / float64(cst.Appends)
+		}
+		tb.Rows = append(tb.Rows, []string{
+			d2(int64(n)), f1(legacyTPS), f1(clogTPS), f2(ratio), f1(consolidated),
+		})
+	}
+	return tb, nil
+}
+
+// drainedLog pairs the legacy log with its background drainer so Close
+// stops both.
+type drainedLog struct {
+	*wal.Log
+	stop chan struct{}
+}
+
+func (d *drainedLog) Close() error {
+	close(d.stop)
+	return d.Log.Close()
+}

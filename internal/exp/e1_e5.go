@@ -37,6 +37,7 @@ func E1AccessPatterns(c Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer s.Close()
 		db, err := tatp.Load(s, c.Subscribers)
 		if err != nil {
 			return nil, err
@@ -97,7 +98,7 @@ func E2VaryingLoad(c Config, clientSteps []int) (*Table, error) {
 		}
 		tps := map[string]float64{}
 		for _, which := range []string{"conventional", "dora"} {
-			db, e, _, err := tatpRig(c, which)
+			db, e, _, closeRig, err := tatpRig(c, which)
 			if err != nil {
 				return nil, err
 			}
@@ -107,7 +108,7 @@ func E2VaryingLoad(c Config, clientSteps []int) (*Table, error) {
 			}
 			res := dr.Run()
 			tps[which] = res.Throughput
-			_ = e.Close()
+			closeRig()
 		}
 		ratio := 0.0
 		if tps["conventional"] > 0 {
@@ -142,6 +143,7 @@ func E3IntraParallel(c Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer s.Close()
 		db, err := tpcb.Load(s, c.Branches, 100)
 		if err != nil {
 			return nil, err
@@ -194,7 +196,7 @@ func E4CriticalSections(c Config) (*Table, error) {
 			"contended/txn", "total/txn"},
 	}
 	for _, which := range []string{"conventional", "dora"} {
-		db, e, cs, err := tatpRig(c, which)
+		db, e, cs, closeRig, err := tatpRig(c, which)
 		if err != nil {
 			return nil, err
 		}
@@ -217,7 +219,7 @@ func E4CriticalSections(c Config) (*Table, error) {
 			f2(float64(snap.Contended) / n),
 			f2(float64(snap.Total()) / n),
 		})
-		_ = e.Close()
+		closeRig()
 	}
 	return tb, nil
 }
@@ -236,11 +238,11 @@ func E5PeakThroughput(c Config) (*Table, error) {
 	}
 	benches := []bench{
 		{"TATP", func(which string) (float64, error) {
-			db, e, _, err := tatpRig(c, which)
+			db, e, _, closeRig, err := tatpRig(c, which)
 			if err != nil {
 				return 0, err
 			}
-			defer e.Close()
+			defer closeRig()
 			res := (&workload.Driver{
 				Engine: e, Mix: db.NewMix(tatp.MixOptions{}),
 				Clients: c.Clients, Duration: c.Duration, Seed: 55,
@@ -248,11 +250,11 @@ func E5PeakThroughput(c Config) (*Table, error) {
 			return res.Throughput, nil
 		}},
 		{"TATP read-only", func(which string) (float64, error) {
-			db, e, _, err := tatpRig(c, which)
+			db, e, _, closeRig, err := tatpRig(c, which)
 			if err != nil {
 				return 0, err
 			}
-			defer e.Close()
+			defer closeRig()
 			res := (&workload.Driver{
 				Engine: e, Mix: db.ReadOnlyMix(tatp.MixOptions{}),
 				Clients: c.Clients, Duration: c.Duration, Seed: 56,
@@ -265,6 +267,7 @@ func E5PeakThroughput(c Config) (*Table, error) {
 			if err != nil {
 				return 0, err
 			}
+			defer s.Close()
 			db, err := tpcc.Load(s, tpcc.DefaultScale(c.Warehouses))
 			if err != nil {
 				return 0, err
@@ -288,6 +291,7 @@ func E5PeakThroughput(c Config) (*Table, error) {
 			if err != nil {
 				return 0, err
 			}
+			defer s.Close()
 			db, err := tpcb.Load(s, c.Branches, 1000)
 			if err != nil {
 				return 0, err

@@ -27,6 +27,7 @@ func E6Rebalance(c Config) (*Table, error) {
 		if err != nil {
 			return 0, 0, 0, 0, err
 		}
+		defer s.Close()
 		db, err := tatp.Load(s, c.Subscribers)
 		if err != nil {
 			return 0, 0, 0, 0, err
@@ -108,6 +109,7 @@ func E7Alignment(c Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer s.Close()
 	db, err := tatp.Load(s, c.Subscribers)
 	if err != nil {
 		return nil, err
@@ -304,7 +306,7 @@ func E10CoreScaling(c Config, procs []int) (*Table, error) {
 		runtime.GOMAXPROCS(p)
 		tps := map[string]float64{}
 		for _, which := range []string{"conventional", "dora"} {
-			db, e, _, err := tatpRig(c, which)
+			db, e, _, closeRig, err := tatpRig(c, which)
 			if err != nil {
 				return nil, err
 			}
@@ -313,7 +315,7 @@ func E10CoreScaling(c Config, procs []int) (*Table, error) {
 				Clients: 4 * p, Duration: c.Duration, Seed: 99,
 			}).Run()
 			tps[which] = res.Throughput
-			_ = e.Close()
+			closeRig()
 		}
 		ratio := 0.0
 		if tps["conventional"] > 0 {

@@ -1,8 +1,9 @@
-// Package exp implements the reproduction experiments E1–E10 from
-// DESIGN.md — the demo paper's exhibited scenarios (access patterns,
+// Package exp implements the reproduction experiments E1–E11 (indexed in
+// README.md) — the demo paper's exhibited scenarios (access patterns,
 // performance under varying load, load balancing, alignment advisor,
-// designer tools) plus the companion DORA paper's quantitative claims
-// (critical sections per transaction, peak throughput, scalability).
+// designer tools), the companion DORA paper's quantitative claims
+// (critical sections per transaction, peak throughput, scalability), and
+// this repo's log-manager scalability measurement (E11).
 // cmd/dorabench and the root bench_test.go both drive this package, so
 // the printed tables and the testing.B benchmarks are the same code.
 package exp
@@ -86,27 +87,30 @@ func (c Config) fill() Config {
 }
 
 // tatpRig loads a fresh TATP database and returns the requested engine
-// over it (fresh state per engine keeps comparisons fair).
-func tatpRig(c Config, which string) (*tatp.DB, engine.Engine, *metrics.CriticalSectionStats, error) {
-	cs := &metrics.CriticalSectionStats{}
+// over it (fresh state per engine keeps comparisons fair). Callers must
+// invoke close when done: it stops the engine's workers and the storage
+// manager's log flush daemon.
+func tatpRig(c Config, which string) (db *tatp.DB, e engine.Engine, cs *metrics.CriticalSectionStats, close func(), err error) {
+	cs = &metrics.CriticalSectionStats{}
 	s, err := sm.Open(sm.Options{Frames: 1 << 14, CS: cs})
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
-	db, err := tatp.Load(s, c.Subscribers)
+	db, err = tatp.Load(s, c.Subscribers)
 	if err != nil {
-		return nil, nil, nil, err
+		_ = s.Close()
+		return nil, nil, nil, nil, err
 	}
-	var e engine.Engine
 	switch which {
 	case "conventional":
 		e = conventional.New(s)
 	case "dora":
 		e = dora.New(s, dora.Config{PartitionsPerTable: c.Partitions, Domains: db.Domains()})
 	default:
-		return nil, nil, nil, fmt.Errorf("exp: unknown engine %q", which)
+		_ = s.Close()
+		return nil, nil, nil, nil, fmt.Errorf("exp: unknown engine %q", which)
 	}
-	return db, e, cs, nil
+	return db, e, cs, func() { _ = e.Close(); _ = s.Close() }, nil
 }
 
 // spin burns roughly n loop iterations (simulated action weight).

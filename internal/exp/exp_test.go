@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -61,6 +62,38 @@ func TestE9PhysicalDesign(t *testing.T) {
 	if !strings.Contains(rendered, "prepend partitioning column s_id") {
 		t.Fatalf("prepend rule missing:\n%s", rendered)
 	}
+}
+
+func TestE11Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if raceEnabled {
+		t.Skip("throughput comparison is not meaningful under the race detector")
+	}
+	// The acceptance claim: at >= 8 concurrent appenders the
+	// consolidation-array log out-appends the single-mutex log. Shared
+	// or single-core CI boxes are noisy, so take the best of three runs.
+	var last float64
+	for attempt := 0; attempt < 3; attempt++ {
+		tb, err := E11LogScalability(Config{Quick: true, Duration: 250 * time.Millisecond}, []int{8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tb.Rows) != 1 {
+			t.Fatalf("rows = %d", len(tb.Rows))
+		}
+		ratio, err := strconv.ParseFloat(tb.Rows[0][3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio > 1 {
+			return
+		}
+		last = ratio
+		t.Logf("attempt %d: clog/mutex ratio = %.2f", attempt+1, ratio)
+	}
+	t.Fatalf("clog/mutex ratio at 8 appenders = %.2f after 3 attempts, want > 1", last)
 }
 
 func TestE4Quick(t *testing.T) {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package exp
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; performance-assertion tests skip themselves under it.
+const raceEnabled = false

@@ -15,6 +15,10 @@ type CriticalSectionStats struct {
 	// the paper removes *lock-manager* serialization, not latching).
 	Latch Counter
 	// Log counts log-manager serialization points (buffer reservation).
+	// Under the consolidation-array log this is one entry per reserved
+	// group, not per record: appends that piggyback on another thread's
+	// reservation never enter the critical section, which is exactly the
+	// effect the consolidation array exists to produce.
 	Log Counter
 	// TxnMgr counts transaction-manager critical sections (begin/commit
 	// bookkeeping in shared structures).

@@ -85,9 +85,10 @@ func (s *Source) Sample(prev *Snapshot, dt time.Duration) *Snapshot {
 			snap.CS = s.SM.CS.Snapshot()
 		}
 		snap.BufferHitRate = s.SM.Pool.HitRate()
-		snap.LogAppends = s.SM.Log.Appends.Load()
-		snap.LogForces = s.SM.Log.Forces.Load()
-		snap.GroupCommits = s.SM.Log.GroupedCommits.Load()
+		ls := s.SM.Log.Stats()
+		snap.LogAppends = ls.Appends
+		snap.LogForces = ls.Forces
+		snap.GroupCommits = ls.GroupedCommits
 	}
 	if s.Dora != nil {
 		snap.Partitions = s.Dora.PartitionStats()

@@ -36,6 +36,69 @@ func (r *crashRig) crash(t *testing.T) *SM {
 	return r.open(t)
 }
 
+// TestRecoverAcrossLogManagers runs the workload under the legacy
+// single-mutex log, crashes, and recovers under the consolidation-array
+// log (and vice versa): the two managers share one on-disk format, so
+// recovery must be oblivious to which one produced the stream.
+func TestRecoverAcrossLogManagers(t *testing.T) {
+	for _, dir := range []struct {
+		name              string
+		writer, recoverer bool // LegacyLog flags
+	}{
+		{"legacy-to-clog", true, false},
+		{"clog-to-legacy", false, true},
+	} {
+		t.Run(dir.name, func(t *testing.T) {
+			disk := buffer.NewMemDisk()
+			store := wal.NewMemStore()
+			s, err := Open(Options{Frames: 64, Disk: disk, LogStore: store, LegacyLog: dir.writer})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl := testTable(t, s)
+			ses := s.Session(0)
+			winner := s.Begin()
+			for i := int64(1); i <= 10; i++ {
+				if err := ses.Insert(winner, tbl, acct(i, "w", i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.Commit(winner); err != nil {
+				t.Fatal(err)
+			}
+			loser := s.Begin()
+			_ = ses.Insert(loser, tbl, acct(99, "loser", 0))
+			_ = ses.Update(loser, tbl, 1, acct(1, "w", 777))
+			if err := s.Log.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+
+			s2, err := Open(Options{Frames: 64, Disk: disk, LogStore: store.CrashCopy(), LegacyLog: dir.recoverer})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl2 := testTable(t, s2)
+			st, err := s2.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Losers != 1 {
+				t.Fatalf("losers = %d, want 1", st.Losers)
+			}
+			ses2 := s2.Session(0)
+			for i := int64(1); i <= 10; i++ {
+				rec, err := ses2.Read(s2.Begin(), tbl2, i)
+				if err != nil || rec[2].Int != i {
+					t.Fatalf("winner key %d: %v %v", i, rec, err)
+				}
+			}
+			if _, err := ses2.Read(s2.Begin(), tbl2, 99); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("loser insert visible after recovery: %v", err)
+			}
+		})
+	}
+}
+
 func TestRecoverCommittedSurvive(t *testing.T) {
 	rig := newRig()
 	s := rig.open(t)

@@ -15,6 +15,7 @@ package sm
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"dora/internal/btree"
 	"dora/internal/buffer"
@@ -24,6 +25,7 @@ import (
 	"dora/internal/tuple"
 	"dora/internal/tx"
 	"dora/internal/wal"
+	"dora/internal/wal/clog"
 )
 
 // ErrNotFound reports a missing key.
@@ -40,6 +42,9 @@ type Options struct {
 	Disk buffer.Disk
 	// LogStore backs the WAL (default: in-memory).
 	LogStore wal.Store
+	// LegacyLog selects the original single-mutex log manager instead of
+	// the consolidation-array one (comparison experiments, E11).
+	LegacyLog bool
 	// CS receives critical-section accounting (optional).
 	CS *metrics.CriticalSectionStats
 	// Tracer receives record-access events (optional, experiment E1).
@@ -50,12 +55,18 @@ type Options struct {
 type SM struct {
 	Disk   buffer.Disk
 	Pool   *buffer.Pool
-	Log    *wal.Log
+	Log    wal.Manager
 	Cat    *catalog.Catalog
 	CS     *metrics.CriticalSectionStats
 	Tracer *metrics.AccessTracer
 
 	ids tx.IDGen
+
+	// lastCommit is the highest commit-record LSN assigned so far. Under
+	// early lock release a read-only transaction may have observed writes
+	// whose commit record is not yet durable; acknowledging it must wait
+	// for this horizon (the ELR read-only caveat).
+	lastCommit atomic.Uint64
 
 	// Commits and Aborts count finished transactions.
 	Commits metrics.Counter
@@ -75,7 +86,13 @@ func Open(opt Options) (*SM, error) {
 	if opt.LogStore == nil {
 		opt.LogStore = wal.NewMemStore()
 	}
-	log, err := wal.New(opt.LogStore, opt.CS)
+	var log wal.Manager
+	var err error
+	if opt.LegacyLog {
+		log, err = wal.New(opt.LogStore, opt.CS)
+	} else {
+		log, err = clog.New(opt.LogStore, opt.CS)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -156,24 +173,77 @@ func (s *SM) Session(worker int) *Session { return &Session{sm: s, worker: worke
 // Commit makes t durable: a commit record is appended and the log forced
 // (group commit batches concurrent forcers), then an end record written.
 func (s *SM) Commit(t *tx.Txn) error {
+	ch := make(chan error, 1)
+	s.CommitAsync(t, func(err error) { ch <- err })
+	return <-ch
+}
+
+// CommitAsync appends t's commit record and schedules the rest of commit
+// — end record, status flip, durability notification — for when the log
+// hardens it. done is invoked exactly once: inline if the log manager only
+// supports synchronous forces (or t is read-only), otherwise from the
+// flush daemon (flush pipelining: the worker never blocks on the sync).
+//
+// When CommitAsync returns, t's commit LSN is assigned, and engines may
+// release t's locks immediately (early lock release). That is safe
+// because the log hardens in LSN order: any transaction that read t's
+// writes logs its own commit record after t's, so it cannot become
+// durable — and its client cannot be acknowledged — before t is.
+func (s *SM) CommitAsync(t *tx.Txn, done func(error)) {
 	if t.LastLSN() == 0 {
-		// Read-only: nothing to force.
-		t.SetStatus(tx.Committed)
-		s.Commits.Inc()
-		return nil
+		s.commitReadOnly(t, done)
+		return
 	}
 	lsn := t.Chain(func(prev uint64) uint64 {
 		return s.Log.Append(&wal.Record{Kind: wal.KCommit, TxnID: t.ID, PrevLSN: prev})
 	})
-	if err := s.Log.Force(lsn); err != nil {
-		return err
+	for {
+		cur := s.lastCommit.Load()
+		if cur >= lsn || s.lastCommit.CompareAndSwap(cur, lsn) {
+			break
+		}
 	}
-	t.Chain(func(prev uint64) uint64 {
-		return s.Log.Append(&wal.Record{Kind: wal.KEnd, TxnID: t.ID, PrevLSN: prev})
-	})
-	t.SetStatus(tx.Committed)
-	s.Commits.Inc()
-	return nil
+	finish := func(err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		t.Chain(func(prev uint64) uint64 {
+			return s.Log.Append(&wal.Record{Kind: wal.KEnd, TxnID: t.ID, PrevLSN: prev})
+		})
+		t.SetStatus(tx.Committed)
+		s.Commits.Inc()
+		done(nil)
+	}
+	if af, ok := s.Log.(wal.AsyncForcer); ok {
+		af.ForceAsync(lsn, finish)
+		return
+	}
+	finish(s.Log.Force(lsn))
+}
+
+// commitReadOnly completes a transaction that wrote nothing. With a
+// synchronous log manager the locks of every transaction it read from
+// were released only after durability, so it completes immediately. With
+// an asynchronous one, early lock release means it may have observed
+// writes whose commit records are still in flight — it must not be
+// acknowledged before the highest assigned commit LSN hardens, or a
+// crash could erase state a client was told it read.
+func (s *SM) commitReadOnly(t *tx.Txn, done func(error)) {
+	finish := func(err error) {
+		if err == nil {
+			t.SetStatus(tx.Committed)
+			s.Commits.Inc()
+		}
+		done(err)
+	}
+	if af, ok := s.Log.(wal.AsyncForcer); ok {
+		if target := s.lastCommit.Load(); target != 0 && s.Log.Durable() <= target {
+			af.ForceAsync(target, finish)
+			return
+		}
+	}
+	finish(nil)
 }
 
 // Rollback undoes every operation of t (in reverse), logging CLRs, and
@@ -313,10 +383,14 @@ func (s *SM) ApplyUndo(t *tx.Txn, u tx.Undo) error {
 // SetTxnIDFloor ensures future transaction ids exceed floor (recovery).
 func (s *SM) SetTxnIDFloor(floor uint64) { s.ids.EnsureAtLeast(floor) }
 
-// Close flushes dirty pages and the log.
+// Close flushes dirty pages and the log, then stops the log manager's
+// background worker (if any).
 func (s *SM) Close() error {
 	if err := s.Log.FlushAll(); err != nil {
 		return err
 	}
-	return s.Pool.FlushAll()
+	if err := s.Pool.FlushAll(); err != nil {
+		return err
+	}
+	return s.Log.Close()
 }

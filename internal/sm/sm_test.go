@@ -244,11 +244,11 @@ func TestReadOnlyCommitSkipsForce(t *testing.T) {
 	setup := s.Begin()
 	_ = ses.Insert(setup, tbl, acct(1, "a", 0))
 	_ = s.Commit(setup)
-	forces := s.Log.Forces.Load()
+	forces := s.Log.Stats().Forces
 	ro := s.Begin()
 	_, _ = ses.Read(ro, tbl, 1)
 	_ = s.Commit(ro)
-	if s.Log.Forces.Load() != forces {
+	if s.Log.Stats().Forces != forces {
 		t.Fatal("read-only commit forced the log")
 	}
 }

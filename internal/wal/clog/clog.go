@@ -1,0 +1,578 @@
+// Package clog is the scalable log manager: a consolidation-array WAL
+// append path with decoupled buffer fill and flush pipelining, in the
+// style of Aether (Johnson et al., VLDB 2010) — the same research group's
+// follow-on to DORA. It removes the log-buffer serialization point that
+// experiment E4 identifies as the bottleneck left after DORA bypasses the
+// centralized lock manager:
+//
+//   - Consolidation array: concurrent appenders combine their buffer-space
+//     requests in a small array of slots. The first thread to join a slot
+//     becomes the group's leader and is the only one that enters the
+//     serialized tail-reservation step; while it waits for that mutex,
+//     later arrivals CAS themselves into the group, so contention grows
+//     group size instead of queue length.
+//   - Decoupled buffer fill: space reservation (a pointer bump) is the only
+//     serialized step. Record serialization — the checksummed framing and
+//     the memcpy, which the single-mutex log performs inside its critical
+//     section — happens in parallel after reservation, each member writing
+//     its own disjoint extent region.
+//   - Flush pipelining: a flush daemon hardens completed groups in LSN
+//     order and completes transactions asynchronously via ForceAsync, so
+//     commit never blocks a worker thread on the device sync, and one sync
+//     covers every group that completed in the meantime (group commit).
+//
+// The record encoding is wal's (wal.EncodeInto), so the stream is
+// byte-identical to the legacy log's for equal records and the ARIES
+// scanner and recovery work unchanged over clog-produced logs.
+package clog
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+
+	"dora/internal/metrics"
+	"dora/internal/wal"
+)
+
+// ErrClosed reports a force against a closed log manager.
+var ErrClosed = errors.New("clog: log manager closed")
+
+const (
+	// numSlots is the consolidation-array width. A few slots spread the
+	// join CASes; every slot's group still reserves through one mutex, so
+	// LSN space stays contiguous.
+	numSlots = 4
+	// maxPending bounds bytes reserved but not yet hardened; leaders wait
+	// for the flush daemon past this (backpressure grows their groups).
+	maxPending = 8 << 20
+	// flushEvery is the pending-byte level past which group completion
+	// wakes the flush daemon even with no force outstanding; below it the
+	// daemon sleeps and durability requests drive the pipeline.
+	flushEvery = 256 << 10
+	// baseSpins is how long a follower spins for its group's base LSN
+	// before parking on the channel.
+	baseSpins = 128
+)
+
+// group is one consolidated append batch: a contiguous LSN extent
+// reserved by its leader, filled in parallel by its members.
+type group struct {
+	// total accumulates members' byte counts while the group is open
+	// (joiners CAS it); the leader closes the group by swapping in -1.
+	// Pooled groups keep total at -1, so a thread holding a stale pointer
+	// from a slot can never join one. (A stale join into a pointer that
+	// was already reincarnated as a *different open* group is benign: any
+	// successful CAS into an open group is a valid membership.)
+	total atomic.Int64
+	// size is the final byte count, set by the leader at reservation.
+	size int64
+	// base is the extent's first LSN; valid once ready is true.
+	base  uint64
+	buf   []byte
+	ready atomic.Bool
+	// baseReady is installed lazily by the first follower that exhausts
+	// its spin; the leader closes whatever channel it finds after
+	// publishing the base.
+	baseReady atomic.Pointer[chan struct{}]
+	// copied counts member bytes serialized into buf; the group may be
+	// flushed when copied == size.
+	copied atomic.Int64
+	next   *group
+}
+
+// groupPool recycles group descriptors (and their extent buffers) once
+// the flush daemon has hardened them; on the fast path an append performs
+// no allocation at all in steady state.
+var groupPool = sync.Pool{New: func() any {
+	g := &group{}
+	g.total.Store(-1)
+	return g
+}}
+
+// getGroup returns a closed, reset group ready for reservation (solo use)
+// or for opening via total.Store (slot leadership).
+func getGroup() *group {
+	g := groupPool.Get().(*group)
+	g.next = nil
+	g.copied.Store(0)
+	g.ready.Store(false)
+	g.baseReady.Store(nil)
+	return g
+}
+
+// extent sizes g.buf for its reservation, reusing the pooled allocation
+// when it is big enough.
+func (g *group) extent(total int64) {
+	if int64(cap(g.buf)) >= total {
+		g.buf = g.buf[:total]
+	} else {
+		g.buf = make([]byte, total)
+	}
+}
+
+type waiter struct {
+	lsn uint64
+	fn  func(error)
+}
+
+// Log is the consolidation-array log manager. It implements wal.Manager
+// and wal.AsyncForcer.
+type Log struct {
+	store wal.Store
+	cs    *metrics.CriticalSectionStats
+
+	slots [numSlots]atomic.Pointer[group]
+
+	// tailMu guards the one serialized step: LSN-space reservation and the
+	// reserved-group FIFO append that fixes flush order. Group leaders
+	// take it per group; the flush daemon takes it briefly per batch.
+	tailMu     sync.Mutex
+	nextLSN    uint64
+	head, tail *group
+
+	durable atomic.Uint64
+	pending atomic.Int64
+	roomMu  sync.Mutex
+	room    *sync.Cond
+
+	// waitMu guards waiters and the sticky error; nwait mirrors
+	// len(waiters) so group completion can test for outstanding forces
+	// without the lock.
+	waitMu  sync.Mutex
+	waiters []waiter
+	nwait   atomic.Int64
+	err     error
+
+	flushCh chan struct{}
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+	closed  atomic.Bool
+
+	// Appends counts records; Groups counts consolidated reservations;
+	// Forces/GroupedCommits/Syncs mirror the legacy log's counters.
+	Appends        metrics.Counter
+	Groups         metrics.Counter
+	Forces         metrics.Counter
+	GroupedCommits metrics.Counter
+	Syncs          metrics.Counter
+}
+
+// New creates a consolidation-array log manager over store, writing or
+// validating the shared file header, and starts the flush daemon.
+func New(store wal.Store, cs *metrics.CriticalSectionStats) (*Log, error) {
+	next, err := wal.InitStore(store)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{
+		store:   store,
+		cs:      cs,
+		nextLSN: next,
+		flushCh: make(chan struct{}, 1),
+		stopCh:  make(chan struct{}),
+		doneCh:  make(chan struct{}),
+	}
+	l.room = sync.NewCond(&l.roomMu)
+	l.durable.Store(next)
+	go l.daemon()
+	return l, nil
+}
+
+// Append implements wal.Manager. The caller's thread either leads a group
+// (one serialized reservation for every member) or consolidates into an
+// open one and never touches the shared tail at all; either way it
+// serializes the record into the group extent in parallel with the other
+// members and returns once its bytes are in the log buffer.
+func (l *Log) Append(rec *wal.Record) wal.LSN {
+	size := int64(wal.EncodedSize(rec))
+	l.Appends.Inc()
+	// Adaptive fast path: with the tail uncontended there is nothing to
+	// consolidate with — reserve a solo extent directly. Under contention
+	// the TryLock fails and appends consolidate instead, which is exactly
+	// when grouping pays.
+	if l.pending.Load() < maxPending && l.tailMu.TryLock() {
+		g := getGroup() // pooled groups are born closed: no one can join
+		l.reserveLocked(g, size)
+		if l.cs != nil {
+			l.cs.Log.Inc()
+		}
+		g.extent(size)
+		rec.LSN = g.base
+		wal.EncodeInto(g.buf[:size], rec)
+		l.finishCopy(g, size)
+		return rec.LSN
+	}
+	slot := &l.slots[rand.IntN(numSlots)]
+	for {
+		g := slot.Load()
+		if g == nil {
+			ng := getGroup()
+			ng.total.Store(size) // open: joiners may CAS in from here on
+			sl := slot
+			if !slot.CompareAndSwap(nil, ng) {
+				// Lost the installation race. ng must still be led, not
+				// discarded: a stale pointer from this descriptor's
+				// previous slot life could have joined the moment total
+				// opened, and members may only be stranded never.
+				sl = nil
+			}
+			l.lead(sl, ng)
+			rec.LSN = ng.base
+			wal.EncodeInto(ng.buf[:size], rec)
+			l.finishCopy(ng, size)
+			return rec.LSN
+		}
+		off, ok := join(g, size)
+		if !ok {
+			continue // group closed under us; retry with a fresh one
+		}
+		l.awaitBase(g)
+		rec.LSN = g.base + uint64(off)
+		wal.EncodeInto(g.buf[off:off+size], rec)
+		l.finishCopy(g, size)
+		return rec.LSN
+	}
+}
+
+// join CASes size into an open group, returning the member's byte offset
+// within the extent. ok is false if the group closed first.
+func join(g *group, size int64) (off int64, ok bool) {
+	for {
+		t := g.total.Load()
+		if t < 0 {
+			return 0, false
+		}
+		if g.total.CompareAndSwap(t, t+size) {
+			return t, true
+		}
+	}
+}
+
+// lead runs the group leader's serialized step: acquire the tail mutex
+// (consolidation keeps happening while it waits), detach and close the
+// group, reserve its LSN extent, and publish the base so members can fill
+// their regions in parallel. slot is nil when the group never made it
+// into the consolidation array.
+func (l *Log) lead(slot *atomic.Pointer[group], g *group) {
+	l.waitForRoom()
+	if l.cs != nil {
+		if !l.tailMu.TryLock() {
+			l.cs.Contended.Inc()
+			l.tailMu.Lock()
+		}
+		// One serialization-point entry per consolidated group — members
+		// that piggybacked never enter it; that is the point.
+		l.cs.Log.Inc()
+	} else {
+		l.tailMu.Lock()
+	}
+	if slot != nil {
+		// Detach before closing: once total goes negative, late joiners
+		// must find a fresh slot, not spin on this group.
+		slot.CompareAndSwap(g, nil)
+	}
+	total := g.total.Swap(-1)
+	l.reserveLocked(g, total)
+	g.extent(total)
+	g.ready.Store(true)
+	if ch := g.baseReady.Load(); ch != nil {
+		close(*ch)
+	}
+}
+
+// reserveLocked fixes g's extent at the current tail and queues it on the
+// flush FIFO — the whole serialized step. Called with tailMu held;
+// releases it.
+func (l *Log) reserveLocked(g *group, total int64) {
+	g.size = total
+	g.base = l.nextLSN
+	l.nextLSN += uint64(total)
+	if l.tail == nil {
+		l.head = g
+	} else {
+		l.tail.next = g
+	}
+	l.tail = g
+	l.tailMu.Unlock()
+	l.Groups.Inc()
+	l.pending.Add(total)
+}
+
+// awaitBase waits for the leader to publish the group's base LSN: a short
+// spin (reservation is just a pointer bump away), then a lazily installed
+// channel — the common case never allocates it.
+func (l *Log) awaitBase(g *group) {
+	for i := 0; i < baseSpins; i++ {
+		if g.ready.Load() {
+			return
+		}
+	}
+	ch := make(chan struct{})
+	if !g.baseReady.CompareAndSwap(nil, &ch) {
+		ch = *g.baseReady.Load()
+	}
+	// The leader may have published between the spin and the install; it
+	// only closes a channel it observes after setting ready.
+	if g.ready.Load() {
+		return
+	}
+	<-ch
+}
+
+// finishCopy accounts a member's serialized bytes. The member completing
+// the group wakes the flush daemon only when something needs the flush —
+// an outstanding force, or enough pending bytes to be worth hardening —
+// so an idle pipeline costs appends nothing.
+func (l *Log) finishCopy(g *group, size int64) {
+	// Read the total before the Add: the completing Add hands the group
+	// to the flush daemon, which may recycle the descriptor immediately.
+	total := g.size
+	if g.copied.Add(size) != total {
+		return
+	}
+	if l.nwait.Load() > 0 || l.pending.Load() >= flushEvery {
+		l.kick()
+	}
+}
+
+func (l *Log) kick() {
+	select {
+	case l.flushCh <- struct{}{}:
+	default:
+	}
+}
+
+// waitForRoom blocks while too many reserved bytes await hardening. Only
+// leaders wait here, before the tail mutex, so their groups keep
+// consolidating and the FIFO keeps draining.
+func (l *Log) waitForRoom() {
+	if l.pending.Load() < maxPending {
+		return
+	}
+	l.roomMu.Lock()
+	for l.pending.Load() >= maxPending {
+		l.room.Wait()
+	}
+	l.roomMu.Unlock()
+}
+
+// daemon is the flush pipeline: it hardens completed groups in LSN order,
+// advances the durability horizon, and completes waiting transactions.
+func (l *Log) daemon() {
+	defer close(l.doneCh)
+	for {
+		select {
+		case <-l.flushCh:
+			l.flushOnce()
+		case <-l.stopCh:
+			l.flushOnce()
+			return
+		}
+	}
+}
+
+// flushOnce writes and syncs the completed prefix of the group FIFO —
+// strictly in LSN order, which is what makes early lock release safe: a
+// dependent transaction's commit record always hardens after the records
+// it depends on.
+func (l *Log) flushOnce() {
+	l.tailMu.Lock()
+	var batch []*group
+	for g := l.head; g != nil && g.copied.Load() == g.size; g = g.next {
+		batch = append(batch, g)
+	}
+	if len(batch) > 0 {
+		l.head = batch[len(batch)-1].next
+		if l.head == nil {
+			l.tail = nil
+		}
+	}
+	l.tailMu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	// A dead log stays dead: after a store failure, writing later batches
+	// would punch an LSN-offset gap into the stream and let durable
+	// advance past records that were never persisted.
+	l.waitMu.Lock()
+	err := l.err
+	l.waitMu.Unlock()
+	var bytes int64
+	end := uint64(0)
+	for _, g := range batch {
+		if err == nil {
+			err = l.store.Write(g.buf)
+		}
+		bytes += g.size
+		end = g.base + uint64(g.size)
+	}
+	if err == nil {
+		err = l.store.Sync()
+	}
+	if err == nil {
+		l.Syncs.Inc()
+		l.durable.Store(end)
+	}
+	// Hardened descriptors go back to the pool: every member finished
+	// (copied == size) before the group entered the batch, so no thread
+	// can still touch one.
+	for _, g := range batch {
+		g.next = nil
+		groupPool.Put(g)
+	}
+	l.pending.Add(-bytes)
+	l.roomMu.Lock()
+	l.room.Broadcast()
+	l.roomMu.Unlock()
+	l.completeWaiters(err)
+}
+
+// completeWaiters fires durability callbacks: on success, every waiter the
+// new horizon covers; on a store error, every waiter (the error is sticky
+// and the log is dead).
+func (l *Log) completeWaiters(err error) {
+	d := l.durable.Load()
+	l.waitMu.Lock()
+	var fire []waiter
+	if err != nil {
+		if l.err == nil {
+			l.err = err
+		}
+		fire = l.waiters
+		l.waiters = nil
+		err = l.err
+	} else {
+		keep := l.waiters[:0]
+		for _, w := range l.waiters {
+			if d > w.lsn {
+				fire = append(fire, w)
+			} else {
+				keep = append(keep, w)
+			}
+		}
+		l.waiters = keep
+	}
+	l.nwait.Add(-int64(len(fire)))
+	l.waitMu.Unlock()
+	if len(fire) == 0 {
+		return
+	}
+	// Callbacks run off the daemon thread: a commit completion appends
+	// the transaction's end record, and under backpressure that append
+	// would otherwise park the daemon in waitForRoom — waiting for a
+	// flush only the daemon itself can perform.
+	go func() {
+		for _, w := range fire {
+			w.fn(err)
+		}
+	}()
+}
+
+// ForceAsync implements wal.AsyncForcer: fn runs exactly once — inline if
+// lsn is already durable, otherwise from a completion goroutine once the
+// flush daemon hardens it. Callbacks may block (and may append — commit
+// completion writes the end record); they never run on the daemon itself.
+func (l *Log) ForceAsync(lsn wal.LSN, fn func(error)) {
+	l.Forces.Inc()
+	l.forceAsync(lsn, fn, false)
+}
+
+// forceAsync is ForceAsync's body; closing lets Close's final flush
+// through after the closed flag is already up.
+func (l *Log) forceAsync(lsn wal.LSN, fn func(error), closing bool) {
+	l.waitMu.Lock()
+	if err := l.err; err != nil {
+		l.waitMu.Unlock()
+		fn(err)
+		return
+	}
+	if l.durable.Load() > lsn {
+		l.waitMu.Unlock()
+		l.GroupedCommits.Inc()
+		fn(nil)
+		return
+	}
+	if !closing && l.closed.Load() {
+		l.waitMu.Unlock()
+		fn(ErrClosed)
+		return
+	}
+	l.nwait.Add(1)
+	l.waiters = append(l.waiters, waiter{lsn: lsn, fn: fn})
+	l.waitMu.Unlock()
+	l.kick()
+}
+
+// Force implements wal.Manager by waiting on ForceAsync.
+func (l *Log) Force(lsn wal.LSN) error {
+	ch := make(chan error, 1)
+	l.ForceAsync(lsn, func(err error) { ch <- err })
+	return <-ch
+}
+
+// FlushAll implements wal.Manager.
+func (l *Log) FlushAll() error {
+	next := l.Next()
+	if next == 0 {
+		return nil
+	}
+	return l.Force(next - 1)
+}
+
+// Durable implements wal.Manager.
+func (l *Log) Durable() wal.LSN { return l.durable.Load() }
+
+// Next implements wal.Manager.
+func (l *Log) Next() wal.LSN {
+	l.tailMu.Lock()
+	n := l.nextLSN
+	l.tailMu.Unlock()
+	return n
+}
+
+// Scan implements wal.Manager using the shared scanner, so a clog-produced
+// stream feeds the same ARIES recovery as a legacy one.
+func (l *Log) Scan(fn func(*wal.Record) error) error {
+	if err := l.FlushAll(); err != nil {
+		return err
+	}
+	raw, err := l.store.Contents()
+	if err != nil {
+		return err
+	}
+	return wal.ScanBytes(raw, fn)
+}
+
+// Stats implements wal.Manager.
+func (l *Log) Stats() wal.Stats {
+	a, g := l.Appends.Load(), l.Groups.Load()
+	return wal.Stats{
+		Appends:        a,
+		Forces:         l.Forces.Load(),
+		Syncs:          l.Syncs.Load(),
+		GroupedCommits: l.GroupedCommits.Load(),
+		Groups:         g,
+		Consolidated:   a - g,
+	}
+}
+
+// Close implements wal.Manager: it hardens everything appended so far and
+// stops the flush daemon. Appends after Close are invalid; forces fail
+// with ErrClosed unless already satisfied.
+func (l *Log) Close() error {
+	if l.closed.Swap(true) {
+		<-l.doneCh
+		return nil
+	}
+	var err error
+	if next := l.Next(); next > 0 {
+		ch := make(chan error, 1)
+		l.forceAsync(next-1, func(e error) { ch <- e }, true)
+		err = <-ch
+	}
+	close(l.stopCh)
+	<-l.doneCh
+	return err
+}

@@ -3,10 +3,13 @@
 // path, and a scanner for ARIES-style recovery (analysis / redo / undo is
 // driven by internal/sm on top of this package).
 //
-// The append path serializes on a single mutex — the log-buffer critical
-// section that every update of every transaction must enter in both the
-// conventional and the DORA engine. It is instrumented so experiment E4
-// can report it separately from lock-manager serialization.
+// The append path of this package's Log serializes on a single mutex —
+// the log-buffer critical section that every update of every transaction
+// must enter in both the conventional and the DORA engine. It is
+// instrumented so experiment E4 can report it separately from lock-manager
+// serialization. The clog subpackage removes that serialization with a
+// consolidation-array append path; both implement Manager and produce the
+// same record stream.
 package wal
 
 import (
@@ -92,8 +95,63 @@ type Record struct {
 
 const fileHeader = "DORALOG1"
 
+// HeaderSize is the length of the file header that precedes the first
+// record; the first valid LSN equals HeaderSize.
+const HeaderSize = len(fileHeader)
+
 // ErrCorrupt reports a checksum or framing failure while scanning.
 var ErrCorrupt = errors.New("wal: corrupt log")
+
+// Manager is the log-manager interface the storage manager runs on. Two
+// implementations exist: Log (this package; single-mutex append path) and
+// clog.Log (consolidation-array append path with flush pipelining). Both
+// produce the same on-disk record stream, so recovery's scanner and every
+// log-inspection tool work over either.
+type Manager interface {
+	// Append assigns an LSN to rec, serializes it into the log buffer,
+	// and returns the LSN. The record is not durable until forced.
+	Append(rec *Record) LSN
+	// Force blocks until every record with LSN <= lsn is durable.
+	Force(lsn LSN) error
+	// FlushAll forces everything appended so far.
+	FlushAll() error
+	// Durable returns the LSN up to which (exclusive) the log is durable.
+	Durable() LSN
+	// Next returns the LSN the next Append will receive.
+	Next() LSN
+	// Scan decodes every record in the stream in order.
+	Scan(fn func(*Record) error) error
+	// Stats snapshots the manager's operation counters.
+	Stats() Stats
+	// Close flushes outstanding records and stops any background worker.
+	// It does not close the underlying Store.
+	Close() error
+}
+
+// AsyncForcer is implemented by log managers that can complete
+// transactions asynchronously: fn runs once every record with LSN <= lsn
+// is durable (or the log has failed). The storage manager uses it for
+// flush pipelining — commit does not block the worker on the sync.
+type AsyncForcer interface {
+	ForceAsync(lsn LSN, fn func(error))
+}
+
+// Stats is a point-in-time copy of a log manager's operation counters.
+type Stats struct {
+	// Appends counts records appended; Forces counts durability requests
+	// (Force and ForceAsync).
+	Appends int64
+	Forces  int64
+	// Syncs counts device syncs actually issued; GroupedCommits counts
+	// forces satisfied without one (the group-commit win).
+	Syncs          int64
+	GroupedCommits int64
+	// Groups counts entries into the serialized buffer-reservation step;
+	// Consolidated counts appends that piggybacked on another thread's
+	// reservation (always zero for the single-mutex log).
+	Groups       int64
+	Consolidated int64
+}
 
 // Store is the durable byte sink behind the log.
 type Store interface {
@@ -192,6 +250,7 @@ type Log struct {
 	mu      sync.Mutex // append critical section
 	buf     []byte     // appended but not yet handed to store
 	nextLSN LSN        // offset the next record will get
+	err     error      // sticky store failure: a dead log stays dead (mu)
 
 	flushMu sync.Mutex // serializes Force (group commit)
 	durable LSN        // all records below this offset are durable (atomic via mu)
@@ -200,34 +259,46 @@ type Log struct {
 	cs    *metrics.CriticalSectionStats
 
 	// Appends and Forces count operations; GroupedCommits counts Force
-	// calls satisfied by an earlier flush (the group-commit win).
+	// calls satisfied by an earlier flush (the group-commit win); Syncs
+	// counts device syncs actually issued.
 	Appends        metrics.Counter
 	Forces         metrics.Counter
 	GroupedCommits metrics.Counter
+	Syncs          metrics.Counter
+}
+
+// InitStore writes the file header into an empty store (and syncs it), or
+// validates the header of a non-empty one, returning the LSN after the
+// existing content — where the next append goes. Shared by both log
+// managers so they open each other's streams.
+func InitStore(store Store) (LSN, error) {
+	existing, err := store.Contents()
+	if err != nil {
+		return 0, err
+	}
+	if len(existing) == 0 {
+		if err := store.Write([]byte(fileHeader)); err != nil {
+			return 0, err
+		}
+		if err := store.Sync(); err != nil {
+			return 0, err
+		}
+		return LSN(HeaderSize), nil
+	}
+	if len(existing) < HeaderSize || string(existing[:HeaderSize]) != fileHeader {
+		return 0, fmt.Errorf("%w: bad header", ErrCorrupt)
+	}
+	return LSN(len(existing)), nil
 }
 
 // New creates a log manager over store. If the store is empty the file
 // header is written; otherwise appends continue after existing content.
 func New(store Store, cs *metrics.CriticalSectionStats) (*Log, error) {
-	existing, err := store.Contents()
+	next, err := InitStore(store)
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{store: store, cs: cs}
-	if len(existing) == 0 {
-		if err := store.Write([]byte(fileHeader)); err != nil {
-			return nil, err
-		}
-		if err := store.Sync(); err != nil {
-			return nil, err
-		}
-		l.nextLSN = LSN(len(fileHeader))
-	} else {
-		if len(existing) < len(fileHeader) || string(existing[:len(fileHeader)]) != fileHeader {
-			return nil, fmt.Errorf("%w: bad header", ErrCorrupt)
-		}
-		l.nextLSN = LSN(len(existing))
-	}
+	l := &Log{store: store, cs: cs, nextLSN: next}
 	l.durable = l.nextLSN
 	return l, nil
 }
@@ -270,10 +341,18 @@ func (l *Log) Next() LSN {
 
 // Force blocks until every record with LSN <= lsn is durable. Concurrent
 // forcers are batched: the first flush covers all earlier appends, and
-// later callers return without touching the store (group commit).
+// later callers return without touching the store (group commit). A store
+// failure is sticky: the durability horizon freezes and every later Force
+// reports the failure, so an engine that told its client "aborted" on a
+// commit error can never see a later sync quietly harden that commit.
 func (l *Log) Force(lsn LSN) error {
 	l.Forces.Inc()
 	l.mu.Lock()
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
 	if l.durable > lsn {
 		l.mu.Unlock()
 		l.GroupedCommits.Inc()
@@ -284,6 +363,11 @@ func (l *Log) Force(lsn LSN) error {
 	l.flushMu.Lock()
 	defer l.flushMu.Unlock()
 	l.mu.Lock()
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
 	if l.durable > lsn {
 		l.mu.Unlock()
 		l.GroupedCommits.Inc()
@@ -294,19 +378,44 @@ func (l *Log) Force(lsn LSN) error {
 	upTo := l.nextLSN
 	l.mu.Unlock()
 
+	err := error(nil)
 	if len(pend) > 0 {
-		if err := l.store.Write(pend); err != nil {
-			return err
-		}
+		err = l.store.Write(pend)
 	}
-	if err := l.store.Sync(); err != nil {
+	if err == nil {
+		err = l.store.Sync()
+	}
+	if err != nil {
+		l.mu.Lock()
+		if l.err == nil {
+			l.err = err
+		}
+		l.mu.Unlock()
 		return err
 	}
+	l.Syncs.Inc()
 	l.mu.Lock()
 	l.durable = upTo
 	l.mu.Unlock()
 	return nil
 }
+
+// Stats implements Manager. Every append reserves buffer space by itself,
+// so Groups mirrors Appends and nothing consolidates.
+func (l *Log) Stats() Stats {
+	a := l.Appends.Load()
+	return Stats{
+		Appends:        a,
+		Forces:         l.Forces.Load(),
+		Syncs:          l.Syncs.Load(),
+		GroupedCommits: l.GroupedCommits.Load(),
+		Groups:         a,
+	}
+}
+
+// Close implements Manager: it flushes outstanding records. The single-
+// mutex log has no background worker to stop.
+func (l *Log) Close() error { return l.FlushAll() }
 
 // FlushAll forces everything appended so far.
 func (l *Log) FlushAll() error {
@@ -366,13 +475,30 @@ func ScanBytes(raw []byte, fn func(*Record) error) error {
 	return nil
 }
 
-// encode frames rec: u32 total length, u32 crc, then payload beginning
-// with the (to-be-patched) LSN.
-func encode(r *Record) []byte {
-	n := 8 + // frame header
+// EncodedSize returns the framed size of r in bytes — the number of LSN
+// units the record occupies in the stream.
+func EncodedSize(r *Record) int {
+	return 8 + // frame header
 		8 + 8 + 8 + 1 + 1 + 4 + 4 + 2 + 8 + 8 + // fixed payload
 		4 + len(r.Redo) + 4 + len(r.Undo)
-	b := make([]byte, n)
+}
+
+// encode frames rec: u32 total length, u32 crc, then payload beginning
+// with the (to-be-patched) LSN. The checksum is left for Append to fill
+// after it patches the LSN.
+func encode(r *Record) []byte {
+	b := make([]byte, EncodedSize(r))
+	encodeInto(b, r, false)
+	return b
+}
+
+// EncodeInto serializes r — including its current LSN and the payload
+// checksum — into b, which must be exactly EncodedSize(r) bytes. Both log
+// managers use it, so their streams are byte-identical for equal records.
+func EncodeInto(b []byte, r *Record) { encodeInto(b, r, true) }
+
+func encodeInto(b []byte, r *Record, withCRC bool) {
+	n := len(b)
 	binary.LittleEndian.PutUint32(b[0:], uint32(n))
 	w := 8
 	binary.LittleEndian.PutUint64(b[w:], r.LSN)
@@ -402,7 +528,9 @@ func encode(r *Record) []byte {
 	binary.LittleEndian.PutUint32(b[w:], uint32(len(r.Undo)))
 	w += 4
 	copy(b[w:], r.Undo)
-	return b
+	if withCRC {
+		binary.LittleEndian.PutUint32(b[4:], crc32.ChecksumIEEE(b[8:]))
+	}
 }
 
 func decodePayload(p []byte) (*Record, error) {

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"errors"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -145,6 +146,35 @@ func TestTornTailIgnored(t *testing.T) {
 	}
 }
 
+func TestCorruptRecordRejectedMidStream(t *testing.T) {
+	l := mk(t)
+	var lsns []LSN
+	for i := 0; i < 10; i++ {
+		lsns = append(lsns, l.Append(&Record{Kind: KUpdate, TxnID: 1, Key: int64(i), Redo: []byte("payload")}))
+	}
+	if err := l.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := l.store.Contents()
+	// Corrupt a payload byte of the 6th record: its CRC check must fail
+	// and the scan must stop before delivering it.
+	mid := int(lsns[5])
+	raw[mid+16] ^= 0xA5
+	n := 0
+	if err := ScanBytes(raw, func(r *Record) error {
+		if r.LSN >= lsns[5] {
+			t.Fatalf("corrupt record %d delivered", r.LSN)
+		}
+		n++
+		return nil
+	}); err != nil {
+		t.Fatalf("scan over corrupted log: %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("delivered %d records before corruption, want 5", n)
+	}
+}
+
 func TestReopenContinuesLSNs(t *testing.T) {
 	store := NewMemStore()
 	l, _ := New(store, nil)
@@ -166,6 +196,44 @@ func TestReopenContinuesLSNs(t *testing.T) {
 	}
 	if n != 2 {
 		t.Fatalf("scanned %d, want 2", n)
+	}
+}
+
+// failSyncStore fails Sync on demand, simulating a dying log device.
+type failSyncStore struct {
+	*MemStore
+	fail bool
+}
+
+func (s *failSyncStore) Sync() error {
+	if s.fail {
+		return errors.New("device failure")
+	}
+	return s.MemStore.Sync()
+}
+
+func TestForceFailureIsSticky(t *testing.T) {
+	store := &failSyncStore{MemStore: NewMemStore()}
+	l, err := New(store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := l.Durable()
+	store.fail = true
+	lsn := l.Append(&Record{Kind: KCommit, TxnID: 1})
+	if err := l.Force(lsn); err == nil {
+		t.Fatal("force over failing store must error")
+	}
+	// The device recovers, but the log must stay dead: a commit reported
+	// aborted on the first failure must never be hardened by a later
+	// transaction's force.
+	store.fail = false
+	lsn2 := l.Append(&Record{Kind: KCommit, TxnID: 2})
+	if err := l.Force(lsn2); err == nil {
+		t.Fatal("force after sticky failure must keep erroring")
+	}
+	if d := l.Durable(); d != before {
+		t.Fatalf("durable advanced from %d to %d over a dead log", before, d)
 	}
 }
 

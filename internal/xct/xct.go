@@ -10,6 +10,13 @@
 // phase's actions to the partitions that own their data and lets the
 // RVP's last finisher trigger the next phase or the commit decision
 // (thread-to-data). Workloads therefore define each transaction once.
+//
+// In both engines the commit decided by the final RVP is pipelined:
+// locks (global or partition-local) are released as soon as the commit
+// record has its LSN, and the log manager's flush daemon completes the
+// transaction — and unblocks its client — once that record hardens.
+// LSN-ordered flushing makes the early release safe: a transaction that
+// read the released writes cannot become durable first.
 package xct
 
 import (
