@@ -98,6 +98,10 @@ func BenchmarkE11LogScalability(b *testing.B) {
 	runTable(b, func() (*exp.Table, error) { return exp.E11LogScalability(quickCfg(), []int{1, 4, 8}) })
 }
 
+func BenchmarkE12AccessPathLatching(b *testing.B) {
+	runTable(b, func() (*exp.Table, error) { return exp.E12AccessPathLatching(quickCfg()) })
+}
+
 func BenchmarkA1PartitionCount(b *testing.B) {
 	runTable(b, func() (*exp.Table, error) { return exp.A1PartitionCount(quickCfg(), []int{1, 4, 8}) })
 }

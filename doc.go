@@ -8,6 +8,16 @@
 // SQL-ish specs, physical-design advice), the live monitor, and the
 // TATP / TPC-C / TPC-B workloads.
 //
+// Beyond the paper it grows the prototype toward the authors' follow-on
+// work: a consolidation-array log manager with flush pipelining and
+// early lock release (internal/wal/clog, experiment E11), and a
+// physiologically partitioned access path (internal/btree's
+// PartitionedTree, PLP-style: per-partition B+tree subtrees owned by
+// DORA's workers, making owner-thread index descents latch-free —
+// experiment E12). The original DORA caveat that "latching remains" is
+// thereby partially retired: only page/frame latches survive on the
+// partitioned path.
+//
 // See README.md for the package tour, quickstart, and the experiment
 // index. The packages live under internal/; the runnable entry points
 // are the examples/ programs and the cmd/ tools.

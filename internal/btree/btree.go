@@ -3,6 +3,13 @@
 // latched per node with lock crabbing so readers and writers from many
 // worker threads can descend concurrently.
 //
+// It also provides the physiologically partitioned variant
+// (PartitionedTree, plp.go): a thin ordered root fanning out to
+// per-key-range subtrees that DORA partition workers claim exclusively,
+// making owner-thread descents latch-free while everyone else either
+// stays on the crabbing path (unowned subtrees) or ships the operation
+// to the owner's queue.
+//
 // Composite workload keys (for example TATP's (s_id, sf_type, start_time))
 // are bit-packed into the int64 by the workload schemas, so keys are
 // unique and range scans over a prefix become interval scans.
@@ -65,6 +72,7 @@ func New(cs *metrics.CriticalSectionStats) *Tree {
 func (t *Tree) latchShared(n *node) {
 	if t.cs != nil {
 		t.cs.Latch.Inc()
+		t.cs.IndexLatch.Inc()
 		if !n.mu.TryRLock() {
 			t.cs.Contended.Inc()
 			n.mu.RLock()
@@ -77,6 +85,7 @@ func (t *Tree) latchShared(n *node) {
 func (t *Tree) latchExcl(n *node) {
 	if t.cs != nil {
 		t.cs.Latch.Inc()
+		t.cs.IndexLatch.Inc()
 		if !n.mu.TryLock() {
 			t.cs.Contended.Inc()
 			n.mu.Lock()

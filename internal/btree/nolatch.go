@@ -1,0 +1,188 @@
+package btree
+
+import "dora/internal/metrics"
+
+// Latch-free node path. Every function in this file descends or mutates
+// the tree WITHOUT taking a single node latch. The safety contract is
+// ownership, not luck: the caller must be the one thread that currently
+// owns the whole (sub)tree — in this repo, the DORA partition worker a
+// PartitionedTree subtree was claimed for, or a quiesced topology
+// operation (Claim/MoveRange) that excludes all other access. This is the
+// PLP/MRBTree idea: once the thread that owns the logical key range also
+// owns the physical subtree, its descents need no physical protection at
+// all, and the per-node crabbing of the shared path disappears from the
+// critical-section profile.
+
+// getNL is Get without latches.
+func (t *Tree) getNL(key int64) (uint64, error) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i, ok := leafIndex(n.keys, key)
+	if !ok {
+		return 0, ErrNotFound
+	}
+	return n.vals[i], nil
+}
+
+// upsertNL is upsert without latches (same split-while-descending shape).
+func (t *Tree) upsertNL(key int64, val uint64, overwrite bool) error {
+	n := t.root
+	if n.full() {
+		left := t.root
+		mid, right := t.split(left)
+		t.root = &node{
+			leaf:     false,
+			keys:     []int64{mid},
+			children: []*node{left, right},
+		}
+		n = t.root
+	}
+	for !n.leaf {
+		i := childIndex(n.keys, key)
+		c := n.children[i]
+		if c.full() {
+			mid, right := t.split(c)
+			n.keys = append(n.keys, 0)
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = mid
+			n.children = append(n.children, nil)
+			copy(n.children[i+2:], n.children[i+1:])
+			n.children[i+1] = right
+			if key >= mid {
+				c = right
+			}
+		}
+		n = c
+	}
+	i, ok := leafIndex(n.keys, key)
+	if ok {
+		if !overwrite {
+			return ErrExists
+		}
+		n.vals[i] = val
+		return nil
+	}
+	n.keys = append(n.keys, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = key
+	n.vals = append(n.vals, 0)
+	copy(n.vals[i+1:], n.vals[i:])
+	n.vals[i] = val
+	t.size.Inc()
+	return nil
+}
+
+// deleteNL is Delete without latches.
+func (t *Tree) deleteNL(key int64) (uint64, error) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i, ok := leafIndex(n.keys, key)
+	if !ok {
+		return 0, ErrNotFound
+	}
+	v := n.vals[i]
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	t.size.Add(-1)
+	return v, nil
+}
+
+// ascendRangeNL is AscendRange without latches; it reports whether the
+// scan ran to completion (false: fn stopped it).
+func (t *Tree) ascendRangeNL(lo, hi int64, fn func(key int64, val uint64) bool) bool {
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, lo)]
+	}
+	i, _ := leafIndex(n.keys, lo)
+	for {
+		for ; i < len(n.keys); i++ {
+			if n.keys[i] > hi {
+				return true
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return false
+			}
+		}
+		if n.next == nil {
+			return true
+		}
+		n = n.next
+		i = 0
+	}
+}
+
+// kv is a key/value pair for bulk moves between subtrees.
+type kv struct {
+	k int64
+	v uint64
+}
+
+// extractRangeNL removes every pair with lo <= key <= hi and returns them
+// in ascending order (subtree hand-over during partition splits). Source
+// leaves keep their lazy-deletion shape.
+func (t *Tree) extractRangeNL(lo, hi int64) []kv {
+	var out []kv
+	t.ascendRangeNL(lo, hi, func(k int64, v uint64) bool {
+		out = append(out, kv{k, v})
+		return true
+	})
+	for _, p := range out {
+		if _, err := t.deleteNL(p.k); err != nil {
+			panic("btree: extractRangeNL lost a key mid-extraction")
+		}
+	}
+	return out
+}
+
+// bulkFill is the per-node occupancy bulk loads aim for: full enough to
+// keep trees shallow, loose enough that the first few inserts after a
+// re-partition do not split every leaf they touch.
+const bulkFill = Order * 3 / 4
+
+// newTreeFromSorted bulk-loads a tree from ascending pairs.
+func newTreeFromSorted(cs *metrics.CriticalSectionStats, pairs []kv) *Tree {
+	if len(pairs) == 0 {
+		return New(cs)
+	}
+	var level []*node
+	var firsts []int64
+	for i := 0; i < len(pairs); i += bulkFill {
+		j := i + bulkFill
+		if j > len(pairs) {
+			j = len(pairs)
+		}
+		n := &node{leaf: true}
+		for _, p := range pairs[i:j] {
+			n.keys = append(n.keys, p.k)
+			n.vals = append(n.vals, p.v)
+		}
+		if len(level) > 0 {
+			level[len(level)-1].next = n
+		}
+		level = append(level, n)
+		firsts = append(firsts, pairs[i].k)
+	}
+	for len(level) > 1 {
+		var up []*node
+		var ufirsts []int64
+		for i := 0; i < len(level); i += bulkFill {
+			j := i + bulkFill
+			if j > len(level) {
+				j = len(level)
+			}
+			n := &node{children: append([]*node(nil), level[i:j]...)}
+			n.keys = append(n.keys, firsts[i+1:j]...)
+			up = append(up, n)
+			ufirsts = append(ufirsts, firsts[i])
+		}
+		level, firsts = up, ufirsts
+	}
+	t := &Tree{root: level[0], cs: cs}
+	t.size.Add(int64(len(pairs)))
+	return t
+}

@@ -1,0 +1,407 @@
+package btree
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"dora/internal/metrics"
+)
+
+// This file implements the physiologically-partitioned access path
+// (PLP-style MRBTree): a thin ordered root that fans out to per-key-range
+// subtrees, each of which can be exclusively OWNED by one worker thread.
+//
+// Access protocol, per subtree:
+//
+//   - unowned (owner == nil): the conventional crabbed/latched Tree path,
+//     exactly as before this structure existed. The conventional engine,
+//     load phases, and recovery all run here.
+//   - owned, caller == owner: the latch-free node path (nolatch.go). The
+//     DORA partition worker that owns the logical key range descends its
+//     own subtree with zero latch acquisitions.
+//   - owned, caller != owner: the operation is SHIPPED to the owner and
+//     re-executed on its thread via the OwnerExec hook installed at claim
+//     time (in DORA: an inbox message). A non-owner can therefore never
+//     descend an owned subtree — the ownership violation is impossible by
+//     construction; if no executor was installed, it panics instead of
+//     racing.
+//
+// Topology (the range→subtree map) is guarded by an RWMutex: every
+// operation holds it shared for its duration, topology changes (Claim,
+// Release, MoveRange, ReassignOwner) take it exclusively. The shared hold
+// is a single uncontended atomic in the steady state and is deliberately
+// NOT counted as a latch critical section — the per-node crabbing it
+// replaces is what experiment E12 measures.
+
+// Owner is an opaque ownership token. Subtree ownership is compared by
+// token identity, never by integer worker ids, so an arbitrary session
+// created with a colliding worker number cannot impersonate a partition
+// worker. The struct is deliberately non-zero-sized: Go gives all
+// zero-size allocations the same address, which would make every token
+// compare equal.
+type Owner struct{ _ byte }
+
+// NewOwner mints a fresh ownership token.
+func NewOwner() *Owner { return new(Owner) }
+
+// OwnerExec runs fn on the goroutine that owns a subtree, passing that
+// goroutine's own token, and blocks until fn completed. It returns false
+// (without running fn) when the owner is gone — the caller re-resolves
+// the topology and retries.
+type OwnerExec func(fn func(tok *Owner)) bool
+
+// AccessMethod is the index-structure contract the storage manager
+// programs against: a shared latched Tree or a PartitionedTree. The
+// caller token identifies which (if any) partition worker is asking;
+// shared trees ignore it.
+type AccessMethod interface {
+	GetAs(caller *Owner, key int64) (uint64, error)
+	InsertAs(caller *Owner, key int64, val uint64) error
+	PutAs(caller *Owner, key int64, val uint64) error
+	DeleteAs(caller *Owner, key int64) (uint64, error)
+	AscendRangeAs(caller *Owner, lo, hi int64, fn func(key int64, val uint64) bool)
+	Len() int
+}
+
+// Tree implements AccessMethod by ignoring the caller: a plain tree is
+// always shared and always latched.
+
+// GetAs implements AccessMethod.
+func (t *Tree) GetAs(_ *Owner, key int64) (uint64, error) { return t.Get(key) }
+
+// InsertAs implements AccessMethod.
+func (t *Tree) InsertAs(_ *Owner, key int64, val uint64) error { return t.Insert(key, val) }
+
+// PutAs implements AccessMethod.
+func (t *Tree) PutAs(_ *Owner, key int64, val uint64) error { return t.Put(key, val) }
+
+// DeleteAs implements AccessMethod.
+func (t *Tree) DeleteAs(_ *Owner, key int64) (uint64, error) { return t.Delete(key) }
+
+// AscendRangeAs implements AccessMethod.
+func (t *Tree) AscendRangeAs(_ *Owner, lo, hi int64, fn func(key int64, val uint64) bool) {
+	t.AscendRange(lo, hi, fn)
+}
+
+// subtree is one contiguous key range [lo, hi] and its tree.
+type subtree struct {
+	lo, hi int64
+	owner  *Owner
+	exec   OwnerExec
+	tree   *Tree
+}
+
+// PartitionedTree is the partitioned access method. The zero value is not
+// usable; call NewPartitioned.
+type PartitionedTree struct {
+	cs *metrics.CriticalSectionStats
+
+	mu   sync.RWMutex
+	subs []*subtree // sorted by lo, contiguous, covering all of int64
+}
+
+// NewPartitioned returns a partitioned tree with a single unowned subtree
+// spanning the whole key space — behaviourally identical to a shared
+// latched Tree until someone claims ranges.
+func NewPartitioned(cs *metrics.CriticalSectionStats) *PartitionedTree {
+	return &PartitionedTree{
+		cs:   cs,
+		subs: []*subtree{{lo: math.MinInt64, hi: math.MaxInt64, tree: New(cs)}},
+	}
+}
+
+// locate returns the subtree holding key. Callers hold pt.mu.
+func (pt *PartitionedTree) locate(key int64) *subtree {
+	subs := pt.subs
+	i := sort.Search(len(subs), func(i int) bool { return subs[i].hi >= key })
+	return subs[i]
+}
+
+// runAt executes op against the subtree holding key under the access
+// protocol. op receives the tree and whether the latch-free path applies.
+func (pt *PartitionedTree) runAt(caller *Owner, key int64, op func(t *Tree, latchFree bool)) {
+	for {
+		pt.mu.RLock()
+		st := pt.locate(key)
+		if st.owner == nil || st.owner == caller {
+			op(st.tree, st.owner != nil)
+			pt.mu.RUnlock()
+			return
+		}
+		exec := st.exec
+		pt.mu.RUnlock()
+		if exec == nil {
+			panic("btree: non-owner descent into an owned subtree (ownership violation: no owner executor installed)")
+		}
+		if exec(func(tok *Owner) { pt.runAt(tok, key, op) }) {
+			return
+		}
+		// The owner retired between the topology read and the hand-off
+		// (split/merge/shutdown race); re-resolve.
+		runtime.Gosched()
+	}
+}
+
+// GetAs implements AccessMethod.
+func (pt *PartitionedTree) GetAs(caller *Owner, key int64) (v uint64, err error) {
+	pt.runAt(caller, key, func(t *Tree, lf bool) {
+		if lf {
+			v, err = t.getNL(key)
+		} else {
+			v, err = t.Get(key)
+		}
+	})
+	return v, err
+}
+
+// InsertAs implements AccessMethod.
+func (pt *PartitionedTree) InsertAs(caller *Owner, key int64, val uint64) (err error) {
+	pt.runAt(caller, key, func(t *Tree, lf bool) {
+		if lf {
+			err = t.upsertNL(key, val, false)
+		} else {
+			err = t.Insert(key, val)
+		}
+	})
+	return err
+}
+
+// PutAs implements AccessMethod.
+func (pt *PartitionedTree) PutAs(caller *Owner, key int64, val uint64) (err error) {
+	pt.runAt(caller, key, func(t *Tree, lf bool) {
+		if lf {
+			err = t.upsertNL(key, val, true)
+		} else {
+			err = t.Put(key, val)
+		}
+	})
+	return err
+}
+
+// DeleteAs implements AccessMethod.
+func (pt *PartitionedTree) DeleteAs(caller *Owner, key int64) (v uint64, err error) {
+	pt.runAt(caller, key, func(t *Tree, lf bool) {
+		if lf {
+			v, err = t.deleteNL(key)
+		} else {
+			v, err = t.Delete(key)
+		}
+	})
+	return v, err
+}
+
+// AscendRangeAs implements AccessMethod: the scan walks subtrees in key
+// order, taking the owner-appropriate path per subtree. Cross-partition
+// segments are shipped to their owners one segment at a time; like the
+// shared tree's leaf-chain crabbing, the whole scan is fuzzy — point
+// consistency comes from the lock protocol above, not from here.
+func (pt *PartitionedTree) AscendRangeAs(caller *Owner, lo, hi int64, fn func(key int64, val uint64) bool) {
+	pt.ascendAs(caller, lo, hi, fn)
+}
+
+// ascendAs reports whether the scan ran to completion.
+func (pt *PartitionedTree) ascendAs(caller *Owner, lo, hi int64, fn func(key int64, val uint64) bool) bool {
+	cur := lo
+	for cur <= hi {
+		var segHi int64
+		done := true
+		for {
+			pt.mu.RLock()
+			st := pt.locate(cur)
+			segHi = st.hi
+			if hi < segHi {
+				segHi = hi
+			}
+			if st.owner == nil || st.owner == caller {
+				if st.owner == nil {
+					st.tree.AscendRange(cur, segHi, func(k int64, v uint64) bool {
+						done = fn(k, v)
+						return done
+					})
+				} else {
+					done = st.tree.ascendRangeNL(cur, segHi, fn)
+				}
+				pt.mu.RUnlock()
+				break
+			}
+			exec := st.exec
+			pt.mu.RUnlock()
+			if exec == nil {
+				panic("btree: non-owner scan into an owned subtree (ownership violation: no owner executor installed)")
+			}
+			if exec(func(tok *Owner) { done = pt.ascendAs(tok, cur, segHi, fn) }) {
+				break
+			}
+			runtime.Gosched()
+		}
+		if !done {
+			return false
+		}
+		if segHi == math.MaxInt64 {
+			return true
+		}
+		cur = segHi + 1
+	}
+	return true
+}
+
+// Len sums the subtree sizes.
+func (pt *PartitionedTree) Len() int {
+	pt.mu.RLock()
+	defer pt.mu.RUnlock()
+	n := 0
+	for _, st := range pt.subs {
+		n += st.tree.Len()
+	}
+	return n
+}
+
+// NumSubtrees reports the current fan-out of the root (statistics).
+func (pt *PartitionedTree) NumSubtrees() int {
+	pt.mu.RLock()
+	defer pt.mu.RUnlock()
+	return len(pt.subs)
+}
+
+// OwnedSubtrees reports how many subtrees currently have an owner.
+func (pt *PartitionedTree) OwnedSubtrees() int {
+	pt.mu.RLock()
+	defer pt.mu.RUnlock()
+	n := 0
+	for _, st := range pt.subs {
+		if st.owner != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// ClaimRange assigns [Lo, Hi] (in index-key space) to Owner, whose
+// foreign-access executor is Exec.
+type ClaimRange struct {
+	Lo, Hi int64
+	Owner  *Owner
+	Exec   OwnerExec
+}
+
+// Claim physically re-partitions the tree into one subtree per claim
+// range and installs the owners. Ranges are sorted and padded to cover
+// the whole key space (the first extends to -inf, the last to +inf, and
+// interior gaps attach to the range below them), mirroring the routing
+// table's clamping. Claim requires a quiesced tree: no concurrent
+// operations may be in flight — in DORA it runs at engine construction,
+// before any worker accepts actions.
+func (pt *PartitionedTree) Claim(ranges []ClaimRange) {
+	if len(ranges) == 0 {
+		return
+	}
+	rs := append([]ClaimRange(nil), ranges...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Lo < rs[j].Lo })
+	rs[0].Lo = math.MinInt64
+	for i := 0; i+1 < len(rs); i++ {
+		rs[i].Hi = rs[i+1].Lo - 1
+	}
+	rs[len(rs)-1].Hi = math.MaxInt64
+
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	var pairs []kv
+	for _, st := range pt.subs {
+		st.tree.ascendRangeNL(math.MinInt64, math.MaxInt64, func(k int64, v uint64) bool {
+			pairs = append(pairs, kv{k, v})
+			return true
+		})
+	}
+	subs := make([]*subtree, 0, len(rs))
+	idx := 0
+	for _, r := range rs {
+		end := idx
+		for end < len(pairs) && pairs[end].k <= r.Hi {
+			end++
+		}
+		subs = append(subs, &subtree{
+			lo: r.Lo, hi: r.Hi, owner: r.Owner, exec: r.Exec,
+			tree: newTreeFromSorted(pt.cs, pairs[idx:end]),
+		})
+		idx = end
+	}
+	pt.subs = subs
+}
+
+// Release drops all ownership: every subtree becomes shared/latched. The
+// topology is kept (no data movement). Safe to call at any time; new
+// operations see the shared path immediately, and callers parked in the
+// ship-retry loop fall through to it.
+func (pt *PartitionedTree) Release() {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	for _, st := range pt.subs {
+		st.owner, st.exec = nil, nil
+	}
+}
+
+// MoveRange hands the key interval [lo, hi] from its current owner (the
+// calling token) to newOwner — the access-path half of a partition split.
+// Subtrees fully inside the interval change owner in place (no data
+// movement, which is also how merges adopt whole subtrees); partial
+// overlaps are physically extracted into fresh subtrees. Unowned subtrees
+// in the interval stay shared (nothing to hand over). Must be called on
+// the owning worker's goroutine, so no latch-free access can be in
+// flight.
+func (pt *PartitionedTree) MoveRange(caller *Owner, lo, hi int64, newOwner *Owner, newExec OwnerExec) {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	var out []*subtree
+	for _, st := range pt.subs {
+		if st.hi < lo || st.lo > hi || st.owner == nil {
+			out = append(out, st)
+			continue
+		}
+		if st.owner != caller {
+			panic("btree: MoveRange by a non-owner of an affected subtree")
+		}
+		if lo <= st.lo && st.hi <= hi {
+			st.owner, st.exec = newOwner, newExec
+			out = append(out, st)
+			continue
+		}
+		cutLo, cutHi := st.lo, st.hi
+		if lo > cutLo {
+			cutLo = lo
+		}
+		if hi < cutHi {
+			cutHi = hi
+		}
+		moved := st.tree.extractRangeNL(cutLo, cutHi)
+		if st.lo < cutLo {
+			out = append(out, &subtree{lo: st.lo, hi: cutLo - 1, owner: st.owner, exec: st.exec, tree: st.tree})
+			out = append(out, &subtree{lo: cutLo, hi: cutHi, owner: newOwner, exec: newExec, tree: newTreeFromSorted(pt.cs, moved)})
+			if cutHi < st.hi {
+				rest := st.tree.extractRangeNL(cutHi+1, st.hi)
+				out = append(out, &subtree{lo: cutHi + 1, hi: st.hi, owner: st.owner, exec: st.exec, tree: newTreeFromSorted(pt.cs, rest)})
+			}
+		} else {
+			out = append(out, &subtree{lo: cutLo, hi: cutHi, owner: newOwner, exec: newExec, tree: newTreeFromSorted(pt.cs, moved)})
+			if cutHi < st.hi {
+				out = append(out, &subtree{lo: cutHi + 1, hi: st.hi, owner: st.owner, exec: st.exec, tree: st.tree})
+			}
+		}
+	}
+	pt.subs = out
+}
+
+// ReassignOwner points every subtree owned by from at to (merge
+// evacuation: the adopting worker takes the retiring worker's subtrees
+// wholesale, no data movement). Must be called on the retiring owner's
+// goroutine.
+func (pt *PartitionedTree) ReassignOwner(from, to *Owner, exec OwnerExec) {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	for _, st := range pt.subs {
+		if st.owner == from {
+			st.owner, st.exec = to, exec
+		}
+	}
+}

@@ -19,7 +19,8 @@ type LogForcer interface {
 	Force(lsn uint64) error
 }
 
-// ErrNoFrames reports that every frame is pinned and none can be evicted.
+// ErrNoFrames reports that every candidate frame is pinned and none can
+// be evicted.
 var ErrNoFrames = errors.New("buffer: all frames pinned")
 
 // Frame is a buffer-pool slot holding one page. Callers access Page only
@@ -32,7 +33,7 @@ type Frame struct {
 	Page page.Page
 
 	id    page.ID
-	idx   int
+	idx   int // index within the owning shard
 	pins  atomic.Int32
 	dirty atomic.Bool
 	ref   atomic.Bool
@@ -46,14 +47,28 @@ func (f *Frame) ID() page.ID { return f.id }
 // the frame latch exclusively.
 func (f *Frame) MarkDirty() { f.dirty.Store(true) }
 
-// Pool is the buffer pool.
-type Pool struct {
+// shard is one latch-striped slice of the pool: its own mapping table,
+// clock hand and frame set. A page id always maps to the same shard, so
+// two workers touching different shards never contend on a pool mutex.
+type shard struct {
 	mu     sync.Mutex
-	disk   Disk
-	log    LogForcer
+	table  map[page.ID]int // page id -> index into frames
 	frames []*Frame
-	table  map[page.ID]int
 	hand   int
+}
+
+// Pool is the buffer pool. The frame table and clock state are sharded by
+// page id; hot counters are shared (they are padded atomics).
+type Pool struct {
+	disk Disk
+	log  LogForcer
+	// frames is the flat registry of every frame — used only for
+	// capacity (NumFrames) and pre-traffic wiring (SetStats). All
+	// steady-state access goes through the shards, which hold the same
+	// pointers under their own mutexes; never iterate frames for page
+	// state without the owning shard's lock.
+	frames []*Frame
+	shards []*shard
 
 	// Hits and Misses count page lookups served from memory vs disk.
 	Hits   metrics.Counter
@@ -61,6 +76,18 @@ type Pool struct {
 	// Evictions counts evicted frames; DirtyWrites counts write-backs.
 	Evictions   metrics.Counter
 	DirtyWrites metrics.Counter
+}
+
+// shardCountFor sizes the shard fan-out: power-of-two up to 16, keeping
+// at least 16 frames per shard so a skewed workload cannot starve one
+// shard while others sit empty. Tiny pools (tests) collapse to a single
+// shard and behave exactly like the unsharded original.
+func shardCountFor(frames int) int {
+	c := 1
+	for c < 16 && frames/(c*2) >= 16 {
+		c *= 2
+	}
+	return c
 }
 
 // NewPool creates a pool with n frames over disk. log may be nil when no
@@ -73,10 +100,17 @@ func NewPool(n int, disk Disk, log LogForcer) *Pool {
 		disk:   disk,
 		log:    log,
 		frames: make([]*Frame, n),
-		table:  make(map[page.ID]int, n),
+	}
+	nsh := shardCountFor(n)
+	p.shards = make([]*shard, nsh)
+	for i := range p.shards {
+		p.shards[i] = &shard{table: make(map[page.ID]int, n/nsh+1)}
 	}
 	for i := range p.frames {
-		p.frames[i] = &Frame{idx: i}
+		sh := p.shards[i%nsh]
+		f := &Frame{idx: len(sh.frames)}
+		p.frames[i] = f
+		sh.frames = append(sh.frames, f)
 	}
 	return p
 }
@@ -91,41 +125,50 @@ func (p *Pool) SetStats(cs *metrics.CriticalSectionStats) {
 // NumFrames returns the pool capacity in pages.
 func (p *Pool) NumFrames() int { return len(p.frames) }
 
+// NumShards returns the latch-stripe fan-out (statistics).
+func (p *Pool) NumShards() int { return len(p.shards) }
+
+func (p *Pool) shardOf(id page.ID) *shard {
+	return p.shards[int(uint64(id))%len(p.shards)]
+}
+
 // Fetch pins the frame holding page id, reading it from disk on a miss.
 // The caller must Unpin it, and must latch Frame.Latch around access.
 func (p *Pool) Fetch(id page.ID) (*Frame, error) {
-	p.mu.Lock()
-	if idx, ok := p.table[id]; ok {
-		f := p.frames[idx]
+	sh := p.shardOf(id)
+	sh.mu.Lock()
+	if idx, ok := sh.table[id]; ok {
+		f := sh.frames[idx]
 		f.pins.Add(1)
 		f.ref.Store(true)
-		p.mu.Unlock()
+		sh.mu.Unlock()
 		p.Hits.Inc()
 		return f, nil
 	}
-	f, err := p.victimLocked()
+	f, err := p.victimLocked(sh)
 	if err != nil {
-		p.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, err
 	}
-	// Install mapping before releasing mu so a concurrent Fetch of the
-	// same id waits on the frame latch rather than double-reading.
+	// Install mapping before releasing the shard mutex so a concurrent
+	// Fetch of the same id waits on the frame latch rather than
+	// double-reading.
 	f.id = id
 	f.valid = true
 	f.pins.Store(1)
 	f.ref.Store(true)
-	p.table[id] = p.frameIndex(f)
+	sh.table[id] = f.idx
 	f.Latch.Lock()
-	p.mu.Unlock()
+	sh.mu.Unlock()
 	p.Misses.Inc()
 	err = p.disk.ReadPage(id, &f.Page)
 	f.Latch.Unlock()
 	if err != nil {
-		p.mu.Lock()
-		delete(p.table, id)
+		sh.mu.Lock()
+		delete(sh.table, id)
 		f.valid = false
 		f.pins.Add(-1)
-		p.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, err
 	}
 	return f, nil
@@ -138,19 +181,20 @@ func (p *Pool) NewPage() (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.mu.Lock()
-	f, err := p.victimLocked()
+	sh := p.shardOf(id)
+	sh.mu.Lock()
+	f, err := p.victimLocked(sh)
 	if err != nil {
-		p.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, err
 	}
 	f.id = id
 	f.valid = true
 	f.pins.Store(1)
 	f.ref.Store(true)
-	p.table[id] = p.frameIndex(f)
+	sh.table[id] = f.idx
 	f.Latch.Lock()
-	p.mu.Unlock()
+	sh.mu.Unlock()
 	f.Page.Init(id)
 	f.dirty.Store(true)
 	f.Latch.Unlock()
@@ -167,14 +211,13 @@ func (p *Pool) Unpin(f *Frame, dirty bool) {
 	}
 }
 
-func (p *Pool) frameIndex(f *Frame) int { return f.idx }
-
-// victimLocked finds an unpinned frame (clock policy), flushing it if
-// dirty. Called with p.mu held; may briefly release it for I/O.
-func (p *Pool) victimLocked() (*Frame, error) {
-	for sweep := 0; sweep < 2*len(p.frames); sweep++ {
-		f := p.frames[p.hand]
-		p.hand = (p.hand + 1) % len(p.frames)
+// victimLocked finds an unpinned frame in the shard (clock policy),
+// flushing it if dirty. Called with sh.mu held; may briefly release it
+// for I/O.
+func (p *Pool) victimLocked(sh *shard) (*Frame, error) {
+	for sweep := 0; sweep < 2*len(sh.frames); sweep++ {
+		f := sh.frames[sh.hand]
+		sh.hand = (sh.hand + 1) % len(sh.frames)
 		if f.pins.Load() != 0 {
 			continue
 		}
@@ -186,14 +229,24 @@ func (p *Pool) victimLocked() (*Frame, error) {
 		}
 		// Evict. Pin it so no one else grabs it while we do I/O.
 		f.pins.Store(1)
-		delete(p.table, f.id)
+		delete(sh.table, f.id)
 		if f.dirty.Load() {
-			p.mu.Unlock()
+			sh.mu.Unlock()
 			err := p.writeBack(f)
-			p.mu.Lock()
+			sh.mu.Lock()
 			if err != nil {
-				// Restore mapping and give up.
-				p.table[f.id] = p.frameIndex(f)
+				// Restore the mapping and give up — unless a concurrent
+				// Fetch re-read the page into another frame while we had
+				// the mutex released: clobbering its mapping would leave
+				// two live frames for one page. Our failed-to-flush copy
+				// is dropped in that case (the store failure is already
+				// surfaced to the caller, and sticky log failures abort
+				// everything behind it anyway).
+				if _, taken := sh.table[f.id]; !taken {
+					sh.table[f.id] = f.idx
+				} else {
+					f.valid = false
+				}
 				f.pins.Store(0)
 				return nil, err
 			}
@@ -225,15 +278,17 @@ func (p *Pool) writeBack(f *Frame) error {
 
 // FlushAll writes back every dirty frame (checkpoint support).
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	frames := make([]*Frame, 0, len(p.frames))
-	for _, f := range p.frames {
-		if f.valid && f.dirty.Load() {
-			f.pins.Add(1)
-			frames = append(frames, f)
+	var frames []*Frame
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.valid && f.dirty.Load() {
+				f.pins.Add(1)
+				frames = append(frames, f)
+			}
 		}
+		sh.mu.Unlock()
 	}
-	p.mu.Unlock()
 	var first error
 	for _, f := range frames {
 		if err := p.writeBack(f); err != nil && first == nil {

@@ -33,8 +33,26 @@ type Index struct {
 	Fields []string
 	// Key extracts the (unique) index key from a record.
 	Key KeyFunc
-	// Tree is the index structure.
-	Tree *btree.Tree
+	// Tree is the index structure: a shared latched B+tree, or a
+	// partitioned tree whose subtrees DORA claims per partition worker.
+	Tree btree.AccessMethod
+	// RouteRange maps an interval of routing-field values (the field
+	// named by RouteField) to the inclusive interval of index keys those
+	// values pack into. Non-nil only when the index's leading key
+	// component is the routing field, which is what makes the index
+	// physiologically partitionable: the worker that owns the logical
+	// range owns exactly one contiguous key interval.
+	RouteRange func(routeLo, routeHi int64) (keyLo, keyHi int64)
+	// RouteField names the partitioning field RouteRange is defined for.
+	// DORA claims the index only while the table is partitioned on it.
+	RouteField string
+}
+
+// Partitioned returns the index tree as a PartitionedTree, or nil when
+// the index uses a shared latched tree.
+func (ix *Index) Partitioned() *btree.PartitionedTree {
+	pt, _ := ix.Tree.(*btree.PartitionedTree)
+	return pt
 }
 
 // Table is a table: schema, heap, primary index and secondaries.
@@ -80,6 +98,15 @@ func (t *Table) SetPartitionField(f string) {
 	t.partMu.Lock()
 	t.partitionField = f
 	t.partMu.Unlock()
+}
+
+// Indexes returns the primary index followed by all secondaries.
+func (t *Table) Indexes() []*Index {
+	out := make([]*Index, 0, 1+len(t.Secondaries))
+	if t.Primary != nil {
+		out = append(out, t.Primary)
+	}
+	return append(out, t.Secondaries...)
 }
 
 // IndexByName returns the index (primary or secondary) with that name.

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"dora/internal/btree"
 	"dora/internal/catalog"
 	"dora/internal/dora/router"
 	"dora/internal/metrics"
@@ -45,6 +46,12 @@ type Config struct {
 	// experiment uses this: without claims, multi-phase workloads
 	// deadlock across partitions and fall back to timeout aborts.
 	DisableClaims bool
+	// SharedAccessPath keeps every index on the shared latched B+tree
+	// path instead of claiming per-partition subtrees for the workers.
+	// Only the access-path experiment (E12) uses this: it is the
+	// measurement baseline that shows how much node latching the
+	// partitioned access path removes.
+	SharedAccessPath bool
 }
 
 func (c *Config) fill() {
@@ -130,6 +137,9 @@ func New(s *sm.SM, cfg Config) *Dora {
 			go p.loop()
 		}
 		e.routers[tbl.ID] = router.NewUniform(tbl.PartitionField(), lo, hi, handles)
+		if !cfg.SharedAccessPath {
+			e.claimAccessPaths(tbl)
+		}
 	}
 	for i := 0; i < cfg.Committers; i++ {
 		e.commitWG.Add(1)
@@ -137,6 +147,47 @@ func New(s *sm.SM, cfg Config) *Dora {
 	}
 	go e.ticker()
 	return e
+}
+
+// claimAccessPaths hands each partitionable index of tbl to its workers:
+// every routing range's mapped key interval becomes a B+tree subtree
+// exclusively owned by the range's partition worker, whose descents are
+// then latch-free (the PLP/MRBTree access path). Runs at construction,
+// before any worker accepts actions, so the trees are quiesced. Indexes
+// without a route mapping for the current partitioning field stay on the
+// shared latched path.
+func (e *Dora) claimAccessPaths(tbl *catalog.Table) {
+	rt := e.routers[tbl.ID]
+	pf := tbl.PartitionField()
+	for _, ix := range tbl.Indexes() {
+		pt := ix.Partitioned()
+		if pt == nil || ix.RouteRange == nil || ix.RouteField != pf {
+			continue
+		}
+		ranges := rt.Ranges()
+		claims := make([]btree.ClaimRange, 0, len(ranges))
+		for _, r := range ranges {
+			p := e.byWorker[r.Part]
+			if p == nil {
+				continue
+			}
+			keyLo, keyHi := ix.RouteRange(r.Lo, r.Hi)
+			claims = append(claims, btree.ClaimRange{
+				Lo: keyLo, Hi: keyHi, Owner: p.token, Exec: p.ownerExec(),
+			})
+		}
+		pt.Claim(claims)
+	}
+}
+
+// releaseAccessPaths returns every partitioned index of tbl to the shared
+// latched path (engine shutdown; re-partitioning on a new field).
+func (e *Dora) releaseAccessPaths(tbl *catalog.Table) {
+	for _, ix := range tbl.Indexes() {
+		if pt := ix.Partitioned(); pt != nil {
+			pt.Release()
+		}
+	}
 }
 
 // Name implements engine.Engine.
@@ -278,7 +329,11 @@ func (e *Dora) committer() {
 	for run := range e.commitq {
 		if ferr := run.firstErr(); ferr != nil {
 			// Rollback is safe off-partition: the run still holds its
-			// local locks, so no other transaction can touch its data.
+			// local locks, so no other transaction can touch its data
+			// logically — and physically, the committer's index
+			// compensations ship to the owning partition workers through
+			// the partitioned trees' owner executors (thread-to-data is
+			// preserved under rollback).
 			if rbErr := e.sm.Rollback(run.txn); rbErr != nil {
 				panic(fmt.Sprintf("dora: rollback of txn %d failed: %v", run.txn.ID, rbErr))
 			}
@@ -421,5 +476,11 @@ func (e *Dora) Close() error {
 	}
 	e.topoMu.Unlock()
 	e.wg.Wait()
+	// Workers are gone: hand the access paths back to the shared latched
+	//-path so later engines (or direct sessions) can use the trees.
+	// Foreign operations parked in the ship-retry loop fall through here.
+	for _, tbl := range e.sm.Cat.Tables() {
+		e.releaseAccessPaths(tbl)
+	}
 	return nil
 }

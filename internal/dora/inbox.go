@@ -1,6 +1,9 @@
 package dora
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // inbox is a partition's work queue. It is a mutex-guarded slice rather
 // than a channel because DORA's deadlock-avoidance protocol requires
@@ -8,11 +11,17 @@ import "sync"
 // *atomically* and in canonical partition order (the engine locks every
 // target inbox, appends everywhere, then unlocks) — channels cannot do a
 // multi-queue atomic insert.
+//
+// The consumer drains in batches: popAll hands the worker everything
+// queued in one mutex+cond round, so a worker processing a burst pays one
+// synchronization round per burst, not one per message. qlen mirrors the
+// queue length atomically for the load balancer's cross-partition probes.
 type inbox struct {
 	mu       sync.Mutex
 	nonEmpty *sync.Cond
 	items    []msg
 	closed   bool
+	qlen     atomic.Int64
 }
 
 func newInbox() *inbox {
@@ -25,46 +34,69 @@ func newInbox() *inbox {
 func (ib *inbox) push(m msg) {
 	ib.mu.Lock()
 	ib.items = append(ib.items, m)
+	ib.qlen.Add(1)
 	ib.mu.Unlock()
 	ib.nonEmpty.Signal()
+}
+
+// pushChecked appends one message unless the inbox is closed; callers
+// that hand work to a specific worker (access-path shipping, forwarding)
+// use it so a retired worker's queue never swallows a message whose
+// sender is blocked on its completion.
+func (ib *inbox) pushChecked(m msg) bool {
+	ib.mu.Lock()
+	if ib.closed {
+		ib.mu.Unlock()
+		return false
+	}
+	ib.items = append(ib.items, m)
+	ib.qlen.Add(1)
+	ib.mu.Unlock()
+	ib.nonEmpty.Signal()
+	return true
 }
 
 // lockForEnqueue / appendLocked / unlockAfterEnqueue implement the
 // multi-partition atomic enqueue. Callers must lock all target inboxes
 // in canonical (ascending worker id) order.
-func (ib *inbox) lockForEnqueue()    { ib.mu.Lock() }
-func (ib *inbox) appendLocked(m msg) { ib.items = append(ib.items, m) }
+func (ib *inbox) lockForEnqueue() { ib.mu.Lock() }
+func (ib *inbox) appendLocked(m msg) {
+	ib.items = append(ib.items, m)
+	ib.qlen.Add(1)
+}
 func (ib *inbox) unlockAfterEnqueue() {
 	ib.mu.Unlock()
 	ib.nonEmpty.Signal()
 }
 
-// pop blocks until a message is available or the inbox is closed.
-// It returns ok=false when closed and drained.
-func (ib *inbox) pop() (msg, bool) {
+// popAll blocks until at least one message is available, then drains the
+// whole queue into buf (reused across calls) — one mutex+cond round per
+// batch. It returns ok=false when the inbox is closed and fully drained.
+func (ib *inbox) popAll(buf []msg) (batch []msg, ok bool) {
 	ib.mu.Lock()
-	defer ib.mu.Unlock()
 	for len(ib.items) == 0 && !ib.closed {
 		ib.nonEmpty.Wait()
 	}
 	if len(ib.items) == 0 {
-		return nil, false
+		ib.mu.Unlock()
+		return buf[:0], false
 	}
-	m := ib.items[0]
-	// Avoid O(n) copies: reslice, re-compact occasionally.
-	ib.items[0] = nil
-	ib.items = ib.items[1:]
-	if len(ib.items) == 0 {
-		ib.items = nil
+	// Swap buffers: the worker processes the drained slice while new
+	// pushes fill the (cleared) previous one.
+	batch = ib.items
+	for i := range buf {
+		buf[i] = nil
 	}
-	return m, true
+	ib.items = buf[:0]
+	ib.qlen.Store(0)
+	ib.mu.Unlock()
+	return batch, true
 }
 
-// length returns the current queue length (load-balancer signal).
+// length returns the current queue length — a single atomic load, no
+// mutex round: the load balancer polls every partition each tick.
 func (ib *inbox) length() int {
-	ib.mu.Lock()
-	defer ib.mu.Unlock()
-	return len(ib.items)
+	return int(ib.qlen.Load())
 }
 
 // close wakes the worker to exit once the queue drains.
@@ -73,4 +105,17 @@ func (ib *inbox) close() {
 	ib.closed = true
 	ib.mu.Unlock()
 	ib.nonEmpty.Broadcast()
+}
+
+// closeAndDrain marks the inbox closed and returns everything still
+// queued (worker retirement: the caller forwards or fails the leftovers).
+func (ib *inbox) closeAndDrain() []msg {
+	ib.mu.Lock()
+	ib.closed = true
+	rest := ib.items
+	ib.items = nil
+	ib.qlen.Store(0)
+	ib.mu.Unlock()
+	ib.nonEmpty.Broadcast()
+	return rest
 }

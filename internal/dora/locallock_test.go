@@ -167,9 +167,12 @@ func TestInboxAtomicMultiEnqueueOrder(t *testing.T) {
 	if a.length() != 1 || b.length() != 1 {
 		t.Fatal("atomic enqueue lost messages")
 	}
-	got, ok := a.pop()
-	if !ok || got != m1 {
-		t.Fatal("pop order broken")
+	batch, ok := a.popAll(nil)
+	if !ok || len(batch) != 1 || batch[0] != m1 {
+		t.Fatal("popAll order broken")
+	}
+	if a.length() != 0 {
+		t.Fatalf("length after drain = %d", a.length())
 	}
 }
 
@@ -177,11 +180,14 @@ func TestInboxCloseDrains(t *testing.T) {
 	ib := newInbox()
 	ib.push(mkMsg(1, xct.Read, false))
 	ib.close()
-	if _, ok := ib.pop(); !ok {
+	if batch, ok := ib.popAll(nil); !ok || len(batch) != 1 {
 		t.Fatal("queued message lost at close")
 	}
-	if _, ok := ib.pop(); ok {
-		t.Fatal("pop on closed empty inbox returned a message")
+	if _, ok := ib.popAll(nil); ok {
+		t.Fatal("popAll on closed empty inbox returned a message")
+	}
+	if ib.pushChecked(mkMsg(2, xct.Read, false)) {
+		t.Fatal("pushChecked accepted a message after close")
 	}
 }
 
@@ -189,12 +195,12 @@ func TestInboxBlockingPop(t *testing.T) {
 	ib := newInbox()
 	done := make(chan msg, 1)
 	go func() {
-		m, _ := ib.pop()
-		done <- m
+		batch, _ := ib.popAll(nil)
+		done <- batch[0]
 	}()
 	m := mkMsg(4, xct.Write, false)
 	ib.push(m)
 	if got := <-done; got != m {
-		t.Fatal("blocked pop returned wrong message")
+		t.Fatal("blocked popAll returned wrong message")
 	}
 }

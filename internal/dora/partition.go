@@ -3,6 +3,7 @@ package dora
 import (
 	"time"
 
+	"dora/internal/btree"
 	"dora/internal/catalog"
 	"dora/internal/metrics"
 	"dora/internal/sm"
@@ -31,9 +32,12 @@ type actionMsg struct {
 // releaseMsg tells a partition that txn finished; drop its local locks.
 type releaseMsg struct{ txn uint64 }
 
-// splitMsg tells a partition to hand keys >= at over to partition to.
+// splitMsg tells a partition to hand the routing interval [at, hi] over
+// to partition to: local-lock state for keys >= at migrates, and every
+// claimed index subtree range mapping to the interval changes owner.
 type splitMsg struct {
 	at int64
+	hi int64
 	to *partition
 }
 
@@ -45,6 +49,16 @@ type adoptMsg struct{ entries map[int64]*llEntry }
 type evacuateMsg struct {
 	to  *partition
 	ack chan struct{}
+}
+
+// applyMsg ships a foreign access-path operation to the worker that owns
+// the target subtree: the partitioned B+tree's OwnerExec hook. The worker
+// runs fn with its own ownership token; ok=false tells the sender the
+// worker retired without running it (re-resolve and retry).
+type applyMsg struct {
+	fn   func(tok *btree.Owner)
+	done chan struct{}
+	ok   bool
 }
 
 // clearMsg resets the local lock table under a quiesced engine
@@ -59,11 +73,15 @@ type tickMsg struct{}
 
 // partition is a DORA micro-engine: one goroutine owning one logical
 // partition of one table, executing its action queue serially against a
-// private lock table (paper §1.1).
+// private lock table (paper §1.1). Since the partitioned access path it
+// also owns the B+tree subtrees covering its key range: its index
+// descents are latch-free, and everyone else's operations on those
+// subtrees arrive here as applyMsgs.
 type partition struct {
 	eng    *Dora
 	tbl    *catalog.Table
 	worker int // global worker id; also the routing handle
+	token  *btree.Owner
 	in     *inbox
 	locks  *localLockTable
 	ses    *sm.Session
@@ -80,6 +98,8 @@ type partition struct {
 	Executed metrics.Counter
 	Waited   metrics.Counter
 	Stale    metrics.Counter
+	// Shipped counts foreign access-path operations executed here.
+	Shipped metrics.Counter
 	// HeldKeys mirrors the local lock table size for the monitor;
 	// WaitingNow mirrors its parked-waiter count (congestion signal).
 	HeldKeys   metrics.Gauge
@@ -87,31 +107,76 @@ type partition struct {
 }
 
 func newPartition(e *Dora, tbl *catalog.Table, worker int, adoptWait bool) *partition {
+	tok := btree.NewOwner()
 	return &partition{
 		eng:       e,
 		tbl:       tbl,
 		worker:    worker,
+		token:     tok,
 		in:        newInbox(),
 		locks:     newLocalLockTable(),
-		ses:       e.sm.Session(worker),
+		ses:       e.sm.OwnedSession(worker, tok),
 		adoptWait: adoptWait,
 	}
 }
 
-// loop is the worker body.
+// ownerExec is the hook installed into claimed subtrees: it ships fn to
+// this worker's queue and blocks until the worker ran it. false means the
+// worker retired (inbox closed) and the sender must re-resolve.
+func (p *partition) ownerExec() btree.OwnerExec {
+	return func(fn func(tok *btree.Owner)) bool {
+		m := &applyMsg{fn: fn, done: make(chan struct{})}
+		if !p.in.pushChecked(m) {
+			return false
+		}
+		<-m.done
+		return m.ok
+	}
+}
+
+// loop is the worker body: batch-drain the inbox (one mutex round per
+// batch), process serially.
 func (p *partition) loop() {
 	defer p.eng.wg.Done()
+	var buf []msg
 	for {
-		m, ok := p.in.pop()
+		batch, ok := p.in.popAll(buf)
 		if !ok {
 			return
 		}
-		exit := p.handle(m)
+		for i, m := range batch {
+			if p.handle(m) {
+				// Retiring mid-batch: don't strand the tail — forward it
+				// (or fail shipped ops) exactly like queued leftovers.
+				for _, rest := range batch[i+1:] {
+					p.dispose(rest)
+				}
+				for _, rest := range p.in.closeAndDrain() {
+					p.dispose(rest)
+				}
+				return
+			}
+		}
 		p.WaitingNow.Set(int64(p.locks.waiting))
 		p.HeldKeys.Set(int64(p.locks.heldKeys()))
-		if exit {
-			return
+		buf = batch
+	}
+}
+
+// dispose routes a message this retiring worker will never process:
+// forwarded when a successor exists, failed back to the sender when it is
+// a shipped op, dropped otherwise (parity with messages that used to rot
+// in a dead worker's queue).
+func (p *partition) dispose(m msg) {
+	if am, isApply := m.(*applyMsg); isApply {
+		if p.forward == nil || !p.forward.in.pushChecked(am) {
+			am.ok = false
+			close(am.done)
 		}
+		return
+	}
+	if p.forward != nil {
+		p.forward.in.push(m)
 	}
 }
 
@@ -123,6 +188,12 @@ func (p *partition) handle(m msg) bool {
 		case *dieMsg:
 			close(t.ack)
 			return true
+		case *applyMsg:
+			if !p.forward.in.pushChecked(t) {
+				t.ok = false
+				close(t.done)
+			}
+			return false
 		default:
 			p.forward.in.push(m)
 			return false
@@ -156,6 +227,11 @@ func (p *partition) handle(m msg) bool {
 	switch t := m.(type) {
 	case *actionMsg:
 		p.handleAction(t)
+	case *applyMsg:
+		p.Shipped.Inc()
+		t.fn(p.token)
+		t.ok = true
+		close(t.done)
 	case releaseMsg:
 		runnable := p.locks.release(t.txn)
 		p.HeldKeys.Set(int64(p.locks.heldKeys()))
@@ -165,6 +241,10 @@ func (p *partition) handle(m msg) bool {
 	case *splitMsg:
 		entries := p.locks.extractAbove(t.at)
 		p.HeldKeys.Set(int64(p.locks.heldKeys()))
+		// Access-path hand-over: every claimed index subtree range that
+		// maps to the moved routing interval changes owner, on this
+		// thread, so no latch-free descent of ours can be in flight.
+		p.moveAccessPaths(t.at, t.hi, t.to)
 		t.to.in.push(&adoptMsg{entries: entries})
 	case *adoptMsg:
 		// Merge adoption into a live partition.
@@ -176,6 +256,12 @@ func (p *partition) handle(m msg) bool {
 	case *evacuateMsg:
 		entries := p.locks.extractAll()
 		p.HeldKeys.Set(0)
+		// The adopter takes our subtrees wholesale (no data movement).
+		for _, ix := range p.tbl.Indexes() {
+			if pt := ix.Partitioned(); pt != nil {
+				pt.ReassignOwner(p.token, t.to.token, t.to.ownerExec())
+			}
+		}
 		t.to.in.push(&adoptMsg{entries: entries})
 		p.forward = t.to
 		close(t.ack)
@@ -190,6 +276,20 @@ func (p *partition) handle(m msg) bool {
 		return true
 	}
 	return false
+}
+
+// moveAccessPaths hands the subtree ranges for routing interval [at, hi]
+// of every claimed index over to partition q.
+func (p *partition) moveAccessPaths(at, hi int64, q *partition) {
+	pf := p.tbl.PartitionField()
+	for _, ix := range p.tbl.Indexes() {
+		pt := ix.Partitioned()
+		if pt == nil || ix.RouteRange == nil || ix.RouteField != pf {
+			continue
+		}
+		keyLo, keyHi := ix.RouteRange(at, hi)
+		pt.MoveRange(p.token, keyLo, keyHi, q.token, q.ownerExec())
+	}
 }
 
 func (p *partition) handleAction(am *actionMsg) {

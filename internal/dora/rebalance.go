@@ -14,7 +14,11 @@ type PartitionStat struct {
 	Waiting  int64  `json:"waiting"` // actions parked in the local lock table
 	Executed int64  `json:"executed"`
 	Waited   int64  `json:"waited"`
-	HeldKeys int64  `json:"held_keys"`
+	// Shipped counts foreign access-path operations executed on this
+	// worker (cross-partition scans, rollback compensation, external
+	// sessions reaching into owned subtrees).
+	Shipped  int64 `json:"shipped"`
+	HeldKeys int64 `json:"held_keys"`
 	// Ranges is the number of routing ranges assigned to this worker and
 	// Width their total value-space width.
 	Ranges int   `json:"ranges"`
@@ -36,6 +40,7 @@ func (e *Dora) PartitionStats() []PartitionStat {
 				Waiting:  p.WaitingNow.Load(),
 				Executed: p.Executed.Load(),
 				Waited:   p.Waited.Load(),
+				Shipped:  p.Shipped.Load(),
 				HeldKeys: p.HeldKeys.Load(),
 			}
 			if rt != nil {
@@ -70,7 +75,8 @@ func (e *Dora) SplitPartition(table string, from int, mid int64) (int, error) {
 	rt := e.routers[tbl.ID]
 	q := newPartition(e, tbl, e.nextWorker, true /* buffer until adopt */)
 	e.nextWorker++
-	if _, err := rt.Split(from, mid, q.worker); err != nil {
+	moved, err := rt.Split(from, mid, q.worker)
+	if err != nil {
 		e.topoMu.Unlock()
 		return 0, err
 	}
@@ -80,9 +86,10 @@ func (e *Dora) SplitPartition(table string, from int, mid int64) (int, error) {
 	go q.loop()
 	e.topoMu.Unlock()
 
-	// Tell the source to hand over the migrated keys' lock state. New
-	// dispatches for the moved range already go to q (buffered there).
-	src.in.push(&splitMsg{at: mid, to: q})
+	// Tell the source to hand over the migrated range's lock state and
+	// index subtrees. New dispatches for the moved range already go to q
+	// (buffered there until the adopt message arrives).
+	src.in.push(&splitMsg{at: mid, hi: moved.Hi, to: q})
 	return q.worker, nil
 }
 
@@ -140,6 +147,11 @@ func (e *Dora) Repartition(table, field string, lo, hi int64) error {
 	}
 	e.execGate.Lock() // waits for every Exec's RLock to drain
 	defer e.execGate.Unlock()
+
+	// The access path was partitioned for the OLD field's key mapping;
+	// hand it back to the shared latched path. (Re-claiming for an index
+	// routable on the new field is an open item — see ROADMAP.)
+	e.releaseAccessPaths(tbl)
 
 	e.topoMu.Lock()
 	parts := append([]*partition(nil), e.tableParts[tbl.ID]...)

@@ -1,9 +1,10 @@
-// Package exp implements the reproduction experiments E1–E11 (indexed in
+// Package exp implements the reproduction experiments E1–E12 (indexed in
 // README.md) — the demo paper's exhibited scenarios (access patterns,
 // performance under varying load, load balancing, alignment advisor,
 // designer tools), the companion DORA paper's quantitative claims
 // (critical sections per transaction, peak throughput, scalability), and
-// this repo's log-manager scalability measurement (E11).
+// this repo's own measurements: log-manager scalability (E11) and
+// access-path latching under the partitioned B+tree (E12).
 // cmd/dorabench and the root bench_test.go both drive this package, so
 // the printed tables and the testing.B benchmarks are the same code.
 package exp

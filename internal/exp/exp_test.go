@@ -96,6 +96,55 @@ func TestE11Quick(t *testing.T) {
 	t.Fatalf("clog/mutex ratio at 8 appenders = %.2f after 3 attempts, want > 1", last)
 }
 
+func TestE12Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb, err := E12AccessPathLatching(Config{Quick: true, Duration: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	row := func(name string) []string {
+		for _, r := range tb.Rows {
+			if r[0] == name {
+				return r
+			}
+		}
+		t.Fatalf("missing row %q", name)
+		return nil
+	}
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	shared, plp, conv := row("dora/shared"), row("dora/plp"), row("conventional")
+	// The acceptance claim: per-partition subtree ownership collapses
+	// DORA's index latching by at least 5x vs the shared latched tree.
+	sharedIdx, plpIdx := parse(shared[1]), parse(plp[1])
+	if sharedIdx < 1 {
+		t.Fatalf("dora/shared index latch/txn = %.2f, expected a latched baseline", sharedIdx)
+	}
+	if plpIdx*5 > sharedIdx {
+		t.Fatalf("index latch/txn: shared=%.2f plp=%.2f, want >= 5x reduction", sharedIdx, plpIdx)
+	}
+	// Total latching (including frame/page latches) must drop too.
+	if parse(plp[2]) >= parse(shared[2]) {
+		t.Fatalf("latch/txn did not drop: shared=%s plp=%s", shared[2], plp[2])
+	}
+	// The conventional engine stays on the shared path: its index
+	// latching matches DORA-over-shared-trees within noise.
+	convIdx := parse(conv[1])
+	if convIdx < 1 {
+		t.Fatalf("conventional index latch/txn = %.2f, expected latched crabbing", convIdx)
+	}
+}
+
 func TestE4Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

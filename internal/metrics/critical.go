@@ -11,9 +11,18 @@ type CriticalSectionStats struct {
 	// critical sections (lock-table bucket latches, wait-queue mutation,
 	// deadlock-detector registration).
 	LockMgr Counter
-	// Latch counts page/node latch acquisitions (these remain in DORA;
-	// the paper removes *lock-manager* serialization, not latching).
+	// Latch counts page/node latch acquisitions. The original DORA paper
+	// removes *lock-manager* serialization and leaves latching in place;
+	// since the partitioned access path (PLP-style per-partition B+tree
+	// subtrees, experiment E12) that caveat is partially retired: owner-
+	// thread index descents are latch-free, and only page/frame latches
+	// plus shared-tree residue remain here.
 	Latch Counter
+	// IndexLatch counts the subset of Latch that came from B+tree node
+	// crabbing — the serialization the partitioned access path removes.
+	// It is a view into Latch, not an additional class: Total() does not
+	// add it again.
+	IndexLatch Counter
 	// Log counts log-manager serialization points (buffer reservation).
 	// Under the consolidation-array log this is one entry per reserved
 	// group, not per record: appends that piggyback on another thread's
@@ -30,21 +39,23 @@ type CriticalSectionStats struct {
 
 // SnapshotCS is a point-in-time copy of CriticalSectionStats.
 type SnapshotCS struct {
-	LockMgr   int64 `json:"lock_mgr"`
-	Latch     int64 `json:"latch"`
-	Log       int64 `json:"log"`
-	TxnMgr    int64 `json:"txn_mgr"`
-	Contended int64 `json:"contended"`
+	LockMgr    int64 `json:"lock_mgr"`
+	Latch      int64 `json:"latch"`
+	IndexLatch int64 `json:"index_latch"`
+	Log        int64 `json:"log"`
+	TxnMgr     int64 `json:"txn_mgr"`
+	Contended  int64 `json:"contended"`
 }
 
 // Snapshot returns current values.
 func (c *CriticalSectionStats) Snapshot() SnapshotCS {
 	return SnapshotCS{
-		LockMgr:   c.LockMgr.Load(),
-		Latch:     c.Latch.Load(),
-		Log:       c.Log.Load(),
-		TxnMgr:    c.TxnMgr.Load(),
-		Contended: c.Contended.Load(),
+		LockMgr:    c.LockMgr.Load(),
+		Latch:      c.Latch.Load(),
+		IndexLatch: c.IndexLatch.Load(),
+		Log:        c.Log.Load(),
+		TxnMgr:     c.TxnMgr.Load(),
+		Contended:  c.Contended.Load(),
 	}
 }
 
@@ -52,6 +63,7 @@ func (c *CriticalSectionStats) Snapshot() SnapshotCS {
 func (c *CriticalSectionStats) Reset() {
 	c.LockMgr.Reset()
 	c.Latch.Reset()
+	c.IndexLatch.Reset()
 	c.Log.Reset()
 	c.TxnMgr.Reset()
 	c.Contended.Reset()

@@ -3,7 +3,6 @@ package sm
 import (
 	"fmt"
 
-	"dora/internal/btree"
 	"dora/internal/storage"
 	"dora/internal/tuple"
 	"dora/internal/wal"
@@ -117,18 +116,20 @@ func (s *SM) Recover() (RecoveryStats, error) {
 
 	// --- Rebuild indexes from heaps ---
 	for _, tbl := range s.Cat.Tables() {
-		tbl.Primary.Tree = btree.New(s.CS)
+		// Rebuild each index with its original shape (partitioned trees
+		// come back unowned: a restarted DORA engine re-claims them).
+		tbl.Primary.Tree = newIndexTree(s.CS, tbl.Primary.RouteRange != nil)
 		for _, ix := range tbl.Secondaries {
-			ix.Tree = btree.New(s.CS)
+			ix.Tree = newIndexTree(s.CS, ix.RouteRange != nil)
 		}
 		err := tbl.Heap.Scan(func(rid storage.RID, img []byte) bool {
 			rec, err := tuple.Decode(img)
 			if err != nil {
 				return true // skip undecodable garbage defensively
 			}
-			_ = tbl.Primary.Tree.Put(tbl.Primary.Key(rec), rid.Pack())
+			_ = tbl.Primary.Tree.PutAs(nil, tbl.Primary.Key(rec), rid.Pack())
 			for _, ix := range tbl.Secondaries {
-				_ = ix.Tree.Put(ix.Key(rec), rid.Pack())
+				_ = ix.Tree.PutAs(nil, ix.Key(rec), rid.Pack())
 			}
 			st.Rebuilt++
 			return true
@@ -270,7 +271,7 @@ func (s *SM) compensateUpdate(t *loserTxn, r *wal.Record) error {
 
 func (s *SM) compensateDelete(t *loserTxn, r *wal.Record) error {
 	tbl := s.Cat.TableByID(r.Table)
-	_, err := tbl.Heap.InsertWith(r.Undo, func(rid storage.RID) uint64 {
+	_, err := tbl.Heap.InsertWith(0, r.Undo, func(rid storage.RID) uint64 {
 		lsn := s.Log.Append(&wal.Record{
 			Kind: wal.KCLR, Sub: wal.KInsert, TxnID: t.id, PrevLSN: t.last,
 			UndoNext: r.PrevLSN, Table: r.Table, Page: rid.Page, Slot: rid.Slot, Key: r.Key,

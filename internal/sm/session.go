@@ -21,6 +21,11 @@ import (
 type Session struct {
 	sm     *SM
 	worker int
+	// owner is the access-path ownership token for partitioned index
+	// subtrees. Only DORA partition workers carry one (via OwnedSession);
+	// plain sessions pass nil and take the shared latched path (or ship
+	// to the owner when a subtree is claimed).
+	owner *btree.Owner
 }
 
 // Worker returns the worker id this session is tagged with.
@@ -40,7 +45,7 @@ func (ss *Session) trace(tbl *catalog.Table, key int64, write bool) {
 // Read returns the record with the given primary key.
 func (ss *Session) Read(t *tx.Txn, tbl *catalog.Table, key int64) (tuple.Record, error) {
 	ss.trace(tbl, key, false)
-	v, err := tbl.Primary.Tree.Get(key)
+	v, err := tbl.Primary.Tree.GetAs(ss.owner, key)
 	if err != nil {
 		if errors.Is(err, btree.ErrNotFound) {
 			return nil, fmt.Errorf("%w: %s[%d]", ErrNotFound, tbl.Name, key)
@@ -60,7 +65,7 @@ func (ss *Session) ReadByIndex(t *tx.Txn, tbl *catalog.Table, idx string, key in
 	if ix == nil {
 		return nil, fmt.Errorf("sm: no index %q on %s", idx, tbl.Name)
 	}
-	v, err := ix.Tree.Get(key)
+	v, err := ix.Tree.GetAs(ss.owner, key)
 	if err != nil {
 		if errors.Is(err, btree.ErrNotFound) {
 			return nil, fmt.Errorf("%w: %s.%s[%d]", ErrNotFound, tbl.Name, idx, key)
@@ -86,7 +91,7 @@ func (ss *Session) ScanRange(t *tx.Txn, tbl *catalog.Table, lo, hi int64, fn fun
 		rid storage.RID
 	}
 	var hits []hit
-	tbl.Primary.Tree.AscendRange(lo, hi, func(key int64, val uint64) bool {
+	tbl.Primary.Tree.AscendRangeAs(ss.owner, lo, hi, func(key int64, val uint64) bool {
 		hits = append(hits, hit{key, storage.UnpackRID(val)})
 		return true
 	})
@@ -114,12 +119,12 @@ func (ss *Session) ScanRange(t *tx.Txn, tbl *catalog.Table, lo, hi int64, fn fun
 func (ss *Session) Insert(t *tx.Txn, tbl *catalog.Table, rec tuple.Record) error {
 	key := tbl.Primary.Key(rec)
 	ss.trace(tbl, key, true)
-	if _, err := tbl.Primary.Tree.Get(key); err == nil {
+	if _, err := tbl.Primary.Tree.GetAs(ss.owner, key); err == nil {
 		return fmt.Errorf("%w: %s[%d]", ErrDuplicate, tbl.Name, key)
 	}
 	enc := tuple.Encode(rec)
 	var prevLSN, opLSN uint64
-	rid, err := tbl.Heap.InsertWith(enc, func(rid storage.RID) uint64 {
+	rid, err := tbl.Heap.InsertWith(ss.worker, enc, func(rid storage.RID) uint64 {
 		return t.Chain(func(prev uint64) uint64 {
 			prevLSN = prev
 			opLSN = ss.sm.Log.Append(&wal.Record{
@@ -133,11 +138,11 @@ func (ss *Session) Insert(t *tx.Txn, tbl *catalog.Table, rec tuple.Record) error
 	if err != nil {
 		return err
 	}
-	if err := tbl.Primary.Tree.Insert(key, rid.Pack()); err != nil {
+	if err := tbl.Primary.Tree.InsertAs(ss.owner, key, rid.Pack()); err != nil {
 		return fmt.Errorf("sm: primary index insert %s[%d]: %w", tbl.Name, key, err)
 	}
 	for _, ix := range tbl.Secondaries {
-		if err := ix.Tree.Put(ix.Key(rec), rid.Pack()); err != nil {
+		if err := ix.Tree.PutAs(ss.owner, ix.Key(rec), rid.Pack()); err != nil {
 			return err
 		}
 	}
@@ -155,7 +160,7 @@ func (ss *Session) Update(t *tx.Txn, tbl *catalog.Table, key int64, rec tuple.Re
 		return fmt.Errorf("sm: update changes primary key %d -> %d on %s", key, nk, tbl.Name)
 	}
 	ss.trace(tbl, key, true)
-	v, err := tbl.Primary.Tree.Get(key)
+	v, err := tbl.Primary.Tree.GetAs(ss.owner, key)
 	if err != nil {
 		if errors.Is(err, btree.ErrNotFound) {
 			return fmt.Errorf("%w: %s[%d]", ErrNotFound, tbl.Name, key)
@@ -188,8 +193,8 @@ func (ss *Session) Update(t *tx.Txn, tbl *catalog.Table, key int64, rec tuple.Re
 	for _, ix := range tbl.Secondaries {
 		okey, nkey := ix.Key(old), ix.Key(rec)
 		if okey != nkey {
-			ix.Tree.Delete(okey)
-			if err := ix.Tree.Put(nkey, rid.Pack()); err != nil {
+			ix.Tree.DeleteAs(ss.owner, okey)
+			if err := ix.Tree.PutAs(ss.owner, nkey, rid.Pack()); err != nil {
 				return err
 			}
 		}
@@ -213,7 +218,7 @@ func (ss *Session) Mutate(t *tx.Txn, tbl *catalog.Table, key int64, fn func(tupl
 // Delete removes the record under key from the table and all indexes.
 func (ss *Session) Delete(t *tx.Txn, tbl *catalog.Table, key int64) error {
 	ss.trace(tbl, key, true)
-	v, err := tbl.Primary.Tree.Get(key)
+	v, err := tbl.Primary.Tree.GetAs(ss.owner, key)
 	if err != nil {
 		if errors.Is(err, btree.ErrNotFound) {
 			return fmt.Errorf("%w: %s[%d]", ErrNotFound, tbl.Name, key)
@@ -222,7 +227,7 @@ func (ss *Session) Delete(t *tx.Txn, tbl *catalog.Table, key int64) error {
 	}
 	rid := storage.UnpackRID(v)
 	// Remove index entries first so no reader can follow a dangling RID.
-	tbl.Primary.Tree.Delete(key)
+	tbl.Primary.Tree.DeleteAs(ss.owner, key)
 	var beforeCopy []byte
 	var prevLSN, opLSN uint64
 	err = tbl.Heap.DeleteWith(rid, func(before []byte) uint64 {
@@ -239,7 +244,7 @@ func (ss *Session) Delete(t *tx.Txn, tbl *catalog.Table, key int64) error {
 	})
 	if err != nil {
 		// Restore the index entry we removed.
-		_ = tbl.Primary.Tree.Put(key, rid.Pack())
+		_ = tbl.Primary.Tree.PutAs(ss.owner, key, rid.Pack())
 		return err
 	}
 	old, err := tuple.Decode(beforeCopy)
@@ -247,7 +252,7 @@ func (ss *Session) Delete(t *tx.Txn, tbl *catalog.Table, key int64) error {
 		return err
 	}
 	for _, ix := range tbl.Secondaries {
-		ix.Tree.Delete(ix.Key(old))
+		ix.Tree.DeleteAs(ss.owner, ix.Key(old))
 	}
 	t.AddUndo(tx.Undo{
 		Kind: tx.UDelete, Table: tbl.ID, Key: key, RID: rid,

@@ -115,6 +115,12 @@ type IndexSpec struct {
 	Name   string
 	Fields []string
 	Key    catalog.KeyFunc
+	// RouteRange, when non-nil, maps an interval of the table's
+	// partitioning-field values to the inclusive interval of this index's
+	// keys — the declaration that makes the index physiologically
+	// partitionable (it gets a per-partition subtree tree that DORA
+	// claims per worker; see internal/btree's PartitionedTree).
+	RouteRange func(routeLo, routeHi int64) (keyLo, keyHi int64)
 }
 
 // TableSpec declares a table for CreateTable.
@@ -128,7 +134,23 @@ type TableSpec struct {
 	// PartitionField is the column DORA initially routes on (defaults to
 	// the first key field).
 	PartitionField string
-	Secondaries    []IndexSpec
+	// RouteRange maps partitioning-field intervals to primary-key
+	// intervals (see IndexSpec.RouteRange). When nil and the primary key
+	// is exactly the partitioning field, the identity mapping is assumed
+	// and the primary index is provisioned partitioned automatically.
+	RouteRange  func(routeLo, routeHi int64) (keyLo, keyHi int64)
+	Secondaries []IndexSpec
+}
+
+// newIndexTree provisions an index structure: partitioned when the index
+// is declared routable on the partitioning field, shared latched
+// otherwise. Also used by recovery to rebuild indexes with their original
+// shape.
+func newIndexTree(cs *metrics.CriticalSectionStats, partitioned bool) btree.AccessMethod {
+	if partitioned {
+		return btree.NewPartitioned(cs)
+	}
+	return btree.New(cs)
 }
 
 // CreateTable registers a new table with its heap and indexes.
@@ -140,24 +162,32 @@ func (s *SM) CreateTable(spec TableSpec) (*catalog.Table, error) {
 	if pf == "" && len(spec.KeyFields) > 0 {
 		pf = spec.KeyFields[0]
 	}
+	// A primary key that IS the partitioning field partitions trivially.
+	if spec.RouteRange == nil && pf != "" && len(spec.KeyFields) == 1 && spec.KeyFields[0] == pf {
+		spec.RouteRange = func(lo, hi int64) (int64, int64) { return lo, hi }
+	}
 	t := &catalog.Table{
 		Name:   spec.Name,
 		Fields: spec.Fields,
 		Heap:   storage.NewHeap(s.Pool),
 		Primary: &catalog.Index{
-			Name:   spec.Name + "_pk",
-			Fields: spec.KeyFields,
-			Key:    spec.Key,
-			Tree:   btree.New(s.CS),
+			Name:       spec.Name + "_pk",
+			Fields:     spec.KeyFields,
+			Key:        spec.Key,
+			Tree:       newIndexTree(s.CS, spec.RouteRange != nil),
+			RouteRange: spec.RouteRange,
+			RouteField: pf,
 		},
 	}
 	t.SetPartitionField(pf)
 	for _, is := range spec.Secondaries {
 		t.Secondaries = append(t.Secondaries, &catalog.Index{
-			Name:   is.Name,
-			Fields: is.Fields,
-			Key:    is.Key,
-			Tree:   btree.New(s.CS),
+			Name:       is.Name,
+			Fields:     is.Fields,
+			Key:        is.Key,
+			Tree:       newIndexTree(s.CS, is.RouteRange != nil),
+			RouteRange: is.RouteRange,
+			RouteField: pf,
 		})
 	}
 	return s.Cat.AddTable(t)
@@ -169,6 +199,15 @@ func (s *SM) Begin() *tx.Txn { return s.ids.NewTxn() }
 // Session returns an access handle tagged with a worker id for the
 // access tracer; engines create one per worker thread.
 func (s *SM) Session(worker int) *Session { return &Session{sm: s, worker: worker} }
+
+// OwnedSession returns a session additionally carrying an access-path
+// ownership token: index operations it performs take the latch-free path
+// through partitioned-subtree ranges claimed for that token. Only DORA
+// partition workers create these — the token, not the worker id, is what
+// the partitioned trees trust.
+func (s *SM) OwnedSession(worker int, owner *btree.Owner) *Session {
+	return &Session{sm: s, worker: worker, owner: owner}
+}
 
 // Commit makes t durable: a commit record is appended and the log forced
 // (group commit batches concurrent forcers), then an end record written.
@@ -308,9 +347,9 @@ func (s *SM) ApplyUndo(t *tx.Txn, u tx.Undo) error {
 		if err != nil {
 			return err
 		}
-		tbl.Primary.Tree.Delete(u.Key)
+		tbl.Primary.Tree.DeleteAs(nil, u.Key)
 		for _, ix := range tbl.Secondaries {
-			ix.Tree.Delete(ix.Key(rec))
+			ix.Tree.DeleteAs(nil, ix.Key(rec))
 		}
 		return nil
 
@@ -344,8 +383,8 @@ func (s *SM) ApplyUndo(t *tx.Txn, u tx.Undo) error {
 		for _, ix := range tbl.Secondaries {
 			ok, nk := ix.Key(cur), ix.Key(old)
 			if ok != nk {
-				ix.Tree.Delete(ok)
-				_ = ix.Tree.Put(nk, u.RID.Pack())
+				ix.Tree.DeleteAs(nil, ok)
+				_ = ix.Tree.PutAs(nil, nk, u.RID.Pack())
 			}
 		}
 		return nil
@@ -356,7 +395,7 @@ func (s *SM) ApplyUndo(t *tx.Txn, u tx.Undo) error {
 		if err != nil {
 			return err
 		}
-		rid, err := tbl.Heap.InsertWith(u.Before, func(rid storage.RID) uint64 {
+		rid, err := tbl.Heap.InsertWith(0, u.Before, func(rid storage.RID) uint64 {
 			return t.Chain(func(prev uint64) uint64 {
 				return s.Log.Append(&wal.Record{
 					Kind: wal.KCLR, Sub: wal.KInsert, TxnID: t.ID, PrevLSN: prev,
@@ -369,11 +408,11 @@ func (s *SM) ApplyUndo(t *tx.Txn, u tx.Undo) error {
 		if err != nil {
 			return err
 		}
-		if err := tbl.Primary.Tree.Put(u.Key, rid.Pack()); err != nil {
+		if err := tbl.Primary.Tree.PutAs(nil, u.Key, rid.Pack()); err != nil {
 			return err
 		}
 		for _, ix := range tbl.Secondaries {
-			_ = ix.Tree.Put(ix.Key(old), rid.Pack())
+			_ = ix.Tree.PutAs(nil, ix.Key(old), rid.Pack())
 		}
 		return nil
 	}

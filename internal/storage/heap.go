@@ -33,13 +33,14 @@ func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
 // ErrRecordTooLarge reports a record that cannot fit in any page.
 var ErrRecordTooLarge = errors.New("storage: record larger than page")
 
-// Heap is a heap file: an unordered collection of records in slotted
-// pages. Heap methods latch pages internally; callers provide isolation
-// through the lock protocol (conventional engine) or partition ownership
-// (DORA).
-type Heap struct {
-	pool *buffer.Pool
+// heapStripes is the number of free-space stripes per heap. Each DORA
+// partition worker (and each conventional client thread) hashes to one
+// stripe, so concurrent inserters keep private fill hints and page lists
+// instead of fighting over a single heap mutex.
+const heapStripes = 8
 
+// heapStripe is one independently-latched slice of the heap's page set.
+type heapStripe struct {
 	mu    sync.Mutex
 	pages []page.ID
 	// fillHint is the index in pages of the page most recently found to
@@ -47,108 +48,59 @@ type Heap struct {
 	fillHint int
 }
 
+// Heap is a heap file: an unordered collection of records in slotted
+// pages. Heap methods latch pages internally; callers provide isolation
+// through the lock protocol (conventional engine) or partition ownership
+// (DORA). The free-space bookkeeping is striped per inserting worker.
+type Heap struct {
+	pool    *buffer.Pool
+	stripes [heapStripes]heapStripe
+}
+
 // NewHeap returns an empty heap over pool.
 func NewHeap(pool *buffer.Pool) *Heap { return &Heap{pool: pool} }
 
+func stripeFor(worker int) int {
+	return ((worker % heapStripes) + heapStripes) % heapStripes
+}
+
 // Pages returns a snapshot of the heap's page ids (scan support).
 func (h *Heap) Pages() []page.ID {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	out := make([]page.ID, len(h.pages))
-	copy(out, h.pages)
+	var out []page.ID
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		st.mu.Lock()
+		out = append(out, st.pages...)
+		st.mu.Unlock()
+	}
 	return out
 }
 
 // Insert stores rec and stamps the page with lsn, returning the new RID.
 func (h *Heap) Insert(rec []byte, lsn uint64) (RID, error) {
+	return h.InsertWith(0, rec, func(RID) uint64 { return lsn })
+}
+
+// InsertWith stores rec, invoking mkLSN with the chosen RID while the
+// page latch is held and stamping the page with the returned LSN. This
+// lets the storage manager append the log record *before* the modified
+// page can reach disk (write-ahead rule) without exposing a half-placed
+// record. worker selects the free-space stripe; inserts by the same
+// worker chase the same fill hint. On a hint miss the insert goes
+// straight to a fresh page — one stripe-mutex round to read the hint, one
+// to register the new page, never a rescan of old pages in between.
+func (h *Heap) InsertWith(worker int, rec []byte, mkLSN func(RID) uint64) (RID, error) {
 	if len(rec) > page.Size-page.HeaderSize-8 {
 		return RID{}, ErrRecordTooLarge
 	}
-	// Try the hinted page, then allocate.
-	h.mu.Lock()
-	var candidates []page.ID
-	if len(h.pages) > 0 {
-		candidates = append(candidates, h.pages[h.fillHint])
-	}
-	h.mu.Unlock()
-
-	for _, pid := range candidates {
-		rid, ok, err := h.tryInsert(pid, rec, lsn)
-		if err != nil {
-			return RID{}, err
-		}
-		if ok {
-			return rid, nil
-		}
-	}
-
-	// Allocate a new page and insert there.
-	f, err := h.pool.NewPage()
-	if err != nil {
-		return RID{}, err
-	}
-	f.Latch.Lock()
-	slot, err := f.Page.Insert(rec)
-	if err != nil {
-		f.Latch.Unlock()
-		h.pool.Unpin(f, false)
-		return RID{}, err
-	}
-	if lsn != 0 {
-		f.Page.SetLSN(lsn)
-	}
-	f.MarkDirty()
-	pid := f.ID()
-	f.Latch.Unlock()
-	h.pool.Unpin(f, true)
-
-	h.mu.Lock()
-	h.pages = append(h.pages, pid)
-	h.fillHint = len(h.pages) - 1
-	h.mu.Unlock()
-	return RID{Page: pid, Slot: uint16(slot)}, nil
-}
-
-func (h *Heap) tryInsert(pid page.ID, rec []byte, lsn uint64) (RID, bool, error) {
-	f, err := h.pool.Fetch(pid)
-	if err != nil {
-		return RID{}, false, err
-	}
-	f.Latch.Lock()
-	slot, err := f.Page.Insert(rec)
-	if err == nil {
-		if lsn != 0 {
-			f.Page.SetLSN(lsn)
-		}
-		f.MarkDirty()
-		f.Latch.Unlock()
-		h.pool.Unpin(f, true)
-		return RID{Page: pid, Slot: uint16(slot)}, true, nil
-	}
-	f.Latch.Unlock()
-	h.pool.Unpin(f, false)
-	if errors.Is(err, page.ErrPageFull) {
-		return RID{}, false, nil
-	}
-	return RID{}, false, err
-}
-
-// InsertWith stores rec like Insert, but invokes mkLSN with the chosen
-// RID while the page latch is held, stamping the page with the returned
-// LSN. This lets the storage manager append the log record *before* the
-// modified page can reach disk (write-ahead rule) without exposing a
-// half-placed record.
-func (h *Heap) InsertWith(rec []byte, mkLSN func(RID) uint64) (RID, error) {
-	if len(rec) > page.Size-page.HeaderSize-8 {
-		return RID{}, ErrRecordTooLarge
-	}
-	h.mu.Lock()
+	st := &h.stripes[stripeFor(worker)]
+	st.mu.Lock()
 	var hint page.ID
-	hasHint := len(h.pages) > 0
+	hasHint := len(st.pages) > 0
 	if hasHint {
-		hint = h.pages[h.fillHint]
+		hint = st.pages[st.fillHint]
 	}
-	h.mu.Unlock()
+	st.mu.Unlock()
 
 	if hasHint {
 		rid, ok, err := h.tryInsertWith(hint, rec, mkLSN)
@@ -171,15 +123,17 @@ func (h *Heap) InsertWith(rec []byte, mkLSN func(RID) uint64) (RID, error) {
 		return RID{}, err
 	}
 	rid := RID{Page: f.ID(), Slot: uint16(slot)}
-	f.Page.SetLSN(mkLSN(rid))
+	if lsn := mkLSN(rid); lsn != 0 {
+		f.Page.SetLSN(lsn)
+	}
 	f.MarkDirty()
 	f.Latch.Unlock()
 	h.pool.Unpin(f, true)
 
-	h.mu.Lock()
-	h.pages = append(h.pages, rid.Page)
-	h.fillHint = len(h.pages) - 1
-	h.mu.Unlock()
+	st.mu.Lock()
+	st.pages = append(st.pages, rid.Page)
+	st.fillHint = len(st.pages) - 1
+	st.mu.Unlock()
 	return rid, nil
 }
 
@@ -192,7 +146,12 @@ func (h *Heap) tryInsertWith(pid page.ID, rec []byte, mkLSN func(RID) uint64) (R
 	slot, err := f.Page.Insert(rec)
 	if err == nil {
 		rid := RID{Page: pid, Slot: uint16(slot)}
-		f.Page.SetLSN(mkLSN(rid))
+		// An unlogged insert (mkLSN == 0) must not regress the page LSN
+		// below updates that were logged — recovery's redo-skip and the
+		// WAL-before-data force both compare against it.
+		if lsn := mkLSN(rid); lsn != 0 {
+			f.Page.SetLSN(lsn)
+		}
 		f.MarkDirty()
 		f.Latch.Unlock()
 		h.pool.Unpin(f, true)
@@ -390,16 +349,18 @@ func (h *Heap) RedoDelete(rid RID, lsn uint64) error {
 }
 
 // AttachPage registers an existing page id with the heap (recovery: the
-// heap page set is rebuilt from the log).
+// heap page set is rebuilt from the log). Attached pages stripe by page
+// id — deterministic, so the dedup check only needs one stripe.
 func (h *Heap) AttachPage(pid page.ID) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	for _, p := range h.pages {
+	st := &h.stripes[int(uint64(pid))%heapStripes]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, p := range st.pages {
 		if p == pid {
 			return
 		}
 	}
-	h.pages = append(h.pages, pid)
+	st.pages = append(st.pages, pid)
 }
 
 // Scan invokes fn with a copy of every live record and its RID, until fn

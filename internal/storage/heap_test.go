@@ -89,7 +89,7 @@ func TestScan(t *testing.T) {
 func TestInsertWithLSNOrdering(t *testing.T) {
 	h := newHeap(t)
 	var sawRID RID
-	rid, err := h.InsertWith([]byte("x"), func(r RID) uint64 {
+	rid, err := h.InsertWith(0, []byte("x"), func(r RID) uint64 {
 		sawRID = r
 		return 42
 	})

@@ -91,6 +91,13 @@ func Load(s *sm.SM, n int64) (*DB, error) {
 			Name:   "sub_by_nbr",
 			Fields: []string{"sub_nbr"},
 			Key:    func(r tuple.Record) int64 { return r[subNbr].Int },
+			// sub_nbr = N+1-s_id is an order-reversing bijection, so an
+			// s_id interval maps to one contiguous sub_nbr interval and
+			// the secondary partitions along with the primary: the worker
+			// owning s_id in [lo, hi] owns sub_nbr in [N+1-hi, N+1-lo].
+			RouteRange: func(lo, hi int64) (int64, int64) {
+				return n + 1 - hi, n + 1 - lo
+			},
 		}},
 	})
 	if err != nil {
@@ -109,6 +116,9 @@ func Load(s *sm.SM, n int64) (*DB, error) {
 		KeyFields:      []string{"s_id", "ai_type"},
 		Key:            func(r tuple.Record) int64 { return AIKey(r[0].Int, r[1].Int) },
 		PartitionField: "s_id",
+		RouteRange: func(lo, hi int64) (int64, int64) {
+			return AIKey(lo, 1), AIKey(hi, 4)
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -126,6 +136,9 @@ func Load(s *sm.SM, n int64) (*DB, error) {
 		KeyFields:      []string{"s_id", "sf_type"},
 		Key:            func(r tuple.Record) int64 { return SFKey(r[0].Int, r[1].Int) },
 		PartitionField: "s_id",
+		RouteRange: func(lo, hi int64) (int64, int64) {
+			return SFKey(lo, 1), SFKey(hi, 4)
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -142,6 +155,9 @@ func Load(s *sm.SM, n int64) (*DB, error) {
 		KeyFields:      []string{"s_id", "sf_type", "start_time"},
 		Key:            func(r tuple.Record) int64 { return CFKey(r[0].Int, r[1].Int, r[2].Int) },
 		PartitionField: "s_id",
+		RouteRange: func(lo, hi int64) (int64, int64) {
+			return CFKey(lo, 1, 0), CFKey(hi, 4, 23)
+		},
 	})
 	if err != nil {
 		return nil, err

@@ -76,6 +76,9 @@ func Load(s *sm.SM, branches, accountsPerBranch int64) (*DB, error) {
 		Name: "teller", Fields: intf("b_id", "t_id", "balance"),
 		KeyFields: []string{"b_id", "t_id"},
 		Key:       func(r tuple.Record) int64 { return db.TKey(r[0].Int, r[1].Int) },
+		RouteRange: func(lo, hi int64) (int64, int64) {
+			return db.TKey(lo, 1), db.TKey(hi, TellersPerBranch)
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -84,6 +87,9 @@ func Load(s *sm.SM, branches, accountsPerBranch int64) (*DB, error) {
 		Name: "account", Fields: intf("b_id", "a_id", "balance"),
 		KeyFields: []string{"b_id", "a_id"},
 		Key:       func(r tuple.Record) int64 { return db.AKey(r[0].Int, r[1].Int) },
+		RouteRange: func(lo, hi int64) (int64, int64) {
+			return db.AKey(lo, 1), db.AKey(hi, db.AccountsPerBranch)
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -92,6 +98,9 @@ func Load(s *sm.SM, branches, accountsPerBranch int64) (*DB, error) {
 		Name: "history_tpcb", Fields: intf("b_id", "h_seq", "t_id", "a_id", "delta"),
 		KeyFields: []string{"b_id", "h_seq"},
 		Key:       func(r tuple.Record) int64 { return r[0].Int<<40 | r[1].Int },
+		RouteRange: func(lo, hi int64) (int64, int64) {
+			return lo << 40, (hi+1)<<40 - 1
+		},
 	})
 	if err != nil {
 		return nil, err

@@ -128,6 +128,8 @@ func Load(s *sm.SM, sc Scale) (*DB, error) {
 		Name: "district", Fields: intf("w_id", "d_id", "ytd", "next_o_id"),
 		KeyFields: []string{"w_id", "d_id"},
 		Key:       func(r tuple.Record) int64 { return DKey(r[0].Int, r[1].Int) },
+
+		RouteRange: func(lo, hi int64) (int64, int64) { return lo * 16, (hi+1)*16 - 1 },
 	})
 	if err != nil {
 		return nil, err
@@ -137,6 +139,8 @@ func Load(s *sm.SM, sc Scale) (*DB, error) {
 		Fields:    intf("w_id", "d_id", "c_id", "balance", "ytd_payment", "payment_cnt", "last"),
 		KeyFields: []string{"w_id", "d_id", "c_id"},
 		Key:       func(r tuple.Record) int64 { return CKey(r[0].Int, r[1].Int, r[2].Int) },
+
+		RouteRange: func(lo, hi int64) (int64, int64) { return lo << 16, (hi+1)<<16 - 1 },
 	})
 	if err != nil {
 		return nil, err
@@ -145,6 +149,8 @@ func Load(s *sm.SM, sc Scale) (*DB, error) {
 		Name: "history", Fields: intf("w_id", "h_seq", "d_id", "c_id", "amount"),
 		KeyFields: []string{"w_id", "h_seq"},
 		Key:       func(r tuple.Record) int64 { return r[0].Int<<40 | r[1].Int },
+
+		RouteRange: func(lo, hi int64) (int64, int64) { return lo << 40, (hi+1)<<40 - 1 },
 	})
 	if err != nil {
 		return nil, err
@@ -153,6 +159,8 @@ func Load(s *sm.SM, sc Scale) (*DB, error) {
 		Name: "new_order", Fields: intf("w_id", "d_id", "o_id"),
 		KeyFields: []string{"w_id", "d_id", "o_id"},
 		Key:       func(r tuple.Record) int64 { return OKey(r[0].Int, r[1].Int, r[2].Int) },
+
+		RouteRange: func(lo, hi int64) (int64, int64) { return lo << 36, (hi+1)<<36 - 1 },
 	})
 	if err != nil {
 		return nil, err
@@ -162,6 +170,8 @@ func Load(s *sm.SM, sc Scale) (*DB, error) {
 		Fields:    intf("w_id", "d_id", "o_id", "c_id", "carrier_id", "ol_cnt"),
 		KeyFields: []string{"w_id", "d_id", "o_id"},
 		Key:       func(r tuple.Record) int64 { return OKey(r[0].Int, r[1].Int, r[2].Int) },
+
+		RouteRange: func(lo, hi int64) (int64, int64) { return lo << 36, (hi+1)<<36 - 1 },
 	})
 	if err != nil {
 		return nil, err
@@ -171,6 +181,8 @@ func Load(s *sm.SM, sc Scale) (*DB, error) {
 		Fields:    intf("w_id", "d_id", "o_id", "ol", "i_id", "qty", "amount"),
 		KeyFields: []string{"w_id", "d_id", "o_id", "ol"},
 		Key:       func(r tuple.Record) int64 { return OLKey(r[0].Int, r[1].Int, r[2].Int, r[3].Int) },
+
+		RouteRange: func(lo, hi int64) (int64, int64) { return lo << 40, (hi+1)<<40 - 1 },
 	})
 	if err != nil {
 		return nil, err
@@ -187,6 +199,8 @@ func Load(s *sm.SM, sc Scale) (*DB, error) {
 		Name: "stock", Fields: intf("w_id", "i_id", "quantity", "ytd", "order_cnt"),
 		KeyFields: []string{"w_id", "i_id"},
 		Key:       func(r tuple.Record) int64 { return SKey(r[0].Int, r[1].Int) },
+
+		RouteRange: func(lo, hi int64) (int64, int64) { return lo << 17, (hi+1)<<17 - 1 },
 	})
 	if err != nil {
 		return nil, err
