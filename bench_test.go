@@ -102,6 +102,10 @@ func BenchmarkE12AccessPathLatching(b *testing.B) {
 	runTable(b, func() (*exp.Table, error) { return exp.E12AccessPathLatching(quickCfg()) })
 }
 
+func BenchmarkE13PhysicalMaintenance(b *testing.B) {
+	runTable(b, func() (*exp.Table, error) { return exp.E13PhysicalMaintenance(quickCfg()) })
+}
+
 func BenchmarkA1PartitionCount(b *testing.B) {
 	runTable(b, func() (*exp.Table, error) { return exp.A1PartitionCount(quickCfg(), []int{1, 4, 8}) })
 }

@@ -10,13 +10,20 @@
 //
 // Beyond the paper it grows the prototype toward the authors' follow-on
 // work: a consolidation-array log manager with flush pipelining and
-// early lock release (internal/wal/clog, experiment E11), and a
+// early lock release (internal/wal/clog, experiment E11), a
 // physiologically partitioned access path (internal/btree's
 // PartitionedTree, PLP-style: per-partition B+tree subtrees owned by
 // DORA's workers, making owner-thread index descents latch-free —
-// experiment E12). The original DORA caveat that "latching remains" is
-// thereby partially retired: only page/frame latches survive on the
-// partitioned path.
+// experiment E12), and background physical maintenance (internal/maint,
+// experiment E13): heap pages are stamped with their owner's token so
+// aligned record reads skip the buffer-frame latch, and a paced daemon —
+// running its operations on the owning workers' threads via the inbox
+// path — migrates or re-stamps the pages that splits and merges
+// orphaned and compacts decayed subtrees, keeping the physical layout
+// converged with the routing topology. The original DORA caveat that
+// "latching remains" is thereby retired class by class: owner-thread
+// index descents take no node latches, and frame latches on aligned
+// reads converge to zero as maintenance drains.
 //
 // See README.md for the package tour, quickstart, and the experiment
 // index. The packages live under internal/; the runnable entry points

@@ -1,0 +1,204 @@
+package btree
+
+import (
+	"math"
+	"testing"
+)
+
+// claimTwoWorkers partitions [0,+inf) between two fake workers at cut.
+func claimTwoWorkers(pt *PartitionedTree, a, b *fakeWorker, cut int64) {
+	pt.Claim([]ClaimRange{
+		{Lo: math.MinInt64, Hi: cut - 1, Owner: a.tok, Exec: a.exec()},
+		{Lo: cut, Hi: math.MaxInt64, Owner: b.tok, Exec: b.exec()},
+	})
+}
+
+func TestCompactMergesAdjacentSameOwnerRuns(t *testing.T) {
+	pt := NewPartitioned(nil)
+	a, b := newFakeWorker(), newFakeWorker()
+	defer a.stop()
+	defer b.stop()
+	claimTwoWorkers(pt, a, b, 1000)
+	for k := int64(0); k < 2000; k++ {
+		k := k
+		if k < 1000 {
+			a.do(func(tok *Owner) { _ = pt.InsertAs(tok, k, uint64(k)) })
+		} else {
+			b.do(func(tok *Owner) { _ = pt.InsertAs(tok, k, uint64(k)) })
+		}
+	}
+	// Fragment a's key space: repeated MoveRanges a->b->a leave behind
+	// many adjacent subtrees per owner (the split/merge residue).
+	for i := 0; i < 20; i++ {
+		lo := int64(i * 50)
+		hi := lo + 24
+		a.do(func(tok *Owner) { pt.MoveRange(tok, lo, hi, b.tok, b.exec()) })
+		b.do(func(tok *Owner) { pt.MoveRange(tok, lo, hi, a.tok, a.exec()) })
+	}
+	before := pt.NumSubtrees()
+	if before < 10 {
+		t.Fatalf("fragmentation did not happen: %d subtrees", before)
+	}
+	var csA, csB CompactStats
+	a.do(func(tok *Owner) { csA = pt.CompactOwned(tok, 0.5) })
+	b.do(func(tok *Owner) { csB = pt.CompactOwned(tok, 0.5) })
+	after := pt.NumSubtrees()
+	if after != 2 {
+		t.Fatalf("fan-out after both owners compacted = %d, want 2 (one run per owner)", after)
+	}
+	if csA.Merged+csB.Merged != before-2 {
+		t.Fatalf("merged %d+%d, want %d", csA.Merged, csB.Merged, before-2)
+	}
+	// Contents intact, still served through the right owners.
+	if pt.Len() != 2000 {
+		t.Fatalf("len = %d, want 2000", pt.Len())
+	}
+	for k := int64(0); k < 2000; k += 37 {
+		k := k
+		var v uint64
+		var err error
+		a.do(func(tok *Owner) { v, err = pt.GetAs(tok, k) })
+		if err != nil || v != uint64(k) {
+			t.Fatalf("key %d after compaction: %d %v", k, v, err)
+		}
+	}
+}
+
+func TestCompactPurgesGhosts(t *testing.T) {
+	pt := NewPartitioned(nil)
+	a := newFakeWorker()
+	defer a.stop()
+	pt.Claim([]ClaimRange{{Lo: math.MinInt64, Hi: math.MaxInt64, Owner: a.tok, Exec: a.exec()}})
+	for k := int64(0); k < 5000; k++ {
+		k := k
+		a.do(func(tok *Owner) { _ = pt.InsertAs(tok, k, uint64(k)) })
+	}
+	// Lazy deletion: delete 90%, leaving underfull/empty leaves behind.
+	for k := int64(0); k < 5000; k++ {
+		if k%10 == 0 {
+			continue
+		}
+		k := k
+		a.do(func(tok *Owner) { _, _ = pt.DeleteAs(tok, k) })
+	}
+	st := pt.ShapeStats()
+	if st.Keys != 500 {
+		t.Fatalf("keys = %d, want 500", st.Keys)
+	}
+	leavesBefore := st.Leaves
+	var cs CompactStats
+	a.do(func(tok *Owner) { cs = pt.CompactOwned(tok, 0.5) })
+	st = pt.ShapeStats()
+	if st.Leaves >= leavesBefore {
+		t.Fatalf("leaves %d -> %d, wanted a rebuild to shrink them", leavesBefore, st.Leaves)
+	}
+	if cs.Rebuilt == 0 || cs.Ghosts == 0 {
+		t.Fatalf("stats report no rebuild/ghosts: %+v", cs)
+	}
+	// Survivors intact.
+	for k := int64(0); k < 5000; k += 10 {
+		k := k
+		var v uint64
+		var err error
+		a.do(func(tok *Owner) { v, err = pt.GetAs(tok, k) })
+		if err != nil || v != uint64(k) {
+			t.Fatalf("survivor %d: %d %v", k, v, err)
+		}
+	}
+	// A healthy tree is left alone.
+	a.do(func(tok *Owner) { cs = pt.CompactOwned(tok, 0.5) })
+	if cs.Merged != 0 || cs.Rebuilt != 0 {
+		t.Fatalf("second compaction not a no-op: %+v", cs)
+	}
+}
+
+func TestCompactLeavesMinimalTreesAlone(t *testing.T) {
+	// A small tree below the occupancy target but already at its minimal
+	// leaf count must not count as work: the maintenance daemon's
+	// converge-until-no-work loop relies on compaction reaching a fixed
+	// point (a shape-identical rebuild forever would never converge).
+	pt := NewPartitioned(nil)
+	a := newFakeWorker()
+	defer a.stop()
+	pt.Claim([]ClaimRange{{Lo: math.MinInt64, Hi: math.MaxInt64, Owner: a.tok, Exec: a.exec()}})
+	for k := int64(0); k < 10; k++ {
+		k := k
+		a.do(func(tok *Owner) { _ = pt.InsertAs(tok, k, uint64(k)) })
+	}
+	var cs CompactStats
+	a.do(func(tok *Owner) { cs = pt.CompactOwned(tok, 0.5) })
+	if cs.Merged != 0 || cs.Rebuilt != 0 || cs.Ghosts != 0 {
+		t.Fatalf("compaction of a minimal 10-key tree reported work: %+v", cs)
+	}
+}
+
+func TestExecAtRunsOnOwnerWithToken(t *testing.T) {
+	pt := NewPartitioned(nil)
+	a, b := newFakeWorker(), newFakeWorker()
+	defer a.stop()
+	defer b.stop()
+	claimTwoWorkers(pt, a, b, 100)
+
+	// Foreign caller: ships to the owner, which gets its own token.
+	var got *Owner
+	pt.ExecAt(nil, 50, func(tok *Owner) { got = tok })
+	if got != a.tok {
+		t.Fatalf("ExecAt(50) token = %v, want a's", got)
+	}
+	pt.ExecAt(nil, 100, func(tok *Owner) { got = tok })
+	if got != b.tok {
+		t.Fatalf("ExecAt(100) token = %v, want b's", got)
+	}
+	// Owner caller: runs inline with its own token.
+	a.do(func(tok *Owner) {
+		pt.ExecAt(tok, 50, func(inTok *Owner) { got = inTok })
+	})
+	if got != a.tok {
+		t.Fatalf("inline ExecAt token = %v, want a's", got)
+	}
+	// Unowned tree: runs inline with nil (the shared path).
+	pt.Release()
+	ran := false
+	pt.ExecAt(a.tok, 50, func(tok *Owner) { ran = true; got = tok })
+	if !ran || got != nil {
+		t.Fatalf("released ExecAt: ran=%v tok=%v, want inline nil", ran, got)
+	}
+	// Plain trees always run inline with nil.
+	tr := New(nil)
+	tr.ExecAt(a.tok, 1, func(tok *Owner) { got = tok; ran = true })
+	if got != nil {
+		t.Fatalf("plain-tree ExecAt token = %v, want nil", got)
+	}
+}
+
+func TestExecAtStaleHopFailsBack(t *testing.T) {
+	// A ship that lands after the range moved on must NOT run there; the
+	// caller re-resolves and the op lands on the new owner.
+	pt := NewPartitioned(nil)
+	a, b := newFakeWorker(), newFakeWorker()
+	defer a.stop()
+	defer b.stop()
+	pt.Claim([]ClaimRange{{Lo: math.MinInt64, Hi: math.MaxInt64, Owner: a.tok, Exec: a.exec()}})
+	// a's exec hands the range to b BEFORE serving the shipped closure,
+	// simulating the split racing the hand-off.
+	moved := false
+	staleExec := func(fn func(tok *Owner)) bool {
+		a.do(func(tok *Owner) {
+			if !moved {
+				moved = true
+				pt.MoveRange(tok, math.MinInt64, math.MaxInt64, b.tok, b.exec())
+			}
+			fn(tok)
+		})
+		return true
+	}
+	pt.mu.Lock()
+	pt.subs[0].exec = staleExec
+	pt.mu.Unlock()
+
+	var got *Owner
+	pt.ExecAt(nil, 7, func(tok *Owner) { got = tok })
+	if got != b.tok {
+		t.Fatalf("stale hop ran with %v, want re-resolution to b", got)
+	}
+}

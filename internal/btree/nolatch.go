@@ -116,6 +116,22 @@ func (t *Tree) ascendRangeNL(lo, hi int64, fn func(key int64, val uint64) bool) 
 	}
 }
 
+// leafStatsNL counts leaf nodes and live keys by walking the leaf chain
+// without latches (ownership or a quiesced/exclusively-held topology is
+// the caller's contract, as for every walker in this file).
+func (t *Tree) leafStatsNL() (leaves, keys int) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	for n != nil {
+		leaves++
+		keys += len(n.keys)
+		n = n.next
+	}
+	return leaves, keys
+}
+
 // kv is a key/value pair for bulk moves between subtrees.
 type kv struct {
 	k int64

@@ -62,6 +62,15 @@ type AccessMethod interface {
 	PutAs(caller *Owner, key int64, val uint64) error
 	DeleteAs(caller *Owner, key int64) (uint64, error)
 	AscendRangeAs(caller *Owner, lo, hi int64, fn func(key int64, val uint64) bool)
+	// ExecAt runs fn on the thread that may exclusively access key's
+	// subtree, passing that thread's ownership token — the subtree
+	// owner's token when the subtree is claimed (shipping to its worker
+	// if the caller is someone else), nil when the tree (or subtree) is
+	// shared/latched (fn then runs inline on the caller's thread). The
+	// storage manager wraps whole logical operations in it so every
+	// access to owner-claimed data — index AND heap — executes on the
+	// owning thread (thread-to-data down to the physical layer).
+	ExecAt(caller *Owner, key int64, fn func(tok *Owner))
 	Len() int
 }
 
@@ -84,6 +93,10 @@ func (t *Tree) DeleteAs(_ *Owner, key int64) (uint64, error) { return t.Delete(k
 func (t *Tree) AscendRangeAs(_ *Owner, lo, hi int64, fn func(key int64, val uint64) bool) {
 	t.AscendRange(lo, hi, fn)
 }
+
+// ExecAt implements AccessMethod: a plain tree is always shared, so fn
+// runs inline with no ownership token.
+func (t *Tree) ExecAt(_ *Owner, _ int64, fn func(tok *Owner)) { fn(nil) }
 
 // subtree is one contiguous key range [lo, hi] and its tree.
 type subtree struct {
@@ -121,6 +134,15 @@ func (pt *PartitionedTree) locate(key int64) *subtree {
 
 // runAt executes op against the subtree holding key under the access
 // protocol. op receives the tree and whether the latch-free path applies.
+//
+// A shipped operation that lands on a worker whose ownership has since
+// moved on (split/merge raced the hand-off) does NOT chain another ship
+// from that worker's thread: the worker's queue may be what the new
+// owner is waiting on (a split target buffers everything until the
+// source's adopt message, and the source's own queue could hold the
+// blocking ship), so chaining deadlocks. Instead the stale hop fails
+// back and the ORIGINAL caller re-resolves — ships are always a single
+// sender→owner hop.
 func (pt *PartitionedTree) runAt(caller *Owner, key int64, op func(t *Tree, latchFree bool)) {
 	for {
 		pt.mu.RLock()
@@ -135,11 +157,23 @@ func (pt *PartitionedTree) runAt(caller *Owner, key int64, op func(t *Tree, latc
 		if exec == nil {
 			panic("btree: non-owner descent into an owned subtree (ownership violation: no owner executor installed)")
 		}
-		if exec(func(tok *Owner) { pt.runAt(tok, key, op) }) {
+		ran := false
+		ok := exec(func(tok *Owner) {
+			pt.mu.RLock()
+			st := pt.locate(key)
+			if st.owner != nil && st.owner != tok {
+				pt.mu.RUnlock()
+				return // stale hop: fail back, caller re-resolves
+			}
+			op(st.tree, st.owner != nil)
+			pt.mu.RUnlock()
+			ran = true
+		})
+		if ok && ran {
 			return
 		}
-		// The owner retired between the topology read and the hand-off
-		// (split/merge/shutdown race); re-resolve.
+		// The owner retired or the range moved on between the topology
+		// read and the hand-off; re-resolve.
 		runtime.Gosched()
 	}
 }
@@ -231,7 +265,31 @@ func (pt *PartitionedTree) ascendAs(caller *Owner, lo, hi int64, fn func(key int
 			if exec == nil {
 				panic("btree: non-owner scan into an owned subtree (ownership violation: no owner executor installed)")
 			}
-			if exec(func(tok *Owner) { done = pt.ascendAs(tok, cur, segHi, fn) }) {
+			// Single-hop ship with stale-hop fail-back (see runAt).
+			ran := false
+			ok := exec(func(tok *Owner) {
+				pt.mu.RLock()
+				st := pt.locate(cur)
+				if st.owner != nil && st.owner != tok {
+					pt.mu.RUnlock()
+					return
+				}
+				segHi = st.hi
+				if hi < segHi {
+					segHi = hi
+				}
+				if st.owner == nil {
+					st.tree.AscendRange(cur, segHi, func(k int64, v uint64) bool {
+						done = fn(k, v)
+						return done
+					})
+				} else {
+					done = st.tree.ascendRangeNL(cur, segHi, fn)
+				}
+				pt.mu.RUnlock()
+				ran = true
+			})
+			if ok && ran {
 				break
 			}
 			runtime.Gosched()
@@ -245,6 +303,52 @@ func (pt *PartitionedTree) ascendAs(caller *Owner, lo, hi int64, fn func(key int
 		cur = segHi + 1
 	}
 	return true
+}
+
+// ExecAt implements AccessMethod: fn runs on the thread owning key's
+// subtree with that thread's token (shipping through the owner executor
+// when the caller is someone else), or inline with a nil token when the
+// subtree is unowned. Unlike runAt it does NOT hold the topology lock
+// while fn runs: fn is an arbitrary logical operation (it may touch the
+// heap, the log, or other subtrees of this or other trees), so it
+// re-enters the access methods normally. The thread guarantee is what
+// matters: while fn runs on the owner, no latch-free access of that
+// owner can race it.
+func (pt *PartitionedTree) ExecAt(caller *Owner, key int64, fn func(tok *Owner)) {
+	for {
+		pt.mu.RLock()
+		st := pt.locate(key)
+		owner, exec := st.owner, st.exec
+		pt.mu.RUnlock()
+		if owner == nil || owner == caller {
+			fn(owner)
+			return
+		}
+		if exec == nil {
+			panic("btree: ExecAt into an owned subtree with no owner executor installed")
+		}
+		// Single-hop ship with stale-hop fail-back (see runAt): the
+		// landing worker re-checks ownership and runs fn only if the
+		// subtree is still (or now shared-)accessible from its thread.
+		ran := false
+		ok := exec(func(tok *Owner) {
+			pt.mu.RLock()
+			st := pt.locate(key)
+			cur := st.owner
+			pt.mu.RUnlock()
+			if cur != nil && cur != tok {
+				return // stale hop: fail back, caller re-resolves
+			}
+			fn(cur)
+			ran = true
+		})
+		if ok && ran {
+			return
+		}
+		// Owner retired or the range moved on between the topology read
+		// and the hand-off (split/merge/shutdown race); re-resolve.
+		runtime.Gosched()
+	}
 }
 
 // Len sums the subtree sizes.
@@ -404,4 +508,129 @@ func (pt *PartitionedTree) ReassignOwner(from, to *Owner, exec OwnerExec) {
 			st.owner, st.exec = to, exec
 		}
 	}
+}
+
+// CompactStats reports what one CompactOwned pass did.
+type CompactStats struct {
+	// Merged counts subtrees folded into an adjacent same-owner
+	// neighbour (each merge of k subtrees counts k-1).
+	Merged int
+	// Rebuilt counts sparse subtrees bulk-rebuilt in place.
+	Rebuilt int
+	// Ghosts counts the empty/underfull leaf nodes the merges and
+	// rebuilds released — the lazy-deletion residue.
+	Ghosts int
+}
+
+// CompactOwned is the access-path half of background physical
+// maintenance: it merges runs of ADJACENT subtrees owned by the caller
+// into single subtrees (repeated split/merge cycles leave the retiring
+// side's subtrees behind, growing root fan-out without bound) and
+// bulk-rebuilds subtrees whose leaf occupancy fell below minUtil of the
+// bulk-load fill (lazy deletion keeps empty and underfull leaves — the
+// "ghosts" — forever otherwise). Both transformations preserve contents
+// exactly; indexes are volatile, so nothing is logged.
+//
+// Must be called on the owning worker's goroutine: taking the topology
+// lock exclusively there guarantees no latch-free descent of the caller
+// is in flight, and every other accessor is either parked on the lock
+// or shipping through the owner executor (serialized behind this call).
+func (pt *PartitionedTree) CompactOwned(caller *Owner, minUtil float64) CompactStats {
+	var cs CompactStats
+	if caller == nil {
+		return cs
+	}
+	if minUtil <= 0 || minUtil > 1 {
+		minUtil = 0.5
+	}
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	var out []*subtree
+	i := 0
+	for i < len(pt.subs) {
+		st := pt.subs[i]
+		if st.owner != caller {
+			out = append(out, st)
+			i++
+			continue
+		}
+		// Extent of the adjacent same-owner run starting at i.
+		j := i + 1
+		for j < len(pt.subs) && pt.subs[j].owner == caller {
+			j++
+		}
+		run := pt.subs[i:j]
+		leaves, keys := 0, 0
+		for _, s := range run {
+			l, k := s.tree.leafStatsNL()
+			leaves, keys = leaves+l, keys+k
+		}
+		// A rebuild can only help when the tree has more leaves than a
+		// bulk load of its keys needs: a small or already-minimal tree
+		// below the occupancy target must NOT count as work, or the
+		// daemon's converge-until-no-work loop never reaches its fixed
+		// point (it would rebuild the same minimal shape forever).
+		minLeaves := (keys + bulkFill - 1) / bulkFill
+		if minLeaves < 1 {
+			minLeaves = 1
+		}
+		sparse := leaves > minLeaves && float64(keys) < float64(leaves*bulkFill)*minUtil
+		merged := st
+		if len(run) > 1 || sparse {
+			var pairs []kv
+			for _, s := range run {
+				s.tree.ascendRangeNL(math.MinInt64, math.MaxInt64, func(k int64, v uint64) bool {
+					pairs = append(pairs, kv{k, v})
+					return true
+				})
+			}
+			merged = &subtree{
+				lo: run[0].lo, hi: run[len(run)-1].hi,
+				owner: caller, exec: st.exec,
+				tree: newTreeFromSorted(pt.cs, pairs),
+			}
+			newLeaves, _ := merged.tree.leafStatsNL()
+			cs.Merged += len(run) - 1
+			if len(run) == 1 {
+				cs.Rebuilt++
+			}
+			if freed := leaves - newLeaves; freed > 0 {
+				cs.Ghosts += freed
+			}
+		}
+		out = append(out, merged)
+		i = j
+	}
+	pt.subs = out
+	return cs
+}
+
+// SubtreeStat aggregates the tree's physical-shape statistics for the
+// maintenance daemon's decay detection and the monitor.
+type SubtreeStat struct {
+	Subtrees int // root fan-out
+	Owned    int // subtrees with an owner
+	Keys     int
+	Leaves   int
+}
+
+// ShapeStats walks every subtree and reports fan-out, ownership and
+// leaf occupancy. Leaf counts are read under the topology lock via the
+// latch-free walkers; concurrent owned-subtree mutations are excluded
+// because their owners' operations hold the lock shared for their
+// duration — the counts are exact at a quiesce and advisory otherwise.
+func (pt *PartitionedTree) ShapeStats() SubtreeStat {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	var s SubtreeStat
+	s.Subtrees = len(pt.subs)
+	for _, st := range pt.subs {
+		if st.owner != nil {
+			s.Owned++
+		}
+		l, k := st.tree.leafStatsNL()
+		s.Leaves += l
+		s.Keys += k
+	}
+	return s
 }

@@ -38,6 +38,12 @@ type Frame struct {
 	dirty atomic.Bool
 	ref   atomic.Bool
 	valid bool
+	// loading is set while a Fetch miss reads the page image from disk.
+	// Latched readers wait on the frame latch the miss holds; LATCH-FREE
+	// readers (owner-thread reads of stamped heap pages) must check this
+	// flag and fall back to the latched path while it is set, or they
+	// could observe a half-read image.
+	loading atomic.Bool
 }
 
 // ID returns the id of the page currently cached in the frame.
@@ -46,6 +52,11 @@ func (f *Frame) ID() page.ID { return f.id }
 // MarkDirty records that the caller modified the page. Call while holding
 // the frame latch exclusively.
 func (f *Frame) MarkDirty() { f.dirty.Store(true) }
+
+// Loading reports whether the frame's page image is still being read
+// from disk. The atomic store that clears it is ordered after the disk
+// read completes, so a reader observing false sees the full image.
+func (f *Frame) Loading() bool { return f.loading.Load() }
 
 // shard is one latch-striped slice of the pool: its own mapping table,
 // clock hand and frame set. A page id always maps to the same shard, so
@@ -69,6 +80,7 @@ type Pool struct {
 	// state without the owning shard's lock.
 	frames []*Frame
 	shards []*shard
+	cs     *metrics.CriticalSectionStats
 
 	// Hits and Misses count page lookups served from memory vs disk.
 	Hits   metrics.Counter
@@ -117,10 +129,16 @@ func NewPool(n int, disk Disk, log LogForcer) *Pool {
 
 // SetStats wires contention accounting into every frame latch.
 func (p *Pool) SetStats(cs *metrics.CriticalSectionStats) {
+	p.cs = cs
 	for _, f := range p.frames {
 		f.Latch.Stats = cs
 	}
 }
+
+// Stats returns the critical-section accounting wired by SetStats (nil
+// when none): subsystems above the pool use it for sub-classified
+// counters such as heap-read frame latches.
+func (p *Pool) Stats() *metrics.CriticalSectionStats { return p.cs }
 
 // NumFrames returns the pool capacity in pages.
 func (p *Pool) NumFrames() int { return len(p.frames) }
@@ -159,9 +177,11 @@ func (p *Pool) Fetch(id page.ID) (*Frame, error) {
 	f.ref.Store(true)
 	sh.table[id] = f.idx
 	f.Latch.Lock()
+	f.loading.Store(true)
 	sh.mu.Unlock()
 	p.Misses.Inc()
 	err = p.disk.ReadPage(id, &f.Page)
+	f.loading.Store(false)
 	f.Latch.Unlock()
 	if err != nil {
 		sh.mu.Lock()

@@ -52,6 +52,12 @@ type Config struct {
 	// measurement baseline that shows how much node latching the
 	// partitioned access path removes.
 	SharedAccessPath bool
+	// DebugShipCheck enables the ship-graph cycle detector: every
+	// owner-thread ship carries its chain of traversed workers, and a
+	// ship targeting a worker already in the chain fails fast with a
+	// diagnostic panic instead of deadlocking (shipcheck.go). Debug
+	// mode: it costs a goroutine-id lookup per ship.
+	DebugShipCheck bool
 }
 
 func (c *Config) fill() {
@@ -93,6 +99,12 @@ type Dora struct {
 	stopTick chan struct{}
 	closed   bool
 
+	// shipDet is the debug-mode ship-cycle detector (nil when off).
+	shipDet *shipDetector
+	// rebalanceHook notifies the maintenance daemon of topology changes.
+	hookMu        sync.Mutex
+	rebalanceHook func(RebalanceEvent)
+
 	// Committed/Aborted count outcomes; Unaligned counts accesses whose
 	// key field was not the partitioning field (experiment E7 signal);
 	// Timeouts counts local lock-wait aborts.
@@ -120,6 +132,9 @@ func New(s *sm.SM, cfg Config) *Dora {
 		stopTick:   make(chan struct{}),
 		unaligned:  make(map[uint32]map[string]int64),
 		aligned:    make(map[uint32]int64),
+	}
+	if cfg.DebugShipCheck {
+		e.shipDet = newShipDetector()
 	}
 	for _, tbl := range s.Cat.Tables() {
 		lo, hi := int64(0), int64(1)<<31
@@ -157,23 +172,37 @@ func New(s *sm.SM, cfg Config) *Dora {
 // without a route mapping for the current partitioning field stay on the
 // shared latched path.
 func (e *Dora) claimAccessPaths(tbl *catalog.Table) {
+	e.topoMu.RLock()
 	rt := e.routers[tbl.ID]
+	var ranges []router.Range
+	if rt != nil {
+		ranges = rt.Ranges()
+	}
+	type tgt struct {
+		tok  *btree.Owner
+		exec btree.OwnerExec
+	}
+	targets := make([]tgt, len(ranges))
+	for i, r := range ranges {
+		if p := e.byWorker[r.Part]; p != nil {
+			targets[i] = tgt{p.token, p.ownerExec()}
+		}
+	}
+	e.topoMu.RUnlock()
 	pf := tbl.PartitionField()
 	for _, ix := range tbl.Indexes() {
 		pt := ix.Partitioned()
 		if pt == nil || ix.RouteRange == nil || ix.RouteField != pf {
 			continue
 		}
-		ranges := rt.Ranges()
 		claims := make([]btree.ClaimRange, 0, len(ranges))
-		for _, r := range ranges {
-			p := e.byWorker[r.Part]
-			if p == nil {
+		for i, r := range ranges {
+			if targets[i].tok == nil {
 				continue
 			}
 			keyLo, keyHi := ix.RouteRange(r.Lo, r.Hi)
 			claims = append(claims, btree.ClaimRange{
-				Lo: keyLo, Hi: keyHi, Owner: p.token, Exec: p.ownerExec(),
+				Lo: keyLo, Hi: keyHi, Owner: targets[i].tok, Exec: targets[i].exec,
 			})
 		}
 		pt.Claim(claims)
@@ -479,8 +508,11 @@ func (e *Dora) Close() error {
 	// Workers are gone: hand the access paths back to the shared latched
 	//-path so later engines (or direct sessions) can use the trees.
 	// Foreign operations parked in the ship-retry loop fall through here.
+	// Heap-page stamps go with them: without workers there is no owner
+	// thread to honour the exclusivity promise.
 	for _, tbl := range e.sm.Cat.Tables() {
 		e.releaseAccessPaths(tbl)
+		tbl.Heap.ReleaseStamps()
 	}
 	return nil
 }

@@ -1,0 +1,209 @@
+package dora
+
+import (
+	"strings"
+	"testing"
+
+	"dora/internal/catalog"
+	"dora/internal/sm"
+	"dora/internal/tuple"
+)
+
+// TestRepartitionReclaimsIdentityRoutableIndex: repartitioning AWAY from
+// a routable field releases the access path to the shared latched trees;
+// repartitioning BACK onto it re-claims the per-partition subtrees under
+// the same quiesce (the identity case from the ROADMAP).
+func TestRepartitionReclaimsIdentityRoutableIndex(t *testing.T) {
+	_, tbl, e := rig(t, 100, 4)
+	pt := tbl.Primary.Partitioned()
+	if pt == nil {
+		t.Fatal("rig primary is not partitioned")
+	}
+	if pt.OwnedSubtrees() == 0 {
+		t.Fatal("initial claims missing")
+	}
+	// Away: owner_nbr has no RouteRange on the primary — shared path.
+	if err := e.Repartition("accounts", "owner_nbr", 10001, 10100); err != nil {
+		t.Fatal(err)
+	}
+	if got := pt.OwnedSubtrees(); got != 0 {
+		t.Fatalf("owned subtrees after repartition to non-routable field = %d, want 0", got)
+	}
+	// Back: id is the primary's RouteField — re-claimed, not released.
+	if err := e.Repartition("accounts", "id", 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := pt.OwnedSubtrees(); got == 0 {
+		t.Fatal("identity repartition did not re-claim the partitioned access path")
+	}
+	if !e.AccessPathClaimed("accounts") {
+		t.Fatal("AccessPathClaimed reports unclaimed after re-claim")
+	}
+	// The re-claimed path still executes transactions correctly.
+	var bal int64
+	if err := e.Exec(0, readFlow(tbl, 7, &bal)); err != nil {
+		t.Fatal(err)
+	}
+	if bal != 100 {
+		t.Fatalf("balance = %d", bal)
+	}
+}
+
+// TestExecOnOwnerRunsOnPartitionThread checks the maintenance executor:
+// the op sees the owning partition's context and serializes with its
+// queue, and OwnerQueueLen resolves the same worker.
+func TestExecOnOwnerRunsOnPartitionThread(t *testing.T) {
+	_, tbl, e := rig(t, 100, 4)
+	want := e.ownerOf(tbl, 7)
+	var gotWorker int
+	var busy bool
+	ok := e.ExecOnOwner("accounts", 7, func(ctx *OwnerCtx) {
+		gotWorker = ctx.Worker()
+		busy = ctx.KeyBusy(7)
+		if ctx.Table() != tbl {
+			t.Error("ctx.Table mismatch")
+		}
+		if ctx.Ses().Owner() == nil {
+			t.Error("owner session has no token")
+		}
+		if len(ctx.Ranges()) == 0 {
+			t.Error("owner has no ranges")
+		}
+	})
+	if !ok {
+		t.Fatal("ExecOnOwner failed")
+	}
+	if gotWorker != want.worker {
+		t.Fatalf("ran on worker %d, want %d", gotWorker, want.worker)
+	}
+	if busy {
+		t.Fatal("key 7 busy with no traffic")
+	}
+	if e.OwnerQueueLen("accounts", 7) < 0 {
+		t.Fatal("OwnerQueueLen unresolvable")
+	}
+	if e.ExecOnOwner("no_such_table", 1, func(*OwnerCtx) {}) {
+		t.Fatal("ExecOnOwner succeeded on unknown table")
+	}
+}
+
+// debugRig is rig with the ship-cycle detector enabled.
+func debugRig(t *testing.T, n int64, parts int) (*sm.SM, *Dora) {
+	t.Helper()
+	s, err := sm.Open(sm.Options{Frames: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := s.CreateTable(sm.TableSpec{
+		Name: "accounts",
+		Fields: []catalog.Field{
+			{Name: "id", Type: tuple.TInt},
+			{Name: "owner_nbr", Type: tuple.TInt},
+			{Name: "balance", Type: tuple.TInt},
+		},
+		KeyFields: []string{"id"},
+		Key:       func(r tuple.Record) int64 { return r[0].Int },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses := s.Session(0)
+	load := s.Begin()
+	for i := int64(1); i <= n; i++ {
+		if err := ses.Insert(load, tbl, tuple.Record{tuple.I(i), tuple.I(i + 10000), tuple.I(100)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(load); err != nil {
+		t.Fatal(err)
+	}
+	e := New(s, Config{
+		PartitionsPerTable: parts,
+		Domains:            map[string][2]int64{"accounts": {1, n}},
+		DebugShipCheck:     true,
+	})
+	t.Cleanup(func() { _ = e.Close() })
+	return s, e
+}
+
+// TestRollbackAsOnOwnerThread: a maintenance transaction rolled back ON
+// the owning worker's thread must compensate inline — RollbackAs with
+// the worker's token. (Plain Rollback would ship the compensation to the
+// worker's own inbox and wait on itself; this test deadlocks, and times
+// out, if that regresses.)
+func TestRollbackAsOnOwnerThread(t *testing.T) {
+	s, tbl, e := rig(t, 100, 2)
+	ok := e.ExecOnOwner("accounts", 7, func(ctx *OwnerCtx) {
+		ses := ctx.Ses()
+		txn := s.Begin()
+		moved, err := ses.MigrateRecord(txn, tbl, 7)
+		if err != nil || !moved {
+			t.Errorf("migrate: moved=%v err=%v", moved, err)
+			return
+		}
+		if err := s.RollbackAs(ses.Owner(), txn); err != nil {
+			t.Errorf("RollbackAs: %v", err)
+		}
+	})
+	if !ok {
+		t.Fatal("ExecOnOwner failed")
+	}
+	// The record survived the aborted migration exactly once.
+	var bal int64
+	if err := e.Exec(0, readFlow(tbl, 7, &bal)); err != nil || bal != 100 {
+		t.Fatalf("after rolled-back migration: bal=%d err=%v", bal, err)
+	}
+	if got := tbl.Primary.Tree.Len(); got != 100 {
+		t.Fatalf("primary len = %d, want 100", got)
+	}
+}
+
+// TestShipCycleDetector: with DebugShipCheck on, a cyclic owner-thread
+// ship (origin -> A -> B -> A) fails fast with a diagnostic that unwinds
+// to the origin instead of deadlocking the two workers — and the engine
+// keeps working afterwards.
+func TestShipCycleDetector(t *testing.T) {
+	_, e := debugRig(t, 100, 2)
+	// Two routing values owned by different workers.
+	rt := e.Router("accounts")
+	ranges := rt.Ranges()
+	if len(ranges) < 2 {
+		t.Fatal("need 2 ranges")
+	}
+	vA, vB := ranges[0].Lo, ranges[1].Lo
+
+	var recovered error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				recovered = r.(*shipCycleError)
+			}
+		}()
+		e.ExecOnOwner("accounts", vA, func(*OwnerCtx) { // chain hop 1: -> A
+			e.ExecOnOwner("accounts", vB, func(*OwnerCtx) { // hop 2: A -> B
+				e.ExecOnOwner("accounts", vA, func(*OwnerCtx) { // hop 3: B -> A — cycle!
+					t.Error("cyclic ship executed")
+				})
+			})
+		})
+	}()
+	if recovered == nil {
+		t.Fatal("cyclic ship not detected")
+	}
+	if !strings.Contains(recovered.Error(), "cyclic owner-thread ship") {
+		t.Fatalf("diagnostic: %v", recovered)
+	}
+	// Both workers survived the unwind: acyclic ships and transactions
+	// still execute.
+	ok := e.ExecOnOwner("accounts", vA, func(*OwnerCtx) {
+		e.ExecOnOwner("accounts", vB, func(*OwnerCtx) {})
+	})
+	if !ok {
+		t.Fatal("acyclic nested ship failed after cycle recovery")
+	}
+	var bal int64
+	tbl := e.sm.Cat.Table("accounts")
+	if err := e.Exec(0, readFlow(tbl, 7, &bal)); err != nil || bal != 100 {
+		t.Fatalf("engine unusable after cycle: bal=%d err=%v", bal, err)
+	}
+}

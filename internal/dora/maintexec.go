@@ -1,0 +1,168 @@
+package dora
+
+import (
+	"runtime"
+
+	"dora/internal/catalog"
+	"dora/internal/dora/router"
+	"dora/internal/sm"
+)
+
+// Owner-thread execution for background physical maintenance
+// (internal/maint). Maintenance operations — heap-page migration,
+// re-stamping, subtree compaction — compose with foreground execution by
+// the same rule as every other foreign access: they run ON the owning
+// worker's thread, delivered through its inbox, so they can never race
+// an aligned action, a latch-free descent, or a lock-table mutation.
+
+// OwnerCtx is what a maintenance operation sees while executing on a
+// partition worker's thread. It is valid only for the duration of the
+// operation and only on that thread.
+type OwnerCtx struct {
+	p *partition
+}
+
+// Ses returns the worker's session (carrying its ownership token).
+func (c *OwnerCtx) Ses() *sm.Session { return c.p.ses }
+
+// Worker returns the executing worker's id.
+func (c *OwnerCtx) Worker() int { return c.p.worker }
+
+// Table returns the table this worker serves.
+func (c *OwnerCtx) Table() *catalog.Table { return c.p.tbl }
+
+// Ranges returns the routing ranges currently assigned to this worker.
+// Read on the owner's thread, so a concurrent split of THIS worker
+// cannot invalidate them mid-operation (its hand-over runs here too).
+func (c *OwnerCtx) Ranges() []router.Range {
+	p := c.p
+	p.eng.topoMu.RLock()
+	rt := p.eng.routers[p.tbl.ID]
+	p.eng.topoMu.RUnlock()
+	if rt == nil {
+		return nil
+	}
+	var out []router.Range
+	for _, r := range rt.Ranges() {
+		if r.Part == p.worker {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// KeyBusy reports whether the routing value has any entry in the local
+// lock table (held or waited). Maintenance skips records of busy values:
+// an in-flight transaction may hold undo entries naming their current
+// RIDs, and migration would invalidate them. Safe to read here because
+// lock-table mutations happen on this same thread.
+func (c *OwnerCtx) KeyBusy(v int64) bool { return c.p.locks.entries[v] != nil }
+
+// QueueLen returns the worker's inbox depth (backpressure signal).
+func (c *OwnerCtx) QueueLen() int { return c.p.queueLen() }
+
+// ExecOnOwner ships fn to the partition worker currently owning routing
+// value v of table and blocks until it ran. It holds the engine's
+// execution gate shared for the duration, so a quiescing Repartition
+// never interleaves with a maintenance operation. Returns false when the
+// engine is closed, the table unknown, or the owner could not be reached
+// (retired workers are chased through re-resolution a bounded number of
+// times). Maintenance operations must not re-enter ExecOnOwner from
+// inside fn outside debug experiments: the nested gate acquisition can
+// stall behind a waiting quiesce.
+func (e *Dora) ExecOnOwner(table string, v int64, fn func(*OwnerCtx)) bool {
+	e.execGate.RLock()
+	defer e.execGate.RUnlock()
+	if e.closed {
+		return false
+	}
+	tbl := e.sm.Cat.Table(table)
+	if tbl == nil {
+		return false
+	}
+	for tries := 0; tries < 1024; tries++ {
+		p := e.ownerOf(tbl, v)
+		if p == nil {
+			return false
+		}
+		m := &maintMsg{fn: fn, done: make(chan struct{})}
+		if det := e.shipDet; det != nil {
+			m.path = det.extendPath(p.worker)
+		}
+		if p.in.pushChecked(m) {
+			<-m.done
+			if m.cyc != nil {
+				panic(m.cyc)
+			}
+			if m.ok {
+				return true
+			}
+		}
+		// The worker retired between the topology read and the push
+		// (split/merge race); re-resolve.
+		runtime.Gosched()
+	}
+	return false
+}
+
+// OwnerQueueLen reports the inbox depth of the worker owning routing
+// value v of table — the maintenance daemon's backpressure probe — or -1
+// when unresolvable.
+func (e *Dora) OwnerQueueLen(table string, v int64) int {
+	tbl := e.sm.Cat.Table(table)
+	if tbl == nil {
+		return -1
+	}
+	p := e.ownerOf(tbl, v)
+	if p == nil {
+		return -1
+	}
+	return p.queueLen()
+}
+
+// AccessPathClaimed reports whether table's primary index currently has
+// owner-claimed subtrees (the precondition for heap maintenance: without
+// claims there is no owner thread to stamp pages for).
+func (e *Dora) AccessPathClaimed(table string) bool {
+	tbl := e.sm.Cat.Table(table)
+	if tbl == nil {
+		return false
+	}
+	pt := tbl.Primary.Partitioned()
+	return pt != nil && pt.OwnedSubtrees() > 0
+}
+
+// RebalanceKind classifies a topology-change event.
+type RebalanceKind string
+
+// Rebalance event kinds.
+const (
+	RebalanceSplit       RebalanceKind = "split"
+	RebalanceMerge       RebalanceKind = "merge"
+	RebalanceRepartition RebalanceKind = "repartition"
+)
+
+// RebalanceEvent notifies the maintenance daemon that a table's routing
+// topology changed and its physical layout may have started to decay.
+type RebalanceEvent struct {
+	Table string
+	Kind  RebalanceKind
+}
+
+// SetRebalanceHook installs fn to be called (synchronously, so it must
+// be cheap — the maintenance daemon just enqueues work) after every
+// split, merge and repartition.
+func (e *Dora) SetRebalanceHook(fn func(RebalanceEvent)) {
+	e.hookMu.Lock()
+	e.rebalanceHook = fn
+	e.hookMu.Unlock()
+}
+
+func (e *Dora) fireRebalance(table string, kind RebalanceKind) {
+	e.hookMu.Lock()
+	fn := e.rebalanceHook
+	e.hookMu.Unlock()
+	if fn != nil {
+		fn(RebalanceEvent{Table: table, Kind: kind})
+	}
+}

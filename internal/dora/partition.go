@@ -6,7 +6,9 @@ import (
 	"dora/internal/btree"
 	"dora/internal/catalog"
 	"dora/internal/metrics"
+	"dora/internal/page"
 	"dora/internal/sm"
+	"dora/internal/storage"
 	"dora/internal/xct"
 )
 
@@ -51,14 +53,49 @@ type evacuateMsg struct {
 	ack chan struct{}
 }
 
+// shipped is a message whose sender blocks on completion: it must be
+// completed (ok) or failed — never silently dropped — and, when a
+// retiring worker has a successor, it may be forwarded instead.
+// applyMsg and maintMsg share this contract; dispose and forwarding
+// handle them uniformly through it.
+type shipped interface {
+	msg
+	failShip() // ok=false + wake the sender (worker retired, re-resolve)
+}
+
 // applyMsg ships a foreign access-path operation to the worker that owns
 // the target subtree: the partitioned B+tree's OwnerExec hook. The worker
 // runs fn with its own ownership token; ok=false tells the sender the
-// worker retired without running it (re-resolve and retry).
+// worker retired without running it (re-resolve and retry). path/cyc are
+// the debug-mode ship-cycle detector's chain bookkeeping (shipcheck.go).
 type applyMsg struct {
 	fn   func(tok *btree.Owner)
 	done chan struct{}
 	ok   bool
+	path []int
+	cyc  *shipCycleError
+}
+
+func (m *applyMsg) failShip() {
+	m.ok = false
+	close(m.done)
+}
+
+// maintMsg ships a background-maintenance operation (heap migration,
+// re-stamping, subtree compaction) to a partition worker's thread, where
+// it runs with an OwnerCtx view of the partition. Same completion
+// contract as applyMsg.
+type maintMsg struct {
+	fn   func(*OwnerCtx)
+	done chan struct{}
+	ok   bool
+	path []int
+	cyc  *shipCycleError
+}
+
+func (m *maintMsg) failShip() {
+	m.ok = false
+	close(m.done)
 }
 
 // clearMsg resets the local lock table under a quiesced engine
@@ -92,6 +129,9 @@ type partition struct {
 	// adoptWait buffers messages until migrated state arrives (split).
 	adoptWait bool
 	pending   []msg
+	// frame is the ship-cycle detector's per-goroutine state (debug
+	// mode only; nil otherwise).
+	frame *shipFrame
 
 	// Executed counts actions run; Waited counts grant waits; Stale
 	// counts re-routed messages (arrived after a range moved away).
@@ -108,6 +148,13 @@ type partition struct {
 
 func newPartition(e *Dora, tbl *catalog.Table, worker int, adoptWait bool) *partition {
 	tok := btree.NewOwner()
+	ses := e.sm.OwnedSession(worker, tok)
+	if e.cfg.SharedAccessPath {
+		// The E12 measurement baseline: no subtree claims, and a plain
+		// session so no heap page is ever owner-stamped either — the
+		// pre-PLP physical behaviour, exactly.
+		ses = e.sm.Session(worker)
+	}
 	return &partition{
 		eng:       e,
 		tbl:       tbl,
@@ -115,21 +162,29 @@ func newPartition(e *Dora, tbl *catalog.Table, worker int, adoptWait bool) *part
 		token:     tok,
 		in:        newInbox(),
 		locks:     newLocalLockTable(),
-		ses:       e.sm.OwnedSession(worker, tok),
+		ses:       ses,
 		adoptWait: adoptWait,
 	}
 }
 
 // ownerExec is the hook installed into claimed subtrees: it ships fn to
 // this worker's queue and blocks until the worker ran it. false means the
-// worker retired (inbox closed) and the sender must re-resolve.
+// worker retired (inbox closed) and the sender must re-resolve. In debug
+// mode the ship-cycle detector vets the hop before it is enqueued and
+// re-raises a cycle detected by a deeper hop (shipcheck.go).
 func (p *partition) ownerExec() btree.OwnerExec {
 	return func(fn func(tok *btree.Owner)) bool {
 		m := &applyMsg{fn: fn, done: make(chan struct{})}
+		if det := p.eng.shipDet; det != nil {
+			m.path = det.extendPath(p.worker)
+		}
 		if !p.in.pushChecked(m) {
 			return false
 		}
 		<-m.done
+		if m.cyc != nil {
+			panic(m.cyc)
+		}
 		return m.ok
 	}
 }
@@ -138,6 +193,10 @@ func (p *partition) ownerExec() btree.OwnerExec {
 // batch), process serially.
 func (p *partition) loop() {
 	defer p.eng.wg.Done()
+	if det := p.eng.shipDet; det != nil {
+		p.frame = det.register(p.worker)
+		defer det.unregister()
+	}
 	var buf []msg
 	for {
 		batch, ok := p.in.popAll(buf)
@@ -168,10 +227,9 @@ func (p *partition) loop() {
 // a shipped op, dropped otherwise (parity with messages that used to rot
 // in a dead worker's queue).
 func (p *partition) dispose(m msg) {
-	if am, isApply := m.(*applyMsg); isApply {
-		if p.forward == nil || !p.forward.in.pushChecked(am) {
-			am.ok = false
-			close(am.done)
+	if sh, isShipped := m.(shipped); isShipped {
+		if p.forward == nil || !p.forward.in.pushChecked(m) {
+			sh.failShip()
 		}
 		return
 	}
@@ -184,20 +242,12 @@ func (p *partition) dispose(m msg) {
 func (p *partition) handle(m msg) bool {
 	// Forwarding mode (after merge evacuation): everything moves on.
 	if p.forward != nil {
-		switch t := m.(type) {
-		case *dieMsg:
+		if t, isDie := m.(*dieMsg); isDie {
 			close(t.ack)
 			return true
-		case *applyMsg:
-			if !p.forward.in.pushChecked(t) {
-				t.ok = false
-				close(t.done)
-			}
-			return false
-		default:
-			p.forward.in.push(m)
-			return false
 		}
+		p.dispose(m)
+		return false
 	}
 	// Adoption wait (split target): buffer until state arrives.
 	if p.adoptWait {
@@ -229,7 +279,11 @@ func (p *partition) handle(m msg) bool {
 		p.handleAction(t)
 	case *applyMsg:
 		p.Shipped.Inc()
-		t.fn(p.token)
+		t.cyc = p.runShipped(t.path, func() { t.fn(p.token) })
+		t.ok = true
+		close(t.done)
+	case *maintMsg:
+		t.cyc = p.runShipped(t.path, func() { t.fn(&OwnerCtx{p: p}) })
 		t.ok = true
 		close(t.done)
 	case releaseMsg:
@@ -241,6 +295,12 @@ func (p *partition) handle(m msg) bool {
 	case *splitMsg:
 		entries := p.locks.extractAbove(t.at)
 		p.HeldKeys.Set(int64(p.locks.heldKeys()))
+		// Heap hand-over: pages holding records of the moved interval
+		// lose our exclusivity promise — the new owner's mutations will
+		// run on ITS thread. Strip our stamps from them (here, on our
+		// thread, so none of our latch-free reads are in flight); the
+		// maintenance daemon re-converges the layout behind the split.
+		p.unstampMoved(t.at, t.hi)
 		// Access-path hand-over: every claimed index subtree range that
 		// maps to the moved routing interval changes owner, on this
 		// thread, so no latch-free descent of ours can be in flight.
@@ -256,12 +316,15 @@ func (p *partition) handle(m msg) bool {
 	case *evacuateMsg:
 		entries := p.locks.extractAll()
 		p.HeldKeys.Set(0)
-		// The adopter takes our subtrees wholesale (no data movement).
+		// The adopter takes our subtrees wholesale (no data movement)
+		// — and with them our heap-page stamps: it inherits all our
+		// ranges, so the exclusivity promise transfers intact.
 		for _, ix := range p.tbl.Indexes() {
 			if pt := ix.Partitioned(); pt != nil {
 				pt.ReassignOwner(p.token, t.to.token, t.to.ownerExec())
 			}
 		}
+		p.tbl.Heap.ReassignStamps(p.token, t.to.token)
 		t.to.in.push(&adoptMsg{entries: entries})
 		p.forward = t.to
 		close(t.ack)
@@ -276,6 +339,30 @@ func (p *partition) handle(m msg) bool {
 		return true
 	}
 	return false
+}
+
+// unstampMoved strips this worker's heap-page stamps from every page
+// holding a record of routing interval [at, hi] (found through the
+// owned primary subtree, which still covers the interval at this
+// point). Runs on the owning worker's thread, before the subtree
+// hand-over.
+func (p *partition) unstampMoved(at, hi int64) {
+	pk := p.tbl.Primary
+	if pk.Partitioned() == nil || pk.RouteRange == nil || pk.RouteField != p.tbl.PartitionField() {
+		return
+	}
+	keyLo, keyHi := pk.RouteRange(at, hi)
+	var pids []page.ID
+	seen := make(map[page.ID]bool)
+	pk.Tree.AscendRangeAs(p.token, keyLo, keyHi, func(_ int64, v uint64) bool {
+		pid := storage.UnpackRID(v).Page
+		if !seen[pid] && p.tbl.Heap.StampOwner(pid) == p.token {
+			seen[pid] = true
+			pids = append(pids, pid)
+		}
+		return true
+	})
+	p.tbl.Heap.UnstampPages(p.token, pids)
 }
 
 // moveAccessPaths hands the subtree ranges for routing interval [at, hi]

@@ -90,6 +90,7 @@ func (e *Dora) SplitPartition(table string, from int, mid int64) (int, error) {
 	// index subtrees. New dispatches for the moved range already go to q
 	// (buffered there until the adopt message arrives).
 	src.in.push(&splitMsg{at: mid, hi: moved.Hi, to: q})
+	e.fireRebalance(table, RebalanceSplit)
 	return q.worker, nil
 }
 
@@ -129,6 +130,7 @@ func (e *Dora) MergePartition(table string, from, into int) error {
 	dack := make(chan struct{})
 	src.in.push(&dieMsg{ack: dack})
 	<-dack
+	e.fireRebalance(table, RebalanceMerge)
 	return nil
 }
 
@@ -148,10 +150,11 @@ func (e *Dora) Repartition(table, field string, lo, hi int64) error {
 	e.execGate.Lock() // waits for every Exec's RLock to drain
 	defer e.execGate.Unlock()
 
-	// The access path was partitioned for the OLD field's key mapping;
-	// hand it back to the shared latched path. (Re-claiming for an index
-	// routable on the new field is an open item — see ROADMAP.)
+	// The access path was partitioned for the OLD field's key mapping:
+	// drop the ownership, and with it the heap-page stamps (the pages'
+	// record-to-owner assignment is about to change meaning).
 	e.releaseAccessPaths(tbl)
+	tbl.Heap.ReleaseStamps()
 
 	e.topoMu.Lock()
 	parts := append([]*partition(nil), e.tableParts[tbl.ID]...)
@@ -175,6 +178,15 @@ func (e *Dora) Repartition(table, field string, lo, hi int64) error {
 	for _, a := range acks {
 		<-a
 	}
+	// Re-claim, under the same quiesce, every index routable on the NEW
+	// field (the identity case: repartitioning back onto a field an
+	// index declares a RouteRange for). Indexes not routable on it stay
+	// released on the shared latched path. claimAccessPaths filters by
+	// the table's current partition field, which is already `field`.
+	if !e.cfg.SharedAccessPath {
+		e.claimAccessPaths(tbl)
+	}
+	e.fireRebalance(table, RebalanceRepartition)
 	return nil
 }
 

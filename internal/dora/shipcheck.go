@@ -1,0 +1,149 @@
+package dora
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// Ship-graph discipline checking (debug mode, Config.DebugShipCheck).
+//
+// Cross-partition operations execute on the owner's thread and BLOCK the
+// sender, so the graph of in-flight ships must stay acyclic: an action
+// body on worker A whose shipped work on worker B ships back to A
+// deadlocks — A waits in its inbox hand-off for B, B waits for A to
+// drain. Engine-shipped workloads keep this acyclic by construction
+// (TPC-C ships orders→order_line only), but an arbitrary action body can
+// violate it. The detector tracks, per worker goroutine, the chain of
+// workers the currently-executing shipped operation has traveled; a ship
+// whose target already appears in the chain fails fast with a diagnostic
+// instead of deadlocking. The resulting shipCycleError unwinds the chain
+// hop by hop (each hop's sender re-panics after its hand-off completes),
+// so it surfaces at the origin of the cyclic operation.
+
+// shipCycleError is the fail-fast diagnostic for a cyclic ship.
+type shipCycleError struct {
+	path   []int // workers traversed, origin first, sender last
+	target int   // the worker the offending ship addressed
+}
+
+func (e *shipCycleError) Error() string {
+	var b bytes.Buffer
+	b.WriteString("dora: cyclic owner-thread ship: ")
+	for _, w := range e.path {
+		fmt.Fprintf(&b, "worker %d -> ", w)
+	}
+	fmt.Fprintf(&b, "worker %d (already in the chain); ", e.target)
+	b.WriteString("the action body creates a ship cycle that would deadlock — " +
+		"keep the ship graph acyclic or route the access through the owning partition")
+	return b.String()
+}
+
+// shipFrame is one worker goroutine's detector state. path is written
+// only by that goroutine (while it executes a shipped message) and read
+// only by it (when it ships onward), so it needs no lock; the detector
+// map that finds the frame does.
+type shipFrame struct {
+	worker int
+	path   []int
+}
+
+type shipDetector struct {
+	mu     sync.RWMutex
+	frames map[int64]*shipFrame
+}
+
+func newShipDetector() *shipDetector {
+	return &shipDetector{frames: make(map[int64]*shipFrame)}
+}
+
+// register installs a frame for the calling worker goroutine.
+func (d *shipDetector) register(worker int) *shipFrame {
+	fr := &shipFrame{worker: worker}
+	id := goid()
+	d.mu.Lock()
+	d.frames[id] = fr
+	d.mu.Unlock()
+	return fr
+}
+
+// unregister removes the calling goroutine's frame.
+func (d *shipDetector) unregister() {
+	id := goid()
+	d.mu.Lock()
+	delete(d.frames, id)
+	d.mu.Unlock()
+}
+
+// current returns the calling goroutine's frame, or nil when the caller
+// is not a partition worker (clients, the commit service, maintenance).
+func (d *shipDetector) current() *shipFrame {
+	id := goid()
+	d.mu.RLock()
+	fr := d.frames[id]
+	d.mu.RUnlock()
+	return fr
+}
+
+// extendPath computes the ship path for a message the calling goroutine
+// is about to send to target: the chain it is executing on behalf of,
+// plus itself. It panics with a shipCycleError when target is already in
+// that chain — BEFORE the message is enqueued, so nothing deadlocks.
+func (d *shipDetector) extendPath(target int) []int {
+	fr := d.current()
+	if fr == nil {
+		return nil // fresh chain: first hop, nothing to cycle with
+	}
+	base := make([]int, 0, len(fr.path)+1)
+	base = append(base, fr.path...)
+	base = append(base, fr.worker)
+	for _, w := range base {
+		if w == target {
+			panic(&shipCycleError{path: base, target: target})
+		}
+	}
+	return base
+}
+
+// runShipped executes a shipped message body under the detector: the
+// worker's frame carries the message's path for the duration, and a
+// shipCycleError panicking out of the body (a deeper hop detected the
+// cycle) is captured for the sender to re-raise — hop-by-hop unwinding
+// that lands the diagnostic at the chain's origin. Other panics pass
+// through untouched.
+func (p *partition) runShipped(path []int, fn func()) (cyc *shipCycleError) {
+	det := p.eng.shipDet
+	if det == nil || p.frame == nil {
+		fn()
+		return nil
+	}
+	p.frame.path = path
+	defer func() {
+		p.frame.path = nil
+		if r := recover(); r != nil {
+			ce, ok := r.(*shipCycleError)
+			if !ok {
+				panic(r)
+			}
+			cyc = ce
+		}
+	}()
+	fn()
+	return nil
+}
+
+// goid parses the current goroutine id from the stack header ("goroutine
+// 123 [running]: ..."). Debug-mode only: the detector is the sole user.
+func goid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	s = bytes.TrimPrefix(s, []byte("goroutine "))
+	if i := bytes.IndexByte(s, ' '); i > 0 {
+		s = s[:i]
+	}
+	id, _ := strconv.ParseInt(string(s), 10, 64)
+	return id
+}

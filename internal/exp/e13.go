@@ -1,0 +1,173 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"dora/internal/catalog"
+	"dora/internal/dora"
+	"dora/internal/engine"
+	"dora/internal/maint"
+	"dora/internal/workload"
+	"dora/internal/workload/tatp"
+)
+
+// E13PhysicalMaintenance measures background physical maintenance (the
+// internal/maint daemon): how the partitioned physical layout decays
+// under repartitioning and how paced heap-page migration/re-stamping and
+// subtree compaction converge it back.
+//
+// The metric is the fraction of owner-thread (partition-aligned) heap
+// record reads that still had to take a buffer-frame latch — 1.0 right
+// after load (the loader is a shared session, so no page is stamped),
+// ~0 once maintenance has migrated or re-stamped every page under the
+// current routing topology. A split/merge storm (110 cycles) with
+// traffic running then decays the layout mid-run — moved ranges lose
+// their stamps and root fan-out grows with every split — and a final
+// maintenance drain re-converges both: the latched-read fraction
+// returns to ~0 and compaction folds the fan-out back under 2x the
+// partition count. The conventional engine has no ownership and no
+// maintenance; its row is the unchanged baseline.
+func E13PhysicalMaintenance(c Config) (*Table, error) {
+	c = c.fill()
+	tb := &Table{
+		Title: "E13  physical maintenance: frame latches on aligned reads, fan-out under repartitioning, TATP",
+		Header: []string{"engine", "phase", "latched/owned read", "fan-out",
+			"pages stamped", "migrated", "tps"},
+		Caption: "latched/owned read = owner-thread heap reads that took a frame latch\n" +
+			"(the class heap-page ownership stamping removes; n/a without ownership);\n" +
+			"fan-out = widest subscriber index root. storm = 110 split/merge cycles\n" +
+			"with traffic running. conventional is the unchanged baseline.",
+	}
+
+	// Conventional baseline: no ownership, no maintenance, no stamps.
+	{
+		db, e, _, closeRig, err := tatpRig(c, "conventional")
+		if err != nil {
+			return nil, fmt.Errorf("e13 conventional: %w", err)
+		}
+		_, tps := measureAligned(c, db, e)
+		if total := ownedReadTotal(db); total != 0 {
+			closeRig()
+			return nil, fmt.Errorf("e13: conventional engine performed %d owned reads, want 0", total)
+		}
+		tb.Rows = append(tb.Rows, []string{"conventional", "steady", "n/a", "-", "-", "-", f1(tps)})
+		closeRig()
+	}
+
+	// DORA + maintenance daemon (driven synchronously for deterministic
+	// phase boundaries; the paced loop reaches the same fixed points).
+	db, e, _, closeRig, err := tatpRig(c, "dora")
+	if err != nil {
+		return nil, fmt.Errorf("e13 dora: %w", err)
+	}
+	defer closeRig()
+	eng := e.(*dora.Dora)
+	d := maint.New(db.SM, eng, maint.Config{})
+	defer d.Close()
+
+	row := func(phase string) {
+		r, tps := measureAligned(c, db, e)
+		st := d.Snapshot()
+		tb.Rows = append(tb.Rows, []string{
+			"dora+maint", phase, f3(r), d2(int64(maxFanout(db))),
+			d2(st.PagesStamped), d2(st.RecordsMigrated), f1(tps),
+		})
+	}
+
+	row("fresh load") // everything unstamped: ratio ~1
+	d.Drain()
+	row("converged") // migration drained: ratio ~0
+	storm(eng, db, 110)
+	row("decayed") // moved ranges lost stamps, fan-out grew
+	d.Drain()
+	row("re-converged") // drained again: ratio ~0, fan-out compacted
+	return tb, nil
+}
+
+// storm runs split/merge cycles against the subscriber table while a
+// light foreground mix keeps the engine busy (the mid-run repartition).
+func storm(eng *dora.Dora, db *tatp.DB, cycles int) {
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for cl := 0; cl < 2; cl++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			mix := db.NewMix(tatp.MixOptions{})
+			for !stop.Load() {
+				f := mix[rng.Intn(len(mix))]
+				_ = eng.Exec(int(seed), f.Build(rng))
+			}
+		}(int64(cl + 1))
+	}
+	for i := 0; i < cycles; i++ {
+		rt := eng.Router("subscriber")
+		ranges := rt.Ranges()
+		r := ranges[i%len(ranges)]
+		if r.Hi-r.Lo < 2 {
+			continue
+		}
+		nw, err := eng.SplitPartition("subscriber", r.Part, r.Lo+(r.Hi-r.Lo)/2)
+		if err != nil {
+			continue
+		}
+		if err := eng.MergePartition("subscriber", nw, r.Part); err != nil {
+			panic(fmt.Sprintf("e13 storm merge: %v", err))
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// measureAligned resets the owned-read counters, runs the aligned
+// (read-only) TATP mix, and reports latched/total plus throughput.
+func measureAligned(c Config, db *tatp.DB, e engine.Engine) (float64, float64) {
+	for _, tbl := range tatpTables(db) {
+		tbl.Heap.OwnedReads.Reset()
+		tbl.Heap.OwnedReadsLatched.Reset()
+	}
+	dr := workload.Driver{
+		Engine: e, Mix: db.ReadOnlyMix(tatp.MixOptions{}),
+		Clients: c.Clients, Duration: c.Duration, Seed: 1414,
+	}
+	res := dr.Run()
+	var total, latched int64
+	for _, tbl := range tatpTables(db) {
+		total += tbl.Heap.OwnedReads.Load()
+		latched += tbl.Heap.OwnedReadsLatched.Load()
+	}
+	if total == 0 {
+		return 0, res.Throughput
+	}
+	return float64(latched) / float64(total), res.Throughput
+}
+
+func ownedReadTotal(db *tatp.DB) int64 {
+	var total int64
+	for _, tbl := range tatpTables(db) {
+		total += tbl.Heap.OwnedReads.Load()
+	}
+	return total
+}
+
+// maxFanout returns the widest partitioned-index root across the
+// subscriber table (where the storm hits).
+func maxFanout(db *tatp.DB) int {
+	widest := 0
+	for _, ix := range db.Subscriber.Indexes() {
+		if pt := ix.Partitioned(); pt != nil && pt.NumSubtrees() > widest {
+			widest = pt.NumSubtrees()
+		}
+	}
+	return widest
+}
+
+func tatpTables(db *tatp.DB) []*catalog.Table {
+	return []*catalog.Table{db.Subscriber, db.AccessInfo, db.SpecialFac, db.CallForward}
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

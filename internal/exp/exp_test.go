@@ -145,6 +145,71 @@ func TestE12Quick(t *testing.T) {
 	}
 }
 
+func TestE13Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb, err := E13PhysicalMaintenance(Config{Quick: true, Duration: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tb.Rows))
+	}
+	row := func(phase string) []string {
+		for _, r := range tb.Rows {
+			if r[1] == phase {
+				return r
+			}
+		}
+		t.Fatalf("missing phase %q", phase)
+		return nil
+	}
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v
+	}
+	// The conventional engine is unchanged: no owned reads at all (the
+	// experiment errors out otherwise) and its row reports n/a.
+	if conv := tb.Rows[0]; conv[0] != "conventional" || conv[2] != "n/a" {
+		t.Fatalf("conventional row changed shape: %v", conv)
+	}
+	fresh, conv1 := row("fresh load"), row("converged")
+	decayed, conv2 := row("decayed"), row("re-converged")
+	// A fresh load has no stamped pages: aligned reads latch.
+	if parse(fresh[2]) < 0.5 {
+		t.Fatalf("fresh latched/owned = %s, expected near 1", fresh[2])
+	}
+	// The acceptance claim: after the mid-run repartition storm decays
+	// the layout, frame latches on aligned reads converge to ~0 once
+	// migration drains.
+	if parse(conv1[2]) > 0.02 {
+		t.Fatalf("converged latched/owned = %s, want ~0", conv1[2])
+	}
+	if parse(decayed[2]) <= parse(conv2[2]) {
+		t.Fatalf("storm did not decay the layout: decayed=%s re-converged=%s", decayed[2], conv2[2])
+	}
+	if parse(conv2[2]) > 0.02 {
+		t.Fatalf("re-converged latched/owned = %s, want ~0", conv2[2])
+	}
+	// Root fan-out: the storm grows it without bound; compaction folds
+	// it back under 2x the partition count.
+	parts := float64(Config{Quick: true}.fill().Partitions)
+	if parse(decayed[3]) <= 2*parts {
+		t.Logf("note: decayed fan-out %s already small (storm absorbed)", decayed[3])
+	}
+	if parse(conv2[3]) > 2*parts {
+		t.Fatalf("re-converged fan-out = %s > 2x partitions (%v) with compaction on", conv2[3], parts)
+	}
+	// Migration/stamping actually happened.
+	if parse(conv2[4]) == 0 && parse(conv2[5]) == 0 {
+		t.Fatal("maintenance reported no pages stamped and no records migrated")
+	}
+}
+
 func TestE4Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

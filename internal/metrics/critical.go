@@ -23,6 +23,12 @@ type CriticalSectionStats struct {
 	// It is a view into Latch, not an additional class: Total() does not
 	// add it again.
 	IndexLatch Counter
+	// FrameLatch counts the subset of Latch that came from buffer-frame
+	// latches taken by heap record reads — the serialization heap-page
+	// ownership stamping (background maintenance, experiment E13)
+	// removes for owner-thread aligned reads. Like IndexLatch it is a
+	// view into Latch, not an additional class.
+	FrameLatch Counter
 	// Log counts log-manager serialization points (buffer reservation).
 	// Under the consolidation-array log this is one entry per reserved
 	// group, not per record: appends that piggyback on another thread's
@@ -42,6 +48,7 @@ type SnapshotCS struct {
 	LockMgr    int64 `json:"lock_mgr"`
 	Latch      int64 `json:"latch"`
 	IndexLatch int64 `json:"index_latch"`
+	FrameLatch int64 `json:"frame_latch"`
 	Log        int64 `json:"log"`
 	TxnMgr     int64 `json:"txn_mgr"`
 	Contended  int64 `json:"contended"`
@@ -53,6 +60,7 @@ func (c *CriticalSectionStats) Snapshot() SnapshotCS {
 		LockMgr:    c.LockMgr.Load(),
 		Latch:      c.Latch.Load(),
 		IndexLatch: c.IndexLatch.Load(),
+		FrameLatch: c.FrameLatch.Load(),
 		Log:        c.Log.Load(),
 		TxnMgr:     c.TxnMgr.Load(),
 		Contended:  c.Contended.Load(),
@@ -64,6 +72,7 @@ func (c *CriticalSectionStats) Reset() {
 	c.LockMgr.Reset()
 	c.Latch.Reset()
 	c.IndexLatch.Reset()
+	c.FrameLatch.Reset()
 	c.Log.Reset()
 	c.TxnMgr.Reset()
 	c.Contended.Reset()

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"dora/internal/dora"
+	"dora/internal/maint"
 	"dora/internal/metrics"
 	"dora/internal/sm"
 )
@@ -45,6 +46,19 @@ type Snapshot struct {
 	LogAppends   int64 `json:"log_appends"`
 	LogForces    int64 `json:"log_forces"`
 	GroupCommits int64 `json:"group_commits"`
+	// Heaps reports, per table, the owner-thread read counters and the
+	// stamped-page count — the physical-layout convergence signal the
+	// maintenance daemon works on.
+	Heaps map[string]HeapView `json:"heaps,omitempty"`
+	// Maint is the maintenance daemon's progress (nil when none runs).
+	Maint *maint.Stats `json:"maint,omitempty"`
+}
+
+// HeapView is one table's heap-ownership statistics.
+type HeapView struct {
+	OwnedReads        int64 `json:"owned_reads"`
+	OwnedReadsLatched int64 `json:"owned_reads_latched"`
+	StampedPages      int   `json:"stamped_pages"`
 }
 
 // RangeView is one routing range.
@@ -66,6 +80,7 @@ type CommitCounter interface {
 type Source struct {
 	SM      *sm.SM
 	Dora    *dora.Dora      // optional
+	Maint   *maint.Daemon   // optional
 	Engines []CommitCounter // any number of engines
 }
 
@@ -89,6 +104,24 @@ func (s *Source) Sample(prev *Snapshot, dt time.Duration) *Snapshot {
 		snap.LogAppends = ls.Appends
 		snap.LogForces = ls.Forces
 		snap.GroupCommits = ls.GroupedCommits
+		for _, tbl := range s.SM.Cat.Tables() {
+			hv := HeapView{
+				OwnedReads:        tbl.Heap.OwnedReads.Load(),
+				OwnedReadsLatched: tbl.Heap.OwnedReadsLatched.Load(),
+				StampedPages:      tbl.Heap.StampedPages(),
+			}
+			if hv.OwnedReads == 0 && hv.StampedPages == 0 {
+				continue
+			}
+			if snap.Heaps == nil {
+				snap.Heaps = map[string]HeapView{}
+			}
+			snap.Heaps[tbl.Name] = hv
+		}
+	}
+	if s.Maint != nil {
+		st := s.Maint.Snapshot()
+		snap.Maint = &st
 	}
 	if s.Dora != nil {
 		snap.Partitions = s.Dora.PartitionStats()

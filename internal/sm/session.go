@@ -18,6 +18,14 @@ import (
 // that performed it — the raw material of the demo's "Access Patterns"
 // panel. Sessions add no synchronization and are not themselves
 // goroutine-safe; each worker owns one.
+//
+// Every logical operation executes through the primary index's ExecAt:
+// when the key's subtree is claimed by a partition worker, the WHOLE
+// operation — index descents, heap access, log appends — runs on that
+// worker's thread with its ownership token (shipping there when the
+// caller is someone else). That is what lets owned heap pages drop
+// their frame latches for reads: the owner's thread is provably the
+// only mutator, and every foreign access serializes through its inbox.
 type Session struct {
 	sm     *SM
 	worker int
@@ -34,6 +42,10 @@ func (ss *Session) Worker() int { return ss.worker }
 // SM returns the underlying storage manager.
 func (ss *Session) SM() *SM { return ss.sm }
 
+// Owner returns the session's access-path ownership token (nil for
+// shared sessions).
+func (ss *Session) Owner() *btree.Owner { return ss.owner }
+
 func (ss *Session) trace(tbl *catalog.Table, key int64, write bool) {
 	tr := ss.sm.Tracer
 	if tr == nil || !tr.Enabled() {
@@ -43,16 +55,23 @@ func (ss *Session) trace(tbl *catalog.Table, key int64, write bool) {
 }
 
 // Read returns the record with the given primary key.
-func (ss *Session) Read(t *tx.Txn, tbl *catalog.Table, key int64) (tuple.Record, error) {
+func (ss *Session) Read(t *tx.Txn, tbl *catalog.Table, key int64) (rec tuple.Record, err error) {
 	ss.trace(tbl, key, false)
-	v, err := tbl.Primary.Tree.GetAs(ss.owner, key)
+	tbl.Primary.Tree.ExecAt(ss.owner, key, func(tok *btree.Owner) {
+		rec, err = ss.readAt(tok, tbl, key)
+	})
+	return rec, err
+}
+
+func (ss *Session) readAt(tok *btree.Owner, tbl *catalog.Table, key int64) (tuple.Record, error) {
+	v, err := tbl.Primary.Tree.GetAs(tok, key)
 	if err != nil {
 		if errors.Is(err, btree.ErrNotFound) {
 			return nil, fmt.Errorf("%w: %s[%d]", ErrNotFound, tbl.Name, key)
 		}
 		return nil, err
 	}
-	img, err := tbl.Heap.Get(storage.UnpackRID(v))
+	img, err := tbl.Heap.GetOwned(tok, storage.UnpackRID(v))
 	if err != nil {
 		return nil, err
 	}
@@ -65,18 +84,26 @@ func (ss *Session) ReadByIndex(t *tx.Txn, tbl *catalog.Table, idx string, key in
 	if ix == nil {
 		return nil, fmt.Errorf("sm: no index %q on %s", idx, tbl.Name)
 	}
-	v, err := ix.Tree.GetAs(ss.owner, key)
-	if err != nil {
-		if errors.Is(err, btree.ErrNotFound) {
-			return nil, fmt.Errorf("%w: %s.%s[%d]", ErrNotFound, tbl.Name, idx, key)
+	var rec tuple.Record
+	var err error
+	ix.Tree.ExecAt(ss.owner, key, func(tok *btree.Owner) {
+		var v uint64
+		v, err = ix.Tree.GetAs(tok, key)
+		if err != nil {
+			if errors.Is(err, btree.ErrNotFound) {
+				err = fmt.Errorf("%w: %s.%s[%d]", ErrNotFound, tbl.Name, idx, key)
+			}
+			return
 		}
-		return nil, err
-	}
-	img, err := tbl.Heap.Get(storage.UnpackRID(v))
-	if err != nil {
-		return nil, err
-	}
-	rec, err := tuple.Decode(img)
+		// A routable secondary maps a routing range to the same worker
+		// as the primary, so tok also matches the heap page stamps.
+		var img []byte
+		img, err = tbl.Heap.GetOwned(tok, storage.UnpackRID(v))
+		if err != nil {
+			return
+		}
+		rec, err = tuple.Decode(img)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -97,7 +124,7 @@ func (ss *Session) ScanRange(t *tx.Txn, tbl *catalog.Table, lo, hi int64, fn fun
 	})
 	for _, h := range hits {
 		ss.trace(tbl, h.key, false)
-		img, err := tbl.Heap.Get(h.rid)
+		img, err := tbl.Heap.GetOwned(ss.owner, h.rid)
 		if err != nil {
 			// Deleted between index scan and heap fetch: engines prevent
 			// this via their isolation protocol; skip defensively.
@@ -116,15 +143,22 @@ func (ss *Session) ScanRange(t *tx.Txn, tbl *catalog.Table, lo, hi int64, fn fun
 
 // Insert stores rec under its primary key, maintaining all indexes and
 // logging for redo/undo.
-func (ss *Session) Insert(t *tx.Txn, tbl *catalog.Table, rec tuple.Record) error {
+func (ss *Session) Insert(t *tx.Txn, tbl *catalog.Table, rec tuple.Record) (err error) {
 	key := tbl.Primary.Key(rec)
 	ss.trace(tbl, key, true)
-	if _, err := tbl.Primary.Tree.GetAs(ss.owner, key); err == nil {
+	tbl.Primary.Tree.ExecAt(ss.owner, key, func(tok *btree.Owner) {
+		err = ss.insertAt(tok, t, tbl, key, rec)
+	})
+	return err
+}
+
+func (ss *Session) insertAt(tok *btree.Owner, t *tx.Txn, tbl *catalog.Table, key int64, rec tuple.Record) error {
+	if _, err := tbl.Primary.Tree.GetAs(tok, key); err == nil {
 		return fmt.Errorf("%w: %s[%d]", ErrDuplicate, tbl.Name, key)
 	}
 	enc := tuple.Encode(rec)
 	var prevLSN, opLSN uint64
-	rid, err := tbl.Heap.InsertWith(ss.worker, enc, func(rid storage.RID) uint64 {
+	rid, err := tbl.Heap.InsertOwnedWith(tok, ss.worker, enc, func(rid storage.RID) uint64 {
 		return t.Chain(func(prev uint64) uint64 {
 			prevLSN = prev
 			opLSN = ss.sm.Log.Append(&wal.Record{
@@ -138,11 +172,11 @@ func (ss *Session) Insert(t *tx.Txn, tbl *catalog.Table, rec tuple.Record) error
 	if err != nil {
 		return err
 	}
-	if err := tbl.Primary.Tree.InsertAs(ss.owner, key, rid.Pack()); err != nil {
+	if err := tbl.Primary.Tree.InsertAs(tok, key, rid.Pack()); err != nil {
 		return fmt.Errorf("sm: primary index insert %s[%d]: %w", tbl.Name, key, err)
 	}
 	for _, ix := range tbl.Secondaries {
-		if err := ix.Tree.PutAs(ss.owner, ix.Key(rec), rid.Pack()); err != nil {
+		if err := ix.Tree.PutAs(tok, ix.Key(rec), rid.Pack()); err != nil {
 			return err
 		}
 	}
@@ -155,12 +189,19 @@ func (ss *Session) Insert(t *tx.Txn, tbl *catalog.Table, rec tuple.Record) error
 
 // Update replaces the record stored under key with rec (primary key must
 // be unchanged).
-func (ss *Session) Update(t *tx.Txn, tbl *catalog.Table, key int64, rec tuple.Record) error {
+func (ss *Session) Update(t *tx.Txn, tbl *catalog.Table, key int64, rec tuple.Record) (err error) {
 	if nk := tbl.Primary.Key(rec); nk != key {
 		return fmt.Errorf("sm: update changes primary key %d -> %d on %s", key, nk, tbl.Name)
 	}
 	ss.trace(tbl, key, true)
-	v, err := tbl.Primary.Tree.GetAs(ss.owner, key)
+	tbl.Primary.Tree.ExecAt(ss.owner, key, func(tok *btree.Owner) {
+		err = ss.updateAt(tok, t, tbl, key, rec)
+	})
+	return err
+}
+
+func (ss *Session) updateAt(tok *btree.Owner, t *tx.Txn, tbl *catalog.Table, key int64, rec tuple.Record) error {
+	v, err := tbl.Primary.Tree.GetAs(tok, key)
 	if err != nil {
 		if errors.Is(err, btree.ErrNotFound) {
 			return fmt.Errorf("%w: %s[%d]", ErrNotFound, tbl.Name, key)
@@ -193,8 +234,8 @@ func (ss *Session) Update(t *tx.Txn, tbl *catalog.Table, key int64, rec tuple.Re
 	for _, ix := range tbl.Secondaries {
 		okey, nkey := ix.Key(old), ix.Key(rec)
 		if okey != nkey {
-			ix.Tree.DeleteAs(ss.owner, okey)
-			if err := ix.Tree.PutAs(ss.owner, nkey, rid.Pack()); err != nil {
+			ix.Tree.DeleteAs(tok, okey)
+			if err := ix.Tree.PutAs(tok, nkey, rid.Pack()); err != nil {
 				return err
 			}
 		}
@@ -216,9 +257,16 @@ func (ss *Session) Mutate(t *tx.Txn, tbl *catalog.Table, key int64, fn func(tupl
 }
 
 // Delete removes the record under key from the table and all indexes.
-func (ss *Session) Delete(t *tx.Txn, tbl *catalog.Table, key int64) error {
+func (ss *Session) Delete(t *tx.Txn, tbl *catalog.Table, key int64) (err error) {
 	ss.trace(tbl, key, true)
-	v, err := tbl.Primary.Tree.GetAs(ss.owner, key)
+	tbl.Primary.Tree.ExecAt(ss.owner, key, func(tok *btree.Owner) {
+		err = ss.deleteAt(tok, t, tbl, key)
+	})
+	return err
+}
+
+func (ss *Session) deleteAt(tok *btree.Owner, t *tx.Txn, tbl *catalog.Table, key int64) error {
+	v, err := tbl.Primary.Tree.GetAs(tok, key)
 	if err != nil {
 		if errors.Is(err, btree.ErrNotFound) {
 			return fmt.Errorf("%w: %s[%d]", ErrNotFound, tbl.Name, key)
@@ -227,7 +275,7 @@ func (ss *Session) Delete(t *tx.Txn, tbl *catalog.Table, key int64) error {
 	}
 	rid := storage.UnpackRID(v)
 	// Remove index entries first so no reader can follow a dangling RID.
-	tbl.Primary.Tree.DeleteAs(ss.owner, key)
+	tbl.Primary.Tree.DeleteAs(tok, key)
 	var beforeCopy []byte
 	var prevLSN, opLSN uint64
 	err = tbl.Heap.DeleteWith(rid, func(before []byte) uint64 {
@@ -244,7 +292,7 @@ func (ss *Session) Delete(t *tx.Txn, tbl *catalog.Table, key int64) error {
 	})
 	if err != nil {
 		// Restore the index entry we removed.
-		_ = tbl.Primary.Tree.PutAs(ss.owner, key, rid.Pack())
+		_ = tbl.Primary.Tree.PutAs(tok, key, rid.Pack())
 		return err
 	}
 	old, err := tuple.Decode(beforeCopy)
@@ -252,7 +300,7 @@ func (ss *Session) Delete(t *tx.Txn, tbl *catalog.Table, key int64) error {
 		return err
 	}
 	for _, ix := range tbl.Secondaries {
-		ix.Tree.DeleteAs(ss.owner, ix.Key(old))
+		ix.Tree.DeleteAs(tok, ix.Key(old))
 	}
 	t.AddUndo(tx.Undo{
 		Kind: tx.UDelete, Table: tbl.ID, Key: key, RID: rid,

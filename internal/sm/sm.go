@@ -289,14 +289,20 @@ func (s *SM) commitReadOnly(t *tx.Txn, done func(error)) {
 // marks it aborted. The conventional engine calls this directly; DORA
 // routes the per-entry ApplyUndo calls through the owning partitions and
 // then calls FinishRollback.
-func (s *SM) Rollback(t *tx.Txn) error {
+func (s *SM) Rollback(t *tx.Txn) error { return s.RollbackAs(nil, t) }
+
+// RollbackAs is Rollback for a caller already executing ON an owning
+// worker's thread (background maintenance): compensation for keys that
+// token owns runs inline instead of shipping — a ship from the owner's
+// own thread to its own inbox would wait on itself forever.
+func (s *SM) RollbackAs(caller *btree.Owner, t *tx.Txn) error {
 	if t.LastLSN() != 0 {
 		t.Chain(func(prev uint64) uint64 {
 			return s.Log.Append(&wal.Record{Kind: wal.KAbort, TxnID: t.ID, PrevLSN: prev})
 		})
 	}
 	for _, u := range t.TakeUndos() {
-		if err := s.ApplyUndo(t, u); err != nil {
+		if err := s.ApplyUndoAs(caller, t, u); err != nil {
 			return fmt.Errorf("sm: rollback txn %d: %w", t.ID, err)
 		}
 	}
@@ -318,16 +324,31 @@ func (s *SM) FinishRollback(t *tx.Txn) error {
 
 // ApplyUndo compensates one logical undo entry, logging a CLR. Exposed so
 // the DORA engine can execute compensation on the partition that owns the
-// data (thread-to-data is preserved under rollback).
-func (s *SM) ApplyUndo(t *tx.Txn, u tx.Undo) error {
+// data (thread-to-data is preserved under rollback): the whole entry —
+// heap access included, which matters once heap pages carry owner stamps
+// — ships to the owning worker's thread through the primary index's
+// ExecAt, instead of only the individual index operations.
+func (s *SM) ApplyUndo(t *tx.Txn, u tx.Undo) error { return s.ApplyUndoAs(nil, t, u) }
+
+// ApplyUndoAs is ApplyUndo with the caller's ownership token: when the
+// caller already is the owning worker, the compensation runs inline on
+// its thread (see RollbackAs).
+func (s *SM) ApplyUndoAs(caller *btree.Owner, t *tx.Txn, u tx.Undo) (err error) {
 	tbl := s.Cat.TableByID(u.Table)
 	if tbl == nil {
 		return fmt.Errorf("sm: undo references unknown table %d", u.Table)
 	}
+	tbl.Primary.Tree.ExecAt(caller, u.Key, func(tok *btree.Owner) {
+		err = s.applyUndoAt(tok, t, tbl, u)
+	})
+	return err
+}
+
+func (s *SM) applyUndoAt(tok *btree.Owner, t *tx.Txn, tbl *catalog.Table, u tx.Undo) error {
 	switch u.Kind {
 	case tx.UInsert:
 		// Compensate an insert: remove the record and its index entries.
-		img, err := tbl.Heap.Get(u.RID)
+		img, err := tbl.Heap.GetOwned(tok, u.RID)
 		if err != nil {
 			return err
 		}
@@ -347,15 +368,15 @@ func (s *SM) ApplyUndo(t *tx.Txn, u tx.Undo) error {
 		if err != nil {
 			return err
 		}
-		tbl.Primary.Tree.DeleteAs(nil, u.Key)
+		tbl.Primary.Tree.DeleteAs(tok, u.Key)
 		for _, ix := range tbl.Secondaries {
-			ix.Tree.DeleteAs(nil, ix.Key(rec))
+			ix.Tree.DeleteAs(tok, ix.Key(rec))
 		}
 		return nil
 
 	case tx.UUpdate:
 		// Restore the before image; fix secondary entries if keys moved.
-		curImg, err := tbl.Heap.Get(u.RID)
+		curImg, err := tbl.Heap.GetOwned(tok, u.RID)
 		if err != nil {
 			return err
 		}
@@ -383,8 +404,8 @@ func (s *SM) ApplyUndo(t *tx.Txn, u tx.Undo) error {
 		for _, ix := range tbl.Secondaries {
 			ok, nk := ix.Key(cur), ix.Key(old)
 			if ok != nk {
-				ix.Tree.DeleteAs(nil, ok)
-				_ = ix.Tree.PutAs(nil, nk, u.RID.Pack())
+				ix.Tree.DeleteAs(tok, ok)
+				_ = ix.Tree.PutAs(tok, nk, u.RID.Pack())
 			}
 		}
 		return nil
@@ -395,7 +416,7 @@ func (s *SM) ApplyUndo(t *tx.Txn, u tx.Undo) error {
 		if err != nil {
 			return err
 		}
-		rid, err := tbl.Heap.InsertWith(0, u.Before, func(rid storage.RID) uint64 {
+		rid, err := tbl.Heap.InsertOwnedWith(tok, 0, u.Before, func(rid storage.RID) uint64 {
 			return t.Chain(func(prev uint64) uint64 {
 				return s.Log.Append(&wal.Record{
 					Kind: wal.KCLR, Sub: wal.KInsert, TxnID: t.ID, PrevLSN: prev,
@@ -408,11 +429,11 @@ func (s *SM) ApplyUndo(t *tx.Txn, u tx.Undo) error {
 		if err != nil {
 			return err
 		}
-		if err := tbl.Primary.Tree.PutAs(nil, u.Key, rid.Pack()); err != nil {
+		if err := tbl.Primary.Tree.PutAs(tok, u.Key, rid.Pack()); err != nil {
 			return err
 		}
 		for _, ix := range tbl.Secondaries {
-			_ = ix.Tree.PutAs(nil, ix.Key(old), rid.Pack())
+			_ = ix.Tree.PutAs(tok, ix.Key(old), rid.Pack())
 		}
 		return nil
 	}

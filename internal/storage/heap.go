@@ -9,7 +9,9 @@ import (
 	"fmt"
 	"sync"
 
+	"dora/internal/btree"
 	"dora/internal/buffer"
+	"dora/internal/metrics"
 	"dora/internal/page"
 )
 
@@ -52,9 +54,28 @@ type heapStripe struct {
 // pages. Heap methods latch pages internally; callers provide isolation
 // through the lock protocol (conventional engine) or partition ownership
 // (DORA). The free-space bookkeeping is striped per inserting worker.
+//
+// Pages can additionally be STAMPED with a partition worker's ownership
+// token (ownership.go): stamped pages leave the shared stripes, accept
+// mutations only on the owner's thread, and serve that thread's record
+// reads without the frame latch.
 type Heap struct {
 	pool    *buffer.Pool
 	stripes [heapStripes]heapStripe
+
+	// stamps maps page.ID -> *btree.Owner for owner-stamped pages;
+	// owned maps *btree.Owner -> *ownedPages (the token's page list).
+	stamps sync.Map
+	owned  sync.Map
+
+	// OwnedReads counts record reads performed with an ownership token
+	// (aligned reads on the owner's thread); OwnedReadsLatched is the
+	// subset that still took the frame latch because the page is not
+	// (yet) stamped to the reader. Their ratio is the decay signal the
+	// maintenance daemon watches and experiment E13's convergence
+	// criterion: it falls to ~0 as migration drains.
+	OwnedReads        metrics.Counter
+	OwnedReadsLatched metrics.Counter
 }
 
 // NewHeap returns an empty heap over pool.
@@ -64,7 +85,8 @@ func stripeFor(worker int) int {
 	return ((worker % heapStripes) + heapStripes) % heapStripes
 }
 
-// Pages returns a snapshot of the heap's page ids (scan support).
+// Pages returns a snapshot of the heap's page ids (scan support),
+// covering both the shared stripes and every token's owned pages.
 func (h *Heap) Pages() []page.ID {
 	var out []page.ID
 	for i := range h.stripes {
@@ -73,6 +95,13 @@ func (h *Heap) Pages() []page.ID {
 		out = append(out, st.pages...)
 		st.mu.Unlock()
 	}
+	h.owned.Range(func(_, v any) bool {
+		op := v.(*ownedPages)
+		op.mu.Lock()
+		out = append(out, op.pages...)
+		op.mu.Unlock()
+		return true
+	})
 	return out
 }
 
@@ -103,7 +132,7 @@ func (h *Heap) InsertWith(worker int, rec []byte, mkLSN func(RID) uint64) (RID, 
 	st.mu.Unlock()
 
 	if hasHint {
-		rid, ok, err := h.tryInsertWith(hint, rec, mkLSN)
+		rid, ok, err := h.tryInsertWith(hint, nil, rec, mkLSN)
 		if err != nil {
 			return RID{}, err
 		}
@@ -137,12 +166,22 @@ func (h *Heap) InsertWith(worker int, rec []byte, mkLSN func(RID) uint64) (RID, 
 	return rid, nil
 }
 
-func (h *Heap) tryInsertWith(pid page.ID, rec []byte, mkLSN func(RID) uint64) (RID, bool, error) {
+// tryInsertWith attempts an insert into pid. expect is the page stamp
+// the caller assumes (nil for the shared striped path); it is re-checked
+// under the frame latch, so an insert racing a concurrent TryStamp of
+// its fill-hint page backs off instead of landing a foreign record on a
+// freshly owner-stamped page.
+func (h *Heap) tryInsertWith(pid page.ID, expect *btree.Owner, rec []byte, mkLSN func(RID) uint64) (RID, bool, error) {
 	f, err := h.pool.Fetch(pid)
 	if err != nil {
 		return RID{}, false, err
 	}
 	f.Latch.Lock()
+	if h.StampOwner(pid) != expect {
+		f.Latch.Unlock()
+		h.pool.Unpin(f, false)
+		return RID{}, false, nil
+	}
 	slot, err := f.Page.Insert(rec)
 	if err == nil {
 		rid := RID{Page: pid, Slot: uint16(slot)}
@@ -251,22 +290,9 @@ func (h *Heap) RedoInsert(rid RID, rec []byte, lsn uint64) error {
 	return nil
 }
 
-// Get returns a copy of the record at rid.
-func (h *Heap) Get(rid RID) ([]byte, error) {
-	f, err := h.pool.Fetch(rid.Page)
-	if err != nil {
-		return nil, err
-	}
-	f.Latch.RLock()
-	b, err := f.Page.Get(int(rid.Slot))
-	var out []byte
-	if err == nil {
-		out = append([]byte(nil), b...)
-	}
-	f.Latch.RUnlock()
-	h.pool.Unpin(f, false)
-	return out, err
-}
+// Get returns a copy of the record at rid (the shared latched path;
+// owner threads use GetOwned).
+func (h *Heap) Get(rid RID) ([]byte, error) { return h.GetOwned(nil, rid) }
 
 // Update rewrites the record at rid in place and stamps lsn. If the new
 // image no longer fits the page, ErrPageFull is returned and the caller

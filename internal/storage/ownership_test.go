@@ -1,0 +1,169 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"dora/internal/btree"
+	"dora/internal/buffer"
+	"dora/internal/metrics"
+	"dora/internal/page"
+)
+
+func TestOwnedInsertStampsAndElidesLatch(t *testing.T) {
+	cs := &metrics.CriticalSectionStats{}
+	pool := buffer.NewPool(64, buffer.NewMemDisk(), nil)
+	pool.SetStats(cs)
+	h := NewHeap(pool)
+	tok := btree.NewOwner()
+
+	rid, err := h.InsertOwnedWith(tok, 3, []byte("owned record"), func(RID) uint64 { return 5 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.StampOwner(rid.Page); got != tok {
+		t.Fatalf("fresh owned page stamp = %v, want the token", got)
+	}
+	if h.StampedPages() != 1 {
+		t.Fatalf("stamped pages = %d, want 1", h.StampedPages())
+	}
+
+	cs.Reset()
+	b, err := h.GetOwned(tok, rid)
+	if err != nil || string(b) != "owned record" {
+		t.Fatalf("owned read: %q %v", b, err)
+	}
+	if cs.FrameLatch.Load() != 0 || cs.Latch.Load() != 0 {
+		t.Fatalf("owned read took latches: frame=%d latch=%d", cs.FrameLatch.Load(), cs.Latch.Load())
+	}
+	if h.OwnedReads.Load() != 1 || h.OwnedReadsLatched.Load() != 0 {
+		t.Fatalf("counters: owned=%d latched=%d", h.OwnedReads.Load(), h.OwnedReadsLatched.Load())
+	}
+
+	// A foreign (nil-token) read of the same page latches.
+	cs.Reset()
+	if _, err := h.GetOwned(nil, rid); err != nil {
+		t.Fatal(err)
+	}
+	if cs.FrameLatch.Load() != 1 {
+		t.Fatalf("foreign read frame latches = %d, want 1", cs.FrameLatch.Load())
+	}
+	// An owner read of an UNSTAMPED page latches and counts as such.
+	srid, err := h.Insert([]byte("shared record"), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.OwnedReads.Reset()
+	h.OwnedReadsLatched.Reset()
+	if _, err := h.GetOwned(tok, srid); err != nil {
+		t.Fatal(err)
+	}
+	if h.OwnedReads.Load() != 1 || h.OwnedReadsLatched.Load() != 1 {
+		t.Fatalf("unstamped owner read counters: owned=%d latched=%d",
+			h.OwnedReads.Load(), h.OwnedReadsLatched.Load())
+	}
+}
+
+func TestTryStampMovesPageOutOfSharedStripes(t *testing.T) {
+	h := newHeap(t)
+	tok := btree.NewOwner()
+	rid, err := h.Insert([]byte("rec a"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := h.TryStamp(rid.Page, tok, func([]byte) bool { return true })
+	if err != nil || !ok {
+		t.Fatalf("TryStamp: %v %v", ok, err)
+	}
+	if h.StampOwner(rid.Page) != tok {
+		t.Fatal("stamp not installed")
+	}
+	// The stamped page must reject shared fill-hint inserts: a stream of
+	// shared inserts never lands on it.
+	for i := 0; i < 50; i++ {
+		nrid, err := h.InsertWith(0, []byte(fmt.Sprintf("shared %d", i)), func(RID) uint64 { return 0 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nrid.Page == rid.Page {
+			t.Fatalf("shared insert %d landed on the stamped page", i)
+		}
+	}
+	// Pages() still sees the stamped page exactly once (scan support).
+	count := 0
+	for _, pid := range h.Pages() {
+		if pid == rid.Page {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("stamped page appears %d times in Pages(), want 1", count)
+	}
+}
+
+func TestTryStampRejectsForeignRecords(t *testing.T) {
+	h := newHeap(t)
+	tok := btree.NewOwner()
+	// Two records on one page; only the first is "mine".
+	rid1, _ := h.Insert([]byte("mine"), 1)
+	rid2, _ := h.Insert([]byte("theirs"), 2)
+	if rid1.Page != rid2.Page {
+		t.Skip("records did not share a page")
+	}
+	ok, err := h.TryStamp(rid1.Page, tok, func(rec []byte) bool { return string(rec) == "mine" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("TryStamp stamped a mixed page")
+	}
+	if h.StampOwner(rid1.Page) != nil {
+		t.Fatal("stamp left behind after failed verify")
+	}
+	// The page returned to the shared path: it remains scannable.
+	found := false
+	for _, pid := range h.Pages() {
+		if pid == rid1.Page {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("page lost from the shared path after failed TryStamp")
+	}
+}
+
+func TestUnstampReassignRelease(t *testing.T) {
+	h := newHeap(t)
+	a, b := btree.NewOwner(), btree.NewOwner()
+	rid, err := h.InsertOwnedWith(a, 0, []byte("x"), func(RID) uint64 { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reassign (merge): stamp moves to b wholesale.
+	h.ReassignStamps(a, b)
+	if h.StampOwner(rid.Page) != b {
+		t.Fatal("ReassignStamps did not repoint the stamp")
+	}
+	// Unstamp (split): page returns to the shared stripes.
+	h.UnstampPages(b, []page.ID{rid.Page})
+	if h.StampOwner(rid.Page) != nil {
+		t.Fatal("UnstampPages left the stamp")
+	}
+	if h.StampedPages() != 0 {
+		t.Fatalf("stamped pages = %d, want 0", h.StampedPages())
+	}
+	// Release: a fresh owned insert then a global release.
+	rid2, _ := h.InsertOwnedWith(a, 0, []byte("y"), func(RID) uint64 { return 0 })
+	h.ReleaseStamps()
+	if h.StampOwner(rid2.Page) != nil || h.StampedPages() != 0 {
+		t.Fatal("ReleaseStamps left stamps behind")
+	}
+	// Both pages stay scannable through the shared path.
+	seen := map[RID]bool{}
+	if err := h.Scan(func(r RID, rec []byte) bool { seen[r] = true; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if !seen[rid] || !seen[rid2] {
+		t.Fatalf("released pages missing from scan: %v", seen)
+	}
+}
