@@ -106,6 +106,10 @@ func BenchmarkE13PhysicalMaintenance(b *testing.B) {
 	runTable(b, func() (*exp.Table, error) { return exp.E13PhysicalMaintenance(quickCfg()) })
 }
 
+func BenchmarkE14ContinuationShips(b *testing.B) {
+	runTable(b, func() (*exp.Table, error) { return exp.E14ContinuationShips(quickCfg()) })
+}
+
 func BenchmarkA1PartitionCount(b *testing.B) {
 	runTable(b, func() (*exp.Table, error) { return exp.A1PartitionCount(quickCfg(), []int{1, 4, 8}) })
 }

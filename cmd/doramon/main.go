@@ -23,6 +23,7 @@ import (
 	"dora/internal/dora"
 	"dora/internal/dora/balance"
 	"dora/internal/engine/conventional"
+	"dora/internal/maint"
 	"dora/internal/metrics"
 	"dora/internal/monitor"
 	"dora/internal/sm"
@@ -56,8 +57,16 @@ func main() {
 
 	conv := conventional.New(convDB.SM)
 	de := dora.New(doraDB.SM, dora.Config{PartitionsPerTable: 2, Domains: doraDB.Domains()})
+	// Background physical maintenance keeps the partitioned layout
+	// converged behind the balancer's moves, and the balancer consults
+	// its convergence state so it never re-partitions a table
+	// mid-migration (maintenance-aware balancing).
+	md := maint.New(doraDB.SM, de, maint.Config{})
+	md.Start()
+	defer md.Close()
 	bal := balance.NewBalancer(de, balance.Policy{Every: 100 * time.Millisecond, MinParts: 2},
 		"subscriber", "access_info", "special_facility", "call_forwarding")
+	bal.SetMaintGate(md.Converging)
 	bal.Start()
 	defer bal.Stop()
 
@@ -71,8 +80,9 @@ func main() {
 	}()
 
 	src := &monitor.Source{
-		SM:   doraDB.SM,
-		Dora: de,
+		SM:    doraDB.SM,
+		Dora:  de,
+		Maint: md,
 		Engines: []monitor.CommitCounter{
 			monitor.CounterAdapter{EngineName: "conventional", Committed: &conv.Committed, Aborted: &conv.Aborted},
 			monitor.CounterAdapter{EngineName: "dora", Committed: &de.Committed, Aborted: &de.Aborted},

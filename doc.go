@@ -25,6 +25,17 @@
 // index descents take no node latches, and frame latches on aligned
 // reads converge to zero as maintenance drains.
 //
+// Cross-partition execution is asynchronous end to end (experiment
+// E14): a foreign operation ships to its owner together with a
+// continuation instead of parking the sender, action bodies SUSPEND on
+// foreign logical ops (xct.Env.Async + the Session's *Async operations)
+// while their worker keeps draining its inbox, the flow-graph executor
+// advances phases purely by rendezvous-point countdowns
+// (dora.ExecAsync), and abort compensation rides the same path
+// (sm.RollbackAsync). No sender is ever parked, so arbitrary action
+// bodies are deadlock-safe by construction; dora.Config.BlockingShips
+// restores the parked-sender baseline for measurement.
+//
 // See README.md for the package tour, quickstart, and the experiment
 // index. The packages live under internal/; the runnable entry points
 // are the examples/ programs and the cmd/ tools.

@@ -32,8 +32,8 @@ func TestCompactMergesAdjacentSameOwnerRuns(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		lo := int64(i * 50)
 		hi := lo + 24
-		a.do(func(tok *Owner) { pt.MoveRange(tok, lo, hi, b.tok, b.exec()) })
-		b.do(func(tok *Owner) { pt.MoveRange(tok, lo, hi, a.tok, a.exec()) })
+		a.do(func(tok *Owner) { pt.MoveRange(tok, lo, hi, b.tok, b.exec(), nil) })
+		b.do(func(tok *Owner) { pt.MoveRange(tok, lo, hi, a.tok, a.exec(), nil) })
 	}
 	before := pt.NumSubtrees()
 	if before < 10 {
@@ -186,7 +186,7 @@ func TestExecAtStaleHopFailsBack(t *testing.T) {
 		a.do(func(tok *Owner) {
 			if !moved {
 				moved = true
-				pt.MoveRange(tok, math.MinInt64, math.MaxInt64, b.tok, b.exec())
+				pt.MoveRange(tok, math.MinInt64, math.MaxInt64, b.tok, b.exec(), nil)
 			}
 			fn(tok)
 		})

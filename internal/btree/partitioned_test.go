@@ -196,7 +196,7 @@ func TestPartitionedMoveRange(t *testing.T) {
 	pt.Claim([]ClaimRange{{Lo: 0, Hi: 399, Owner: a.tok, Exec: a.exec()}})
 	// Split: a hands [200, 399] to b, on a's own loop.
 	a.do(func(tok *Owner) {
-		pt.MoveRange(tok, 200, 399, b.tok, b.exec())
+		pt.MoveRange(tok, 200, 399, b.tok, b.exec(), nil)
 	})
 	// Claim padded a's range to cover all of int64, so the interior move
 	// cuts three pieces: [-inf,199] a, [200,399] b, [400,+inf] a.
@@ -221,7 +221,7 @@ func TestPartitionedMoveRange(t *testing.T) {
 	}
 	// Merge: b evacuates everything back to a by reassignment.
 	b.do(func(tok *Owner) {
-		pt.ReassignOwner(tok, a.tok, a.exec())
+		pt.ReassignOwner(tok, a.tok, a.exec(), nil)
 	})
 	a.do(func(tok *Owner) {
 		if v, err := pt.GetAs(tok, 1300); err != nil || v != 1300 {
@@ -302,13 +302,13 @@ func TestPartitionedConcurrentStress(t *testing.T) {
 	// worker, which later merges back — the rebalance hand-off shape.
 	extra := newFakeWorker()
 	workers[0].do(func(tok *Owner) {
-		pt.MoveRange(tok, 5000, 9999, extra.tok, extra.exec())
+		pt.MoveRange(tok, 5000, 9999, extra.tok, extra.exec(), nil)
 	})
 	extra.do(func(tok *Owner) {
 		_ = pt.PutAs(tok, 7777, 7777)
 	})
 	extra.do(func(tok *Owner) {
-		pt.ReassignOwner(tok, workers[0].tok, workers[0].exec())
+		pt.ReassignOwner(tok, workers[0].tok, workers[0].exec(), nil)
 	})
 
 	// Wait for the owner load, then stop the readers.

@@ -52,6 +52,21 @@ func NewOwner() *Owner { return new(Owner) }
 // the topology and retries.
 type OwnerExec func(fn func(tok *Owner)) bool
 
+// ContExec runs a continuation k on the thread an asynchronous operation
+// originated from — in DORA, the sender partition's inbox. A nil ContExec
+// means "no home thread": the continuation runs inline on whichever
+// thread completed the operation.
+type ContExec func(k func())
+
+// OwnerExecAsync ships fn to a subtree's owner WITHOUT blocking the
+// caller — the continuation-passing counterpart of OwnerExec. It returns
+// false when the ship could not even be enqueued (owner retired; done is
+// NOT called and the caller re-resolves inline). When it returns true,
+// done(ok) is invoked exactly once, delivered through home: ok=true
+// after fn ran on the owner's thread, ok=false when the owner retired
+// before running it (the caller re-resolves from the continuation).
+type OwnerExecAsync func(home ContExec, fn func(tok *Owner), done func(ok bool)) bool
+
 // AccessMethod is the index-structure contract the storage manager
 // programs against: a shared latched Tree or a PartitionedTree. The
 // caller token identifies which (if any) partition worker is asking;
@@ -71,6 +86,19 @@ type AccessMethod interface {
 	// access to owner-claimed data — index AND heap — executes on the
 	// owning thread (thread-to-data down to the physical layer).
 	ExecAt(caller *Owner, key int64, fn func(tok *Owner))
+	// ExecAtAsync is ExecAt in continuation-passing style: instead of
+	// parking the caller while a foreign operation ships, it returns as
+	// soon as the ship is enqueued; done() fires exactly once after fn
+	// ran, delivered through home (see ContExec). When key's subtree is
+	// local (unowned, or owned by the caller) fn and done run inline
+	// before ExecAtAsync returns — the aligned fast path costs no
+	// message.
+	ExecAtAsync(caller *Owner, key int64, home ContExec, fn func(tok *Owner), done func())
+	// AscendRangeAsync is AscendRangeAs in continuation-passing style:
+	// local segments scan inline, foreign segments ship to their owners
+	// one at a time with the walk resuming from each continuation; done()
+	// fires exactly once after the scan finished or fn stopped it.
+	AscendRangeAsync(caller *Owner, lo, hi int64, home ContExec, fn func(key int64, val uint64) bool, done func())
 	Len() int
 }
 
@@ -98,12 +126,26 @@ func (t *Tree) AscendRangeAs(_ *Owner, lo, hi int64, fn func(key int64, val uint
 // runs inline with no ownership token.
 func (t *Tree) ExecAt(_ *Owner, _ int64, fn func(tok *Owner)) { fn(nil) }
 
+// ExecAtAsync implements AccessMethod: a shared tree never ships, so fn
+// and the continuation run inline.
+func (t *Tree) ExecAtAsync(_ *Owner, _ int64, _ ContExec, fn func(tok *Owner), done func()) {
+	fn(nil)
+	done()
+}
+
+// AscendRangeAsync implements AccessMethod: inline on a shared tree.
+func (t *Tree) AscendRangeAsync(_ *Owner, lo, hi int64, _ ContExec, fn func(key int64, val uint64) bool, done func()) {
+	t.AscendRange(lo, hi, fn)
+	done()
+}
+
 // subtree is one contiguous key range [lo, hi] and its tree.
 type subtree struct {
-	lo, hi int64
-	owner  *Owner
-	exec   OwnerExec
-	tree   *Tree
+	lo, hi    int64
+	owner     *Owner
+	exec      OwnerExec
+	execAsync OwnerExecAsync
+	tree      *Tree
 }
 
 // PartitionedTree is the partitioned access method. The zero value is not
@@ -383,11 +425,14 @@ func (pt *PartitionedTree) OwnedSubtrees() int {
 }
 
 // ClaimRange assigns [Lo, Hi] (in index-key space) to Owner, whose
-// foreign-access executor is Exec.
+// foreign-access executor is Exec. ExecAsync, when non-nil, additionally
+// enables continuation-passing ships into the range: async operations
+// (ExecAtAsync, AscendRangeAsync) use it instead of parking on Exec.
 type ClaimRange struct {
-	Lo, Hi int64
-	Owner  *Owner
-	Exec   OwnerExec
+	Lo, Hi    int64
+	Owner     *Owner
+	Exec      OwnerExec
+	ExecAsync OwnerExecAsync
 }
 
 // Claim physically re-partitions the tree into one subtree per claim
@@ -426,7 +471,7 @@ func (pt *PartitionedTree) Claim(ranges []ClaimRange) {
 			end++
 		}
 		subs = append(subs, &subtree{
-			lo: r.Lo, hi: r.Hi, owner: r.Owner, exec: r.Exec,
+			lo: r.Lo, hi: r.Hi, owner: r.Owner, exec: r.Exec, execAsync: r.ExecAsync,
 			tree: newTreeFromSorted(pt.cs, pairs[idx:end]),
 		})
 		idx = end
@@ -442,7 +487,7 @@ func (pt *PartitionedTree) Release() {
 	pt.mu.Lock()
 	defer pt.mu.Unlock()
 	for _, st := range pt.subs {
-		st.owner, st.exec = nil, nil
+		st.owner, st.exec, st.execAsync = nil, nil, nil
 	}
 }
 
@@ -453,8 +498,8 @@ func (pt *PartitionedTree) Release() {
 // overlaps are physically extracted into fresh subtrees. Unowned subtrees
 // in the interval stay shared (nothing to hand over). Must be called on
 // the owning worker's goroutine, so no latch-free access can be in
-// flight.
-func (pt *PartitionedTree) MoveRange(caller *Owner, lo, hi int64, newOwner *Owner, newExec OwnerExec) {
+// flight. newAsync may be nil (blocking-ships configuration).
+func (pt *PartitionedTree) MoveRange(caller *Owner, lo, hi int64, newOwner *Owner, newExec OwnerExec, newAsync OwnerExecAsync) {
 	pt.mu.Lock()
 	defer pt.mu.Unlock()
 	var out []*subtree
@@ -467,7 +512,7 @@ func (pt *PartitionedTree) MoveRange(caller *Owner, lo, hi int64, newOwner *Owne
 			panic("btree: MoveRange by a non-owner of an affected subtree")
 		}
 		if lo <= st.lo && st.hi <= hi {
-			st.owner, st.exec = newOwner, newExec
+			st.owner, st.exec, st.execAsync = newOwner, newExec, newAsync
 			out = append(out, st)
 			continue
 		}
@@ -480,16 +525,16 @@ func (pt *PartitionedTree) MoveRange(caller *Owner, lo, hi int64, newOwner *Owne
 		}
 		moved := st.tree.extractRangeNL(cutLo, cutHi)
 		if st.lo < cutLo {
-			out = append(out, &subtree{lo: st.lo, hi: cutLo - 1, owner: st.owner, exec: st.exec, tree: st.tree})
-			out = append(out, &subtree{lo: cutLo, hi: cutHi, owner: newOwner, exec: newExec, tree: newTreeFromSorted(pt.cs, moved)})
+			out = append(out, &subtree{lo: st.lo, hi: cutLo - 1, owner: st.owner, exec: st.exec, execAsync: st.execAsync, tree: st.tree})
+			out = append(out, &subtree{lo: cutLo, hi: cutHi, owner: newOwner, exec: newExec, execAsync: newAsync, tree: newTreeFromSorted(pt.cs, moved)})
 			if cutHi < st.hi {
 				rest := st.tree.extractRangeNL(cutHi+1, st.hi)
-				out = append(out, &subtree{lo: cutHi + 1, hi: st.hi, owner: st.owner, exec: st.exec, tree: newTreeFromSorted(pt.cs, rest)})
+				out = append(out, &subtree{lo: cutHi + 1, hi: st.hi, owner: st.owner, exec: st.exec, execAsync: st.execAsync, tree: newTreeFromSorted(pt.cs, rest)})
 			}
 		} else {
-			out = append(out, &subtree{lo: cutLo, hi: cutHi, owner: newOwner, exec: newExec, tree: newTreeFromSorted(pt.cs, moved)})
+			out = append(out, &subtree{lo: cutLo, hi: cutHi, owner: newOwner, exec: newExec, execAsync: newAsync, tree: newTreeFromSorted(pt.cs, moved)})
 			if cutHi < st.hi {
-				out = append(out, &subtree{lo: cutHi + 1, hi: st.hi, owner: st.owner, exec: st.exec, tree: st.tree})
+				out = append(out, &subtree{lo: cutHi + 1, hi: st.hi, owner: st.owner, exec: st.exec, execAsync: st.execAsync, tree: st.tree})
 			}
 		}
 	}
@@ -499,13 +544,13 @@ func (pt *PartitionedTree) MoveRange(caller *Owner, lo, hi int64, newOwner *Owne
 // ReassignOwner points every subtree owned by from at to (merge
 // evacuation: the adopting worker takes the retiring worker's subtrees
 // wholesale, no data movement). Must be called on the retiring owner's
-// goroutine.
-func (pt *PartitionedTree) ReassignOwner(from, to *Owner, exec OwnerExec) {
+// goroutine. execAsync may be nil (blocking-ships configuration).
+func (pt *PartitionedTree) ReassignOwner(from, to *Owner, exec OwnerExec, execAsync OwnerExecAsync) {
 	pt.mu.Lock()
 	defer pt.mu.Unlock()
 	for _, st := range pt.subs {
 		if st.owner == from {
-			st.owner, st.exec = to, exec
+			st.owner, st.exec, st.execAsync = to, exec, execAsync
 		}
 	}
 }
@@ -586,7 +631,7 @@ func (pt *PartitionedTree) CompactOwned(caller *Owner, minUtil float64) CompactS
 			}
 			merged = &subtree{
 				lo: run[0].lo, hi: run[len(run)-1].hi,
-				owner: caller, exec: st.exec,
+				owner: caller, exec: st.exec, execAsync: st.execAsync,
 				tree: newTreeFromSorted(pt.cs, pairs),
 			}
 			newLeaves, _ := merged.tree.leafStatsNL()

@@ -73,14 +73,45 @@ type Balancer struct {
 	wg     sync.WaitGroup
 	tables []string
 
+	// maintGate, when set, reports whether a table's physical layout is
+	// still converging under the maintenance daemon (see SetMaintGate).
+	// Guarded by gateMu: the gate may be installed while the observation
+	// loop runs.
+	gateMu    sync.Mutex
+	maintGate func(table string) bool
+
 	// lastExec tracks per-worker executed counts between samples; idle
 	// counts consecutive samples with no work (merge candidates).
 	lastExec map[int]int64
 	idle     map[int]int
 
-	// Splits and Merges count re-partitioning decisions taken.
-	Splits metrics.Counter
-	Merges metrics.Counter
+	// Splits and Merges count re-partitioning decisions taken; Deferred
+	// counts decisions withheld because maintenance was still converging
+	// the table (maintenance-aware balancing).
+	Splits   metrics.Counter
+	Merges   metrics.Counter
+	Deferred metrics.Counter
+}
+
+// SetMaintGate installs the maintenance daemon's convergence probe
+// (typically maint.Daemon.Converging). While the probe reports true for
+// a table, the balancer defers split and merge decisions on it: a
+// topology change mid-migration would strand freshly moved pages on the
+// wrong owner and make the daemon re-migrate them. Load imbalance only
+// delays — the next sample after convergence acts on it.
+func (b *Balancer) SetMaintGate(gate func(table string) bool) {
+	b.gateMu.Lock()
+	b.maintGate = gate
+	b.gateMu.Unlock()
+}
+
+// gatedBy reports whether the maintenance gate currently defers
+// decisions on table.
+func (b *Balancer) gatedBy(table string) bool {
+	b.gateMu.Lock()
+	gate := b.maintGate
+	b.gateMu.Unlock()
+	return gate != nil && gate(table)
 }
 
 // NewBalancer builds (but does not start) a balancer over the named
@@ -126,6 +157,10 @@ func (b *Balancer) observe(table string) {
 	if len(stats) == 0 {
 		return
 	}
+	// Maintenance-aware: never re-partition a table mid-migration. The
+	// sampling state below still updates, so the load picture stays
+	// fresh for the first post-convergence sample.
+	gated := b.gatedBy(table)
 	live := len(stats)
 	// Load per partition: work done since the last sample (the worker's
 	// share of execution) plus standing queue and parked waiters. Pure
@@ -169,6 +204,10 @@ func (b *Balancer) observe(table string) {
 			othersMean = float64(totalQ-load(hot)) / float64(live-1)
 		}
 		if live == 1 || float64(load(hot)) > b.pol.SplitFactor*(othersMean+1) {
+			if gated {
+				b.Deferred.Inc()
+				return
+			}
 			if mid, ok := b.midpointOf(table, hot.Worker); ok {
 				if _, err := b.eng.SplitPartition(table, hot.Worker, mid); err == nil {
 					b.Splits.Inc()
@@ -182,6 +221,10 @@ func (b *Balancer) observe(table string) {
 	// not loaded" — a partition idle for several samples folds into the
 	// least-loaded survivor, while others still have work.
 	if cold != nil && live > b.pol.MinParts && totalQ > 0 {
+		if gated {
+			b.Deferred.Inc()
+			return
+		}
 		into, bestQ := -1, 1<<30
 		for i := range stats {
 			st := &stats[i]

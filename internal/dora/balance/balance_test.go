@@ -3,6 +3,7 @@ package balance
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -105,6 +106,75 @@ func TestBalancerSplitsHotPartition(t *testing.T) {
 	if e.NumPartitions("kv") < 3 {
 		t.Fatalf("partitions = %d after split", e.NumPartitions("kv"))
 	}
+}
+
+// TestBalancerDefersWhileConverging: the maintenance-aware balancer
+// withholds split/merge decisions while the maintenance daemon reports
+// the table mid-migration, and acts on the standing imbalance as soon
+// as convergence is reached.
+func TestBalancerDefersWhileConverging(t *testing.T) {
+	_, tbl, e := rig(t, 1000, 2)
+	var converging atomic.Bool
+	converging.Store(true)
+	b := NewBalancer(e, Policy{Every: 10 * time.Millisecond, MinQueue: 2, MaxParts: 8}, "kv")
+	b.SetMaintGate(func(table string) bool {
+		if table != "kv" {
+			t.Errorf("gate probed for table %q", table)
+		}
+		return converging.Load()
+	})
+	b.Start()
+	defer b.Stop()
+
+	hot := workload.NewHotspot(1, 1000, 0.95, 50)
+	hot.SetCenter(250)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 32; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = e.Exec(c, writeFlow(tbl, hot.Next(rng)))
+			}
+		}(c)
+	}
+	// While converging: the split pressure registers only as deferrals.
+	deadline := time.After(3 * time.Second)
+	for b.Deferred.Load() == 0 {
+		select {
+		case <-deadline:
+			close(stop)
+			wg.Wait()
+			t.Fatalf("no deferred decisions under load (stats: %+v)", e.PartitionStats())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	if b.Splits.Load() != 0 {
+		close(stop)
+		wg.Wait()
+		t.Fatalf("balancer split mid-migration (splits=%d)", b.Splits.Load())
+	}
+	// Converged: the next samples act on the imbalance.
+	converging.Store(false)
+	deadline = time.After(3 * time.Second)
+	for b.Splits.Load() == 0 {
+		select {
+		case <-deadline:
+			close(stop)
+			wg.Wait()
+			t.Fatal("balancer never split after convergence")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
 
 func TestAdvisorSuggestsRepartitioning(t *testing.T) {

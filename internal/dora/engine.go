@@ -10,12 +10,22 @@
 // Partitions are purely logical (key ranges in routing tables), so load
 // imbalance is fixed by moving range boundaries — no data moves, and no
 // distributed transactions appear (paper §1.1).
+//
+// Execution is asynchronous end to end: cross-partition operations ship
+// with continuations instead of parking their senders (cont.go), action
+// bodies suspend on foreign logical ops while their worker drains its
+// inbox, and phases advance purely by RVP countdowns (ExecAsync) — no
+// goroutine ever waits on another partition's work, which makes
+// arbitrary action bodies deadlock-safe by construction.
+// Config.BlockingShips restores the parked-sender protocol as a
+// measurement baseline.
 package dora
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dora/internal/btree"
@@ -53,11 +63,20 @@ type Config struct {
 	// partitioned access path removes.
 	SharedAccessPath bool
 	// DebugShipCheck enables the ship-graph cycle detector: every
-	// owner-thread ship carries its chain of traversed workers, and a
-	// ship targeting a worker already in the chain fails fast with a
-	// diagnostic panic instead of deadlocking (shipcheck.go). Debug
+	// owner-thread ship — blocking or continuation — carries its chain
+	// of traversed workers, and a ship targeting a worker already in the
+	// chain is reported (shipcheck.go). The report is a fail-fast
+	// diagnostic panic when that worker is parked on the chain (a
+	// blocking hop: the cycle would deadlock) and a counted non-fatal
+	// diagnosis when it is not (continuation hops cannot wedge). Debug
 	// mode: it costs a goroutine-id lookup per ship.
 	DebugShipCheck bool
+	// BlockingShips selects the legacy parked-sender ship protocol:
+	// every cross-partition operation blocks its sender for the full
+	// round trip, action bodies never receive an AsyncHost, and the
+	// committers roll back synchronously. The measurement baseline for
+	// experiment E14; continuation-passing ships are the default.
+	BlockingShips bool
 }
 
 func (c *Config) fill() {
@@ -111,6 +130,13 @@ type Dora struct {
 	Committed metrics.Counter
 	Aborted   metrics.Counter
 	Timeouts  metrics.Counter
+
+	// retiredShips accumulates the cumulative ship counters of workers
+	// merged away, so ShipSnapshot's engine-wide totals never go
+	// backward when a partition retires.
+	retiredShips struct {
+		blocking, cont, konts, overlap metrics.Counter
+	}
 
 	unalignedMu sync.Mutex
 	unaligned   map[uint32]map[string]int64 // table -> probed field -> count
@@ -179,13 +205,14 @@ func (e *Dora) claimAccessPaths(tbl *catalog.Table) {
 		ranges = rt.Ranges()
 	}
 	type tgt struct {
-		tok  *btree.Owner
-		exec btree.OwnerExec
+		tok   *btree.Owner
+		exec  btree.OwnerExec
+		async btree.OwnerExecAsync
 	}
 	targets := make([]tgt, len(ranges))
 	for i, r := range ranges {
 		if p := e.byWorker[r.Part]; p != nil {
-			targets[i] = tgt{p.token, p.ownerExec()}
+			targets[i] = tgt{p.token, p.ownerExec(), e.asyncHookFor(p)}
 		}
 	}
 	e.topoMu.RUnlock()
@@ -202,7 +229,8 @@ func (e *Dora) claimAccessPaths(tbl *catalog.Table) {
 			}
 			keyLo, keyHi := ix.RouteRange(r.Lo, r.Hi)
 			claims = append(claims, btree.ClaimRange{
-				Lo: keyLo, Hi: keyHi, Owner: targets[i].tok, Exec: targets[i].exec,
+				Lo: keyLo, Hi: keyHi, Owner: targets[i].tok,
+				Exec: targets[i].exec, ExecAsync: targets[i].async,
 			})
 		}
 		pt.Claim(claims)
@@ -225,14 +253,46 @@ func (e *Dora) Name() string { return "dora" }
 // Exec implements engine.Engine: decompose the flow into actions, route
 // phase 0, and wait for the final rendezvous point's verdict.
 func (e *Dora) Exec(worker int, flow *xct.Flow) error {
+	ch := make(chan error, 1)
+	e.ExecAsync(worker, flow, func(err error) { ch <- err })
+	return <-ch
+}
+
+// ExecAsync runs the flow without blocking the caller: phase 0's actions
+// are dispatched fire-and-forget, every later phase (and the commit
+// decision) is triggered by an RVP countdown reaching zero, and done
+// fires exactly once — from the commit pipeline — with the transaction's
+// verdict. Nothing in the flow's lifetime parks a goroutine on another
+// partition's work: this is the paper's asynchronous action model end to
+// end, with Exec as the thin synchronous wrapper clients use.
+func (e *Dora) ExecAsync(worker int, flow *xct.Flow, done func(error)) {
 	if len(flow.Phases) == 0 {
-		return nil
+		done(nil)
+		return
 	}
+	// The gate is held shared for the whole transaction and released by
+	// whichever goroutine completes it (sync.RWMutex permits that). A
+	// panic out of the dispatch must release it too — once, even if a
+	// partially dispatched run still completes later — or the next
+	// writer (Repartition, Close) would wedge the whole engine.
 	e.execGate.RLock()
-	defer e.execGate.RUnlock()
-	run := newFlowRun(e, flow, e.sm.Begin())
+	released := new(atomic.Bool)
+	release := func() {
+		if released.CompareAndSwap(false, true) {
+			e.execGate.RUnlock()
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			release()
+			panic(r)
+		}
+	}()
+	run := newFlowRun(e, flow, e.sm.Begin(), func(err error) {
+		release()
+		done(err)
+	})
 	e.dispatchPhase(run, 0)
-	return <-run.done
 }
 
 // dispatchPhase routes every action of a phase and enqueues them
@@ -359,16 +419,28 @@ func (e *Dora) committer() {
 		if ferr := run.firstErr(); ferr != nil {
 			// Rollback is safe off-partition: the run still holds its
 			// local locks, so no other transaction can touch its data
-			// logically — and physically, the committer's index
-			// compensations ship to the owning partition workers through
-			// the partitioned trees' owner executors (thread-to-data is
-			// preserved under rollback).
-			if rbErr := e.sm.Rollback(run.txn); rbErr != nil {
-				panic(fmt.Sprintf("dora: rollback of txn %d failed: %v", run.txn.ID, rbErr))
+			// logically — and physically, the committer's compensations
+			// ship to the owning partition workers through the
+			// partitioned trees' owner executors (thread-to-data is
+			// preserved under rollback). With continuation ships the
+			// whole undo chain rides the async path: the committer fires
+			// it and moves to the next run; the final continuation
+			// releases the locks and reports the abort.
+			run := run
+			ferr := ferr
+			fin := func(rbErr error) {
+				if rbErr != nil {
+					panic(fmt.Sprintf("dora: rollback of txn %d failed: %v", run.txn.ID, rbErr))
+				}
+				e.Aborted.Inc()
+				e.broadcastRelease(run)
+				run.finish(ferr)
 			}
-			e.Aborted.Inc()
-			e.broadcastRelease(run)
-			run.done <- ferr
+			if e.cfg.BlockingShips {
+				fin(e.sm.Rollback(run.txn))
+			} else {
+				e.sm.RollbackAsync(nil, run.txn, nil, fin)
+			}
 			continue
 		}
 		e.sm.CommitAsync(run.txn, func(err error) {
@@ -380,7 +452,7 @@ func (e *Dora) committer() {
 			} else {
 				e.Committed.Inc()
 			}
-			run.done <- err
+			run.finish(err)
 		})
 		e.broadcastRelease(run)
 	}

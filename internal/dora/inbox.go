@@ -22,6 +22,19 @@ type inbox struct {
 	items    []msg
 	closed   bool
 	qlen     atomic.Int64
+	// qcont mirrors how much of qlen is continuation traffic (contMsg,
+	// maintContMsg, kontMsg) — the monitor's signal for how much of a
+	// worker's queue depth the asynchronous ship machinery contributes.
+	qcont atomic.Int64
+}
+
+// isContTraffic classifies continuation-machinery messages for qcont.
+func isContTraffic(m msg) bool {
+	switch m.(type) {
+	case *contMsg, *maintContMsg, *kontMsg:
+		return true
+	}
+	return false
 }
 
 func newInbox() *inbox {
@@ -35,6 +48,9 @@ func (ib *inbox) push(m msg) {
 	ib.mu.Lock()
 	ib.items = append(ib.items, m)
 	ib.qlen.Add(1)
+	if isContTraffic(m) {
+		ib.qcont.Add(1)
+	}
 	ib.mu.Unlock()
 	ib.nonEmpty.Signal()
 }
@@ -51,6 +67,9 @@ func (ib *inbox) pushChecked(m msg) bool {
 	}
 	ib.items = append(ib.items, m)
 	ib.qlen.Add(1)
+	if isContTraffic(m) {
+		ib.qcont.Add(1)
+	}
 	ib.mu.Unlock()
 	ib.nonEmpty.Signal()
 	return true
@@ -63,6 +82,9 @@ func (ib *inbox) lockForEnqueue() { ib.mu.Lock() }
 func (ib *inbox) appendLocked(m msg) {
 	ib.items = append(ib.items, m)
 	ib.qlen.Add(1)
+	if isContTraffic(m) {
+		ib.qcont.Add(1)
+	}
 }
 func (ib *inbox) unlockAfterEnqueue() {
 	ib.mu.Unlock()
@@ -89,6 +111,7 @@ func (ib *inbox) popAll(buf []msg) (batch []msg, ok bool) {
 	}
 	ib.items = buf[:0]
 	ib.qlen.Store(0)
+	ib.qcont.Store(0)
 	ib.mu.Unlock()
 	return batch, true
 }
@@ -97,6 +120,12 @@ func (ib *inbox) popAll(buf []msg) (batch []msg, ok bool) {
 // mutex round: the load balancer polls every partition each tick.
 func (ib *inbox) length() int {
 	return int(ib.qlen.Load())
+}
+
+// contLength returns how much of the current queue is continuation
+// traffic (monitor statistic).
+func (ib *inbox) contLength() int {
+	return int(ib.qcont.Load())
 }
 
 // close wakes the worker to exit once the queue drains.
@@ -115,6 +144,7 @@ func (ib *inbox) closeAndDrain() []msg {
 	rest := ib.items
 	ib.items = nil
 	ib.qlen.Store(0)
+	ib.qcont.Store(0)
 	ib.mu.Unlock()
 	ib.nonEmpty.Broadcast()
 	return rest

@@ -87,7 +87,7 @@ func (e *Dora) ExecOnOwner(table string, v int64, fn func(*OwnerCtx)) bool {
 		}
 		m := &maintMsg{fn: fn, done: make(chan struct{})}
 		if det := e.shipDet; det != nil {
-			m.path = det.extendPath(p.worker)
+			m.path = det.extendPath(p.worker, true)
 		}
 		if p.in.pushChecked(m) {
 			<-m.done
@@ -103,6 +103,67 @@ func (e *Dora) ExecOnOwner(table string, v int64, fn func(*OwnerCtx)) bool {
 		runtime.Gosched()
 	}
 	return false
+}
+
+// ExecOnOwnerAsync is ExecOnOwner in continuation-passing style: it
+// returns as soon as the operation is enqueued (or resolution failed)
+// and done(ok) fires exactly once — inline on the owner's thread right
+// after fn ran, since maintenance callers pass no home executor. The
+// execution gate is held shared until done fires, so a quiescing
+// Repartition still never interleaves with an in-flight maintenance
+// operation. The maintenance daemon uses this to fan one operation out
+// to several owners concurrently (e.g. compaction across all partitions
+// of a table) instead of parking on each round trip in turn. Under
+// Config.BlockingShips it degrades to the parked-sender ExecOnOwner so
+// the measurement baseline keeps the legacy protocol everywhere.
+func (e *Dora) ExecOnOwnerAsync(table string, v int64, fn func(*OwnerCtx), done func(ok bool)) {
+	if e.cfg.BlockingShips {
+		done(e.ExecOnOwner(table, v, fn))
+		return
+	}
+	e.execGate.RLock()
+	finish := func(ok bool) {
+		e.execGate.RUnlock()
+		done(ok)
+	}
+	if e.closed {
+		finish(false)
+		return
+	}
+	tbl := e.sm.Cat.Table(table)
+	if tbl == nil {
+		finish(false)
+		return
+	}
+	var attempt func(tries int)
+	attempt = func(tries int) {
+		for ; tries < 1024; tries++ {
+			p := e.ownerOf(tbl, v)
+			if p == nil {
+				finish(false)
+				return
+			}
+			tries := tries
+			m := &maintContMsg{contReply: contReply{k: func(ok bool) {
+				if ok {
+					finish(true)
+					return
+				}
+				// The worker retired before running fn (split/merge
+				// race); re-resolve from the continuation.
+				attempt(tries + 1)
+			}}, fn: fn}
+			if det := e.shipDet; det != nil {
+				m.path = det.extendPath(p.worker, false)
+			}
+			if p.in.pushChecked(m) {
+				return
+			}
+			runtime.Gosched()
+		}
+		finish(false)
+	}
+	attempt(0)
 }
 
 // OwnerQueueLen reports the inbox depth of the worker owning routing

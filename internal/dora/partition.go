@@ -1,6 +1,7 @@
 package dora
 
 import (
+	"sync/atomic"
 	"time"
 
 	"dora/internal/btree"
@@ -72,7 +73,7 @@ type applyMsg struct {
 	fn   func(tok *btree.Owner)
 	done chan struct{}
 	ok   bool
-	path []int
+	path []shipHop
 	cyc  *shipCycleError
 }
 
@@ -89,7 +90,7 @@ type maintMsg struct {
 	fn   func(*OwnerCtx)
 	done chan struct{}
 	ok   bool
-	path []int
+	path []shipHop
 	cyc  *shipCycleError
 }
 
@@ -124,8 +125,15 @@ type partition struct {
 	ses    *sm.Session
 
 	// forward is non-nil after evacuation (merge): everything is
-	// forwarded to the adopting partition.
+	// forwarded to the adopting partition. Only this worker's goroutine
+	// touches it; fwd mirrors it atomically for cross-thread continuation
+	// delivery (deliverHome walks the merge chain from owner threads).
 	forward *partition
+	fwd     atomic.Pointer[partition]
+	// homeExec delivers continuations of operations this worker
+	// suspended on back to its inbox (built once; handed to the btree
+	// layer as the ContExec of every async ship this worker originates).
+	homeExec btree.ContExec
 	// adoptWait buffers messages until migrated state arrives (split).
 	adoptWait bool
 	pending   []msg
@@ -138,12 +146,26 @@ type partition struct {
 	Executed metrics.Counter
 	Waited   metrics.Counter
 	Stale    metrics.Counter
-	// Shipped counts foreign access-path operations executed here.
-	Shipped metrics.Counter
+	// Shipped counts blocking foreign access-path operations executed
+	// here (parked-sender applyMsgs); ContShipped counts
+	// continuation-passing ones (contMsgs); KontRun counts continuations
+	// delivered to and run on this worker (completions of foreign
+	// operations it suspended on).
+	Shipped     metrics.Counter
+	ContShipped metrics.Counter
+	KontRun     metrics.Counter
+	// OverlapExec counts actions this worker executed while at least one
+	// of its earlier actions was suspended on an in-flight foreign
+	// operation — the proof that continuation ships keep the sender
+	// draining its inbox (structurally zero under blocking ships).
+	OverlapExec metrics.Counter
 	// HeldKeys mirrors the local lock table size for the monitor;
-	// WaitingNow mirrors its parked-waiter count (congestion signal).
-	HeldKeys   metrics.Gauge
-	WaitingNow metrics.Gauge
+	// WaitingNow mirrors its parked-waiter count (congestion signal);
+	// SuspendedNow counts this worker's actions currently suspended on
+	// in-flight foreign operations.
+	HeldKeys     metrics.Gauge
+	WaitingNow   metrics.Gauge
+	SuspendedNow metrics.Gauge
 }
 
 func newPartition(e *Dora, tbl *catalog.Table, worker int, adoptWait bool) *partition {
@@ -155,7 +177,7 @@ func newPartition(e *Dora, tbl *catalog.Table, worker int, adoptWait bool) *part
 		// pre-PLP physical behaviour, exactly.
 		ses = e.sm.Session(worker)
 	}
-	return &partition{
+	p := &partition{
 		eng:       e,
 		tbl:       tbl,
 		worker:    worker,
@@ -165,6 +187,8 @@ func newPartition(e *Dora, tbl *catalog.Table, worker int, adoptWait bool) *part
 		ses:       ses,
 		adoptWait: adoptWait,
 	}
+	p.homeExec = p.deliverHome
+	return p
 }
 
 // ownerExec is the hook installed into claimed subtrees: it ships fn to
@@ -176,7 +200,7 @@ func (p *partition) ownerExec() btree.OwnerExec {
 	return func(fn func(tok *btree.Owner)) bool {
 		m := &applyMsg{fn: fn, done: make(chan struct{})}
 		if det := p.eng.shipDet; det != nil {
-			m.path = det.extendPath(p.worker)
+			m.path = det.extendPath(p.worker, true)
 		}
 		if !p.in.pushChecked(m) {
 			return false
@@ -225,8 +249,17 @@ func (p *partition) loop() {
 // dispose routes a message this retiring worker will never process:
 // forwarded when a successor exists, failed back to the sender when it is
 // a shipped op, dropped otherwise (parity with messages that used to rot
-// in a dead worker's queue).
+// in a dead worker's queue). Continuations are special: losing one
+// strands a transaction's RVP, so with no live successor they run inline
+// on this (the disposing) goroutine — the shutdown fall-through, where
+// the access paths are back on the shared latched path.
 func (p *partition) dispose(m msg) {
+	if km, isKont := m.(*kontMsg); isKont {
+		if p.forward == nil || !p.forward.in.pushChecked(m) {
+			km.k()
+		}
+		return
+	}
 	if sh, isShipped := m.(shipped); isShipped {
 		if p.forward == nil || !p.forward.in.pushChecked(m) {
 			sh.failShip()
@@ -286,6 +319,29 @@ func (p *partition) handle(m msg) bool {
 		t.cyc = p.runShipped(t.path, func() { t.fn(&OwnerCtx{p: p}) })
 		t.ok = true
 		close(t.done)
+	case *contMsg:
+		// Continuation ship: run the op, enqueue the continuation back.
+		// A cycle error can still surface here in debug mode — a nested
+		// BLOCKING hop inside fn targeting a parked worker aborts the op
+		// midway. There is no parked sender to unwind it to, so fail
+		// fast on this thread rather than deliver a half-executed op as
+		// success.
+		p.ContShipped.Inc()
+		if cyc := p.runShipped(t.path, func() { t.fn(p.token) }); cyc != nil {
+			panic(cyc)
+		}
+		t.deliver(true)
+	case *maintContMsg:
+		if cyc := p.runShipped(t.path, func() { t.fn(&OwnerCtx{p: p}) }); cyc != nil {
+			panic(cyc)
+		}
+		t.deliver(true)
+	case *kontMsg:
+		// A foreign operation this worker suspended on completed: run the
+		// continuation on this thread (it may resume an action body, ship
+		// again, or report to an RVP).
+		p.KontRun.Inc()
+		t.k()
 	case releaseMsg:
 		runnable := p.locks.release(t.txn)
 		p.HeldKeys.Set(int64(p.locks.heldKeys()))
@@ -321,12 +377,13 @@ func (p *partition) handle(m msg) bool {
 		// ranges, so the exclusivity promise transfers intact.
 		for _, ix := range p.tbl.Indexes() {
 			if pt := ix.Partitioned(); pt != nil {
-				pt.ReassignOwner(p.token, t.to.token, t.to.ownerExec())
+				pt.ReassignOwner(p.token, t.to.token, t.to.ownerExec(), p.eng.asyncHookFor(t.to))
 			}
 		}
 		p.tbl.Heap.ReassignStamps(p.token, t.to.token)
 		t.to.in.push(&adoptMsg{entries: entries})
 		p.forward = t.to
+		p.fwd.Store(t.to)
 		close(t.ack)
 	case *clearMsg:
 		p.locks = newLocalLockTable()
@@ -375,7 +432,7 @@ func (p *partition) moveAccessPaths(at, hi int64, q *partition) {
 			continue
 		}
 		keyLo, keyHi := ix.RouteRange(at, hi)
-		pt.MoveRange(p.token, keyLo, keyHi, q.token, q.ownerExec())
+		pt.MoveRange(p.token, keyLo, keyHi, q.token, q.ownerExec(), p.eng.asyncHookFor(q))
 	}
 }
 
@@ -401,6 +458,11 @@ func (p *partition) handleAction(am *actionMsg) {
 
 // execute runs a granted action and reports to its RVP. Granted claims
 // have nothing to run: the lock is now held for the future action.
+//
+// In continuation mode the body receives an AsyncHost: it may suspend
+// itself on a foreign operation, in which case the worker moves on
+// (draining its inbox while the foreign op is in flight) and the
+// action's resume continuation reports to the RVP instead.
 func (p *partition) execute(am *actionMsg) {
 	if am.claim {
 		return
@@ -412,7 +474,20 @@ func (p *partition) execute(am *actionMsg) {
 		p.eng.report(am.rvp, nil)
 		return
 	}
+	if p.SuspendedNow.Load() > 0 {
+		p.OverlapExec.Inc()
+	}
 	env := &xct.Env{Txn: am.run.txn, Ses: p.ses}
+	if !p.eng.cfg.BlockingShips {
+		host := &actionHost{p: p, am: am}
+		env.Async = host
+		err := am.act.Run(env)
+		if host.suspended {
+			return // the resume continuation owns the RVP report
+		}
+		p.eng.report(am.rvp, err)
+		return
+	}
 	err := am.act.Run(env)
 	p.eng.report(am.rvp, err)
 }

@@ -11,14 +11,27 @@ type PartitionStat struct {
 	Table    string `json:"table"`
 	Worker   int    `json:"worker"`
 	QueueLen int    `json:"queue_len"`
-	Waiting  int64  `json:"waiting"` // actions parked in the local lock table
-	Executed int64  `json:"executed"`
-	Waited   int64  `json:"waited"`
-	// Shipped counts foreign access-path operations executed on this
-	// worker (cross-partition scans, rollback compensation, external
-	// sessions reaching into owned subtrees).
-	Shipped  int64 `json:"shipped"`
-	HeldKeys int64 `json:"held_keys"`
+	// QueueCont is how much of QueueLen is continuation traffic (ships,
+	// continuation deliveries) rather than routed actions.
+	QueueCont int   `json:"queue_cont"`
+	Waiting   int64 `json:"waiting"` // actions parked in the local lock table
+	Executed  int64 `json:"executed"`
+	Waited    int64 `json:"waited"`
+	// Shipped counts blocking (parked-sender) foreign access-path
+	// operations executed on this worker; ContShipped counts
+	// continuation-passing ones; KontRun counts continuations delivered
+	// back to this worker (completions of foreign operations it
+	// suspended on).
+	Shipped     int64 `json:"shipped"`
+	ContShipped int64 `json:"cont_shipped"`
+	KontRun     int64 `json:"kont_run"`
+	// Suspended is the number of this worker's actions currently
+	// suspended on in-flight foreign operations; OverlapExec counts
+	// actions it executed while at least one was suspended — the
+	// sender-thread-utilization signal of experiment E14.
+	Suspended   int64 `json:"suspended"`
+	OverlapExec int64 `json:"overlap_exec"`
+	HeldKeys    int64 `json:"held_keys"`
 	// Ranges is the number of routing ranges assigned to this worker and
 	// Width their total value-space width.
 	Ranges int   `json:"ranges"`
@@ -34,14 +47,19 @@ func (e *Dora) PartitionStats() []PartitionStat {
 		rt := e.routers[tblID]
 		for _, p := range parts {
 			st := PartitionStat{
-				Table:    p.tbl.Name,
-				Worker:   p.worker,
-				QueueLen: p.queueLen(),
-				Waiting:  p.WaitingNow.Load(),
-				Executed: p.Executed.Load(),
-				Waited:   p.Waited.Load(),
-				Shipped:  p.Shipped.Load(),
-				HeldKeys: p.HeldKeys.Load(),
+				Table:       p.tbl.Name,
+				Worker:      p.worker,
+				QueueLen:    p.queueLen(),
+				QueueCont:   p.in.contLength(),
+				Waiting:     p.WaitingNow.Load(),
+				Executed:    p.Executed.Load(),
+				Waited:      p.Waited.Load(),
+				Shipped:     p.Shipped.Load(),
+				ContShipped: p.ContShipped.Load(),
+				KontRun:     p.KontRun.Load(),
+				Suspended:   p.SuspendedNow.Load(),
+				OverlapExec: p.OverlapExec.Load(),
+				HeldKeys:    p.HeldKeys.Load(),
 			}
 			if rt != nil {
 				for _, r := range rt.Ranges() {
@@ -55,6 +73,60 @@ func (e *Dora) PartitionStats() []PartitionStat {
 		}
 	}
 	return out
+}
+
+// ShipStats aggregates the engine's ship accounting across all live
+// partitions (monitor, experiment E14).
+type ShipStats struct {
+	// BlockingShips / ContShips are foreign operations executed on owner
+	// threads, by protocol; KontsRun counts delivered continuations.
+	BlockingShips int64 `json:"blocking_ships"`
+	ContShips     int64 `json:"cont_ships"`
+	KontsRun      int64 `json:"konts_run"`
+	// SuspendedNow is the engine-wide number of actions currently
+	// suspended on in-flight foreign operations; OverlapExec the total
+	// actions executed by workers while they had one suspended.
+	SuspendedNow int64 `json:"suspended_now"`
+	OverlapExec  int64 `json:"overlap_exec"`
+	// ContQueue is the current inbox depth contributed by continuation
+	// traffic, summed over workers.
+	ContQueue int64 `json:"cont_queue"`
+	// CyclesDiagnosed / LastCycle report the debug-mode detector's
+	// non-fatal cycle diagnoses (continuation mode only; zero/"" when
+	// the detector is off or fail-fast).
+	CyclesDiagnosed int64  `json:"cycles_diagnosed,omitempty"`
+	LastCycle       string `json:"last_cycle,omitempty"`
+}
+
+// ShipSnapshot sums ship statistics over every live partition, plus the
+// accumulated history of workers merged away (cumulative totals never
+// decrease across rebalancing).
+func (e *Dora) ShipSnapshot() ShipStats {
+	var s ShipStats
+	// Retired totals are read under the same topology lock that merges
+	// fold them under, so a worker is always counted as exactly one of
+	// live or retired.
+	e.topoMu.RLock()
+	s.BlockingShips = e.retiredShips.blocking.Load()
+	s.ContShips = e.retiredShips.cont.Load()
+	s.KontsRun = e.retiredShips.konts.Load()
+	s.OverlapExec = e.retiredShips.overlap.Load()
+	for _, parts := range e.tableParts {
+		for _, p := range parts {
+			s.BlockingShips += p.Shipped.Load()
+			s.ContShips += p.ContShipped.Load()
+			s.KontsRun += p.KontRun.Load()
+			s.SuspendedNow += p.SuspendedNow.Load()
+			s.OverlapExec += p.OverlapExec.Load()
+			s.ContQueue += int64(p.in.contLength())
+		}
+	}
+	e.topoMu.RUnlock()
+	if det := e.shipDet; det != nil {
+		s.CyclesDiagnosed = det.Cycles.Load()
+		s.LastCycle = det.LastCycle()
+	}
+	return s
 }
 
 // SplitPartition splits the range of worker `from` of table `table` at
@@ -114,7 +186,11 @@ func (e *Dora) MergePartition(table string, from, into int) error {
 	ack := make(chan struct{})
 	src.in.push(&evacuateMsg{to: dst, ack: ack})
 	<-ack
-	// 2. Now repoint the routing rule and drop src from the live set.
+	// 2. Now repoint the routing rule and drop src from the live set —
+	// folding its cumulative ship history into the retired totals under
+	// the same topology lock, so no ShipSnapshot ever observes the
+	// worker as neither live nor retired (the counters are final: a
+	// forwarder executes nothing).
 	e.topoMu.Lock()
 	e.routers[tbl.ID].Reassign(from, into)
 	parts := e.tableParts[tbl.ID]
@@ -125,6 +201,10 @@ func (e *Dora) MergePartition(table string, from, into int) error {
 		}
 	}
 	delete(e.byWorker, from)
+	e.retiredShips.blocking.Add(src.Shipped.Load())
+	e.retiredShips.cont.Add(src.ContShipped.Load())
+	e.retiredShips.konts.Add(src.KontRun.Load())
+	e.retiredShips.overlap.Add(src.OverlapExec.Load())
 	e.topoMu.Unlock()
 	// 3. Let the forwarder drain and die.
 	dack := make(chan struct{})

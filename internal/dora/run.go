@@ -22,7 +22,10 @@ type flowRun struct {
 	eng  *Dora
 	flow *xct.Flow
 	txn  *tx.Txn
-	done chan error
+	// finish delivers the final verdict to the client exactly once (the
+	// commit pipeline or the rollback continuation calls it). ExecAsync
+	// installs it; Exec's is a channel send.
+	finish func(error)
 
 	mu     sync.Mutex
 	err    error
@@ -31,12 +34,12 @@ type flowRun struct {
 	failedFlag atomic.Bool
 }
 
-func newFlowRun(e *Dora, flow *xct.Flow, txn *tx.Txn) *flowRun {
+func newFlowRun(e *Dora, flow *xct.Flow, txn *tx.Txn, finish func(error)) *flowRun {
 	return &flowRun{
 		eng:    e,
 		flow:   flow,
 		txn:    txn,
-		done:   make(chan error, 1),
+		finish: finish,
 		tables: make(map[uint32]struct{}, 4),
 	}
 }

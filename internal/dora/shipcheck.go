@@ -6,38 +6,66 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+
+	"dora/internal/metrics"
 )
 
 // Ship-graph discipline checking (debug mode, Config.DebugShipCheck).
 //
-// Cross-partition operations execute on the owner's thread and BLOCK the
-// sender, so the graph of in-flight ships must stay acyclic: an action
-// body on worker A whose shipped work on worker B ships back to A
-// deadlocks — A waits in its inbox hand-off for B, B waits for A to
-// drain. Engine-shipped workloads keep this acyclic by construction
-// (TPC-C ships orders→order_line only), but an arbitrary action body can
-// violate it. The detector tracks, per worker goroutine, the chain of
-// workers the currently-executing shipped operation has traveled; a ship
-// whose target already appears in the chain fails fast with a diagnostic
-// instead of deadlocking. The resulting shipCycleError unwinds the chain
-// hop by hop (each hop's sender re-panics after its hand-off completes),
-// so it surfaces at the origin of the cyclic operation.
+// A BLOCKING ship executes on the owner's thread and PARKS the sender,
+// so a chain of blocking ships must stay acyclic: an action body on
+// worker A whose shipped work on worker B ships back to A deadlocks — A
+// waits in its inbox hand-off for B, B waits for A to drain. A
+// CONTINUATION ship parks nobody: the sender keeps draining its inbox
+// while the operation is in flight, so a chain that revisits it merely
+// round-trips messages.
+//
+// The detector therefore tracks, per worker goroutine, the chain of
+// workers the currently-executing shipped operation has traveled AND
+// whether each of them is parked (its outbound hop was blocking) —
+// continuation ships carry the chain in their messages exactly like
+// blocking ones. A ship targeting a worker that is parked on this very
+// chain fails fast with a diagnostic panic BEFORE the message is
+// enqueued (it would deadlock: the target cannot drain); the resulting
+// shipCycleError unwinds the chain hop by hop (each blocking hop's
+// sender re-panics after its hand-off completes), so it surfaces at the
+// origin of the cyclic operation. A ship targeting a worker that is in
+// the chain but NOT parked — possible only via continuation hops — is
+// diagnosed (counted, recorded for the monitor) and allowed to proceed:
+// cycles cannot wedge a non-blocking sender.
+//
+// Chains cover the ships of one operation in flight; a suspended
+// action's RESUME starts a fresh chain. That is sound, not a gap: by
+// the time a continuation runs, every hop of the completed operation
+// has delivered and parks nobody, so there is nothing left for a later
+// ship to deadlock against (multi-hop revisits across a resume are
+// simply new acyclic chains).
 
-// shipCycleError is the fail-fast diagnostic for a cyclic ship.
+// shipHop is one traversed worker in a ship chain. parked records
+// whether the hop OUT of this worker was blocking — i.e. whether the
+// worker is sitting in a channel receive until the chain's deeper hops
+// complete (and therefore cannot drain its inbox).
+type shipHop struct {
+	worker int
+	parked bool
+}
+
+// shipCycleError is the diagnostic for a cyclic ship.
 type shipCycleError struct {
-	path   []int // workers traversed, origin first, sender last
-	target int   // the worker the offending ship addressed
+	path   []shipHop // workers traversed, origin first, sender last
+	target int       // the worker the offending ship addressed
 }
 
 func (e *shipCycleError) Error() string {
 	var b bytes.Buffer
 	b.WriteString("dora: cyclic owner-thread ship: ")
-	for _, w := range e.path {
-		fmt.Fprintf(&b, "worker %d -> ", w)
+	for _, h := range e.path {
+		fmt.Fprintf(&b, "worker %d -> ", h.worker)
 	}
 	fmt.Fprintf(&b, "worker %d (already in the chain); ", e.target)
-	b.WriteString("the action body creates a ship cycle that would deadlock — " +
-		"keep the ship graph acyclic or route the access through the owning partition")
+	b.WriteString("a blocking ship cycle deadlocks — " +
+		"keep the ship graph acyclic, route the access through the owning partition, " +
+		"or use continuation ships (which cannot wedge)")
 	return b.String()
 }
 
@@ -47,16 +75,38 @@ func (e *shipCycleError) Error() string {
 // map that finds the frame does.
 type shipFrame struct {
 	worker int
-	path   []int
+	path   []shipHop
 }
 
 type shipDetector struct {
 	mu     sync.RWMutex
 	frames map[int64]*shipFrame
+
+	// Cycles counts diagnosed (non-fatal) cycles; lastCycle keeps the
+	// most recent diagnostic for the monitor.
+	Cycles    metrics.Counter
+	lastMu    sync.Mutex
+	lastCycle string
 }
 
 func newShipDetector() *shipDetector {
 	return &shipDetector{frames: make(map[int64]*shipFrame)}
+}
+
+// diagnose records a non-fatal cycle detection.
+func (d *shipDetector) diagnose(ce *shipCycleError) {
+	d.Cycles.Inc()
+	d.lastMu.Lock()
+	d.lastCycle = ce.Error()
+	d.lastMu.Unlock()
+}
+
+// LastCycle returns the most recent non-fatal cycle diagnostic ("" when
+// none was ever recorded).
+func (d *shipDetector) LastCycle() string {
+	d.lastMu.Lock()
+	defer d.lastMu.Unlock()
+	return d.lastCycle
 }
 
 // register installs a frame for the calling worker goroutine.
@@ -89,20 +139,31 @@ func (d *shipDetector) current() *shipFrame {
 
 // extendPath computes the ship path for a message the calling goroutine
 // is about to send to target: the chain it is executing on behalf of,
-// plus itself. It panics with a shipCycleError when target is already in
-// that chain — BEFORE the message is enqueued, so nothing deadlocks.
-func (d *shipDetector) extendPath(target int) []int {
+// plus itself with the parked flag of the hop it is about to make
+// (blocking = the caller will park until the ship completes). When
+// target is already in that chain AND parked there, it panics with a
+// shipCycleError — BEFORE the message is enqueued, so nothing
+// deadlocks. A cycle through only non-parked (continuation) hops is
+// diagnosed and allowed.
+func (d *shipDetector) extendPath(target int, blocking bool) []shipHop {
 	fr := d.current()
 	if fr == nil {
 		return nil // fresh chain: first hop, nothing to cycle with
 	}
-	base := make([]int, 0, len(fr.path)+1)
+	base := make([]shipHop, 0, len(fr.path)+1)
 	base = append(base, fr.path...)
-	base = append(base, fr.worker)
-	for _, w := range base {
-		if w == target {
-			panic(&shipCycleError{path: base, target: target})
+	base = append(base, shipHop{worker: fr.worker, parked: blocking})
+	cyclic := false
+	for _, h := range base {
+		if h.worker == target {
+			cyclic = true
+			if h.parked {
+				panic(&shipCycleError{path: base, target: target})
+			}
 		}
+	}
+	if cyclic {
+		d.diagnose(&shipCycleError{path: base, target: target})
 	}
 	return base
 }
@@ -113,7 +174,7 @@ func (d *shipDetector) extendPath(target int) []int {
 // cycle) is captured for the sender to re-raise — hop-by-hop unwinding
 // that lands the diagnostic at the chain's origin. Other panics pass
 // through untouched.
-func (p *partition) runShipped(path []int, fn func()) (cyc *shipCycleError) {
+func (p *partition) runShipped(path []shipHop, fn func()) (cyc *shipCycleError) {
 	det := p.eng.shipDet
 	if det == nil || p.frame == nil {
 		fn()

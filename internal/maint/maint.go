@@ -32,6 +32,7 @@ package maint
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dora/internal/btree"
@@ -115,8 +116,11 @@ type Daemon struct {
 	// dirty marks tables with pending maintenance (rebalance hooks and
 	// background sweeps). A set, not a queue: a storm of rebalance
 	// events on one table costs one convergence pass, not one per event.
-	dirty   map[string]bool
-	dirtyQ  []string // dirty tables in first-marked order
+	dirty  map[string]bool
+	dirtyQ []string // dirty tables in first-marked order
+	// active counts units currently executing per table, so Converging
+	// covers the window between dequeue and completion.
+	active  map[string]int
 	started bool
 	stop    chan struct{}
 	wg      sync.WaitGroup
@@ -137,7 +141,12 @@ type Daemon struct {
 // drive it synchronously with Drain.
 func New(s *sm.SM, e *dora.Dora, cfg Config) *Daemon {
 	cfg.fill()
-	d := &Daemon{sm: s, eng: e, cfg: cfg, dirty: make(map[string]bool), stop: make(chan struct{})}
+	d := &Daemon{
+		sm: s, eng: e, cfg: cfg,
+		dirty:  make(map[string]bool),
+		active: make(map[string]int),
+		stop:   make(chan struct{}),
+	}
 	e.SetRebalanceHook(func(ev dora.RebalanceEvent) {
 		d.markDirty(ev.Table)
 	})
@@ -153,6 +162,28 @@ func (d *Daemon) markDirty(table string) {
 		d.dirtyQ = append(d.dirtyQ, table)
 	}
 	d.mu.Unlock()
+}
+
+// Converging reports whether the table currently has maintenance work
+// pending or in progress — it is marked dirty, convergence units for it
+// are still queued, or a unit is executing right now. The load balancer
+// consults this before splitting or merging the table's partitions:
+// re-partitioning mid-migration would strand freshly moved pages on the
+// wrong owner and force the daemon to re-migrate them. (A paced unit
+// that did work re-marks its table, so the gate stays closed until a
+// full pass finds the fixed point.)
+func (d *Daemon) Converging(table string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dirty[table] || d.active[table] > 0 {
+		return true
+	}
+	for _, u := range d.queue {
+		if u.table == table {
+			return true
+		}
+	}
+	return false
 }
 
 // expandLocked turns the oldest dirty table into one unit per current
@@ -250,7 +281,11 @@ func (d *Daemon) next() (unit, bool) {
 
 // runUnit executes one unit with backpressure: if the owning worker's
 // inbox is deep, the unit is re-queued for a later tick. It reports
-// whether the unit did any work (Drain's convergence signal).
+// whether the unit did any work (Drain's convergence signal). While it
+// executes, the table counts as converging; a unit that did work
+// re-marks its table so the paced loop keeps going until a pass finds
+// no work — between those points the balancer's gate never sees a
+// false "converged".
 func (d *Daemon) runUnit(u unit) bool {
 	if !d.eng.AccessPathClaimed(u.table) {
 		return false // shared path: no owner threads to maintain for
@@ -262,6 +297,16 @@ func (d *Daemon) runUnit(u unit) bool {
 		d.mu.Unlock()
 		return false
 	}
+	d.mu.Lock()
+	d.active[u.table]++
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		if d.active[u.table]--; d.active[u.table] <= 0 {
+			delete(d.active, u.table)
+		}
+		d.mu.Unlock()
+	}()
 	d.UnitsRun.Inc()
 	worked := false
 	switch u.kind {
@@ -271,6 +316,9 @@ func (d *Daemon) runUnit(u unit) bool {
 		})
 	case unitCompact:
 		worked = d.compactTable(u.table)
+	}
+	if worked {
+		d.markDirty(u.table)
 	}
 	return worked
 }
@@ -427,14 +475,20 @@ func (d *Daemon) compactTable(table string) bool {
 	if !need {
 		return false
 	}
-	worked := false
+	// Fan the compaction pass out to every owning worker concurrently
+	// through the continuation ship path: each worker compacts its own
+	// subtrees on its own thread while the daemon waits only for the
+	// slowest, instead of parking on every round trip in turn.
+	var workedAtomic atomic.Bool
+	var wg sync.WaitGroup
 	seen := map[int]bool{}
 	for _, r := range rt.Ranges() {
 		if seen[r.Part] {
 			continue
 		}
 		seen[r.Part] = true
-		d.eng.ExecOnOwner(table, r.Lo, func(ctx *dora.OwnerCtx) {
+		wg.Add(1)
+		d.eng.ExecOnOwnerAsync(table, r.Lo, func(ctx *dora.OwnerCtx) {
 			tok := ctx.Ses().Owner()
 			if tok == nil {
 				return
@@ -449,12 +503,13 @@ func (d *Daemon) compactTable(table string) bool {
 				d.SubtreesRebuilt.Add(int64(cs.Rebuilt))
 				d.GhostsPurged.Add(int64(cs.Ghosts))
 				if cs.Merged+cs.Rebuilt > 0 {
-					worked = true
+					workedAtomic.Store(true)
 				}
 			}
-		})
+		}, func(bool) { wg.Done() })
 	}
-	return worked
+	wg.Wait()
+	return workedAtomic.Load()
 }
 
 // Drain synchronously runs maintenance over the named tables (all when
@@ -486,9 +541,41 @@ func (d *Daemon) Drain(tables ...string) {
 			}
 		}
 		if !worked {
+			// Converged: whatever the paced loop still has queued for
+			// these tables is moot — retire it so Converging (the
+			// balancer's maintenance gate) reads false. A later
+			// rebalance re-marks them.
+			d.clearPending(tables)
 			return
 		}
 	}
+}
+
+// clearPending drops dirty marks and queued units for the given tables
+// (Drain reached their fixed point).
+func (d *Daemon) clearPending(tables []string) {
+	set := make(map[string]bool, len(tables))
+	for _, t := range tables {
+		set[t] = true
+	}
+	d.mu.Lock()
+	keptU := d.queue[:0]
+	for _, u := range d.queue {
+		if !set[u.table] {
+			keptU = append(keptU, u)
+		}
+	}
+	d.queue = keptU
+	keptT := d.dirtyQ[:0]
+	for _, tb := range d.dirtyQ {
+		if set[tb] {
+			delete(d.dirty, tb)
+		} else {
+			keptT = append(keptT, tb)
+		}
+	}
+	d.dirtyQ = keptT
+	d.mu.Unlock()
 }
 
 // Stats is a point-in-time snapshot of the daemon's progress counters.

@@ -42,6 +42,40 @@ func resetOwned(tables ...*catalog.Table) {
 	}
 }
 
+// TestConvergingReportsPendingWork: the balancer's maintenance gate —
+// a rebalance event marks the table converging until the daemon's
+// convergence pass drains its units.
+func TestConvergingReportsPendingWork(t *testing.T) {
+	s, err := sm.Open(sm.Options{Frames: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	db, err := tatp.Load(s, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := dora.New(s, dora.Config{PartitionsPerTable: 2, Domains: db.Domains()})
+	defer e.Close()
+	d := New(s, e, Config{})
+	if d.Converging("subscriber") {
+		t.Fatal("fresh daemon reports subscriber converging")
+	}
+	// A split fires the rebalance hook: the table is dirty until drained.
+	rt := e.Router("subscriber")
+	r := rt.Ranges()[0]
+	if _, err := e.SplitPartition("subscriber", r.Part, r.Lo+(r.Hi-r.Lo)/2); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Converging("subscriber") {
+		t.Fatal("split did not mark subscriber converging")
+	}
+	d.Drain("subscriber")
+	if d.Converging("subscriber") {
+		t.Fatal("subscriber still converging after Drain")
+	}
+}
+
 // TestConvergenceAfterLoad: a freshly loaded database has every page
 // unstamped (the loader is a shared session), so aligned reads latch;
 // one Drain converges the layout and the latched-read ratio drops to 0.

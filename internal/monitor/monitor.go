@@ -52,6 +52,12 @@ type Snapshot struct {
 	Heaps map[string]HeapView `json:"heaps,omitempty"`
 	// Maint is the maintenance daemon's progress (nil when none runs).
 	Maint *maint.Stats `json:"maint,omitempty"`
+	// Ships is the DORA engine's cross-partition ship accounting:
+	// blocking vs continuation ships, continuations delivered, actions
+	// currently suspended on in-flight foreign operations, the inbox
+	// depth continuation traffic contributes, and any diagnosed ship
+	// cycles (nil without a DORA engine).
+	Ships *dora.ShipStats `json:"ships,omitempty"`
 }
 
 // HeapView is one table's heap-ownership statistics.
@@ -125,6 +131,8 @@ func (s *Source) Sample(prev *Snapshot, dt time.Duration) *Snapshot {
 	}
 	if s.Dora != nil {
 		snap.Partitions = s.Dora.PartitionStats()
+		ships := s.Dora.ShipSnapshot()
+		snap.Ships = &ships
 		for _, tbl := range s.SM.Cat.Tables() {
 			rt := s.Dora.Router(tbl.Name)
 			if rt == nil {

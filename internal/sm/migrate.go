@@ -24,8 +24,10 @@ import (
 // It MUST run on the thread owning key's primary subtree (the
 // maintenance daemon reaches it through dora's owner-thread executor),
 // which is what makes the delete→insert→re-point window invisible:
-// every aligned access and every shipped foreign access to the key
-// serializes behind it in the owner's inbox.
+// every aligned access and every shipped foreign access to the key —
+// blocking applyMsgs and continuation-passing contMsgs alike —
+// serializes behind it in the owner's inbox, so the maintenance txn
+// composes with the asynchronous ship path unchanged.
 //
 // Returns false without error when there is nothing to do: the key
 // vanished (deleted by a foreground transaction), the session carries

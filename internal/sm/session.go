@@ -111,23 +111,22 @@ func (ss *Session) ReadByIndex(t *tx.Txn, tbl *catalog.Table, idx string, key in
 	return rec, nil
 }
 
-// ScanRange visits records with lo <= primary key <= hi in key order.
-func (ss *Session) ScanRange(t *tx.Txn, tbl *catalog.Table, lo, hi int64, fn func(key int64, rec tuple.Record) bool) error {
-	type hit struct {
-		key int64
-		rid storage.RID
-	}
-	var hits []hit
-	tbl.Primary.Tree.AscendRangeAs(ss.owner, lo, hi, func(key int64, val uint64) bool {
-		hits = append(hits, hit{key, storage.UnpackRID(val)})
-		return true
-	})
+// scanHit is one index entry collected by a range scan before its heap
+// fetch.
+type scanHit struct {
+	key int64
+	rid storage.RID
+}
+
+// visitHits fetches and decodes each hit's record and applies fn,
+// stopping early when fn returns false. A hit whose record vanished
+// between index scan and heap fetch is skipped defensively (engines
+// prevent this via their isolation protocol).
+func (ss *Session) visitHits(tbl *catalog.Table, hits []scanHit, fn func(key int64, rec tuple.Record) bool) error {
 	for _, h := range hits {
 		ss.trace(tbl, h.key, false)
 		img, err := tbl.Heap.GetOwned(ss.owner, h.rid)
 		if err != nil {
-			// Deleted between index scan and heap fetch: engines prevent
-			// this via their isolation protocol; skip defensively.
 			continue
 		}
 		rec, err := tuple.Decode(img)
@@ -139,6 +138,16 @@ func (ss *Session) ScanRange(t *tx.Txn, tbl *catalog.Table, lo, hi int64, fn fun
 		}
 	}
 	return nil
+}
+
+// ScanRange visits records with lo <= primary key <= hi in key order.
+func (ss *Session) ScanRange(t *tx.Txn, tbl *catalog.Table, lo, hi int64, fn func(key int64, rec tuple.Record) bool) error {
+	var hits []scanHit
+	tbl.Primary.Tree.AscendRangeAs(ss.owner, lo, hi, func(key int64, val uint64) bool {
+		hits = append(hits, scanHit{key, storage.UnpackRID(val)})
+		return true
+	})
+	return ss.visitHits(tbl, hits, fn)
 }
 
 // Insert stores rec under its primary key, maintaining all indexes and

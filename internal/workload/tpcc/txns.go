@@ -232,9 +232,18 @@ func (db *DB) OrderStatusTxn(w, d, c int64) *xct.Flow {
 					}
 					return err
 				}
-				return env.Ses.ScanRange(env.Txn, db.OrderLine,
-					OLKey(w, d, *lastO, 0), OLKey(w, d, *lastO, 15),
-					func(k int64, r tuple.Record) bool { return true })
+				lo, hi := OLKey(w, d, *lastO, 0), OLKey(w, d, *lastO, 15)
+				visit := func(k int64, r tuple.Record) bool { return true }
+				// The order-line scan is this flow's one cross-partition
+				// access (order_line is served by its own workers): with a
+				// continuation engine the action suspends instead of
+				// parking the orders worker for the round trip.
+				if env.Async != nil {
+					resume := env.Async.Suspend()
+					env.Ses.ScanRangeAsync(env.Txn, db.OrderLine, lo, hi, env.Async.Home(), visit, resume)
+					return nil
+				}
+				return env.Ses.ScanRange(env.Txn, db.OrderLine, lo, hi, visit)
 			},
 		})
 }
@@ -286,12 +295,25 @@ func (db *DB) DeliveryTxn(w, carrier int64) *xct.Flow {
 					return err
 				}
 				var total int64
-				err = env.Ses.ScanRange(env.Txn, db.OrderLine,
-					OLKey(w, d, o, 0), OLKey(w, d, o, 15),
-					func(k int64, r tuple.Record) bool {
-						total += r[olAmount].Int
-						return true
-					})
+				lo, hi := OLKey(w, d, o, 0), OLKey(w, d, o, 15)
+				sum := func(k int64, r tuple.Record) bool {
+					total += r[olAmount].Int
+					return true
+				}
+				// Cross-partition order-line scan: suspend on it under a
+				// continuation engine (see OrderStatus); the total lands
+				// in amounts[d] before the resume reports, so the next
+				// phase reads it through the RVP ordering.
+				if env.Async != nil {
+					resume := env.Async.Suspend()
+					env.Ses.ScanRangeAsync(env.Txn, db.OrderLine, lo, hi, env.Async.Home(), sum,
+						func(err error) {
+							amounts[d] = total
+							resume(err)
+						})
+					return nil
+				}
+				err = env.Ses.ScanRange(env.Txn, db.OrderLine, lo, hi, sum)
 				amounts[d] = total
 				return err
 			},

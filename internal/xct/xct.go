@@ -49,6 +49,28 @@ func (m Mode) String() string {
 type Env struct {
 	Txn *tx.Txn
 	Ses *sm.Session
+	// Async, when non-nil, is the engine's continuation host: the action
+	// may suspend itself on a foreign (cross-partition) operation instead
+	// of blocking its worker thread. Engines that execute blocking ships
+	// (the conventional engine; DORA with Config.BlockingShips) leave it
+	// nil and bodies fall back to the synchronous session operations.
+	Async AsyncHost
+}
+
+// AsyncHost is what a continuation-passing engine offers an action body
+// (DORA partition workers implement it; see internal/dora).
+type AsyncHost interface {
+	// Home returns the continuation executor of the thread running the
+	// action: asynchronous session operations deliver their completions
+	// through it, so a suspended action resumes on its own worker.
+	Home() sm.ContExec
+	// Suspend detaches the action from its thread: the engine ignores
+	// the body's return value (return nil after calling Suspend) and the
+	// worker resumes draining its inbox; the returned resume function
+	// must be called exactly once — typically from an async operation's
+	// completion — with the action's final error. Call Suspend at most
+	// once per action execution.
+	Suspend() (resume func(error))
 }
 
 // Resolver maps an action's key to the row's value of another field,
