@@ -110,6 +110,10 @@ func BenchmarkE14ContinuationShips(b *testing.B) {
 	runTable(b, func() (*exp.Table, error) { return exp.E14ContinuationShips(quickCfg()) })
 }
 
+func BenchmarkE15PageCleaning(b *testing.B) {
+	runTable(b, func() (*exp.Table, error) { return exp.E15PageCleaning(quickCfg()) })
+}
+
 func BenchmarkA1PartitionCount(b *testing.B) {
 	runTable(b, func() (*exp.Table, error) { return exp.A1PartitionCount(quickCfg(), []int{1, 4, 8}) })
 }

@@ -1,4 +1,4 @@
-// Command dorabench runs the reproduction experiments (E1–E14 and the
+// Command dorabench runs the reproduction experiments (E1–E15 and the
 // A1–A3 ablations; see README.md) at configurable scale and prints their
 // result tables.
 //
@@ -6,6 +6,7 @@
 //
 //	dorabench -exp e5 -subscribers 50000 -duration 3s
 //	dorabench -exp all -quick
+//	dorabench -exp e15 -arrival 50000 -inflight 512   # open-loop overload
 package main
 
 import (
@@ -20,13 +21,15 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment id (e1..e14, a1..a3, comma-separated, or 'all')")
+		which    = flag.String("exp", "all", "experiment id (e1..e15, a1..a3, comma-separated, or 'all')")
 		subs     = flag.Int64("subscribers", 20000, "TATP scale (subscribers)")
 		whs      = flag.Int64("warehouses", 4, "TPC-C scale (warehouses)")
 		branches = flag.Int64("branches", 8, "TPC-B scale (branches)")
 		dur      = flag.Duration("duration", 2*time.Second, "measured duration per point")
 		clients  = flag.Int("clients", 0, "client count (0 = 2x GOMAXPROCS)")
 		parts    = flag.Int("partitions", 0, "DORA partitions per table (0 = auto)")
+		arrival  = flag.Float64("arrival", 0, "open-loop offered load in txn/s (0 = 2x measured capacity; E15)")
+		inflight = flag.Int("inflight", 0, "open-loop in-flight cap (0 = 256; E15)")
 		quick    = flag.Bool("quick", false, "smoke-test scale")
 	)
 	flag.Parse()
@@ -34,14 +37,18 @@ func main() {
 	cfg := exp.Config{
 		Subscribers: *subs, Warehouses: *whs, Branches: *branches,
 		Duration: *dur, Clients: *clients, Partitions: *parts, Quick: *quick,
+		ArrivalRate: *arrival, MaxInFlight: *inflight,
 	}
 	if *quick {
-		cfg = exp.Config{Quick: true, Clients: *clients, Partitions: *parts}
+		cfg = exp.Config{
+			Quick: true, Clients: *clients, Partitions: *parts,
+			ArrivalRate: *arrival, MaxInFlight: *inflight,
+		}
 	}
 
 	ids := strings.Split(strings.ToLower(*which), ",")
 	if *which == "all" {
-		ids = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "a1", "a2", "a3"}
+		ids = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "a1", "a2", "a3"}
 	}
 	for _, id := range ids {
 		if err := runOne(strings.TrimSpace(id), cfg); err != nil {
@@ -95,6 +102,8 @@ func runOne(id string, cfg exp.Config) error {
 		return show(exp.E13PhysicalMaintenance(cfg))
 	case "e14":
 		return show(exp.E14ContinuationShips(cfg))
+	case "e15":
+		return show(exp.E15PageCleaning(cfg))
 	case "a1":
 		return show(exp.A1PartitionCount(cfg, nil))
 	case "a2":

@@ -20,6 +20,7 @@ import (
 	"os/signal"
 	"time"
 
+	"dora/internal/buffer"
 	"dora/internal/dora"
 	"dora/internal/dora/balance"
 	"dora/internal/engine/conventional"
@@ -64,6 +65,12 @@ func main() {
 	md := maint.New(doraDB.SM, de, maint.Config{})
 	md.Start()
 	defer md.Close()
+	// The flush daemon hardens dirty pages in the background; stamped
+	// pages go through the owner-coordinated copy-on-write snapshot ship,
+	// so owner writes stay latch-free while cleaning runs.
+	cl := buffer.NewCleaner(doraDB.SM.Pool, buffer.CleanerConfig{})
+	cl.Start()
+	defer cl.Close()
 	bal := balance.NewBalancer(de, balance.Policy{Every: 100 * time.Millisecond, MinParts: 2},
 		"subscriber", "access_info", "special_facility", "call_forwarding")
 	bal.SetMaintGate(md.Converging)
@@ -156,6 +163,20 @@ func printSnapshot(s *monitor.Snapshot) {
 	}
 	fmt.Printf("  lockmgr CS=%d latch CS=%d contended=%d  buffer hit=%.3f\n",
 		s.CS.LockMgr, s.CS.Latch, s.CS.Contended, s.BufferHitRate)
+	var owned, latched, stampedPages int64
+	for _, hv := range s.Heaps {
+		owned += hv.OwnedWrites
+		latched += hv.OwnedWritesLatched
+		stampedPages += int64(hv.StampedPages)
+	}
+	if owned > 0 || stampedPages > 0 {
+		fmt.Printf("  owned writes=%d latched=%d stamped pages=%d\n",
+			owned, latched, stampedPages)
+	}
+	if pc := s.PageCleaning; pc != nil {
+		fmt.Printf("  page cleaning: snap ships=%d cleans=%d stamped evictions=%d dirty writes=%d\n",
+			pc.SnapshotShips, pc.SnapshotCleans, pc.StampedEvictions, pc.DirtyWrites)
+	}
 	byTable := map[string]int{}
 	for _, p := range s.Partitions {
 		byTable[p.Table]++

@@ -25,6 +25,30 @@
 // index descents take no node latches, and frame latches on aligned
 // reads converge to zero as maintenance drains.
 //
+// The write side of that class is retired too (experiment E15): owner
+// mutations of stamped pages are latch-free by construction
+// (storage.Heap's UpdateOwnedWith/DeleteOwnedWith/MutateOwnedWith and
+// latch-free owner inserts), because page cleaning is owner-coordinated
+// copy-on-write — the buffer pool's flush daemon (buffer.Cleaner),
+// checkpoint FlushAll, and eviction never latch a stamped dirty frame;
+// they ship a snapshot request through the owning worker's inbox, the
+// owner copies the page at a quiescent point of its own thread (a
+// consistent image at a known LSN), and the requester hardens the copy
+// — WAL forced to the copy's LSN first — while the owner keeps mutating
+// the live frame. A per-frame write-sequence counter, bumped with
+// release semantics before every byte mutation, replaces the latch for
+// conflict detection: the hardened copy clears the dirty bit only when
+// no mutation raced it (a double-checked clear). Eviction skips stamped
+// frames (a worker's hot set) while unstamped candidates exist and can
+// drop only CLEAN stamped frames when forced. Crash recovery is
+// exactly-once whether the crash lands mid-snapshot or mid-write-back:
+// the on-disk image is always a consistent page at a known LSN and
+// ARIES redo-skip does the rest. dora.Config.LatchedOwnerWrites keeps
+// the exclusive-latch write protocol as the measurement baseline, and
+// the open-loop arrival-rate driver (workload.OpenLoop over
+// dora.ExecAsync: Poisson arrivals, bounded in-flight cap, drop and
+// latency accounting) measures behaviour past the saturation knee.
+//
 // Cross-partition execution is asynchronous end to end (experiment
 // E14): a foreign operation ships to its owner together with a
 // continuation instead of parking the sender, action bodies SUSPEND on

@@ -3,6 +3,7 @@ package buffer
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -40,10 +41,27 @@ type Frame struct {
 	valid bool
 	// loading is set while a Fetch miss reads the page image from disk.
 	// Latched readers wait on the frame latch the miss holds; LATCH-FREE
-	// readers (owner-thread reads of stamped heap pages) must check this
-	// flag and fall back to the latched path while it is set, or they
-	// could observe a half-read image.
+	// accessors (owner-thread reads AND writes of stamped heap pages)
+	// must check this flag and fall back to the latched path while it is
+	// set, or they could observe (or scribble over) a half-read image.
 	loading atomic.Bool
+	// seq is the frame's write sequence: every heap record mutation bumps
+	// it immediately BEFORE touching page bytes (storage bumps it on the
+	// latched paths too, so the counter is protocol-independent). The
+	// copy-on-write cleaning protocol uses it for conflict detection in
+	// place of the frame latch: a snapshot copy taken on the owner's
+	// thread records the sequence, and after the copy hardens the dirty
+	// bit is cleared only if the sequence is unchanged (finishClean's
+	// double-check makes the clear safe against a concurrent bump).
+	seq atomic.Uint64
+	// hardenMu serializes write-backs of this frame's page, and hardened
+	// (guarded by it) records the write seq of the newest image on disk:
+	// with several cleaners racing (the engine's own daemon, checkpoint
+	// FlushAll, extra embedder cleaners), a STALE snapshot must never
+	// overwrite a newer hardened image — seq is monotone per frame, so
+	// the comparison is decisive.
+	hardenMu sync.Mutex
+	hardened uint64
 }
 
 // ID returns the id of the page currently cached in the frame.
@@ -58,6 +76,16 @@ func (f *Frame) MarkDirty() { f.dirty.Store(true) }
 // read completes, so a reader observing false sees the full image.
 func (f *Frame) Loading() bool { return f.loading.Load() }
 
+// BumpWriteSeq advances the frame's write sequence. Heap mutators call it
+// immediately before modifying page bytes (on every path, latched or
+// latch-free); the bump-BEFORE-mutate order is what makes finishClean's
+// conditional dirty-clear sound — see that function.
+func (f *Frame) BumpWriteSeq() { f.seq.Add(1) }
+
+// WriteSeq returns the current write sequence (read at snapshot-copy
+// time, on the owning worker's thread, so no bump can be mid-flight).
+func (f *Frame) WriteSeq() uint64 { return f.seq.Load() }
+
 // shard is one latch-striped slice of the pool: its own mapping table,
 // clock hand and frame set. A page id always maps to the same shard, so
 // two workers touching different shards never contend on a pool mutex.
@@ -67,6 +95,22 @@ type shard struct {
 	frames []*Frame
 	hand   int
 }
+
+// PageSnapshot is a consistent copy of a stamped page, produced ON the
+// owning worker's thread (the only mutator of the live frame). Frame is
+// pinned by the producer; hardenSnapshot unpins it after the copy is on
+// disk. Seq is the frame write sequence at copy time.
+type PageSnapshot struct {
+	Frame *Frame
+	Img   *page.Page
+	Seq   uint64
+}
+
+// Snapshotter ships a "snapshot page" request for a stamped dirty page to
+// the worker owning its stamp and returns the copy the owner took at a
+// quiescent point of its own thread. ok=false means the page is no longer
+// stamped (or the owner retired mid-ship); the caller re-resolves.
+type Snapshotter func(id page.ID) (PageSnapshot, bool)
 
 // Pool is the buffer pool. The frame table and clock state are sharded by
 // page id; hot counters are shared (they are padded atomics).
@@ -82,12 +126,41 @@ type Pool struct {
 	shards []*shard
 	cs     *metrics.CriticalSectionStats
 
+	// stamped is the pool's mirror of which pages currently carry an
+	// owner stamp (the storage layer marks/unmarks it in lock-step with
+	// its own stamp registry): one lock-free load per eviction candidate,
+	// no catalog walk under the shard mutex. snapshotter ships copy
+	// requests to owning workers (wired by the DORA engine; atomic so
+	// daemons racing engine construction read consistently). With stamps
+	// but no snapshotter (direct owned sessions in tests), write-back
+	// falls back to the latched path — safe only because such rigs
+	// quiesce owner mutators before flushing.
+	stamped     sync.Map // page.ID -> struct{}
+	snapshotter atomic.Pointer[Snapshotter]
+	// cleanq carries page ids the eviction path found dirty-and-stamped:
+	// it cannot clean them itself (that needs the owner's thread), so it
+	// nudges the cleaner daemon and moves on. Best effort: a full queue
+	// drops the hint (the cleaner's sweep finds the page anyway).
+	cleanq chan page.ID
+	// cleanCursor rotates CleanSome's shard start so a batch cap cannot
+	// starve high-index shards behind persistently dirty low ones.
+	cleanCursor atomic.Uint32
+
 	// Hits and Misses count page lookups served from memory vs disk.
 	Hits   metrics.Counter
 	Misses metrics.Counter
 	// Evictions counts evicted frames; DirtyWrites counts write-backs.
 	Evictions   metrics.Counter
 	DirtyWrites metrics.Counter
+	// SnapshotShips counts copy-on-write snapshot requests that ran on an
+	// owning worker's thread; SnapshotCleans is the subset whose hardened
+	// copy also retired the frame's dirty bit (no mutation raced the
+	// write-back). StampedEvictions counts stamped frames evicted because
+	// no unstamped candidate was left (forced: stamped pages are a
+	// worker's hot set and are skipped while alternatives exist).
+	SnapshotShips    metrics.Counter
+	SnapshotCleans   metrics.Counter
+	StampedEvictions metrics.Counter
 }
 
 // shardCountFor sizes the shard fan-out: power-of-two up to 16, keeping
@@ -112,6 +185,7 @@ func NewPool(n int, disk Disk, log LogForcer) *Pool {
 		disk:   disk,
 		log:    log,
 		frames: make([]*Frame, n),
+		cleanq: make(chan page.ID, 256),
 	}
 	nsh := shardCountFor(n)
 	p.shards = make([]*shard, nsh)
@@ -139,6 +213,33 @@ func (p *Pool) SetStats(cs *metrics.CriticalSectionStats) {
 // when none): subsystems above the pool use it for sub-classified
 // counters such as heap-read frame latches.
 func (p *Pool) Stats() *metrics.CriticalSectionStats { return p.cs }
+
+// MarkStamped records that a page carries an owner stamp. The storage
+// layer calls it in lock-step with its own stamp registry (publish the
+// stamp, then mark, both before the stamp's content verify takes the
+// frame latch — writeBackLatched's decisive re-check depends on that
+// order). Stamped pages are the ones whose live frame only the owning
+// worker's thread may touch: the eviction policy avoids them and
+// write-back routes through the copy-on-write snapshot protocol instead
+// of the frame latch.
+func (p *Pool) MarkStamped(id page.ID) { p.stamped.Store(id, struct{}{}) }
+
+// UnmarkStamped records that a page's owner stamp was dropped.
+func (p *Pool) UnmarkStamped(id page.ID) { p.stamped.Delete(id) }
+
+// SetSnapshotter wires the owner-coordinated snapshot ship (the DORA
+// engine: it resolves the stamp to a partition worker and delivers the
+// copy request through that worker's inbox).
+func (p *Pool) SetSnapshotter(fn Snapshotter) { p.snapshotter.Store(&fn) }
+
+func (p *Pool) isStamped(id page.ID) bool {
+	_, ok := p.stamped.Load(id)
+	return ok
+}
+
+// CleanRequests exposes the eviction path's dirty-stamped hints; the
+// cleaner daemon drains it between sweeps.
+func (p *Pool) CleanRequests() <-chan page.ID { return p.cleanq }
 
 // NumFrames returns the pool capacity in pages.
 func (p *Pool) NumFrames() int { return len(p.frames) }
@@ -234,56 +335,164 @@ func (p *Pool) Unpin(f *Frame, dirty bool) {
 // victimLocked finds an unpinned frame in the shard (clock policy),
 // flushing it if dirty. Called with sh.mu held; may briefly release it
 // for I/O.
+//
+// Owner-stamped pages are a partition worker's hot set and only that
+// worker's thread may touch their bytes, so the policy treats them
+// specially: pass 0 skips them entirely; pass 1 (no unstamped candidate
+// left) may evict a CLEAN stamped frame without byte access (counted in
+// StampedEvictions — the disk already holds the image, the owner's next
+// access re-reads it), while a DIRTY stamped frame is never evicted here
+// — cleaning it needs the owner's thread, so the eviction path posts a
+// hint for the cleaner daemon and keeps looking.
 func (p *Pool) victimLocked(sh *shard) (*Frame, error) {
-	for sweep := 0; sweep < 2*len(sh.frames); sweep++ {
-		f := sh.frames[sh.hand]
-		sh.hand = (sh.hand + 1) % len(sh.frames)
-		if f.pins.Load() != 0 {
-			continue
-		}
-		if f.ref.Swap(false) && f.valid {
-			continue
-		}
-		if !f.valid {
+	for pass := 0; pass < 2; pass++ {
+		for sweep := 0; sweep < 2*len(sh.frames); sweep++ {
+			f := sh.frames[sh.hand]
+			sh.hand = (sh.hand + 1) % len(sh.frames)
+			if f.pins.Load() != 0 {
+				continue
+			}
+			stamped := f.valid && p.isStamped(f.id)
+			if stamped && pass == 0 {
+				continue
+			}
+			if f.ref.Swap(false) && f.valid {
+				continue
+			}
+			if !f.valid {
+				return f, nil
+			}
+			if stamped {
+				if f.dirty.Load() {
+					select {
+					case p.cleanq <- f.id:
+					default:
+					}
+					continue
+				}
+				p.StampedEvictions.Inc()
+				p.Evictions.Inc()
+				delete(sh.table, f.id)
+				f.valid = false
+				return f, nil
+			}
+			// Evict. Pin it — but KEEP the mapping installed while the
+			// dirty image flushes, so a concurrent Fetch HITS this frame
+			// (pinning it, which cancels the eviction below) instead of
+			// re-reading a possibly-stale image from disk under our
+			// write-back.
+			f.pins.Store(1)
+			if f.dirty.Load() {
+				sh.mu.Unlock()
+				// Latched write-back only: eviction may run on a partition
+				// worker's own thread (a Fetch miss mid-action), so it must
+				// never park on a snapshot ship to another worker. If the
+				// page was owner-stamped while we raced here, leave it for
+				// the cleaner daemon and keep sweeping.
+				err := p.writeBackLatched(f)
+				sh.mu.Lock()
+				if err != nil {
+					if f.pins.Add(-1) != 0 {
+						// A concurrent Fetch adopted the frame: it is live
+						// again regardless of our flush outcome.
+						continue
+					}
+					if err == errBecameStamped {
+						select {
+						case p.cleanq <- f.id:
+						default:
+						}
+						continue
+					}
+					return nil, err
+				}
+				p.DirtyWrites.Inc()
+				if f.pins.Add(-1) != 0 {
+					continue // adopted by a concurrent Fetch: not a victim
+				}
+				// An adopter may have come AND gone during the flush
+				// (fetch, mutate under the latch, unpin) — pins are back
+				// to zero but its update lives only in this frame. Fetch
+				// sets the ref bit and mutation re-dirties; either means
+				// the frame is live again, not a victim.
+				if f.dirty.Load() || f.ref.Load() {
+					continue
+				}
+			} else {
+				f.pins.Store(0)
+			}
+			p.Evictions.Inc()
+			delete(sh.table, f.id)
+			f.valid = false
 			return f, nil
 		}
-		// Evict. Pin it so no one else grabs it while we do I/O.
-		f.pins.Store(1)
-		delete(sh.table, f.id)
-		if f.dirty.Load() {
-			sh.mu.Unlock()
-			err := p.writeBack(f)
-			sh.mu.Lock()
-			if err != nil {
-				// Restore the mapping and give up — unless a concurrent
-				// Fetch re-read the page into another frame while we had
-				// the mutex released: clobbering its mapping would leave
-				// two live frames for one page. Our failed-to-flush copy
-				// is dropped in that case (the store failure is already
-				// surfaced to the caller, and sticky log failures abort
-				// everything behind it anyway).
-				if _, taken := sh.table[f.id]; !taken {
-					sh.table[f.id] = f.idx
-				} else {
-					f.valid = false
-				}
-				f.pins.Store(0)
-				return nil, err
-			}
-			p.DirtyWrites.Inc()
-		}
-		p.Evictions.Inc()
-		f.valid = false
-		f.pins.Store(0)
-		return f, nil
 	}
 	return nil, ErrNoFrames
 }
 
-// writeBack forces the WAL to the page LSN and writes the page image.
+// errBecameStamped is an internal sentinel: the latched write-back found
+// the page stamped under its latch and backed off to the snapshot path.
+var errBecameStamped = errors.New("buffer: page became stamped during write-back")
+
+// writeBack makes the frame's current mutations durable. Unstamped pages
+// use the classic latched copy. Stamped pages must NOT be latched — their
+// owner's mutations bypass the frame latch — so their image is obtained
+// through the owner-coordinated copy-on-write protocol: a snapshot
+// request ships to the owning worker, the owner copies the page at a
+// quiescent point of its own thread, and the copy hardens here while the
+// owner keeps mutating the live frame. The loop re-resolves when a stamp
+// appears, moves, or disappears mid-flight (TryStamp racing an eviction,
+// split/evacuate reassigning ownership, engine shutdown releasing
+// stamps).
 func (p *Pool) writeBack(f *Frame) error {
+	for {
+		if p.isStamped(f.id) {
+			if snap := p.snapshotter.Load(); snap != nil {
+				ps, ok := (*snap)(f.id)
+				if ok {
+					p.SnapshotShips.Inc()
+					return p.hardenSnapshot(ps)
+				}
+				// Stamp moved or the owner is mid-retirement: re-resolve.
+				// During engine shutdown the stamp disappears right after
+				// the workers drain, bounding this loop.
+				runtime.Gosched()
+				continue
+			}
+			// Stamps without a ship hook: direct owned sessions (tests,
+			// recovery rigs). Their owner mutators are quiesced before
+			// anything flushes, so the latched path below is safe.
+		}
+		err := p.writeBackLatched(f)
+		if err == errBecameStamped {
+			runtime.Gosched()
+			continue
+		}
+		return err
+	}
+}
+
+// writeBackLatched forces the WAL to the page LSN and writes the page
+// image under the shared frame latch — sound for pages whose mutators
+// all hold the exclusive latch (every unstamped page).
+func (p *Pool) writeBackLatched(f *Frame) error {
 	f.Latch.RLock()
 	defer f.Latch.RUnlock()
+	if p.isStamped(f.id) && p.snapshotter.Load() != nil {
+		// The page was owner-stamped between the caller's check and our
+		// latch acquisition: its mutations no longer serialize on this
+		// latch, so a latched copy could tear. Back off to the snapshot
+		// path. Seeing "unstamped" here is decisive the other way:
+		// TryStamp's content verify takes the latch exclusively, so a
+		// stamp published before our RLock cannot have latch-free
+		// mutations in flight while we hold it.
+		return errBecameStamped
+	}
+	f.hardenMu.Lock()
+	defer f.hardenMu.Unlock()
+	// Under the shared latch no mutator is active, so the live image is
+	// at least as new as any snapshot copy — never stale, no skip check.
+	seqAt := f.seq.Load()
 	if p.log != nil {
 		if err := p.log.Force(f.Page.LSN()); err != nil {
 			return err
@@ -292,11 +501,70 @@ func (p *Pool) writeBack(f *Frame) error {
 	if err := p.disk.WritePage(f.id, &f.Page); err != nil {
 		return err
 	}
+	if seqAt > f.hardened {
+		f.hardened = seqAt
+	}
 	f.dirty.Store(false)
 	return nil
 }
 
-// FlushAll writes back every dirty frame (checkpoint support).
+// hardenSnapshot makes an owner's copy durable — WAL first: the copy's
+// image must not reach disk before the log records it reflects (up to
+// its page LSN, which covers every commit LSN chained below it) are
+// durable — then retires the frame's dirty bit if no mutation raced the
+// write-back. The snapshot producer pinned the frame; the pin is
+// released here, after the conditional clear, so the frame cannot be
+// recycled (and its write seq reused for an unrelated page) in between.
+//
+// Hardens of one frame serialize on hardenMu, and a snapshot older than
+// the newest hardened image is DROPPED: with concurrent cleaners (the
+// engine's daemon, checkpoint FlushAll, embedder cleaners) a stale copy
+// that lost the race must not overwrite a newer on-disk image — its
+// finishClean would see a moved seq and leave dirty untouched, so the
+// stale bytes could otherwise sit under a clean bit.
+func (p *Pool) hardenSnapshot(s PageSnapshot) error {
+	defer p.Unpin(s.Frame, false)
+	s.Frame.hardenMu.Lock()
+	defer s.Frame.hardenMu.Unlock()
+	if s.Seq < s.Frame.hardened {
+		return nil // a newer image already hardened; this copy is moot
+	}
+	if p.log != nil {
+		if err := p.log.Force(s.Img.LSN()); err != nil {
+			return err
+		}
+	}
+	if err := p.disk.WritePage(s.Frame.id, s.Img); err != nil {
+		return err
+	}
+	s.Frame.hardened = s.Seq
+	p.finishClean(s.Frame, s.Seq)
+	return nil
+}
+
+// finishClean conditionally clears dirty after a snapshot copy hardened.
+// Owner mutations bump the write seq BEFORE touching bytes and mark
+// dirty after; we clear dirty first and then re-check the seq. A
+// mutation concurrent with the clear either bumped before our re-read
+// (caught: the clear is undone) or after it — in which case its own
+// MarkDirty is also ordered after our clear and the bit survives. Either
+// way no mutation is left clean-but-unflushed.
+func (p *Pool) finishClean(f *Frame, seqAt uint64) {
+	if f.seq.Load() != seqAt {
+		return
+	}
+	f.dirty.Store(false)
+	if f.seq.Load() != seqAt {
+		f.dirty.Store(true)
+		return
+	}
+	p.SnapshotCleans.Inc()
+}
+
+// FlushAll writes back every dirty frame (checkpoint support). Stamped
+// dirty frames are hardened through the copy-on-write snapshot protocol
+// inside writeBack, so a fuzzy checkpoint never latches a frame whose
+// owner mutates latch-free.
 func (p *Pool) FlushAll() error {
 	var frames []*Frame
 	for _, sh := range p.shards {
@@ -317,6 +585,43 @@ func (p *Pool) FlushAll() error {
 		f.pins.Add(-1)
 	}
 	return first
+}
+
+// CleanSome writes back up to max dirty frames (all of them when max <=
+// 0), returning how many it hardened — the cleaner daemon's unit of
+// paced work. Unlike FlushAll it tolerates individual failures, moving
+// on so one wedged page cannot starve the rest of a sweep; a rotating
+// shard cursor keeps capped sweeps fair across shards.
+func (p *Pool) CleanSome(max int) (int, error) {
+	var frames []*Frame
+	start := int(p.cleanCursor.Add(1)) % len(p.shards)
+	for i := 0; i < len(p.shards); i++ {
+		sh := p.shards[(start+i)%len(p.shards)]
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.valid && f.dirty.Load() && (max <= 0 || len(frames) < max) {
+				f.pins.Add(1)
+				frames = append(frames, f)
+			}
+		}
+		sh.mu.Unlock()
+		if max > 0 && len(frames) >= max {
+			break
+		}
+	}
+	cleaned := 0
+	var first error
+	for _, f := range frames {
+		if err := p.writeBack(f); err != nil {
+			if first == nil {
+				first = err
+			}
+		} else {
+			cleaned++
+		}
+		f.pins.Add(-1)
+	}
+	return cleaned, first
 }
 
 // HitRate returns hits / (hits+misses), or 1 when no lookups happened.

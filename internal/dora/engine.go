@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"dora/internal/btree"
+	"dora/internal/buffer"
 	"dora/internal/catalog"
 	"dora/internal/dora/router"
 	"dora/internal/metrics"
@@ -77,6 +78,12 @@ type Config struct {
 	// committers roll back synchronously. The measurement baseline for
 	// experiment E14; continuation-passing ships are the default.
 	BlockingShips bool
+	// LatchedOwnerWrites forces owner mutations of stamped heap pages
+	// back onto the exclusive frame-latch path (the pre-copy-on-write
+	// protocol). The measurement baseline for experiment E15; latch-free
+	// owner writes are the default. Page cleaning still runs through the
+	// snapshot ship either way.
+	LatchedOwnerWrites bool
 }
 
 func (c *Config) fill() {
@@ -120,6 +127,8 @@ type Dora struct {
 
 	// shipDet is the debug-mode ship-cycle detector (nil when off).
 	shipDet *shipDetector
+	// cleaner is the engine-owned buffer-pool flush daemon (see New).
+	cleaner *buffer.Cleaner
 	// rebalanceHook notifies the maintenance daemon of topology changes.
 	hookMu        sync.Mutex
 	rebalanceHook func(RebalanceEvent)
@@ -162,7 +171,21 @@ func New(s *sm.SM, cfg Config) *Dora {
 	if cfg.DebugShipCheck {
 		e.shipDet = newShipDetector()
 	}
+	// Page cleaning for owner-stamped heap pages: the buffer pool's
+	// write-back ships snapshot requests through our workers' inboxes
+	// instead of latching frames whose owners mutate latch-free. The
+	// engine also owns a flush daemon: eviction refuses to clean dirty
+	// stamped frames itself (only the owner's thread may copy them), so
+	// SOMETHING must harden them in the background or a pool smaller
+	// than the stamped hot set could run out of victims. Embedders may
+	// run additional cleaners (doramon, E15); they compose.
+	s.Pool.SetSnapshotter(e.snapshotPage)
+	e.cleaner = buffer.NewCleaner(s.Pool, buffer.CleanerConfig{Interval: 10 * time.Millisecond})
+	e.cleaner.Start()
 	for _, tbl := range s.Cat.Tables() {
+		if cfg.LatchedOwnerWrites {
+			tbl.Heap.SetLatchedOwnerWrites(true)
+		}
 		lo, hi := int64(0), int64(1)<<31
 		if d, ok := cfg.Domains[tbl.Name]; ok {
 			lo, hi = d[0], d[1]
@@ -562,6 +585,13 @@ func (e *Dora) AlignmentStats(reset bool) (aligned map[uint32]int64, unaligned m
 
 // Close stops all workers. Pending transactions must have finished.
 func (e *Dora) Close() error {
+	// Stop the flush daemon BEFORE taking the gate: an in-flight tick may
+	// be parked inside snapshotPage holding the gate shared (waiting on a
+	// worker that is still alive at this point); taking the gate first
+	// and then waiting for the tick would deadlock.
+	if e.cleaner != nil {
+		_ = e.cleaner.Close()
+	}
 	e.execGate.Lock()
 	defer e.execGate.Unlock()
 	if e.closed {

@@ -1,0 +1,84 @@
+package dora
+
+import (
+	"dora/internal/btree"
+	"dora/internal/buffer"
+	"dora/internal/catalog"
+	"dora/internal/page"
+)
+
+// Owner-coordinated page cleaning. Since owner mutations of stamped heap
+// pages are latch-free, the buffer pool cannot latch a stamped dirty
+// frame to flush it — only the owning worker's thread may read its bytes
+// consistently. So the pool's write-back (cleaner daemon, checkpoint
+// FlushAll, forced paths) asks US: snapshotPage resolves the page's
+// stamp to the partition worker holding it and ships a copy request
+// through that worker's inbox, exactly like every other foreign access.
+// The owner copies the image between two of its operations — a quiescent
+// point by construction — and the requester hardens the copy while the
+// owner keeps mutating the live frame.
+
+// snapshotPage implements buffer.Snapshotter over the engine's workers.
+// ok=false tells the pool to re-resolve: the stamp moved (split handed
+// the page's records over, evacuate reassigned it) or the engine is shut
+// down (stamps are released right after the workers drain, so the pool's
+// retry loop terminates on the latched path).
+func (e *Dora) snapshotPage(pid page.ID) (buffer.PageSnapshot, bool) {
+	// Hold the exec gate shared like every ship, so a quiescing
+	// Repartition never interleaves with an in-flight snapshot.
+	e.execGate.RLock()
+	defer e.execGate.RUnlock()
+	if e.closed {
+		return buffer.PageSnapshot{}, false
+	}
+	// Resolve the stamp: which table's heap, which token.
+	var tbl *catalog.Table
+	var tok *btree.Owner
+	for _, t := range e.sm.Cat.Tables() {
+		if o := t.Heap.StampOwner(pid); o != nil {
+			tbl, tok = t, o
+			break
+		}
+	}
+	if tbl == nil {
+		return buffer.PageSnapshot{}, false
+	}
+	// Resolve the token to its live partition worker.
+	e.topoMu.RLock()
+	var p *partition
+	for _, q := range e.tableParts[tbl.ID] {
+		if q.token == tok {
+			p = q
+			break
+		}
+	}
+	e.topoMu.RUnlock()
+	if p == nil {
+		return buffer.PageSnapshot{}, false
+	}
+	var snap buffer.PageSnapshot
+	var got bool
+	heap := tbl.Heap
+	m := &maintMsg{fn: func(ctx *OwnerCtx) {
+		// Re-derive the token from the executing thread: an evacuate may
+		// have forwarded this request to the adopting worker, which also
+		// inherited the stamp (ReassignStamps runs before forwarding
+		// starts, on the retiring thread). A split that unstamped the
+		// page instead makes this return false and the pool re-resolves.
+		snap, got = heap.SnapshotOwnedPage(ctx.p.token, pid)
+	}, done: make(chan struct{})}
+	if det := e.shipDet; det != nil {
+		m.path = det.extendPath(p.worker, true)
+	}
+	if !p.in.pushChecked(m) {
+		return buffer.PageSnapshot{}, false
+	}
+	<-m.done
+	if m.cyc != nil {
+		panic(m.cyc)
+	}
+	if !m.ok || !got {
+		return buffer.PageSnapshot{}, false
+	}
+	return snap, true
+}

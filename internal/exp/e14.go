@@ -147,7 +147,18 @@ func (db *e14DB) xferFlow(k int64) *xct.Flow {
 				env.Ses.MutateAsync(env.Txn, db.audit, k, bump, env.Async.Home(), resume)
 				return nil
 			}
-			return env.Ses.Mutate(env.Txn, db.audit, k, bump)
+			// Blocking baseline: the foreign read-modify-write decomposes
+			// into its historical two parked round trips (read ship, then
+			// update ship, with fn running on the sender in between) — the
+			// legacy protocol this experiment is calibrated against.
+			// Session.Mutate itself now runs as ONE owner-thread pass, so
+			// using it here would measure that unrelated optimization
+			// instead of the ship protocol.
+			rec, err := env.Ses.Read(env.Txn, db.audit, k)
+			if err != nil {
+				return err
+			}
+			return env.Ses.Update(env.Txn, db.audit, k, bump(rec.Clone()))
 		},
 	})
 }

@@ -40,6 +40,13 @@ type Config struct {
 	// ActionWork is simulated per-action compute (spin iterations);
 	// only experiment E3 uses a non-zero default.
 	ActionWork int
+	// ArrivalRate, when > 0, fixes the open-loop row's offered load in
+	// txn/s (experiment E15; default 2x the measured closed-loop
+	// throughput).
+	ArrivalRate float64
+	// MaxInFlight caps the open-loop row's concurrent transactions
+	// (default 256).
+	MaxInFlight int
 	// Quick shrinks everything for unit tests and smoke benches.
 	Quick bool
 }

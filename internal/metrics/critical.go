@@ -24,11 +24,19 @@ type CriticalSectionStats struct {
 	// add it again.
 	IndexLatch Counter
 	// FrameLatch counts the subset of Latch that came from buffer-frame
-	// latches taken by heap record reads — the serialization heap-page
-	// ownership stamping (background maintenance, experiment E13)
-	// removes for owner-thread aligned reads. Like IndexLatch it is a
-	// view into Latch, not an additional class.
+	// latches taken by heap record accesses — the serialization heap-page
+	// ownership stamping removes: for owner-thread aligned reads via
+	// background maintenance (experiment E13), and for owner-thread
+	// mutations via the copy-on-write page-cleaning protocol (experiment
+	// E15). Like IndexLatch it is a view into Latch, not an additional
+	// class.
 	FrameLatch Counter
+	// FrameLatchWrite counts the subset of FrameLatch taken exclusively
+	// for a heap record MUTATION (insert/update/delete). It is the
+	// residual the latch-free owner write path drives to ~0 on stamped
+	// pages; a view into FrameLatch (and so into Latch), never added
+	// again by Total().
+	FrameLatchWrite Counter
 	// Log counts log-manager serialization points (buffer reservation).
 	// Under the consolidation-array log this is one entry per reserved
 	// group, not per record: appends that piggyback on another thread's
@@ -45,25 +53,27 @@ type CriticalSectionStats struct {
 
 // SnapshotCS is a point-in-time copy of CriticalSectionStats.
 type SnapshotCS struct {
-	LockMgr    int64 `json:"lock_mgr"`
-	Latch      int64 `json:"latch"`
-	IndexLatch int64 `json:"index_latch"`
-	FrameLatch int64 `json:"frame_latch"`
-	Log        int64 `json:"log"`
-	TxnMgr     int64 `json:"txn_mgr"`
-	Contended  int64 `json:"contended"`
+	LockMgr         int64 `json:"lock_mgr"`
+	Latch           int64 `json:"latch"`
+	IndexLatch      int64 `json:"index_latch"`
+	FrameLatch      int64 `json:"frame_latch"`
+	FrameLatchWrite int64 `json:"frame_latch_write"`
+	Log             int64 `json:"log"`
+	TxnMgr          int64 `json:"txn_mgr"`
+	Contended       int64 `json:"contended"`
 }
 
 // Snapshot returns current values.
 func (c *CriticalSectionStats) Snapshot() SnapshotCS {
 	return SnapshotCS{
-		LockMgr:    c.LockMgr.Load(),
-		Latch:      c.Latch.Load(),
-		IndexLatch: c.IndexLatch.Load(),
-		FrameLatch: c.FrameLatch.Load(),
-		Log:        c.Log.Load(),
-		TxnMgr:     c.TxnMgr.Load(),
-		Contended:  c.Contended.Load(),
+		LockMgr:         c.LockMgr.Load(),
+		Latch:           c.Latch.Load(),
+		IndexLatch:      c.IndexLatch.Load(),
+		FrameLatch:      c.FrameLatch.Load(),
+		FrameLatchWrite: c.FrameLatchWrite.Load(),
+		Log:             c.Log.Load(),
+		TxnMgr:          c.TxnMgr.Load(),
+		Contended:       c.Contended.Load(),
 	}
 }
 
@@ -73,6 +83,7 @@ func (c *CriticalSectionStats) Reset() {
 	c.Latch.Reset()
 	c.IndexLatch.Reset()
 	c.FrameLatch.Reset()
+	c.FrameLatchWrite.Reset()
 	c.Log.Reset()
 	c.TxnMgr.Reset()
 	c.Contended.Reset()

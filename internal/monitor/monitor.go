@@ -46,10 +46,15 @@ type Snapshot struct {
 	LogAppends   int64 `json:"log_appends"`
 	LogForces    int64 `json:"log_forces"`
 	GroupCommits int64 `json:"group_commits"`
-	// Heaps reports, per table, the owner-thread read counters and the
-	// stamped-page count — the physical-layout convergence signal the
-	// maintenance daemon works on.
+	// Heaps reports, per table, the owner-thread read/write counters and
+	// the stamped-page count — the physical-layout convergence signal the
+	// maintenance daemon works on and the latch-free write path depends
+	// on.
 	Heaps map[string]HeapView `json:"heaps,omitempty"`
+	// PageCleaning is the buffer pool's copy-on-write cleaning
+	// accounting: snapshot requests shipped to owner threads, hardened
+	// copies that retired a dirty bit, and forced stamped evictions.
+	PageCleaning *PageCleaningView `json:"page_cleaning,omitempty"`
 	// Maint is the maintenance daemon's progress (nil when none runs).
 	Maint *maint.Stats `json:"maint,omitempty"`
 	// Ships is the DORA engine's cross-partition ship accounting:
@@ -62,9 +67,19 @@ type Snapshot struct {
 
 // HeapView is one table's heap-ownership statistics.
 type HeapView struct {
-	OwnedReads        int64 `json:"owned_reads"`
-	OwnedReadsLatched int64 `json:"owned_reads_latched"`
-	StampedPages      int   `json:"stamped_pages"`
+	OwnedReads         int64 `json:"owned_reads"`
+	OwnedReadsLatched  int64 `json:"owned_reads_latched"`
+	OwnedWrites        int64 `json:"owned_writes"`
+	OwnedWritesLatched int64 `json:"owned_writes_latched"`
+	StampedPages       int   `json:"stamped_pages"`
+}
+
+// PageCleaningView is the pool's copy-on-write cleaning accounting.
+type PageCleaningView struct {
+	SnapshotShips    int64 `json:"snapshot_ships"`
+	SnapshotCleans   int64 `json:"snapshot_cleans"`
+	StampedEvictions int64 `json:"stamped_evictions"`
+	DirtyWrites      int64 `json:"dirty_writes"`
 }
 
 // RangeView is one routing range.
@@ -112,17 +127,30 @@ func (s *Source) Sample(prev *Snapshot, dt time.Duration) *Snapshot {
 		snap.GroupCommits = ls.GroupedCommits
 		for _, tbl := range s.SM.Cat.Tables() {
 			hv := HeapView{
-				OwnedReads:        tbl.Heap.OwnedReads.Load(),
-				OwnedReadsLatched: tbl.Heap.OwnedReadsLatched.Load(),
-				StampedPages:      tbl.Heap.StampedPages(),
+				OwnedReads:         tbl.Heap.OwnedReads.Load(),
+				OwnedReadsLatched:  tbl.Heap.OwnedReadsLatched.Load(),
+				OwnedWrites:        tbl.Heap.OwnedWrites.Load(),
+				OwnedWritesLatched: tbl.Heap.OwnedWritesLatched.Load(),
+				StampedPages:       tbl.Heap.StampedPages(),
 			}
-			if hv.OwnedReads == 0 && hv.StampedPages == 0 {
+			if hv.OwnedReads == 0 && hv.OwnedWrites == 0 && hv.StampedPages == 0 {
 				continue
 			}
 			if snap.Heaps == nil {
 				snap.Heaps = map[string]HeapView{}
 			}
 			snap.Heaps[tbl.Name] = hv
+		}
+		pc := PageCleaningView{
+			SnapshotShips:    s.SM.Pool.SnapshotShips.Load(),
+			SnapshotCleans:   s.SM.Pool.SnapshotCleans.Load(),
+			StampedEvictions: s.SM.Pool.StampedEvictions.Load(),
+			DirtyWrites:      s.SM.Pool.DirtyWrites.Load(),
+		}
+		// Present only when the CoW protocol itself ran: plain dirty
+		// write-backs alone (conventional engine) are not page cleaning.
+		if pc.SnapshotShips+pc.SnapshotCleans+pc.StampedEvictions > 0 {
+			snap.PageCleaning = &pc
 		}
 	}
 	if s.Maint != nil {

@@ -71,25 +71,15 @@ func (ss *Session) UpdateAsync(t *tx.Txn, tbl *catalog.Table, key int64, rec tup
 	}, func() { k(err) })
 }
 
-// MutateAsync is Mutate in continuation-passing style. Unlike the
-// synchronous Mutate (a Read round trip followed by an Update round
-// trip), the read-modify-write runs as ONE operation on the owning
-// thread: a single ship covers both halves.
+// MutateAsync is Mutate in continuation-passing style: like the
+// synchronous Mutate, the read-modify-write runs as ONE operation on the
+// owning thread — a single ship covers both halves, and on a stamped
+// page the heap pass is latch-free (MutateOwnedWith).
 func (ss *Session) MutateAsync(t *tx.Txn, tbl *catalog.Table, key int64, fn func(tuple.Record) tuple.Record, home ContExec, k func(error)) {
 	ss.trace(tbl, key, true)
 	var err error
 	tbl.Primary.Tree.ExecAtAsync(ss.owner, key, home, func(tok *btree.Owner) {
-		var rec tuple.Record
-		rec, err = ss.readAt(tok, tbl, key)
-		if err != nil {
-			return
-		}
-		upd := fn(rec.Clone())
-		if nk := tbl.Primary.Key(upd); nk != key {
-			err = fmt.Errorf("sm: update changes primary key %d -> %d on %s", key, nk, tbl.Name)
-			return
-		}
-		err = ss.updateAt(tok, t, tbl, key, upd)
+		err = ss.mutateAt(tok, t, tbl, key, fn)
 	}, func() { k(err) })
 }
 

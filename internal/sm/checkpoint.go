@@ -7,7 +7,9 @@ import "dora/internal/wal"
 // redo point. On restart, redo can skip all records below the last
 // checkpoint's redo point — any update logged before it reached disk
 // with its page during the flush (the flush waits out in-flight page
-// latches, and page LSNs make late redo idempotent anyway).
+// latches on unstamped pages and hardens owner-stamped pages through
+// the copy-on-write snapshot ship — a consistent image at a known LSN
+// either way — and page LSNs make late redo idempotent anyway).
 //
 // The checkpoint is fuzzy: transactions keep running while it executes.
 // Analysis and undo still scan the whole log, so in-flight transactions

@@ -61,7 +61,7 @@ func (ss *Session) MigrateRecord(t *tx.Txn, tbl *catalog.Table, key int64) (bool
 	// restores — ending, like recovery's backward chain walk, with
 	// exactly one image under the key.
 	var dPrev, dLSN uint64
-	err = tbl.Heap.DeleteWith(rid, func(before []byte) uint64 {
+	err = tbl.Heap.DeleteOwnedWith(tok, rid, func(before []byte) uint64 {
 		return t.Chain(func(prev uint64) uint64 {
 			dPrev = prev
 			dLSN = ss.sm.Log.Append(&wal.Record{

@@ -221,7 +221,7 @@ func (ss *Session) updateAt(tok *btree.Owner, t *tx.Txn, tbl *catalog.Table, key
 	enc := tuple.Encode(rec)
 	var beforeCopy []byte
 	var prevLSN, opLSN uint64
-	err = tbl.Heap.UpdateWith(rid, enc, func(before []byte) uint64 {
+	err = tbl.Heap.UpdateOwnedWith(tok, rid, enc, func(before []byte) uint64 {
 		beforeCopy = append([]byte(nil), before...)
 		return t.Chain(func(prev uint64) uint64 {
 			prevLSN = prev
@@ -240,8 +240,15 @@ func (ss *Session) updateAt(tok *btree.Owner, t *tx.Txn, tbl *catalog.Table, key
 	if err != nil {
 		return err
 	}
+	return ss.finishUpdate(tok, t, tbl, key, rid, old, rec, beforeCopy, opLSN, prevLSN)
+}
+
+// finishUpdate is the shared tail of updateAt and mutateAt: re-point
+// secondary index entries whose keys moved, then record the UUpdate
+// undo entry.
+func (ss *Session) finishUpdate(tok *btree.Owner, t *tx.Txn, tbl *catalog.Table, key int64, rid storage.RID, old, upd tuple.Record, beforeCopy []byte, opLSN, prevLSN uint64) error {
 	for _, ix := range tbl.Secondaries {
-		okey, nkey := ix.Key(old), ix.Key(rec)
+		okey, nkey := ix.Key(old), ix.Key(upd)
 		if okey != nkey {
 			ix.Tree.DeleteAs(tok, okey)
 			if err := ix.Tree.PutAs(tok, nkey, rid.Pack()); err != nil {
@@ -256,13 +263,61 @@ func (ss *Session) updateAt(tok *btree.Owner, t *tx.Txn, tbl *catalog.Table, key
 	return nil
 }
 
-// Mutate reads the record under key, applies fn, and writes it back.
-func (ss *Session) Mutate(t *tx.Txn, tbl *catalog.Table, key int64, fn func(tuple.Record) tuple.Record) error {
-	rec, err := ss.Read(t, tbl, key)
+// Mutate reads the record under key, applies fn, and writes it back. The
+// read-modify-write executes as ONE operation on the key's owning thread
+// (a single ExecAt ship covers both halves, and on a stamped page the
+// whole pass is latch-free through the heap's MutateOwnedWith), matching
+// MutateAsync's single-ship semantics.
+func (ss *Session) Mutate(t *tx.Txn, tbl *catalog.Table, key int64, fn func(tuple.Record) tuple.Record) (err error) {
+	ss.trace(tbl, key, true)
+	tbl.Primary.Tree.ExecAt(ss.owner, key, func(tok *btree.Owner) {
+		err = ss.mutateAt(tok, t, tbl, key, fn)
+	})
+	return err
+}
+
+// mutateAt is the owner-thread body of Mutate.
+func (ss *Session) mutateAt(tok *btree.Owner, t *tx.Txn, tbl *catalog.Table, key int64, fn func(tuple.Record) tuple.Record) error {
+	v, err := tbl.Primary.Tree.GetAs(tok, key)
+	if err != nil {
+		if errors.Is(err, btree.ErrNotFound) {
+			return fmt.Errorf("%w: %s[%d]", ErrNotFound, tbl.Name, key)
+		}
+		return err
+	}
+	rid := storage.UnpackRID(v)
+	var beforeCopy, enc []byte
+	var old, upd tuple.Record
+	var prevLSN, opLSN uint64
+	err = tbl.Heap.MutateOwnedWith(tok, rid, func(before []byte) ([]byte, error) {
+		// before aliases the page; copy before anything mutates it.
+		beforeCopy = append([]byte(nil), before...)
+		var derr error
+		old, derr = tuple.Decode(beforeCopy)
+		if derr != nil {
+			return nil, derr
+		}
+		upd = fn(old.Clone())
+		if nk := tbl.Primary.Key(upd); nk != key {
+			return nil, fmt.Errorf("sm: update changes primary key %d -> %d on %s", key, nk, tbl.Name)
+		}
+		enc = tuple.Encode(upd)
+		return enc, nil
+	}, func(_, _ []byte) uint64 {
+		return t.Chain(func(prev uint64) uint64 {
+			prevLSN = prev
+			opLSN = ss.sm.Log.Append(&wal.Record{
+				Kind: wal.KUpdate, TxnID: t.ID, PrevLSN: prev,
+				Table: tbl.ID, Page: rid.Page, Slot: rid.Slot, Key: key,
+				Redo: enc, Undo: beforeCopy,
+			})
+			return opLSN
+		})
+	})
 	if err != nil {
 		return err
 	}
-	return ss.Update(t, tbl, key, fn(rec.Clone()))
+	return ss.finishUpdate(tok, t, tbl, key, rid, old, upd, beforeCopy, opLSN, prevLSN)
 }
 
 // Delete removes the record under key from the table and all indexes.
@@ -287,7 +342,7 @@ func (ss *Session) deleteAt(tok *btree.Owner, t *tx.Txn, tbl *catalog.Table, key
 	tbl.Primary.Tree.DeleteAs(tok, key)
 	var beforeCopy []byte
 	var prevLSN, opLSN uint64
-	err = tbl.Heap.DeleteWith(rid, func(before []byte) uint64 {
+	err = tbl.Heap.DeleteOwnedWith(tok, rid, func(before []byte) uint64 {
 		beforeCopy = append([]byte(nil), before...)
 		return t.Chain(func(prev uint64) uint64 {
 			prevLSN = prev

@@ -356,7 +356,7 @@ func (s *SM) applyUndoAt(tok *btree.Owner, t *tx.Txn, tbl *catalog.Table, u tx.U
 		if err != nil {
 			return err
 		}
-		err = tbl.Heap.DeleteWith(u.RID, func(before []byte) uint64 {
+		err = tbl.Heap.DeleteOwnedWith(tok, u.RID, func(before []byte) uint64 {
 			return t.Chain(func(prev uint64) uint64 {
 				return s.Log.Append(&wal.Record{
 					Kind: wal.KCLR, Sub: wal.KDelete, TxnID: t.ID, PrevLSN: prev,
@@ -388,7 +388,7 @@ func (s *SM) applyUndoAt(tok *btree.Owner, t *tx.Txn, tbl *catalog.Table, u tx.U
 		if err != nil {
 			return err
 		}
-		err = tbl.Heap.UpdateWith(u.RID, u.Before, func(before []byte) uint64 {
+		err = tbl.Heap.UpdateOwnedWith(tok, u.RID, u.Before, func(before []byte) uint64 {
 			return t.Chain(func(prev uint64) uint64 {
 				return s.Log.Append(&wal.Record{
 					Kind: wal.KCLR, Sub: wal.KUpdate, TxnID: t.ID, PrevLSN: prev,

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"dora/internal/btree"
 	"dora/internal/buffer"
@@ -76,6 +77,33 @@ type Heap struct {
 	// criterion: it falls to ~0 as migration drains.
 	OwnedReads        metrics.Counter
 	OwnedReadsLatched metrics.Counter
+	// OwnedWrites / OwnedWritesLatched are the mutation-side twins
+	// (experiment E15): owner-thread record mutations, and the subset
+	// that still took the exclusive frame latch — because the page is
+	// not stamped to the writer, the frame is mid-load, or the latched
+	// baseline is forced via SetLatchedOwnerWrites.
+	OwnedWrites        metrics.Counter
+	OwnedWritesLatched metrics.Counter
+
+	// latchedWrites forces every owner mutation onto the exclusive-latch
+	// path (the pre-copy-on-write protocol) — the measurement baseline
+	// for experiment E15. Snapshot-based cleaning still works (the seq
+	// counter is bumped on latched paths too); only the owner's write
+	// path changes.
+	latchedWrites atomic.Bool
+}
+
+// SetLatchedOwnerWrites toggles the latched owner-write baseline (E15).
+func (h *Heap) SetLatchedOwnerWrites(on bool) { h.latchedWrites.Store(on) }
+
+// noteLatchedWrite classifies a frame-latch acquisition taken to MUTATE a
+// heap record (the CriticalSectionStats FrameLatch/FrameLatchWrite view —
+// the residual class the latch-free owner write path retires).
+func (h *Heap) noteLatchedWrite() {
+	if cs := h.pool.Stats(); cs != nil {
+		cs.FrameLatch.Inc()
+		cs.FrameLatchWrite.Inc()
+	}
 }
 
 // NewHeap returns an empty heap over pool.
@@ -144,7 +172,9 @@ func (h *Heap) InsertWith(worker int, rec []byte, mkLSN func(RID) uint64) (RID, 
 	if err != nil {
 		return RID{}, err
 	}
+	h.noteLatchedWrite()
 	f.Latch.Lock()
+	f.BumpWriteSeq()
 	slot, err := f.Page.Insert(rec)
 	if err != nil {
 		f.Latch.Unlock()
@@ -171,19 +201,50 @@ func (h *Heap) InsertWith(worker int, rec []byte, mkLSN func(RID) uint64) (RID, 
 // under the frame latch, so an insert racing a concurrent TryStamp of
 // its fill-hint page backs off instead of landing a foreign record on a
 // freshly owner-stamped page.
+//
+// When expect is the CALLER'S own token (owner-thread insert onto its
+// stamped fill page) the exclusive latch is elided: the stamp cannot
+// change under us — only the owner's own thread unstamps, and that is
+// this thread — and every other mutator of a stamped page either is this
+// thread too or backs off under the latch without touching bytes.
 func (h *Heap) tryInsertWith(pid page.ID, expect *btree.Owner, rec []byte, mkLSN func(RID) uint64) (RID, bool, error) {
 	f, err := h.pool.Fetch(pid)
 	if err != nil {
 		return RID{}, false, err
 	}
+	if expect != nil && !h.latchedWrites.Load() && h.StampOwner(pid) == expect && !f.Loading() {
+		f.BumpWriteSeq()
+		slot, err := f.Page.Insert(rec)
+		if err != nil {
+			h.pool.Unpin(f, false)
+			if errors.Is(err, page.ErrPageFull) {
+				return RID{}, false, nil
+			}
+			return RID{}, false, err
+		}
+		h.OwnedWrites.Inc()
+		rid := RID{Page: pid, Slot: uint16(slot)}
+		if lsn := mkLSN(rid); lsn != 0 {
+			f.Page.SetLSN(lsn)
+		}
+		f.MarkDirty()
+		h.pool.Unpin(f, true)
+		return rid, true, nil
+	}
+	h.noteLatchedWrite()
 	f.Latch.Lock()
 	if h.StampOwner(pid) != expect {
 		f.Latch.Unlock()
 		h.pool.Unpin(f, false)
 		return RID{}, false, nil
 	}
+	f.BumpWriteSeq()
 	slot, err := f.Page.Insert(rec)
 	if err == nil {
+		if expect != nil {
+			h.OwnedWrites.Inc()
+			h.OwnedWritesLatched.Inc()
+		}
 		rid := RID{Page: pid, Slot: uint16(slot)}
 		// An unlogged insert (mkLSN == 0) must not regress the page LSN
 		// below updates that were logged — recovery's redo-skip and the
@@ -212,6 +273,7 @@ func (h *Heap) UpdateWith(rid RID, rec []byte, mkLSN func(before []byte) uint64)
 	if err != nil {
 		return err
 	}
+	h.noteLatchedWrite()
 	f.Latch.Lock()
 	old, err := f.Page.Get(int(rid.Slot))
 	if err != nil {
@@ -226,6 +288,7 @@ func (h *Heap) UpdateWith(rid RID, rec []byte, mkLSN func(before []byte) uint64)
 		return page.ErrPageFull
 	}
 	lsn := mkLSN(old)
+	f.BumpWriteSeq()
 	if err = f.Page.Update(int(rid.Slot), rec); err != nil {
 		f.Latch.Unlock()
 		h.pool.Unpin(f, false)
@@ -245,6 +308,7 @@ func (h *Heap) DeleteWith(rid RID, mkLSN func(before []byte) uint64) error {
 	if err != nil {
 		return err
 	}
+	h.noteLatchedWrite()
 	f.Latch.Lock()
 	old, err := f.Page.Get(int(rid.Slot))
 	if err != nil {
@@ -253,6 +317,7 @@ func (h *Heap) DeleteWith(rid RID, mkLSN func(before []byte) uint64) error {
 		return err
 	}
 	lsn := mkLSN(old)
+	f.BumpWriteSeq()
 	if err = f.Page.Delete(int(rid.Slot)); err != nil {
 		f.Latch.Unlock()
 		h.pool.Unpin(f, false)
@@ -302,7 +367,9 @@ func (h *Heap) Update(rid RID, rec []byte, lsn uint64) error {
 	if err != nil {
 		return err
 	}
+	h.noteLatchedWrite()
 	f.Latch.Lock()
+	f.BumpWriteSeq()
 	err = f.Page.Update(int(rid.Slot), rec)
 	if err == nil {
 		if lsn != 0 {
@@ -341,7 +408,9 @@ func (h *Heap) Delete(rid RID, lsn uint64) error {
 	if err != nil {
 		return err
 	}
+	h.noteLatchedWrite()
 	f.Latch.Lock()
+	f.BumpWriteSeq()
 	err = f.Page.Delete(int(rid.Slot))
 	if err == nil {
 		if lsn != 0 {
@@ -390,7 +459,12 @@ func (h *Heap) AttachPage(pid page.ID) {
 }
 
 // Scan invokes fn with a copy of every live record and its RID, until fn
-// returns false.
+// returns false. Scan reads under the shared frame latch, which no longer
+// orders it against OWNER mutations of stamped pages (those are
+// latch-free): callers must not scan while owner mutators are running.
+// Its callers — recovery, integrity checks, quiesced tooling — satisfy
+// this; live traffic reads records through sessions, whose operations
+// ship to the owning threads instead.
 func (h *Heap) Scan(fn func(rid RID, rec []byte) bool) error {
 	for _, pid := range h.Pages() {
 		f, err := h.pool.Fetch(pid)

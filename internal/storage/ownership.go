@@ -18,12 +18,15 @@ import (
 //     ExecAt ship; inserts land there only through the owner's private
 //     fill list — tryInsertWith refuses stamped pages).
 //
-// Under that promise the owner's RECORD READS need no frame latch: the
-// only concurrent accessors are other readers (latched, shared) and the
-// buffer pool's write-back (shared). Mutations keep the exclusive frame
-// latch even on the owner's thread so write-back and foreign latched
-// readers stay safe. This retires the frame-latch class for aligned
-// reads — the physical residue PR 2 left behind — once the maintenance
+// Under that promise the owner's RECORD READS need no frame latch, and —
+// since the copy-on-write page-cleaning protocol (ownedwrite.go) — its
+// MUTATIONS need none either: the buffer pool's write-back no longer
+// latches a stamped frame, it ships a snapshot request to the owning
+// worker and hardens the copy the owner took at a quiescent point of its
+// own thread, while a per-frame write-sequence counter (bumped before
+// every byte mutation) replaces the latch for dirty-bit conflict
+// detection. The frame-latch class is thereby retired for BOTH aligned
+// reads (PR 3) and aligned writes on stamped pages, once the maintenance
 // daemon (internal/maint) has migrated or re-stamped the pages that
 // repartitioning orphaned.
 //
@@ -39,6 +42,22 @@ type ownedPages struct {
 	mu    sync.Mutex
 	pages []page.ID
 	fill  int // index of the page inserts try first
+}
+
+// setStamp publishes a stamp in the heap's registry AND the buffer
+// pool's mirror (the pool's eviction policy and write-back consult the
+// mirror with one lock-free load per frame). Both stores happen before
+// any content verify takes the frame latch — writeBackLatched's
+// decisive stamp re-check depends on that order.
+func (h *Heap) setStamp(pid page.ID, tok *btree.Owner) {
+	h.stamps.Store(pid, tok)
+	h.pool.MarkStamped(pid)
+}
+
+// clearStamp drops a stamp from both registries.
+func (h *Heap) clearStamp(pid page.ID) {
+	h.stamps.Delete(pid)
+	h.pool.UnmarkStamped(pid)
 }
 
 func (h *Heap) ownedList(tok *btree.Owner) *ownedPages {
@@ -142,7 +161,13 @@ func (h *Heap) InsertOwnedWith(tok *btree.Owner, worker int, rec []byte, mkLSN f
 	if err != nil {
 		return RID{}, err
 	}
+	// Fresh page: one latched insert per page lifetime (amortized to ~0
+	// per write), counted like any other latched owner mutation.
+	h.OwnedWrites.Inc()
+	h.OwnedWritesLatched.Inc()
+	h.noteLatchedWrite()
 	f.Latch.Lock()
+	f.BumpWriteSeq()
 	slot, err := f.Page.Insert(rec)
 	if err != nil {
 		f.Latch.Unlock()
@@ -157,7 +182,7 @@ func (h *Heap) InsertOwnedWith(tok *btree.Owner, worker int, rec []byte, mkLSN f
 	// Stamp before the page becomes discoverable (the caller publishes
 	// the RID through an index only after we return); the fresh page
 	// never enters the shared stripes, so no foreign insert can target it.
-	h.stamps.Store(rid.Page, tok)
+	h.setStamp(rid.Page, tok)
 	f.Latch.Unlock()
 	h.pool.Unpin(f, true)
 
@@ -181,6 +206,13 @@ func (h *Heap) InsertOwnedWith(tok *btree.Owner, worker int, rec []byte, mkLSN f
 //     barrier for inserts that slipped in before step 2; a foreign
 //     record fails the verify and the stamp is rolled back.
 //
+// The verify takes the latch EXCLUSIVELY, although it only reads: a
+// latched write-back (flush of a then-unstamped page) that re-checks the
+// stamp under its shared hold must be able to conclude that "unstamped
+// under my latch" means no latch-free owner mutation can start until it
+// releases — which holds exactly because the freshly published stamp
+// cannot clear this verify while any latch is held.
+//
 // Must be called on the owning worker's thread. Returns false when the
 // page holds foreign records (the caller migrates its records off it
 // instead) or is already stamped to another owner.
@@ -189,14 +221,14 @@ func (h *Heap) TryStamp(pid page.ID, tok *btree.Owner, mine func(rec []byte) boo
 		return cur == tok, nil
 	}
 	h.unstripe(pid)
-	h.stamps.Store(pid, tok)
+	h.setStamp(pid, tok)
 	f, err := h.pool.Fetch(pid)
 	if err != nil {
-		h.stamps.Delete(pid)
+		h.clearStamp(pid)
 		h.AttachPage(pid)
 		return false, err
 	}
-	f.Latch.RLock()
+	f.Latch.Lock()
 	ok := true
 	for s := 0; s < f.Page.NumSlots(); s++ {
 		if f.Page.Deleted(s) {
@@ -208,10 +240,10 @@ func (h *Heap) TryStamp(pid page.ID, tok *btree.Owner, mine func(rec []byte) boo
 			break
 		}
 	}
-	f.Latch.RUnlock()
+	f.Latch.Unlock()
 	h.pool.Unpin(f, false)
 	if !ok {
-		h.stamps.Delete(pid)
+		h.clearStamp(pid)
 		h.AttachPage(pid)
 		return false, nil
 	}
@@ -255,7 +287,7 @@ func (h *Heap) UnstampPages(tok *btree.Owner, pids []page.ID) {
 	}
 	op.mu.Unlock()
 	for pid := range drop {
-		h.stamps.Delete(pid)
+		h.clearStamp(pid)
 		h.AttachPage(pid)
 	}
 }
@@ -298,7 +330,7 @@ func (h *Heap) ReleaseStamps() {
 		op.fill = 0
 		op.mu.Unlock()
 		for _, pid := range pages {
-			h.stamps.Delete(pid)
+			h.clearStamp(pid)
 			h.AttachPage(pid)
 		}
 		h.owned.Delete(k)

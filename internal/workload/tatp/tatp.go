@@ -491,3 +491,15 @@ func (db *DB) ReadOnlyMix(opt MixOptions) workload.Mix {
 	m := db.NewMix(opt)
 	return workload.Mix{m[0], m[1], m[2]}
 }
+
+// WriteMix returns a write-heavy TATP variant — the two update
+// transactions at elevated weight over a thin read background — used by
+// experiment E15 to stress the owner write path and the page cleaner.
+func (db *DB) WriteMix(opt MixOptions) workload.Mix {
+	m := db.NewMix(opt)
+	return workload.Mix{
+		{Name: m[3].Name, Weight: 40, Build: m[3].Build}, // UpdateSubscriberData
+		{Name: m[4].Name, Weight: 40, Build: m[4].Build}, // UpdateLocation
+		{Name: m[0].Name, Weight: 20, Build: m[0].Build}, // GetSubscriberData
+	}
+}
