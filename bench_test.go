@@ -114,6 +114,10 @@ func BenchmarkE15PageCleaning(b *testing.B) {
 	runTable(b, func() (*exp.Table, error) { return exp.E15PageCleaning(quickCfg()) })
 }
 
+func BenchmarkE16Replication(b *testing.B) {
+	runTable(b, func() (*exp.Table, error) { return exp.E16Replication(quickCfg()) })
+}
+
 func BenchmarkA1PartitionCount(b *testing.B) {
 	runTable(b, func() (*exp.Table, error) { return exp.A1PartitionCount(quickCfg(), []int{1, 4, 8}) })
 }

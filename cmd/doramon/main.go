@@ -27,7 +27,9 @@ import (
 	"dora/internal/maint"
 	"dora/internal/metrics"
 	"dora/internal/monitor"
+	"dora/internal/repl"
 	"dora/internal/sm"
+	"dora/internal/wal"
 	"dora/internal/workload"
 	"dora/internal/workload/tatp"
 )
@@ -40,20 +42,23 @@ func main() {
 		period  = flag.Duration("period", time.Second, "snapshot period")
 		dur     = flag.Duration("duration", 0, "run time (0 = until interrupt)")
 		hotFrac = flag.Float64("hot", 0.8, "fraction of accesses hitting the hot spot")
+		replica = flag.Bool("replica", true, "run an in-process read replica of the DORA database")
+		semiK   = flag.Int("semisync", 0, "semi-sync commit rule: acks required per commit (0 = async)")
 	)
 	flag.Parse()
 
 	fmt.Printf("loading two TATP databases (%d subscribers each)...\n", *subs)
-	mk := func() (*tatp.DB, *metrics.CriticalSectionStats) {
+	mk := func(store wal.Store) (*tatp.DB, *metrics.CriticalSectionStats) {
 		cs := &metrics.CriticalSectionStats{}
-		s, err := sm.Open(sm.Options{Frames: 1 << 14, CS: cs})
+		s, err := sm.Open(sm.Options{Frames: 1 << 14, CS: cs, LogStore: store})
 		fatal(err)
 		db, err := tatp.Load(s, *subs)
 		fatal(err)
 		return db, cs
 	}
-	convDB, _ := mk()
-	doraDB, doraCS := mk()
+	convDB, _ := mk(nil)
+	doraStore := wal.NewMemStore()
+	doraDB, doraCS := mk(doraStore)
 	_ = doraCS
 
 	conv := conventional.New(convDB.SM)
@@ -86,10 +91,35 @@ func main() {
 		}
 	}()
 
+	// Replication: the DORA database ships its log to an in-process read
+	// replica; read-only TATP traffic is offloaded to it at a bounded
+	// staleness, and the trimmer bounds the primary's retained log under
+	// the slowest replica's acked horizon.
+	var rsrc *monitor.ReplSource
+	var rep *repl.Replica
+	var repDB *tatp.DB
+	if *replica {
+		sh, err := repl.AttachPrimary(doraDB.SM, doraStore, repl.Rule{K: *semiK})
+		fatal(err)
+		defer sh.Close()
+		rep, err = repl.NewReplica(repl.Options{Frames: 1 << 13, DDL: func(s *sm.SM) error {
+			var derr error
+			repDB, derr = tatp.Schema(s, *subs)
+			return derr
+		}})
+		fatal(err)
+		fatal(sh.AddReplica("replica-1", repl.LocalLink{R: rep}))
+		trim := &sm.Trimmer{SM: doraDB.SM, AckHorizon: sh.AckHorizon}
+		trim.Start()
+		defer trim.Stop()
+		rsrc = &monitor.ReplSource{Shipper: sh, Trimmer: trim, Replica: rep, Primary: doraDB.SM}
+	}
+
 	src := &monitor.Source{
 		SM:    doraDB.SM,
 		Dora:  de,
 		Maint: md,
+		Repl:  rsrc,
 		Engines: []monitor.CommitCounter{
 			monitor.CounterAdapter{EngineName: "conventional", Committed: &conv.Committed, Aborted: &conv.Aborted},
 			monitor.CounterAdapter{EngineName: "dora", Committed: &de.Committed, Aborted: &de.Aborted},
@@ -117,6 +147,16 @@ func main() {
 			Clients: *clients, Duration: runDur, Seed: 2,
 		}).Run()
 	}()
+	if rep != nil {
+		// Read offload: the read-only slice of the TATP mix runs against
+		// the replica at its hardened commit horizon (bounded staleness).
+		go func() {
+			(&workload.Driver{
+				Engine: repl.ReadEngine{R: rep}, Mix: repDB.ReadOnlyMix(tatp.MixOptions{}),
+				Clients: 4, Duration: runDur, Seed: 3,
+			}).Run()
+		}()
+	}
 
 	// Terminal view: refresh a summary line each period.
 	stopAt := time.Now().Add(runDur)
@@ -176,6 +216,16 @@ func printSnapshot(s *monitor.Snapshot) {
 	if pc := s.PageCleaning; pc != nil {
 		fmt.Printf("  page cleaning: snap ships=%d cleans=%d stamped evictions=%d dirty writes=%d\n",
 			pc.SnapshotShips, pc.SnapshotCleans, pc.StampedEvictions, pc.DirtyWrites)
+	}
+	for _, rv := range s.Replication {
+		switch rv.Role {
+		case "primary":
+			fmt.Printf("  repl primary: shipped=%d lag=%dB degraded=%d retained=%dB trims=%d\n",
+				rv.ShippedLSN, rv.LagBytes, rv.DegradedCommits, rv.RetainedLog, rv.LogTrims)
+		case "replica":
+			fmt.Printf("  repl replica: applied=%d horizon=%d staleness=%dB reads=%d open=%d\n",
+				rv.AppliedLSN, rv.CommitHorizon, rv.StalenessBytes, rv.ReplicaReads, rv.OpenTxns)
+		}
 	}
 	byTable := map[string]int{}
 	for _, p := range s.Partitions {

@@ -60,6 +60,27 @@
 // bodies are deadlock-safe by construction; dora.Config.BlockingShips
 // restores the parked-sender baseline for measurement.
 //
+// Replication (internal/repl, experiment E16) turns the group-commit
+// log into a replication stream: the clog flush daemon's hardened group
+// extents ship — in LSN order, over in-process or TCP links — to
+// replicas that append them to their own log and replay them through
+// the recovery-redo machinery into a live engine. Commit rules ride the
+// commit pipeline: asynchronous shipping by default, or semi-sync K-ack
+// where each commit waits until K replicas have replayed it (degrading,
+// counted, when replicas die rather than wedging). Read replicas serve
+// read-only sessions at their hardened commit horizon — bounded
+// staleness, measured in log bytes — via repl.ReadEngine; promotion
+// closes committed-but-unended transactions, rolls back in-flight
+// losers with CLRs, and brings the replica up writable, with the old
+// primary's divergent tail truncated (wal.TruncateTail) before it
+// rejoins. A trimmer daemon (sm.Trimmer) checkpoints and truncates the
+// WAL prefix under min(checkpoint redo, oldest active transaction,
+// slowest replica's acked LSN), so retention stays bounded while
+// replicas stream. Unaligned actions resolve their routing fields
+// asynchronously too (xct.Action.ResolveAsync): phase dispatch suspends
+// on resolver probes like action bodies do, keeping the coordinator
+// unparked.
+//
 // See README.md for the package tour, quickstart, and the experiment
 // index. The packages live under internal/; the runnable entry points
 // are the examples/ programs and the cmd/ tools.

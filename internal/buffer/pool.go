@@ -116,7 +116,10 @@ type Snapshotter func(id page.ID) (PageSnapshot, bool)
 // page id; hot counters are shared (they are padded atomics).
 type Pool struct {
 	disk Disk
-	log  LogForcer
+	// log is swappable at runtime (atomic): a promoted replica adopts an
+	// appendable log manager in place of its read-only delivered-stream
+	// one, while eviction write-backs keep forcing concurrently.
+	log atomic.Pointer[LogForcer]
 	// frames is the flat registry of every frame — used only for
 	// capacity (NumFrames) and pre-traffic wiring (SetStats). All
 	// steady-state access goes through the shards, which hold the same
@@ -183,10 +186,10 @@ func NewPool(n int, disk Disk, log LogForcer) *Pool {
 	}
 	p := &Pool{
 		disk:   disk,
-		log:    log,
 		frames: make([]*Frame, n),
 		cleanq: make(chan page.ID, 256),
 	}
+	p.SetLogForcer(log)
 	nsh := shardCountFor(n)
 	p.shards = make([]*shard, nsh)
 	for i := range p.shards {
@@ -199,6 +202,25 @@ func NewPool(n int, disk Disk, log LogForcer) *Pool {
 		sh.frames = append(sh.frames, f)
 	}
 	return p
+}
+
+// SetLogForcer swaps the write-ahead rule's log handle. nil detaches it
+// (no WAL). Safe against concurrent write-backs: each write-back reads
+// the handle once.
+func (p *Pool) SetLogForcer(log LogForcer) {
+	if log == nil {
+		p.log.Store(nil)
+		return
+	}
+	p.log.Store(&log)
+}
+
+// logForcer returns the current log handle, or nil when none is attached.
+func (p *Pool) logForcer() LogForcer {
+	if lp := p.log.Load(); lp != nil {
+		return *lp
+	}
+	return nil
 }
 
 // SetStats wires contention accounting into every frame latch.
@@ -493,8 +515,8 @@ func (p *Pool) writeBackLatched(f *Frame) error {
 	// Under the shared latch no mutator is active, so the live image is
 	// at least as new as any snapshot copy — never stale, no skip check.
 	seqAt := f.seq.Load()
-	if p.log != nil {
-		if err := p.log.Force(f.Page.LSN()); err != nil {
+	if log := p.logForcer(); log != nil {
+		if err := log.Force(f.Page.LSN()); err != nil {
 			return err
 		}
 	}
@@ -529,8 +551,8 @@ func (p *Pool) hardenSnapshot(s PageSnapshot) error {
 	if s.Seq < s.Frame.hardened {
 		return nil // a newer image already hardened; this copy is moot
 	}
-	if p.log != nil {
-		if err := p.log.Force(s.Img.LSN()); err != nil {
+	if log := p.logForcer(); log != nil {
+		if err := log.Force(s.Img.LSN()); err != nil {
 			return err
 		}
 	}

@@ -139,6 +139,10 @@ type Dora struct {
 	Committed metrics.Counter
 	Aborted   metrics.Counter
 	Timeouts  metrics.Counter
+	// AsyncResolves counts unaligned-action resolver probes dispatched in
+	// continuation-passing form (the dispatcher suspended instead of
+	// blocking on the probe's cross-partition ship).
+	AsyncResolves metrics.Counter
 
 	// retiredShips accumulates the cumulative ship counters of workers
 	// merged away, so ShipSnapshot's engine-wide totals never go
@@ -330,8 +334,7 @@ func (e *Dora) dispatchPhase(run *flowRun, phase int) {
 		p *partition
 		m *actionMsg
 	}
-	targets := make([]target, 0, len(actions))
-	var failed int
+	claims := make([]target, 0, len(actions))
 	now := time.Now()
 	// With phase 0 we also enqueue lock *claims* for every later-phase
 	// action whose key is static and aligned, so the transaction's whole
@@ -349,66 +352,109 @@ func (e *Dora) dispatchPhase(run *flowRun, phase int) {
 				}
 				run.addTable(tbl.ID)
 				p := e.ownerOf(tbl, a.Key)
-				targets = append(targets, target{p, &actionMsg{
+				claims = append(claims, target{p, &actionMsg{
 					act: a, run: run, routeKey: a.Key, at: now, claim: true,
 				}})
 			}
 		}
 	}
-	for _, a := range actions {
+	// Route every action. Unaligned actions with an async resolver probe
+	// their secondary index in continuation-passing form: the dispatch
+	// suspends (pending countdown) instead of parking this thread on a
+	// cross-partition ship, and the last resolution to land enqueues the
+	// phase. Aligned actions and sync-only resolvers keep the inline path.
+	rks := make([]int64, len(actions))
+	skip := make([]bool, len(actions))
+	finish := func() {
+		targets := claims
+		failed := 0
+		for i, a := range actions {
+			if skip[i] {
+				failed++
+				continue
+			}
+			tbl := e.sm.Cat.Table(a.Table)
+			p := e.ownerOf(tbl, rks[i])
+			targets = append(targets, target{p, &actionMsg{act: a, run: run, rvp: r, routeKey: rks[i], at: now}})
+		}
+		// Canonical order: ascending worker id, then key.
+		sort.Slice(targets, func(i, j int) bool {
+			if targets[i].p.worker != targets[j].p.worker {
+				return targets[i].p.worker < targets[j].p.worker
+			}
+			return targets[i].m.routeKey < targets[j].m.routeKey
+		})
+		// Atomic multi-queue enqueue: lock all distinct inboxes in order.
+		var locked []*inbox
+		for _, t := range targets {
+			ib := t.p.in
+			if len(locked) == 0 || locked[len(locked)-1] != ib {
+				ib.lockForEnqueue()
+				locked = append(locked, ib)
+			}
+			ib.appendLocked(t.m)
+		}
+		for _, ib := range locked {
+			ib.unlockAfterEnqueue()
+		}
+		// Account for actions that never dispatched (resolve failures).
+		for i := 0; i < failed; i++ {
+			e.report(r, nil) // error already recorded on the run
+		}
+	}
+	// pending starts at 1 for the routing loop itself, so finish cannot
+	// fire before every action has been examined.
+	pending := new(atomic.Int32)
+	pending.Store(1)
+	done := func() {
+		if pending.Add(-1) == 0 {
+			finish()
+		}
+	}
+	for i, a := range actions {
 		tbl := e.sm.Cat.Table(a.Table)
 		if tbl == nil {
 			run.fail(fmt.Errorf("dora: unknown table %q", a.Table))
-			failed++
+			skip[i] = true
 			continue
 		}
 		run.addTable(tbl.ID)
 		pf := tbl.PartitionField()
-		rk := a.Key
-		if a.KeyField != pf {
-			e.noteUnaligned(tbl.ID, a.KeyField)
-			if a.Resolve == nil {
-				run.fail(fmt.Errorf("dora: action on %s keyed by %s needs a resolver", a.Table, a.KeyField))
-				failed++
-				continue
-			}
-			v, err := a.Resolve(&xct.Env{Txn: run.txn, Ses: e.coordSes}, pf)
-			if err != nil {
-				run.fail(err)
-				failed++
-				continue
-			}
-			rk = v
-		} else {
+		if a.KeyField == pf {
 			e.noteAligned(tbl.ID)
+			rks[i] = a.Key
+			continue
 		}
-		p := e.ownerOf(tbl, rk)
-		targets = append(targets, target{p, &actionMsg{act: a, run: run, rvp: r, routeKey: rk, at: now}})
-	}
-	// Canonical order: ascending worker id, then key.
-	sort.Slice(targets, func(i, j int) bool {
-		if targets[i].p.worker != targets[j].p.worker {
-			return targets[i].p.worker < targets[j].p.worker
+		e.noteUnaligned(tbl.ID, a.KeyField)
+		if a.ResolveAsync != nil && !e.cfg.BlockingShips {
+			i := i
+			pending.Add(1)
+			e.AsyncResolves.Inc()
+			a.ResolveAsync(&xct.Env{Txn: run.txn, Ses: e.coordSes}, pf, func(v int64, err error) {
+				if err != nil {
+					run.fail(err)
+					skip[i] = true
+				} else {
+					rks[i] = v
+				}
+				done()
+			})
+			continue
 		}
-		return targets[i].m.routeKey < targets[j].m.routeKey
-	})
-	// Atomic multi-queue enqueue: lock all distinct inboxes in order.
-	var locked []*inbox
-	for _, t := range targets {
-		ib := t.p.in
-		if len(locked) == 0 || locked[len(locked)-1] != ib {
-			ib.lockForEnqueue()
-			locked = append(locked, ib)
+		if a.Resolve == nil {
+			run.fail(fmt.Errorf("dora: action on %s keyed by %s needs a resolver", a.Table, a.KeyField))
+			skip[i] = true
+			continue
 		}
-		ib.appendLocked(t.m)
+		v, err := a.Resolve(&xct.Env{Txn: run.txn, Ses: e.coordSes}, pf)
+		if err != nil {
+			run.fail(err)
+			skip[i] = true
+			continue
+		}
+		rks[i] = v
 	}
-	for _, ib := range locked {
-		ib.unlockAfterEnqueue()
-	}
-	// Account for actions that never dispatched (resolve failures).
-	for i := 0; i < failed; i++ {
-		e.report(r, nil) // error already recorded on the run
-	}
+	done()
 }
 
 // report is called once per action; the last reporter advances the flow.

@@ -91,6 +91,9 @@ type ShipStats struct {
 	// ContQueue is the current inbox depth contributed by continuation
 	// traffic, summed over workers.
 	ContQueue int64 `json:"cont_queue"`
+	// AsyncResolves counts unaligned-action resolver probes run in
+	// continuation-passing form during phase dispatch.
+	AsyncResolves int64 `json:"async_resolves"`
 	// CyclesDiagnosed / LastCycle report the debug-mode detector's
 	// non-fatal cycle diagnoses (continuation mode only; zero/"" when
 	// the detector is off or fail-fast).
@@ -122,6 +125,7 @@ func (e *Dora) ShipSnapshot() ShipStats {
 		}
 	}
 	e.topoMu.RUnlock()
+	s.AsyncResolves = e.AsyncResolves.Load()
 	if det := e.shipDet; det != nil {
 		s.CyclesDiagnosed = det.Cycles.Load()
 		s.LastCycle = det.LastCycle()

@@ -368,3 +368,63 @@ func TestE4Quick(t *testing.T) {
 		t.Fatalf("conventional lockmgr/txn = %s, expected >= 10", tb.Rows[0][1])
 	}
 }
+
+func TestE16Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if raceEnabled {
+		// The rigs' replay + closed-loop read clients are CPU-bound enough
+		// under the race detector to starve concurrently running package
+		// tests; race coverage for replication lives in internal/repl's
+		// storm tests (and CI's dedicated race step).
+		t.Skip("throughput experiment is not meaningful under the race detector")
+	}
+	tb, err := E16Replication(Config{Quick: true, Duration: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tb.Rows))
+	}
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v
+	}
+	// The offload rows serve the read-only mix from the replica at a
+	// measured (finite, byte-denominated) staleness.
+	var trims float64
+	for _, i := range []int{1, 2} {
+		r := tb.Rows[i]
+		if parse(r[2]) == 0 {
+			t.Fatalf("%s: replica served no reads", r[0])
+		}
+		if !strings.HasSuffix(r[3], "B") {
+			t.Fatalf("%s: staleness %q not byte-denominated", r[0], r[3])
+		}
+		parse(strings.TrimSuffix(r[3], "B"))
+		trims += parse(r[5])
+	}
+	trims += parse(tb.Rows[0][5])
+	// The trimmer ran against the replica-ack horizon: retention stayed
+	// bounded while the replicas streamed.
+	if trims == 0 {
+		t.Fatal("no WAL trims across the replicated runs")
+	}
+	// Semi-sync with one healthy replica never degrades.
+	if semi := tb.Rows[2]; parse(semi[4]) != 0 {
+		t.Fatalf("semi-sync degraded %s commits with a healthy replica", semi[4])
+	}
+	// Failover: the promoted replica lost no acked commit (exactly-once)
+	// and serves the full read-write mix as the new primary.
+	prom := tb.Rows[3]
+	if !strings.Contains(prom[6], "horizon-caught") {
+		t.Fatalf("promotion lost acked commits: %v", prom)
+	}
+	if parse(prom[1]) == 0 {
+		t.Fatal("promoted replica committed nothing")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"dora/internal/dora"
 	"dora/internal/maint"
 	"dora/internal/metrics"
+	"dora/internal/repl"
 	"dora/internal/sm"
 )
 
@@ -63,6 +64,87 @@ type Snapshot struct {
 	// depth continuation traffic contributes, and any diagnosed ship
 	// cycles (nil without a DORA engine).
 	Ships *dora.ShipStats `json:"ships,omitempty"`
+	// Replication carries one view per replication role this process
+	// plays (a primary shipping its log, a replica replaying one, or
+	// both when a read replica runs in-process).
+	Replication []ReplicationView `json:"replication,omitempty"`
+}
+
+// ReplicationView is the replication slice of a snapshot: the shipping
+// and acknowledgement horizons on a primary, the delivery/replay/commit
+// horizons and bounded-staleness lag on a replica.
+type ReplicationView struct {
+	Role string `json:"role"` // "primary" or "replica"
+	// Primary side: the end LSN handed to links, each replica's acked
+	// LSN, the slowest ack (the log-truncation constraint), the byte lag
+	// of the slowest replica, and commits completed without their quorum.
+	ShippedLSN      uint64            `json:"shipped_lsn,omitempty"`
+	Replicas        map[string]uint64 `json:"replicas,omitempty"`
+	AckHorizon      uint64            `json:"ack_horizon,omitempty"`
+	LagBytes        uint64            `json:"lag_bytes,omitempty"`
+	DegradedCommits int64             `json:"degraded_commits,omitempty"`
+	// RetainedLog / LogTrims report the cleaning-aware truncation daemon.
+	RetainedLog uint64 `json:"retained_log,omitempty"`
+	LogTrims    int64  `json:"log_trims,omitempty"`
+	// Replica side: the hardened delivery horizon, the replayed horizon,
+	// the commit horizon read-only sessions observe, the staleness in
+	// bytes behind the primary's commit horizon (when the primary is in
+	// reach), read-only flows served, and transactions open in the stream.
+	DeliveredLSN   uint64 `json:"delivered_lsn,omitempty"`
+	AppliedLSN     uint64 `json:"applied_lsn,omitempty"`
+	CommitHorizon  uint64 `json:"commit_horizon,omitempty"`
+	StalenessBytes uint64 `json:"staleness_bytes,omitempty"`
+	ReplicaReads   int64  `json:"replica_reads,omitempty"`
+	OpenTxns       int    `json:"open_txns,omitempty"`
+}
+
+// ReplSource bundles the replication endpoints the monitor samples. Any
+// field may be nil; Primary is the staleness reference for Replica.
+type ReplSource struct {
+	Shipper *repl.Shipper
+	Trimmer *sm.Trimmer
+	Replica *repl.Replica
+	Primary *sm.SM
+}
+
+func (r *ReplSource) views() []ReplicationView {
+	var out []ReplicationView
+	if r.Shipper != nil {
+		v := ReplicationView{
+			Role:            "primary",
+			ShippedLSN:      r.Shipper.ShippedLSN(),
+			Replicas:        r.Shipper.Replicas(),
+			DegradedCommits: r.Shipper.Degraded.Load(),
+		}
+		if ack := r.Shipper.AckHorizon(); ack != ^uint64(0) {
+			v.AckHorizon = ack
+			if v.ShippedLSN > ack {
+				v.LagBytes = v.ShippedLSN - ack
+			}
+		}
+		if r.Trimmer != nil {
+			v.RetainedLog = r.Trimmer.Retained()
+			v.LogTrims = r.Trimmer.Trims.Load()
+		}
+		out = append(out, v)
+	}
+	if r.Replica != nil {
+		v := ReplicationView{
+			Role:          "replica",
+			DeliveredLSN:  r.Replica.Expected(),
+			AppliedLSN:    r.Replica.AppliedLSN(),
+			CommitHorizon: r.Replica.CommitHorizon(),
+			ReplicaReads:  r.Replica.Reads.Load(),
+			OpenTxns:      r.Replica.OpenTxns(),
+		}
+		if r.Primary != nil {
+			if pc := r.Primary.LastCommitLSN(); pc > v.CommitHorizon {
+				v.StalenessBytes = pc - v.CommitHorizon
+			}
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 // HeapView is one table's heap-ownership statistics.
@@ -102,6 +184,7 @@ type Source struct {
 	SM      *sm.SM
 	Dora    *dora.Dora      // optional
 	Maint   *maint.Daemon   // optional
+	Repl    *ReplSource     // optional replication endpoints
 	Engines []CommitCounter // any number of engines
 }
 
@@ -156,6 +239,9 @@ func (s *Source) Sample(prev *Snapshot, dt time.Duration) *Snapshot {
 	if s.Maint != nil {
 		st := s.Maint.Snapshot()
 		snap.Maint = &st
+	}
+	if s.Repl != nil {
+		snap.Replication = s.Repl.views()
 	}
 	if s.Dora != nil {
 		snap.Partitions = s.Dora.PartitionStats()

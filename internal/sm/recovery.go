@@ -58,6 +58,7 @@ func (s *SM) Recover() (RecoveryStats, error) {
 			redoPoint = uint64(r.Key)
 		}
 	}
+	s.lastCkptRedo.Store(redoPoint)
 	for _, r := range recs {
 		if r.TxnID == 0 {
 			continue
@@ -89,6 +90,14 @@ func (s *SM) Recover() (RecoveryStats, error) {
 		if err := s.attachOne(r); err != nil {
 			return st, fmt.Errorf("sm: attach lsn %d: %w", r.LSN, err)
 		}
+		if r.Kind == wal.KCheckpoint {
+			// A truncated log no longer holds the physical records that
+			// would attach pages below the redo point; the checkpoint's
+			// attachment map restores them.
+			if err := s.applyAttachments(r.Redo); err != nil {
+				return st, err
+			}
+		}
 		if r.LSN < redoPoint {
 			continue
 		}
@@ -115,6 +124,24 @@ func (s *SM) Recover() (RecoveryStats, error) {
 	}
 
 	// --- Rebuild indexes from heaps ---
+	n, err := s.rebuildIndexes()
+	if err != nil {
+		return st, err
+	}
+	st.Rebuilt = n
+
+	if err := s.Log.FlushAll(); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// rebuildIndexes reconstructs every table's volatile B+tree indexes from
+// its heap, returning the number of entries rebuilt. Shared by restart
+// recovery, replica bootstrap, and promotion (whose loser undo bypasses
+// live index maintenance).
+func (s *SM) rebuildIndexes() (int, error) {
+	rebuilt := 0
 	for _, tbl := range s.Cat.Tables() {
 		// Rebuild each index with its original shape (partitioned trees
 		// come back unowned: a restarted DORA engine re-claims them).
@@ -131,18 +158,14 @@ func (s *SM) Recover() (RecoveryStats, error) {
 			for _, ix := range tbl.Secondaries {
 				_ = ix.Tree.PutAs(nil, ix.Key(rec), rid.Pack())
 			}
-			st.Rebuilt++
+			rebuilt++
 			return true
 		})
 		if err != nil {
-			return st, err
+			return rebuilt, err
 		}
 	}
-
-	if err := s.Log.FlushAll(); err != nil {
-		return st, err
-	}
-	return st, nil
+	return rebuilt, nil
 }
 
 func physicalKind(r *wal.Record) wal.Kind {

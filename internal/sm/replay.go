@@ -1,0 +1,360 @@
+package sm
+
+import (
+	"fmt"
+	"sync"
+
+	"dora/internal/storage"
+	"dora/internal/tuple"
+	"dora/internal/wal"
+)
+
+// Replayer applies a primary's log stream into a live storage manager —
+// the replica side of log-shipping replication (internal/repl). It is
+// recovery's redo path running continuously: every shipped record is
+// replayed in LSN order into the heaps, indexes are maintained
+// incrementally (recovery rebuilds them at the end; a live replica cannot),
+// and the commit horizon advances as KCommit records arrive, so read-only
+// sessions on the replica observe exactly the prefix of committed state
+// the stream has delivered.
+//
+// The replayer also keeps recovery's analysis state live: the records of
+// every unended transaction stay resident so that Promote — which turns
+// the replica into a primary at the end of the delivered stream — can
+// close committed-but-unended winners and roll back in-flight losers with
+// CLRs, exactly as restart undo would.
+type Replayer struct {
+	sm *SM
+
+	mu      sync.Mutex
+	txns    map[uint64]*rtxn
+	maxTxn  uint64
+	applied uint64 // end LSN of the last record applied
+	redone  int64  // physical operations replayed
+}
+
+// rtxn is the live analysis state of one unended transaction.
+type rtxn struct {
+	lastLSN   uint64
+	committed bool
+	recs      map[uint64]*wal.Record // the txn's records, for undo chains
+}
+
+// NewReplayer creates a replayer over s. Tables must already be
+// registered (schema DDL is code, not logged), in the same order as on
+// the primary, so table ids line up.
+func NewReplayer(s *SM) *Replayer {
+	return &Replayer{sm: s, txns: make(map[uint64]*rtxn)}
+}
+
+func (rp *Replayer) ensure(id uint64) *rtxn {
+	ts := rp.txns[id]
+	if ts == nil {
+		ts = &rtxn{recs: make(map[uint64]*wal.Record)}
+		rp.txns[id] = ts
+	}
+	return ts
+}
+
+// Apply replays one record. Records must arrive in LSN order with no
+// gaps (the delivery path guarantees it).
+func (rp *Replayer) Apply(r *wal.Record) error {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.applyLocked(r)
+}
+
+func (rp *Replayer) applyLocked(r *wal.Record) error {
+	s := rp.sm
+	if r.TxnID != 0 {
+		if r.TxnID > rp.maxTxn {
+			rp.maxTxn = r.TxnID
+		}
+		switch r.Kind {
+		case wal.KEnd:
+			delete(rp.txns, r.TxnID)
+		case wal.KCommit:
+			ts := rp.ensure(r.TxnID)
+			ts.lastLSN = r.LSN
+			ts.committed = true
+			s.NoteCommitLSN(r.LSN)
+		default:
+			ts := rp.ensure(r.TxnID)
+			ts.lastLSN = r.LSN
+			ts.recs[r.LSN] = r
+		}
+	}
+	if r.Kind == wal.KCheckpoint {
+		// The primary's checkpoint raises the replica's truncation floor
+		// too (a promoted replica trims from where the primary left off)
+		// and re-declares page attachment for streams joined past the
+		// records that created the pages.
+		if ck := uint64(r.Key); ck > s.lastCkptRedo.Load() {
+			s.lastCkptRedo.Store(ck)
+		}
+		if err := s.applyAttachments(r.Redo); err != nil {
+			return err
+		}
+	}
+	if err := s.attachOne(r); err != nil {
+		return err
+	}
+	if err := rp.applyPhysical(r); err != nil {
+		return err
+	}
+	rp.applied = r.LSN + uint64(wal.EncodedSize(r))
+	return nil
+}
+
+// applyPhysical redoes one physical record and maintains the indexes
+// incrementally: before images are read from the heap (pre-redo) so
+// moved or removed index keys can be fixed, mirroring what the live
+// write path does on the primary.
+func (rp *Replayer) applyPhysical(r *wal.Record) error {
+	kind := physicalKind(r)
+	if kind == 0 {
+		return nil
+	}
+	s := rp.sm
+	tbl := s.Cat.TableByID(r.Table)
+	if tbl == nil {
+		return fmt.Errorf("sm: replay references unknown table %d", r.Table)
+	}
+	rid := storage.RID{Page: r.Page, Slot: r.Slot}
+	switch kind {
+	case wal.KInsert:
+		if err := tbl.Heap.RedoInsert(rid, r.Redo, r.LSN); err != nil {
+			return err
+		}
+		rec, err := tuple.Decode(r.Redo)
+		if err != nil {
+			return err
+		}
+		_ = tbl.Primary.Tree.PutAs(nil, tbl.Primary.Key(rec), rid.Pack())
+		for _, ix := range tbl.Secondaries {
+			_ = ix.Tree.PutAs(nil, ix.Key(rec), rid.Pack())
+		}
+		rp.redone++
+
+	case wal.KUpdate:
+		var old tuple.Record
+		if img, err := tbl.Heap.Get(rid); err == nil {
+			old, _ = tuple.Decode(img)
+		}
+		if err := tbl.Heap.RedoUpdate(rid, r.Redo, r.LSN); err != nil {
+			return err
+		}
+		rec, err := tuple.Decode(r.Redo)
+		if err != nil {
+			return err
+		}
+		if old != nil {
+			for _, ix := range tbl.Secondaries {
+				if ok, nk := ix.Key(old), ix.Key(rec); ok != nk {
+					ix.Tree.DeleteAs(nil, ok)
+					_ = ix.Tree.PutAs(nil, nk, rid.Pack())
+				}
+			}
+		}
+		rp.redone++
+
+	case wal.KDelete:
+		var old tuple.Record
+		if img, err := tbl.Heap.Get(rid); err == nil {
+			old, _ = tuple.Decode(img)
+		}
+		if err := tbl.Heap.RedoDelete(rid, r.LSN); err != nil {
+			return err
+		}
+		if old != nil {
+			tbl.Primary.Tree.DeleteAs(nil, tbl.Primary.Key(old))
+			for _, ix := range tbl.Secondaries {
+				ix.Tree.DeleteAs(nil, ix.Key(old))
+			}
+		}
+		rp.redone++
+	}
+	return nil
+}
+
+// AppliedLSN returns the end LSN of the last record applied — the
+// replayed horizon (staleness accounting against the primary's shipped
+// horizon).
+func (rp *Replayer) AppliedLSN() uint64 {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.applied
+}
+
+// OpenTxns returns the number of transactions in flight in the stream.
+func (rp *Replayer) OpenTxns() int {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return len(rp.txns)
+}
+
+// Redone returns the count of physical operations replayed.
+func (rp *Replayer) Redone() int64 {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.redone
+}
+
+// PromoteStats summarizes a completed Promote.
+type PromoteStats struct {
+	Open    int // transactions open at the end of the stream
+	Winners int // committed-but-unended: closed with an end record
+	Losers  int // in-flight: rolled back with CLRs
+	Undone  int // undo operations applied for losers
+	Rebuilt int // index entries rebuilt post-undo
+}
+
+// Promote finishes the delivered stream as a restart would, turning the
+// replica's state into a primary's: committed-but-unended transactions
+// get their end records, in-flight losers are rolled back with CLRs
+// (their commit never hardened on the old primary's acked prefix, so
+// their effects must not survive the failover), the transaction-id floor
+// rises past every replayed id, and the indexes are rebuilt (loser undo
+// writes heaps directly, like recovery's). The storage manager must
+// already have an appendable log manager adopted (AdoptLog): the
+// promotion's end records and CLRs are the first records the new primary
+// writes.
+func (rp *Replayer) Promote() (PromoteStats, error) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	s := rp.sm
+	var st PromoteStats
+	st.Open = len(rp.txns)
+	for id, ts := range rp.txns {
+		if ts.committed {
+			s.Log.Append(&wal.Record{Kind: wal.KEnd, TxnID: id, PrevLSN: ts.lastLSN})
+			st.Winners++
+			delete(rp.txns, id)
+			continue
+		}
+		n, err := s.undoLoser(id, ts.lastLSN, ts.recs)
+		if err != nil {
+			return st, fmt.Errorf("sm: promote undo txn %d: %w", id, err)
+		}
+		st.Losers++
+		st.Undone += n
+		delete(rp.txns, id)
+	}
+	s.SetTxnIDFloor(rp.maxTxn + 1)
+	n, err := s.rebuildIndexes()
+	if err != nil {
+		return st, err
+	}
+	st.Rebuilt = n
+	if err := s.Log.FlushAll(); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// Bootstrap replays the storage manager's existing log content — restart
+// recovery minus undo. A rejoining ex-primary runs it after truncating
+// its log tail at the promotion point: analysis state lands in the
+// replayer (in-flight transactions stay OPEN — the new primary's
+// promotion already wrote their end records or CLRs, and those arrive
+// through the stream and must find the transactions live), redo honours
+// checkpoints with page-LSN idempotence, and the indexes are rebuilt.
+//
+// The divergence guard: a heap page whose LSN lies at or beyond the
+// retained log's end was flushed under discarded (divergent) records.
+// Replaying the new primary's stream over such a page would be unsound,
+// so Bootstrap refuses — that disk needs a full resync instead.
+func (rp *Replayer) Bootstrap() (RecoveryStats, error) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	s := rp.sm
+	var st RecoveryStats
+	var recs []*wal.Record
+	if err := s.Log.Scan(func(r *wal.Record) error {
+		recs = append(recs, r)
+		return nil
+	}); err != nil {
+		return st, err
+	}
+	st.Records = len(recs)
+	redoPoint := uint64(0)
+	for _, r := range recs {
+		if r.Kind == wal.KCheckpoint && uint64(r.Key) > redoPoint {
+			redoPoint = uint64(r.Key)
+		}
+	}
+	s.lastCkptRedo.Store(redoPoint)
+	for _, r := range recs {
+		if r.TxnID != 0 {
+			if r.TxnID > rp.maxTxn {
+				rp.maxTxn = r.TxnID
+			}
+			switch r.Kind {
+			case wal.KEnd:
+				delete(rp.txns, r.TxnID)
+			case wal.KCommit:
+				ts := rp.ensure(r.TxnID)
+				ts.lastLSN = r.LSN
+				ts.committed = true
+				s.NoteCommitLSN(r.LSN)
+			default:
+				ts := rp.ensure(r.TxnID)
+				ts.lastLSN = r.LSN
+				ts.recs[r.LSN] = r
+			}
+		}
+		if err := s.attachOne(r); err != nil {
+			return st, fmt.Errorf("sm: attach lsn %d: %w", r.LSN, err)
+		}
+		if r.Kind == wal.KCheckpoint {
+			if err := s.applyAttachments(r.Redo); err != nil {
+				return st, err
+			}
+		}
+		rp.applied = r.LSN + uint64(wal.EncodedSize(r))
+		if r.LSN < redoPoint {
+			continue
+		}
+		if err := s.redoOne(r); err != nil {
+			return st, fmt.Errorf("sm: redo lsn %d: %w", r.LSN, err)
+		}
+		switch r.Kind {
+		case wal.KInsert, wal.KUpdate, wal.KDelete, wal.KCLR:
+			st.Redone++
+			rp.redone++
+		}
+	}
+	s.SetTxnIDFloor(rp.maxTxn + 1)
+	if err := rp.checkDivergence(); err != nil {
+		return st, err
+	}
+	n, err := s.rebuildIndexes()
+	if err != nil {
+		return st, err
+	}
+	st.Rebuilt = n
+	return st, nil
+}
+
+// checkDivergence refuses a bootstrap whose disk holds pages flushed
+// under log records the retained stream no longer contains.
+func (rp *Replayer) checkDivergence() error {
+	s := rp.sm
+	end := s.Log.Next()
+	for _, tbl := range s.Cat.Tables() {
+		for _, pid := range tbl.Heap.Pages() {
+			f, err := s.Pool.Fetch(pid)
+			if err != nil {
+				return err
+			}
+			f.Latch.RLock()
+			lsn := f.Page.LSN()
+			f.Latch.RUnlock()
+			s.Pool.Unpin(f, false)
+			if lsn >= end {
+				return fmt.Errorf("sm: page %d flushed at LSN %d beyond retained log end %d: divergent disk, full resync required", pid, lsn, end)
+			}
+		}
+	}
+	return nil
+}

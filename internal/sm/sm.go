@@ -15,6 +15,7 @@ package sm
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"dora/internal/btree"
@@ -45,6 +46,10 @@ type Options struct {
 	// LegacyLog selects the original single-mutex log manager instead of
 	// the consolidation-array one (comparison experiments, E11).
 	LegacyLog bool
+	// Log, when non-nil, is used as the log manager directly and LogStore
+	// / LegacyLog are ignored. Replication injects a replica's read-only
+	// delivered-stream manager this way (internal/repl).
+	Log wal.Manager
 	// CS receives critical-section accounting (optional).
 	CS *metrics.CriticalSectionStats
 	// Tracer receives record-access events (optional, experiment E1).
@@ -65,12 +70,44 @@ type SM struct {
 	// lastCommit is the highest commit-record LSN assigned so far. Under
 	// early lock release a read-only transaction may have observed writes
 	// whose commit record is not yet durable; acknowledging it must wait
-	// for this horizon (the ELR read-only caveat).
+	// for this horizon (the ELR read-only caveat). On a replica it is
+	// advanced by replay (NoteCommitLSN) — the replayed-commit horizon.
 	lastCommit atomic.Uint64
+
+	// commitGate, when installed, interposes between a commit record's
+	// local durability and the transaction's completion: semi-sync
+	// replication holds the acknowledgement here until enough replicas
+	// acked the commit LSN (internal/repl.Shipper.Gate).
+	commitGate atomic.Pointer[CommitGate]
+
+	// activeMu/active track in-flight transactions so the log-truncation
+	// horizon can retain the oldest active transaction's chain.
+	activeMu sync.Mutex
+	active   map[*tx.Txn]struct{}
+
+	// lastCkptRedo is the redo point of the latest hardened checkpoint —
+	// the analysis/redo floor a truncated log must preserve.
+	lastCkptRedo atomic.Uint64
 
 	// Commits and Aborts count finished transactions.
 	Commits metrics.Counter
 	Aborts  metrics.Counter
+}
+
+// CommitGate delays a commit acknowledgement past local durability: it is
+// called with the hardened commit-record LSN and must invoke done exactly
+// once when the configured replication rule is satisfied (immediately,
+// for async replication).
+type CommitGate func(lsn uint64, done func(error))
+
+// SetCommitGate installs (or, with nil, removes) the commit gate. Commits
+// in flight keep whichever gate they loaded.
+func (s *SM) SetCommitGate(g CommitGate) {
+	if g == nil {
+		s.commitGate.Store(nil)
+		return
+	}
+	s.commitGate.Store(&g)
 }
 
 // Open creates a storage manager over the given (or default in-memory)
@@ -88,9 +125,12 @@ func Open(opt Options) (*SM, error) {
 	}
 	var log wal.Manager
 	var err error
-	if opt.LegacyLog {
+	switch {
+	case opt.Log != nil:
+		log = opt.Log
+	case opt.LegacyLog:
 		log, err = wal.New(opt.LogStore, opt.CS)
-	} else {
+	default:
 		log, err = clog.New(opt.LogStore, opt.CS)
 	}
 	if err != nil {
@@ -107,7 +147,61 @@ func Open(opt Options) (*SM, error) {
 		Cat:    catalog.New(),
 		CS:     opt.CS,
 		Tracer: opt.Tracer,
+		active: make(map[*tx.Txn]struct{}),
 	}, nil
+}
+
+// AdoptLog swaps the storage manager's log manager and rewires the buffer
+// pool's write-ahead rule to it. The caller must quiesce appenders first;
+// replication uses it to flip a replica between its read-only delivered-
+// stream manager and an appendable one at promotion.
+func (s *SM) AdoptLog(m wal.Manager) {
+	s.Log = m
+	s.Pool.SetLogForcer(m)
+}
+
+// LastCommitLSN returns the highest commit-record LSN assigned so far —
+// on a replica, the replayed-commit horizon (staleness accounting).
+func (s *SM) LastCommitLSN() uint64 { return s.lastCommit.Load() }
+
+// NoteCommitLSN advances the commit horizon to lsn if it is higher;
+// replication's replay path calls it for every replayed commit record.
+func (s *SM) NoteCommitLSN(lsn uint64) {
+	for {
+		cur := s.lastCommit.Load()
+		if cur >= lsn || s.lastCommit.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+// register adds t to the active-transaction registry.
+func (s *SM) register(t *tx.Txn) {
+	s.activeMu.Lock()
+	s.active[t] = struct{}{}
+	s.activeMu.Unlock()
+}
+
+// deregister removes t from the active-transaction registry; called once
+// the transaction can no longer pin the truncation horizon.
+func (s *SM) deregister(t *tx.Txn) {
+	s.activeMu.Lock()
+	delete(s.active, t)
+	s.activeMu.Unlock()
+}
+
+// OldestActiveLSN returns the lowest first-record LSN among in-flight
+// transactions, or 0 when none has logged anything.
+func (s *SM) OldestActiveLSN() uint64 {
+	s.activeMu.Lock()
+	defer s.activeMu.Unlock()
+	oldest := uint64(0)
+	for t := range s.active {
+		if f := t.FirstLSN(); f != 0 && (oldest == 0 || f < oldest) {
+			oldest = f
+		}
+	}
+	return oldest
 }
 
 // IndexSpec declares a secondary index in a TableSpec.
@@ -194,7 +288,11 @@ func (s *SM) CreateTable(spec TableSpec) (*catalog.Table, error) {
 }
 
 // Begin starts a transaction.
-func (s *SM) Begin() *tx.Txn { return s.ids.NewTxn() }
+func (s *SM) Begin() *tx.Txn {
+	t := s.ids.NewTxn()
+	s.register(t)
+	return t
+}
 
 // Session returns an access handle tagged with a worker id for the
 // access tracer; engines create one per worker thread.
@@ -243,6 +341,7 @@ func (s *SM) CommitAsync(t *tx.Txn, done func(error)) {
 		}
 	}
 	finish := func(err error) {
+		s.deregister(t)
 		if err != nil {
 			done(err)
 			return
@@ -254,11 +353,25 @@ func (s *SM) CommitAsync(t *tx.Txn, done func(error)) {
 		s.Commits.Inc()
 		done(nil)
 	}
+	complete := finish
+	if gp := s.commitGate.Load(); gp != nil {
+		gate := *gp
+		// The gate runs between local durability and completion: the
+		// commit record hardened here, but the acknowledgement (and the
+		// end record) wait for the replication rule.
+		complete = func(err error) {
+			if err != nil {
+				finish(err)
+				return
+			}
+			gate(lsn, finish)
+		}
+	}
 	if af, ok := s.Log.(wal.AsyncForcer); ok {
-		af.ForceAsync(lsn, finish)
+		af.ForceAsync(lsn, complete)
 		return
 	}
-	finish(s.Log.Force(lsn))
+	complete(s.Log.Force(lsn))
 }
 
 // commitReadOnly completes a transaction that wrote nothing. With a
@@ -270,6 +383,7 @@ func (s *SM) CommitAsync(t *tx.Txn, done func(error)) {
 // crash could erase state a client was told it read.
 func (s *SM) commitReadOnly(t *tx.Txn, done func(error)) {
 	finish := func(err error) {
+		s.deregister(t)
 		if err == nil {
 			t.SetStatus(tx.Committed)
 			s.Commits.Inc()
@@ -318,6 +432,7 @@ func (s *SM) FinishRollback(t *tx.Txn) error {
 		})
 	}
 	t.SetStatus(tx.Aborted)
+	s.deregister(t)
 	s.Aborts.Inc()
 	return nil
 }

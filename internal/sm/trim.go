@@ -1,0 +1,152 @@
+package sm
+
+import (
+	"sync/atomic"
+	"time"
+
+	"dora/internal/metrics"
+	"dora/internal/wal"
+)
+
+// TruncationHorizon computes the highest LSN below which no log record is
+// still needed: the minimum of the last hardened checkpoint's redo point
+// (redo never reaches below it), the oldest active transaction's first
+// LSN (its rollback walks the chain from there), and any caller-supplied
+// constraints — replication passes the slowest replica's acked LSN, so a
+// lagging replica can still be caught up from the retained log. Returns 0
+// when no checkpoint has hardened yet (the whole log is still needed).
+func (s *SM) TruncationHorizon(extras ...uint64) uint64 {
+	h := s.lastCkptRedo.Load()
+	if h == 0 {
+		return 0
+	}
+	if oldest := s.OldestActiveLSN(); oldest != 0 && oldest < h {
+		h = oldest
+	}
+	for _, e := range extras {
+		if e < h {
+			h = e
+		}
+	}
+	return h
+}
+
+// TrimLog truncates the log's backing store below the current truncation
+// horizon (see TruncationHorizon), returning the horizon applied — 0 when
+// nothing could be dropped or the log manager cannot truncate.
+func (s *SM) TrimLog(extras ...uint64) (uint64, error) {
+	tr, ok := s.Log.(wal.Truncator)
+	if !ok {
+		return 0, nil
+	}
+	h := s.TruncationHorizon(extras...)
+	if h == 0 {
+		return 0, nil
+	}
+	return h, tr.Truncate(h)
+}
+
+// Trimmer is the cleaning-aware log-truncation daemon: once the retained
+// log grows past Threshold bytes it takes a checkpoint (flushing dirty
+// pages, so the redo floor rises past the oldest unhardened page LSN) and
+// truncates the store at min(checkpoint redo point, oldest active
+// transaction, slowest replica ack). Log growth stays bounded under
+// sustained writes without ever dropping a record recovery, rollback, or
+// a replica still needs.
+type Trimmer struct {
+	SM *SM
+	// Interval between size checks (default 50ms).
+	Interval time.Duration
+	// Threshold is the retained-log size in bytes that triggers a
+	// checkpoint + truncate cycle (default 4 MiB).
+	Threshold uint64
+	// AckHorizon, when non-nil, returns replication's truncation
+	// constraint — the slowest live replica's acked LSN (MaxUint64 when
+	// unconstrained). internal/repl.Shipper.AckHorizon fits here.
+	AckHorizon func() uint64
+
+	// Checkpoints and Trims count cycles triggered and truncations that
+	// actually advanced the origin.
+	Checkpoints metrics.Counter
+	Trims       metrics.Counter
+
+	origin atomic.Uint64 // first retained LSN (monitor: retained size)
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// Start launches the daemon. The trimmer learns the current stream origin
+// lazily: it only ever raises its estimate to horizons it applied itself.
+func (t *Trimmer) Start() {
+	if t.Interval <= 0 {
+		t.Interval = 50 * time.Millisecond
+	}
+	if t.Threshold == 0 {
+		t.Threshold = 4 << 20
+	}
+	if t.origin.Load() == 0 {
+		t.origin.Store(uint64(wal.HeaderSize))
+	}
+	t.stop = make(chan struct{})
+	t.done = make(chan struct{})
+	go func() {
+		defer close(t.done)
+		tick := time.NewTicker(t.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-t.stop:
+				return
+			case <-tick.C:
+				t.runOnce()
+			}
+		}
+	}()
+}
+
+// Stop halts the daemon.
+func (t *Trimmer) Stop() {
+	if t.stop == nil {
+		return
+	}
+	close(t.stop)
+	<-t.done
+	t.stop = nil
+}
+
+// Origin returns the first retained LSN as far as the trimmer knows.
+func (t *Trimmer) Origin() uint64 { return t.origin.Load() }
+
+// Retained returns the approximate retained log size in bytes.
+func (t *Trimmer) Retained() uint64 {
+	next := t.SM.Log.Next()
+	if o := t.origin.Load(); next > o {
+		return next - o
+	}
+	return 0
+}
+
+func (t *Trimmer) runOnce() {
+	if t.Retained() < t.Threshold {
+		return
+	}
+	if _, err := t.SM.Checkpoint(); err != nil {
+		return // a wedged flush retries next tick; never trim past it
+	}
+	t.Checkpoints.Inc()
+	var extras []uint64
+	if t.AckHorizon != nil {
+		extras = append(extras, t.AckHorizon())
+	}
+	h, err := t.SM.TrimLog(extras...)
+	if err != nil || h == 0 {
+		return
+	}
+	for {
+		cur := t.origin.Load()
+		if cur >= h || t.origin.CompareAndSwap(cur, h) {
+			break
+		}
+	}
+	t.Trims.Inc()
+}

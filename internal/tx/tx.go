@@ -69,10 +69,11 @@ type Txn struct {
 	// ID is the globally unique transaction id.
 	ID uint64
 
-	mu      sync.Mutex
-	status  Status
-	lastLSN uint64
-	undos   []Undo
+	mu       sync.Mutex
+	status   Status
+	lastLSN  uint64
+	firstLSN uint64
+	undos    []Undo
 }
 
 // IDGen allocates transaction ids.
@@ -116,6 +117,16 @@ func (t *Txn) LastLSN() uint64 {
 	return t.lastLSN
 }
 
+// FirstLSN returns the transaction's earliest log record, or 0 if it has
+// not logged anything. Log truncation must keep every record from the
+// oldest active transaction's first LSN onward, so its rollback can read
+// the chain.
+func (t *Txn) FirstLSN() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.firstLSN
+}
+
 // Chain atomically runs fn with the current chain head and installs the
 // LSN fn returns as the new head. The storage manager calls this with a
 // closure that appends the log record, keeping the per-transaction
@@ -125,6 +136,9 @@ func (t *Txn) Chain(fn func(prev uint64) uint64) uint64 {
 	defer t.mu.Unlock()
 	lsn := fn(t.lastLSN)
 	t.lastLSN = lsn
+	if t.firstLSN == 0 {
+		t.firstLSN = lsn
+	}
 	return lsn
 }
 

@@ -28,6 +28,7 @@ package clog
 
 import (
 	"errors"
+	"fmt"
 	"math/rand/v2"
 	"sync"
 	"sync/atomic"
@@ -136,6 +137,11 @@ type Log struct {
 	pending atomic.Int64
 	roomMu  sync.Mutex
 	room    *sync.Cond
+
+	// ioMu serializes store writes (flush daemon) against Truncate's
+	// store rewrite; sink holds the hardened-extent observer.
+	ioMu sync.Mutex
+	sink atomic.Pointer[wal.ExtentSink]
 
 	// waitMu guards waiters and the sticky error; nwait mirrors
 	// len(waiters) so group completion can test for outstanding forces
@@ -401,6 +407,7 @@ func (l *Log) flushOnce() {
 	l.waitMu.Unlock()
 	var bytes int64
 	end := uint64(0)
+	l.ioMu.Lock()
 	for _, g := range batch {
 		if err == nil {
 			err = l.store.Write(g.buf)
@@ -411,9 +418,19 @@ func (l *Log) flushOnce() {
 	if err == nil {
 		err = l.store.Sync()
 	}
+	l.ioMu.Unlock()
 	if err == nil {
 		l.Syncs.Inc()
 		l.durable.Store(end)
+		if sp := l.sink.Load(); sp != nil {
+			// The sink gets its own copy: the group descriptors (and their
+			// extent buffers) go back to the pool right below.
+			data := make([]byte, 0, bytes)
+			for _, g := range batch {
+				data = append(data, g.buf...)
+			}
+			(*sp)(batch[0].base, data)
+		}
 	}
 	// Hardened descriptors go back to the pool: every member finished
 	// (copied == size) before the group entered the batch, so no thread
@@ -523,6 +540,29 @@ func (l *Log) FlushAll() error {
 
 // Durable implements wal.Manager.
 func (l *Log) Durable() wal.LSN { return l.durable.Load() }
+
+// SetExtentSink implements wal.ExtentSource: fn observes every
+// subsequently hardened extent, in LSN order, on the flush daemon — it
+// must only hand the extent off, never block on downstream I/O.
+func (l *Log) SetExtentSink(fn wal.ExtentSink) {
+	if fn == nil {
+		l.sink.Store(nil)
+		return
+	}
+	l.sink.Store(&fn)
+}
+
+// Truncate implements wal.Truncator: it drops records below origin from
+// the backing store, serialized against the flush daemon's writes. origin
+// must not exceed the durable horizon.
+func (l *Log) Truncate(origin wal.LSN) error {
+	if d := l.durable.Load(); origin > d {
+		return fmt.Errorf("clog: truncate origin %d above durable horizon %d", origin, d)
+	}
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
+	return wal.Truncate(l.store, origin)
+}
 
 // Next implements wal.Manager.
 func (l *Log) Next() wal.LSN {

@@ -19,6 +19,7 @@ import (
 	"hash/crc32"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"dora/internal/metrics"
 	"dora/internal/page"
@@ -99,8 +100,40 @@ const fileHeader = "DORALOG1"
 // record; the first valid LSN equals HeaderSize.
 const HeaderSize = len(fileHeader)
 
+// truncHeader is the alternate file header of a prefix-truncated stream;
+// it is followed by the 8-byte LSN (= original stream offset) of the first
+// retained record, so LSNs survive truncation unchanged.
+const truncHeader = "DORATRNC"
+
+// TruncHeaderSize is the length of the truncated-stream header: magic plus
+// the origin LSN.
+const TruncHeaderSize = len(truncHeader) + 8
+
 // ErrCorrupt reports a checksum or framing failure while scanning.
 var ErrCorrupt = errors.New("wal: corrupt log")
+
+// ExtentSink receives hardened log extents: base is the LSN of the first
+// byte of data, and data holds one or more whole framed records that have
+// just become durable. The flush path invokes the sink serially, in LSN
+// order, with no gaps between successive extents; ownership of data
+// transfers to the sink. Replication (internal/repl) hangs its shipper
+// here.
+type ExtentSink func(base LSN, data []byte)
+
+// ExtentSource is implemented by log managers that can stream hardened
+// extents to a sink (log shipping).
+type ExtentSource interface {
+	// SetExtentSink installs fn to observe every subsequently hardened
+	// extent; nil detaches. The sink runs on the flush path, so it must
+	// only hand the extent off (queue it), never block on downstream I/O.
+	SetExtentSink(fn ExtentSink)
+}
+
+// Truncator is implemented by log managers whose backing store can drop
+// its hardened prefix (see Truncate); internal/sm's trimmer drives it.
+type Truncator interface {
+	Truncate(origin LSN) error
+}
 
 // Manager is the log-manager interface the storage manager runs on. Two
 // implementations exist: Log (this package; single-mutex append path) and
@@ -165,6 +198,72 @@ type Store interface {
 	Close() error
 }
 
+// Rewriter is implemented by stores whose entire content can be replaced
+// atomically — the primitive behind prefix truncation (bounding log
+// growth) and tail truncation (discarding a divergent tail on rejoin
+// after failover). Both provided stores implement it.
+type Rewriter interface {
+	Rewrite(raw []byte) error
+}
+
+// Truncate drops every record below origin from store, replacing the
+// header with a truncated-stream header that records origin. origin must
+// be a record boundary within the durable stream; retained records keep
+// their LSNs (LSN = original stream offset survives because the origin is
+// recorded in the header). Truncating at or before the current origin is
+// a no-op.
+func Truncate(store Store, origin LSN) error {
+	raw, err := store.Contents()
+	if err != nil {
+		return err
+	}
+	cur, body, err := StreamOrigin(raw)
+	if err != nil {
+		return err
+	}
+	if origin <= cur {
+		return nil
+	}
+	if origin > cur+LSN(len(body)) {
+		return fmt.Errorf("wal: truncate origin %d beyond stream end %d", origin, cur+LSN(len(body)))
+	}
+	rw, ok := store.(Rewriter)
+	if !ok {
+		return fmt.Errorf("wal: store %T cannot rewrite", store)
+	}
+	img := make([]byte, 0, TruncHeaderSize+len(body)-int(origin-cur))
+	img = append(img, truncHeader...)
+	img = binary.LittleEndian.AppendUint64(img, origin)
+	img = append(img, body[origin-cur:]...)
+	return rw.Rewrite(img)
+}
+
+// TruncateTail discards every stream byte at or beyond end, keeping the
+// header form. A rejoining ex-primary truncates its log at the promotion
+// point this way, discarding the unacked tail the new primary never saw,
+// before re-opening the store as a replica.
+func TruncateTail(store Store, end LSN) error {
+	raw, err := store.Contents()
+	if err != nil {
+		return err
+	}
+	cur, body, err := StreamOrigin(raw)
+	if err != nil {
+		return err
+	}
+	if end < cur {
+		return fmt.Errorf("wal: tail-truncate point %d below stream origin %d", end, cur)
+	}
+	if end >= cur+LSN(len(body)) {
+		return nil
+	}
+	rw, ok := store.(Rewriter)
+	if !ok {
+		return fmt.Errorf("wal: store %T cannot rewrite", store)
+	}
+	return rw.Rewrite(raw[:len(raw)-len(body)+int(end-cur)])
+}
+
 // MemStore is an in-memory Store for tests and I/O-free benchmarks. Its
 // CrashCopy method returns only the synced prefix, letting tests simulate
 // the loss of unsynced log data at a crash.
@@ -212,6 +311,16 @@ func (s *MemStore) Contents() ([]byte, error) {
 	return out, nil
 }
 
+// Rewrite implements Rewriter: the new image replaces the content and is
+// immediately durable.
+func (s *MemStore) Rewrite(raw []byte) error {
+	s.mu.Lock()
+	s.buf = append(s.buf[:0], raw...)
+	s.synced = len(s.buf)
+	s.mu.Unlock()
+	return nil
+}
+
 // Close implements Store.
 func (s *MemStore) Close() error { return nil }
 
@@ -242,6 +351,38 @@ func (s *FileStore) Sync() error { return s.f.Sync() }
 // Contents implements Store.
 func (s *FileStore) Contents() ([]byte, error) { return os.ReadFile(s.f.Name()) }
 
+// Rewrite implements Rewriter by writing the new image to a temp file,
+// syncing it, and renaming it over the log.
+func (s *FileStore) Rewrite(raw []byte) error {
+	path := s.f.Name()
+	tmp := path + ".rewrite"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	nf, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.f.Close()
+	s.f = nf
+	return nil
+}
+
 // Close implements Store.
 func (s *FileStore) Close() error { return s.f.Close() }
 
@@ -254,6 +395,8 @@ type Log struct {
 
 	flushMu sync.Mutex // serializes Force (group commit)
 	durable LSN        // all records below this offset are durable (atomic via mu)
+
+	sink atomic.Pointer[ExtentSink] // hardened-extent observer (log shipping)
 
 	store Store
 	cs    *metrics.CriticalSectionStats
@@ -285,10 +428,26 @@ func InitStore(store Store) (LSN, error) {
 		}
 		return LSN(HeaderSize), nil
 	}
-	if len(existing) < HeaderSize || string(existing[:HeaderSize]) != fileHeader {
-		return 0, fmt.Errorf("%w: bad header", ErrCorrupt)
+	origin, body, err := StreamOrigin(existing)
+	if err != nil {
+		return 0, err
 	}
-	return LSN(len(existing)), nil
+	return origin + LSN(len(body)), nil
+}
+
+// StreamOrigin parses a raw log image's header, returning the LSN of the
+// first byte of body. Full streams ("DORALOG1") begin at HeaderSize;
+// prefix-truncated streams ("DORATRNC" + origin) begin wherever
+// truncation left them.
+func StreamOrigin(raw []byte) (LSN, []byte, error) {
+	if len(raw) >= HeaderSize && string(raw[:HeaderSize]) == fileHeader {
+		return LSN(HeaderSize), raw[HeaderSize:], nil
+	}
+	if len(raw) >= TruncHeaderSize && string(raw[:len(truncHeader)]) == truncHeader {
+		origin := binary.LittleEndian.Uint64(raw[len(truncHeader):])
+		return origin, raw[TruncHeaderSize:], nil
+	}
+	return 0, nil, fmt.Errorf("%w: bad header", ErrCorrupt)
 }
 
 // New creates a log manager over store. If the store is empty the file
@@ -394,10 +553,39 @@ func (l *Log) Force(lsn LSN) error {
 		return err
 	}
 	l.Syncs.Inc()
+	if sp := l.sink.Load(); sp != nil && len(pend) > 0 {
+		// pend was detached from the buffer above; ownership transfers to
+		// the sink. Still under flushMu, so extents arrive in LSN order.
+		(*sp)(upTo-LSN(len(pend)), pend)
+	}
 	l.mu.Lock()
 	l.durable = upTo
 	l.mu.Unlock()
 	return nil
+}
+
+// SetExtentSink implements ExtentSource.
+func (l *Log) SetExtentSink(fn ExtentSink) {
+	if fn == nil {
+		l.sink.Store(nil)
+		return
+	}
+	l.sink.Store(&fn)
+}
+
+// Truncate implements Truncator: it drops records below origin from the
+// backing store, serialized with Force so the rewrite never interleaves
+// with a flush. origin must not exceed the durable horizon.
+func (l *Log) Truncate(origin LSN) error {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	l.mu.Lock()
+	d := l.durable
+	l.mu.Unlock()
+	if origin > d {
+		return fmt.Errorf("wal: truncate origin %d above durable horizon %d", origin, d)
+	}
+	return Truncate(l.store, origin)
 }
 
 // Stats implements Manager. Every append reserves buffer space by itself,
@@ -441,38 +629,52 @@ func (l *Log) Scan(fn func(*Record) error) error {
 	return ScanBytes(raw, fn)
 }
 
-// ScanBytes decodes a raw log image (including header).
+// ScanBytes decodes a raw log image (including either header form).
 func ScanBytes(raw []byte, fn func(*Record) error) error {
-	if len(raw) < len(fileHeader) || string(raw[:len(fileHeader)]) != fileHeader {
-		return fmt.Errorf("%w: bad header", ErrCorrupt)
+	origin, body, err := StreamOrigin(raw)
+	if err != nil {
+		return err
 	}
-	off := len(fileHeader)
-	for off < len(raw) {
-		if off+8 > len(raw) {
-			return nil // torn tail: ignore, standard recovery behaviour
+	_, err = DecodeStream(origin, body, fn)
+	return err
+}
+
+// DecodeStream decodes framed records from body, whose first byte sits at
+// LSN origin in the log stream, invoking fn for each whole record. It
+// stops at the first incomplete or checksum-failing frame — a torn tail
+// after a crash, or, on a replication link, bytes still in flight — and
+// returns how many body bytes complete records consumed, so a receiver
+// can append exactly the decodable prefix and keep the rest pending. A
+// record that decodes but disagrees with its stream offset is hard
+// corruption, as is an error from fn.
+func DecodeStream(origin LSN, body []byte, fn func(*Record) error) (int, error) {
+	off := 0
+	for off < len(body) {
+		if off+8 > len(body) {
+			break // torn frame header
 		}
-		ln := int(binary.LittleEndian.Uint32(raw[off:]))
-		crc := binary.LittleEndian.Uint32(raw[off+4:])
-		if off+ln > len(raw) || ln < 8 {
-			return nil // torn record
+		ln := int(binary.LittleEndian.Uint32(body[off:]))
+		crc := binary.LittleEndian.Uint32(body[off+4:])
+		if ln < 8 || off+ln > len(body) {
+			break // torn record
 		}
-		payload := raw[off+8 : off+ln]
+		payload := body[off+8 : off+ln]
 		if crc32.ChecksumIEEE(payload) != crc {
-			return nil // torn / corrupt tail ends the scan
+			break // torn / corrupt tail ends the scan
 		}
 		rec, err := decodePayload(payload)
 		if err != nil {
-			return err
+			return off, err
 		}
-		if rec.LSN != LSN(off) {
-			return fmt.Errorf("%w: LSN %d at offset %d", ErrCorrupt, rec.LSN, off)
+		if rec.LSN != origin+LSN(off) {
+			return off, fmt.Errorf("%w: LSN %d at offset %d", ErrCorrupt, rec.LSN, origin+LSN(off))
 		}
 		if err := fn(rec); err != nil {
-			return err
+			return off, err
 		}
 		off += ln
 	}
-	return nil
+	return off, nil
 }
 
 // EncodedSize returns the framed size of r in bytes — the number of LSN

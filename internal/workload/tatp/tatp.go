@@ -72,8 +72,11 @@ func (db *DB) Domains() map[string][2]int64 {
 	}
 }
 
-// Load creates and populates the TATP schema with n subscribers.
-func Load(s *sm.SM, n int64) (*DB, error) {
+// Schema creates the TATP tables without populating them — the DDL a
+// read replica runs before replaying the primary's log stream (schema is
+// code, not logged, and must be declared in the same order as on the
+// primary so table ids line up).
+func Schema(s *sm.SM, n int64) (*DB, error) {
 	db := &DB{SM: s, N: n}
 	var err error
 	db.Subscriber, err = s.CreateTable(sm.TableSpec{
@@ -159,6 +162,15 @@ func Load(s *sm.SM, n int64) (*DB, error) {
 			return CFKey(lo, 1, 0), CFKey(hi, 4, 23)
 		},
 	})
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Load creates and populates the TATP schema with n subscribers.
+func Load(s *sm.SM, n int64) (*DB, error) {
+	db, err := Schema(s, n)
 	if err != nil {
 		return nil, err
 	}
@@ -268,11 +280,49 @@ func (db *DB) resolveByNbr(nbr int64) xct.Resolver {
 	}
 }
 
+// resolveBySIDAsync is resolveBySID in continuation-passing form: the
+// subscriber read ships asynchronously and the dispatcher suspends
+// instead of blocking on it.
+func (db *DB) resolveBySIDAsync(sid int64) xct.AsyncResolver {
+	return func(env *xct.Env, field string, k func(int64, error)) {
+		env.Ses.ReadAsync(env.Txn, db.Subscriber, sid, nil, func(rec tuple.Record, err error) {
+			if err != nil {
+				k(0, err)
+				return
+			}
+			i := db.Subscriber.FieldIndex(field)
+			if i < 0 {
+				k(0, fmt.Errorf("tatp: subscriber has no field %q", field))
+				return
+			}
+			k(rec[i].Int, nil)
+		})
+	}
+}
+
+// resolveByNbrAsync is resolveByNbr in continuation-passing form.
+func (db *DB) resolveByNbrAsync(nbr int64) xct.AsyncResolver {
+	return func(env *xct.Env, field string, k func(int64, error)) {
+		env.Ses.ReadByIndexAsync(env.Txn, db.Subscriber, "sub_by_nbr", nbr, nil, func(rec tuple.Record, err error) {
+			if err != nil {
+				k(0, err)
+				return
+			}
+			i := db.Subscriber.FieldIndex(field)
+			if i < 0 {
+				k(0, fmt.Errorf("tatp: subscriber has no field %q", field))
+				return
+			}
+			k(rec[i].Int, nil)
+		})
+	}
+}
+
 // GetSubscriberData returns the flow for TATP GET_SUBSCRIBER_DATA.
 func (db *DB) GetSubscriberData(sid int64) *xct.Flow {
 	return xct.NewFlow("GetSubscriberData").AddPhase(&xct.Action{
 		Table: "subscriber", KeyField: "s_id", Key: sid, Mode: xct.Read,
-		Resolve: db.resolveBySID(sid), Label: "read-sub",
+		Resolve: db.resolveBySID(sid), ResolveAsync: db.resolveBySIDAsync(sid), Label: "read-sub",
 		Run: func(env *xct.Env) error {
 			_, err := env.Ses.Read(env.Txn, db.Subscriber, sid)
 			return err
@@ -340,7 +390,7 @@ func (db *DB) UpdateSubscriberData(sid, sfType, bit, dataA int64) *xct.Flow {
 	return xct.NewFlow("UpdateSubscriberData").AddPhase(
 		&xct.Action{
 			Table: "subscriber", KeyField: "s_id", Key: sid, Mode: xct.Write,
-			Resolve: db.resolveBySID(sid), Label: "upd-sub",
+			Resolve: db.resolveBySID(sid), ResolveAsync: db.resolveBySIDAsync(sid), Label: "upd-sub",
 			Run: func(env *xct.Env) error {
 				return env.Ses.Mutate(env.Txn, db.Subscriber, sid, func(r tuple.Record) tuple.Record {
 					r[subBit1] = tuple.I(bit)
@@ -370,7 +420,7 @@ func (db *DB) UpdateSubscriberData(sid, sfType, bit, dataA int64) *xct.Flow {
 func (db *DB) UpdateLocation(nbr, vlr int64) *xct.Flow {
 	return xct.NewFlow("UpdateLocation").AddPhase(&xct.Action{
 		Table: "subscriber", KeyField: "sub_nbr", Key: nbr, Mode: xct.Write,
-		Resolve: db.resolveByNbr(nbr), Label: "upd-loc",
+		Resolve: db.resolveByNbr(nbr), ResolveAsync: db.resolveByNbrAsync(nbr), Label: "upd-loc",
 		Run: func(env *xct.Env) error {
 			rec, err := env.Ses.ReadByIndex(env.Txn, db.Subscriber, "sub_by_nbr", nbr)
 			if err != nil {
@@ -405,7 +455,7 @@ func (db *DB) InsertCallForwarding(nbr, sfType, startTime, endTime, numberx int6
 	return xct.NewFlow("InsertCallForwarding").
 		AddPhase(&xct.Action{
 			Table: "subscriber", KeyField: "sub_nbr", Key: nbr, Mode: xct.Read,
-			Resolve: db.resolveByNbr(nbr), Label: "find-sub",
+			Resolve: db.resolveByNbr(nbr), ResolveAsync: db.resolveByNbrAsync(nbr), Label: "find-sub",
 			Run: func(env *xct.Env) error {
 				rec, err := env.Ses.ReadByIndex(env.Txn, db.Subscriber, "sub_by_nbr", nbr)
 				if err != nil {
@@ -433,7 +483,7 @@ func (db *DB) DeleteCallForwarding(nbr, sfType, startTime int64) *xct.Flow {
 	return xct.NewFlow("DeleteCallForwarding").
 		AddPhase(&xct.Action{
 			Table: "subscriber", KeyField: "sub_nbr", Key: nbr, Mode: xct.Read,
-			Resolve: db.resolveByNbr(nbr), Label: "find-sub",
+			Resolve: db.resolveByNbr(nbr), ResolveAsync: db.resolveByNbrAsync(nbr), Label: "find-sub",
 			Run: func(env *xct.Env) error {
 				rec, err := env.Ses.ReadByIndex(env.Txn, db.Subscriber, "sub_by_nbr", nbr)
 				if err != nil {

@@ -80,6 +80,14 @@ type AsyncHost interface {
 // paper's terms (the subject of experiment E7).
 type Resolver func(env *Env, field string) (int64, error)
 
+// AsyncResolver is Resolve in continuation-passing form: k fires exactly
+// once with the resolved value or an error, possibly on another worker's
+// thread. Engines that dispatch phases asynchronously prefer it over
+// Resolve so an unaligned action's index probe suspends the dispatch the
+// way action bodies suspend on foreign operations, instead of blocking
+// the dispatching thread on a cross-partition ship.
+type AsyncResolver func(env *Env, field string, k func(int64, error))
+
 // Action is one unit of transaction work, bound to a single value of a
 // single field of a single table — the granularity DORA routes on.
 type Action struct {
@@ -96,6 +104,11 @@ type Action struct {
 	// engine locks or routes on a different field. May be nil when
 	// KeyField always matches the lock and partition fields.
 	Resolve Resolver
+	// ResolveAsync is the non-blocking form of Resolve. When set, an
+	// asynchronously dispatching engine routes the unaligned action
+	// without parking its dispatcher; engines running blocking ships
+	// ignore it and use Resolve.
+	ResolveAsync AsyncResolver
 	// Run is the body. A non-nil error aborts the transaction.
 	Run func(env *Env) error
 	// Label is an optional human-readable name (designer, monitor).
