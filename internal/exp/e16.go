@@ -203,6 +203,11 @@ func e16CatchUp(r *e16RigT) error {
 			return fmt.Errorf("replica stuck at horizon %d, primary last commit %d",
 				r.rep.CommitHorizon(), r.s.LastCommitLSN())
 		}
+		// A quiesced abort's CLRs/end can sit in the log buffer with no
+		// forcer; flush so every transaction's resolution ships — the
+		// replica applies only the transaction-consistent prefix, and one
+		// unresolved straggler holds its commit horizon back.
+		_ = r.s.Log.FlushAll()
 		time.Sleep(time.Millisecond)
 	}
 	return nil

@@ -96,6 +96,11 @@ type ReplicationView struct {
 	StalenessBytes uint64 `json:"staleness_bytes,omitempty"`
 	ReplicaReads   int64  `json:"replica_reads,omitempty"`
 	OpenTxns       int    `json:"open_txns,omitempty"`
+	// Warming counts bootstrapped transactions whose resolution has not
+	// replayed yet (reads refused meanwhile); Failed carries the replica's
+	// fail-stop reason, empty while healthy.
+	Warming int    `json:"warming,omitempty"`
+	Failed  string `json:"failed,omitempty"`
 }
 
 // ReplSource bundles the replication endpoints the monitor samples. Any
@@ -136,6 +141,10 @@ func (r *ReplSource) views() []ReplicationView {
 			CommitHorizon: r.Replica.CommitHorizon(),
 			ReplicaReads:  r.Replica.Reads.Load(),
 			OpenTxns:      r.Replica.OpenTxns(),
+			Warming:       r.Replica.Warming(),
+		}
+		if err := r.Replica.Failed(); err != nil {
+			v.Failed = err.Error()
 		}
 		if r.Primary != nil {
 			if pc := r.Primary.LastCommitLSN(); pc > v.CommitHorizon {

@@ -26,12 +26,27 @@
 // semi-sync production stance.
 //
 // Read replicas serve read-only flows at the replica's hardened commit
-// horizon: replay advances sm's lastCommit exactly as the primary's
-// commit path does, and the storage manager's ELR read-only rule (wait
-// until the log is durable past the horizon you may have observed) holds
-// on the replica trivially because delivery hardens the stream before
-// replay applies it. Staleness is therefore bounded by shipping+replay
-// lag, measured as primary commit horizon minus replica commit horizon.
+// horizon. Because group commit ships a transaction's update records
+// before its commit record, replay must not apply records as they
+// arrive: delivered records queue, and only the transaction-consistent
+// prefix — every queued transaction resolved by a delivered commit or
+// end — is applied, in strict LSN order, exclusively against the read
+// path. Reads therefore observe whole committed transactions only; a
+// transaction that later aborts (its CLRs trail in the stream) is never
+// visible. Replay advances sm's lastCommit when it applies a commit
+// record, exactly as the primary's commit path does, and the storage
+// manager's ELR read-only rule (wait until the log is durable past the
+// horizon you may have observed) holds on the replica trivially because
+// delivery hardens the stream before replay applies it. Staleness is
+// bounded by shipping+replay lag, measured as primary commit horizon
+// minus replica commit horizon.
+//
+// Replicas fail stop: an error after an extent hardened (replay into the
+// live engine, or persisting the stream) would leave the replica's state
+// permanently behind its own log — delivery dedupes against the hardened
+// horizon, so those records would never be reapplied. Rather than serve
+// (or promote) silently divergent state, the replica latches ErrFailed
+// and refuses Deliver, ExecReadOnly, and Promote until rebuilt.
 //
 // Promote turns a replica into a primary at the end of its delivered
 // stream: an appendable log manager is adopted over the same store,
@@ -43,6 +58,7 @@
 package repl
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -161,11 +177,15 @@ type Shipper struct {
 
 	// Extents/Bytes count shipped traffic; Acks counts acknowledgements
 	// processed; Degraded counts commits the gate released without their
-	// quorum (live replicas < K).
-	Extents  metrics.Counter
-	Bytes    metrics.Counter
-	Acks     metrics.Counter
-	Degraded metrics.Counter
+	// quorum (live replicas < K); HealFails counts sink gap-heals that
+	// could not read the store (the extent is held back and retried, or —
+	// when the gap fell below the truncation horizon — the links are
+	// dropped for full resync).
+	Extents   metrics.Counter
+	Bytes     metrics.Counter
+	Acks      metrics.Counter
+	Degraded  metrics.Counter
+	HealFails metrics.Counter
 }
 
 // NewShipper attaches a shipper to a primary's log manager (which must
@@ -201,6 +221,8 @@ func AttachPrimary(s *sm.SM, store wal.Store, rule Rule) (*Shipper, error) {
 // pointers into per-link queues under a short mutex — the flush daemon
 // never blocks on replica I/O.
 func (s *Shipper) sink(base uint64, data []byte) {
+	var killed []*link
+	var fire []gateWaiter
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -209,11 +231,32 @@ func (s *Shipper) sink(base uint64, data []byte) {
 	if base > s.shipped {
 		// An extent hardened before the sink was installed: heal the gap
 		// from the store so links never see a discontinuity.
-		if gap, err := s.readRange(s.shipped, base); err == nil {
+		gap, err := s.readRange(s.shipped, base)
+		switch {
+		case err == nil:
 			for _, ln := range s.links {
 				ln.push(s.shipped, gap)
 			}
 			s.shipped = base
+		case errors.Is(err, errBehindOrigin):
+			// The unshipped gap was truncated away: no attached replica
+			// can ever receive a contiguous stream from this store again
+			// (their acked horizons all precede the gap). Drop them all
+			// explicitly — each needs a full resync — and resume shipping
+			// contiguously from this extent for future joiners.
+			s.HealFails.Inc()
+			killed = s.links
+			s.links = nil
+			s.shipped = base
+			fire = s.takeReleasedLocked()
+		default:
+			// Transient store read failure. Hold this extent back: it is
+			// hardened in the store, so the next sink call re-heals from
+			// s.shipped and nothing is lost — pushing it now would feed
+			// every link a stream gap and tear them all down at once.
+			s.HealFails.Inc()
+			s.mu.Unlock()
+			return
 		}
 	}
 	for _, ln := range s.links {
@@ -225,7 +268,17 @@ func (s *Shipper) sink(base uint64, data []byte) {
 	s.Extents.Inc()
 	s.Bytes.Add(int64(len(data)))
 	s.mu.Unlock()
+	for _, ln := range killed {
+		ln.kill()
+	}
+	for _, w := range fire {
+		w.done(nil)
+	}
 }
+
+// errBehindOrigin reports a stream read below the store's truncation
+// horizon — unhealable; the reader needs a full resync.
+var errBehindOrigin = errors.New("repl: stream is behind the truncation horizon: full resync required")
 
 // readRange returns stream bytes [from, to) from the primary's store.
 func (s *Shipper) readRange(from, to uint64) ([]byte, error) {
@@ -238,7 +291,7 @@ func (s *Shipper) readRange(from, to uint64) ([]byte, error) {
 		return nil, err
 	}
 	if from < origin {
-		return nil, fmt.Errorf("repl: stream from %d is behind the truncation horizon %d: full resync required", from, origin)
+		return nil, fmt.Errorf("%w (stream from %d, origin %d)", errBehindOrigin, from, origin)
 	}
 	if to > origin+uint64(len(body)) {
 		return nil, fmt.Errorf("repl: stream to %d beyond store end %d", to, origin+uint64(len(body)))

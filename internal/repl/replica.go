@@ -19,6 +19,20 @@ var ErrReadOnly = errors.New("repl: replica is read-only")
 // ErrPromoted reports stream delivery to a promoted replica.
 var ErrPromoted = errors.New("repl: replica has been promoted")
 
+// ErrFailed reports a replica that fail-stopped: an error after the
+// delivered stream hardened (replay into the live engine, or persisting
+// the stream itself) left its state behind its own log with no way to
+// reconverge, so it refuses delivery, reads, and promotion rather than
+// silently serving — or failing over to — divergent state.
+var ErrFailed = errors.New("repl: replica failed")
+
+// ErrWarming reports a read-only flow on a freshly bootstrapped replica
+// whose heap still holds effects of transactions that were in flight at
+// its truncation point. They resolve through the stream (the new
+// primary's promotion ends or compensates each); reads are admitted once
+// every such transaction has been resolved and applied.
+var ErrWarming = errors.New("repl: replica warming up: bootstrapped state holds unresolved transactions")
+
 // replicaLog is the wal.Manager of a live replica: a read-only view over
 // the delivered stream. Appends are invalid by construction — a replica's
 // only writer is the replay path, which appends raw delivered bytes
@@ -158,11 +172,20 @@ type Replica struct {
 	// roleMu guards the promotion flip (and the sm.Log swap inside it):
 	// delivery and read-only execution hold it shared, Promote holds it
 	// exclusively. deliverMu additionally serializes deliveries so
-	// replay stays single-writer.
+	// replay stays single-writer. stateMu orders replay application
+	// against read-only execution: Deliver applies each extent's
+	// transaction-consistent prefix under the write side, read-only flows
+	// run under the read side, so a reader observes the replayed state
+	// only at extent boundaries — never mid-transaction.
 	roleMu    sync.RWMutex
 	deliverMu sync.Mutex
+	stateMu   sync.RWMutex
 	promoted  bool
 	promoteAt uint64 // delivered end at promotion (the divergence point)
+
+	// failMu guards failErr, the sticky fail-stop reason.
+	failMu  sync.Mutex
+	failErr error
 
 	// Extents/Bytes count ingested traffic; Reads counts read-only flows
 	// served.
@@ -208,7 +231,9 @@ func (r *Replica) SM() *sm.SM { return r.sm }
 // Expected returns the LSN from which the replica wants the stream.
 func (r *Replica) Expected() uint64 { return r.rlog.Durable() }
 
-// AppliedLSN returns the end LSN of the last record replayed.
+// AppliedLSN returns the end LSN of the last record applied — the
+// transaction-consistent horizon reads observe. It can trail Expected by
+// the records of transactions whose commit or end has not arrived yet.
 func (r *Replica) AppliedLSN() uint64 { return r.replayer.AppliedLSN() }
 
 // CommitHorizon returns the replayed-commit horizon: the highest commit
@@ -240,6 +265,11 @@ func (r *Replica) PromotionLSN() uint64 {
 // overlapping deliveries are truncated against the current horizon
 // (retries after a reconnect are idempotent); a gap is an error. Returns
 // the replica's new acked LSN: the end of its hardened stream.
+//
+// Any error after the extent hardens fail-stops the replica: its log is
+// then ahead of its replayed state with no redelivery path (the stream
+// dedupes against the hardened horizon), so continuing to serve reads or
+// accept promotion would expose silently divergent state.
 func (r *Replica) Deliver(base uint64, data []byte) (uint64, error) {
 	r.deliverMu.Lock()
 	defer r.deliverMu.Unlock()
@@ -247,6 +277,9 @@ func (r *Replica) Deliver(base uint64, data []byte) (uint64, error) {
 	defer r.roleMu.RUnlock()
 	if r.promoted {
 		return r.rlog.Durable(), ErrPromoted
+	}
+	if err := r.Failed(); err != nil {
+		return r.rlog.Durable(), err
 	}
 	exp := r.rlog.Durable()
 	if base > exp {
@@ -273,30 +306,74 @@ func (r *Replica) Deliver(base uint64, data []byte) (uint64, error) {
 	// Harden before applying: the commit horizon must never run ahead of
 	// the replica's own durability.
 	if err := r.rlog.append(data[:consumed]); err != nil {
-		return exp, err
+		return exp, r.fail(err)
 	}
+	r.stateMu.Lock()
 	for _, rec := range recs {
 		if err := r.replayer.Apply(rec); err != nil {
-			return r.rlog.Durable(), err
+			r.stateMu.Unlock()
+			return r.rlog.Durable(), r.fail(err)
 		}
 	}
+	r.stateMu.Unlock()
 	r.Extents.Inc()
 	r.Bytes.Add(int64(consumed))
 	return r.rlog.Durable(), nil
 }
 
+// fail records the replica's first fail-stop cause and returns the
+// wrapped error subsequent operations will see.
+func (r *Replica) fail(cause error) error {
+	r.failMu.Lock()
+	if r.failErr == nil {
+		r.failErr = cause
+	}
+	r.failMu.Unlock()
+	return r.Failed()
+}
+
+// Failed returns the sticky fail-stop error, or nil while the replica is
+// healthy. A failed replica refuses delivery, read-only flows, and
+// promotion; it must be rebuilt (full resync) to rejoin.
+func (r *Replica) Failed() error {
+	r.failMu.Lock()
+	defer r.failMu.Unlock()
+	if r.failErr == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrFailed, r.failErr)
+}
+
+// Warming returns the number of bootstrapped-but-unresolved transactions
+// still gating read-only flows (see ErrWarming); zero on a healthy live
+// replica.
+func (r *Replica) Warming() int { return r.replayer.Warming() }
+
 // ExecReadOnly runs a read-only flow against the replica's replayed
 // state, serially within the calling worker: reads observe the commit
 // horizon replay has reached (bounded staleness — the lag is primary
-// commit horizon minus replica commit horizon). Write actions are
-// refused. The ELR read-only completion rule runs unchanged in the
-// storage manager; on a replica it never waits, because delivery hardens
-// the stream before replay makes it visible.
+// commit horizon minus replica commit horizon). Replay applies only
+// whole, resolved transactions (and does so exclusively against this
+// path via stateMu), so a flow observes committed state only — a
+// transaction whose commit record has not been replayed is entirely
+// invisible, even if its update records already hardened here. Write
+// actions are refused, as are flows while the replica is failed or
+// warming after a bootstrap. The ELR read-only completion rule runs
+// unchanged in the storage manager; on a replica it never waits, because
+// delivery hardens the stream before replay makes it visible.
 func (r *Replica) ExecReadOnly(worker int, flow *xct.Flow) error {
 	r.roleMu.RLock()
 	defer r.roleMu.RUnlock()
 	if r.promoted {
 		return ErrPromoted
+	}
+	if err := r.Failed(); err != nil {
+		return err
+	}
+	r.stateMu.RLock()
+	defer r.stateMu.RUnlock()
+	if r.replayer.Warming() > 0 {
+		return ErrWarming
 	}
 	t := r.sm.Begin()
 	ses := r.sm.Session(worker)
@@ -333,6 +410,11 @@ func (r *Replica) Promote() (*sm.SM, sm.PromoteStats, error) {
 	if r.promoted {
 		return r.sm, sm.PromoteStats{}, fmt.Errorf("repl: already promoted")
 	}
+	if err := r.Failed(); err != nil {
+		// A failed replica's state trails its own hardened log; promoting
+		// it would surface that divergence as the new primary's history.
+		return nil, sm.PromoteStats{}, err
+	}
 	r.promoteAt = r.rlog.Durable()
 	lg, err := clog.New(r.store, r.cs)
 	if err != nil {
@@ -341,7 +423,7 @@ func (r *Replica) Promote() (*sm.SM, sm.PromoteStats, error) {
 	r.sm.AdoptLog(lg)
 	st, err := r.replayer.Promote()
 	if err != nil {
-		return nil, st, err
+		return nil, st, r.fail(err)
 	}
 	r.promoted = true
 	return r.sm, st, nil

@@ -18,6 +18,19 @@ import (
 // sessions on the replica observe exactly the prefix of committed state
 // the stream has delivered.
 //
+// Delivery and application are decoupled so read-only sessions never see
+// uncommitted or torn state. A transaction's update records harden — and
+// ship — before its commit record (group commit), so applying records as
+// they arrive would expose effects of transactions that may yet abort.
+// Instead, delivered records queue in arrival (= LSN) order and only the
+// transaction-consistent prefix is applied: a record is applied once every
+// transaction with a record at or before it in the stream has delivered
+// its resolution (KCommit, or KEnd for a rollback). Application therefore
+// still runs in strict LSN order — page-LSN monotonicity and slot-
+// allocation determinism of the redo path are untouched — but the heap
+// only ever holds committed state, and the commit horizon advances when a
+// commit record is applied, never merely delivered.
+//
 // The replayer also keeps recovery's analysis state live: the records of
 // every unended transaction stay resident so that Promote — which turns
 // the replica into a primary at the end of the delivered stream — can
@@ -26,11 +39,15 @@ import (
 type Replayer struct {
 	sm *SM
 
-	mu      sync.Mutex
-	txns    map[uint64]*rtxn
-	maxTxn  uint64
-	applied uint64 // end LSN of the last record applied
-	redone  int64  // physical operations replayed
+	mu        sync.Mutex
+	txns      map[uint64]*rtxn
+	resolved  map[uint64]bool // txns whose KCommit/KEnd has been delivered
+	pending   []*wal.Record   // delivered but unapplied records, LSN order
+	warm      map[uint64]struct{}
+	maxTxn    uint64
+	delivered uint64 // end LSN of the last record delivered
+	applied   uint64 // end LSN of the last record applied
+	redone    int64  // physical operations replayed
 }
 
 // rtxn is the live analysis state of one unended transaction.
@@ -44,7 +61,7 @@ type rtxn struct {
 // registered (schema DDL is code, not logged), in the same order as on
 // the primary, so table ids line up.
 func NewReplayer(s *SM) *Replayer {
-	return &Replayer{sm: s, txns: make(map[uint64]*rtxn)}
+	return &Replayer{sm: s, txns: make(map[uint64]*rtxn), resolved: make(map[uint64]bool)}
 }
 
 func (rp *Replayer) ensure(id uint64) *rtxn {
@@ -56,16 +73,13 @@ func (rp *Replayer) ensure(id uint64) *rtxn {
 	return ts
 }
 
-// Apply replays one record. Records must arrive in LSN order with no
-// gaps (the delivery path guarantees it).
+// Apply ingests one delivered record: analysis state updates immediately,
+// the record queues for application, and the transaction-consistent
+// prefix the delivery unlocked is applied. Records must arrive in LSN
+// order with no gaps (the delivery path guarantees it).
 func (rp *Replayer) Apply(r *wal.Record) error {
 	rp.mu.Lock()
 	defer rp.mu.Unlock()
-	return rp.applyLocked(r)
-}
-
-func (rp *Replayer) applyLocked(r *wal.Record) error {
-	s := rp.sm
 	if r.TxnID != 0 {
 		if r.TxnID > rp.maxTxn {
 			rp.maxTxn = r.TxnID
@@ -73,17 +87,51 @@ func (rp *Replayer) applyLocked(r *wal.Record) error {
 		switch r.Kind {
 		case wal.KEnd:
 			delete(rp.txns, r.TxnID)
+			rp.resolved[r.TxnID] = true
 		case wal.KCommit:
 			ts := rp.ensure(r.TxnID)
 			ts.lastLSN = r.LSN
 			ts.committed = true
-			s.NoteCommitLSN(r.LSN)
+			rp.resolved[r.TxnID] = true
 		default:
 			ts := rp.ensure(r.TxnID)
 			ts.lastLSN = r.LSN
 			ts.recs[r.LSN] = r
 		}
 	}
+	rp.delivered = r.LSN + uint64(wal.EncodedSize(r))
+	rp.pending = append(rp.pending, r)
+	return rp.drainLocked()
+}
+
+// drainLocked applies the transaction-consistent prefix of the pending
+// queue: it stops at the first record whose transaction has not delivered
+// its commit or end yet, so nothing uncommitted — and no partial slice of
+// a committed transaction — ever reaches the heap.
+func (rp *Replayer) drainLocked() error {
+	n := 0
+	for ; n < len(rp.pending); n++ {
+		r := rp.pending[n]
+		if r.TxnID != 0 && !rp.resolved[r.TxnID] {
+			break
+		}
+		if err := rp.applyOneLocked(r); err != nil {
+			rp.pending = rp.pending[n:]
+			return err
+		}
+	}
+	if n == len(rp.pending) {
+		rp.pending = nil
+	} else {
+		rp.pending = rp.pending[n:]
+	}
+	return nil
+}
+
+// applyOneLocked redoes one record into the live engine, in strict LSN
+// order across calls.
+func (rp *Replayer) applyOneLocked(r *wal.Record) error {
+	s := rp.sm
 	if r.Kind == wal.KCheckpoint {
 		// The primary's checkpoint raises the replica's truncation floor
 		// too (a promoted replica trims from where the primary left off)
@@ -101,6 +149,14 @@ func (rp *Replayer) applyLocked(r *wal.Record) error {
 	}
 	if err := rp.applyPhysical(r); err != nil {
 		return err
+	}
+	switch r.Kind {
+	case wal.KCommit:
+		s.NoteCommitLSN(r.LSN)
+	case wal.KEnd:
+		// Final record of its transaction: the resolution marker is done.
+		delete(rp.resolved, r.TxnID)
+		delete(rp.warm, r.TxnID)
 	}
 	rp.applied = r.LSN + uint64(wal.EncodedSize(r))
 	return nil
@@ -178,12 +234,31 @@ func (rp *Replayer) applyPhysical(r *wal.Record) error {
 }
 
 // AppliedLSN returns the end LSN of the last record applied — the
-// replayed horizon (staleness accounting against the primary's shipped
-// horizon).
+// transaction-consistent replayed horizon read-only sessions observe
+// (staleness accounting against the primary's shipped horizon). It can
+// trail DeliveredLSN by the records of still-unresolved transactions.
 func (rp *Replayer) AppliedLSN() uint64 {
 	rp.mu.Lock()
 	defer rp.mu.Unlock()
 	return rp.applied
+}
+
+// DeliveredLSN returns the end LSN of the last record delivered to the
+// replayer (analysis horizon).
+func (rp *Replayer) DeliveredLSN() uint64 {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.delivered
+}
+
+// Warming returns the number of transactions whose uncommitted effects
+// Bootstrap replayed into the heap and whose resolution has not yet been
+// applied from the stream. While it is non-zero the heap can hold
+// uncommitted ex-primary state, so read-only sessions must be refused.
+func (rp *Replayer) Warming() int {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return len(rp.warm)
 }
 
 // OpenTxns returns the number of transactions in flight in the stream.
@@ -224,6 +299,17 @@ func (rp *Replayer) Promote() (PromoteStats, error) {
 	defer rp.mu.Unlock()
 	s := rp.sm
 	var st PromoteStats
+	// Delivery ends here: apply everything still queued — including the
+	// records of unresolved transactions held back from readers — so the
+	// heap reflects the full delivered stream before winners are closed
+	// and losers undone (undo walks before-images that must be present).
+	for _, r := range rp.pending {
+		if err := rp.applyOneLocked(r); err != nil {
+			return st, err
+		}
+	}
+	rp.pending = nil
+	rp.warm = nil
 	st.Open = len(rp.txns)
 	for id, ts := range rp.txns {
 		if ts.committed {
@@ -312,6 +398,7 @@ func (rp *Replayer) Bootstrap() (RecoveryStats, error) {
 			}
 		}
 		rp.applied = r.LSN + uint64(wal.EncodedSize(r))
+		rp.delivered = rp.applied
 		if r.LSN < redoPoint {
 			continue
 		}
@@ -325,6 +412,19 @@ func (rp *Replayer) Bootstrap() (RecoveryStats, error) {
 		}
 	}
 	s.SetTxnIDFloor(rp.maxTxn + 1)
+	// Unlike live delivery, bootstrap redo applies every retained record,
+	// so effects of transactions still in flight at the truncation point
+	// are in the heap now. They resolve through the stream (the new
+	// primary's promotion wrote their end records or CLRs); until each
+	// uncommitted one has, the replica is warming and must refuse reads.
+	for id, ts := range rp.txns {
+		if !ts.committed {
+			if rp.warm == nil {
+				rp.warm = make(map[uint64]struct{})
+			}
+			rp.warm[id] = struct{}{}
+		}
+	}
 	if err := rp.checkDivergence(); err != nil {
 		return st, err
 	}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
@@ -352,7 +353,11 @@ func (s *FileStore) Sync() error { return s.f.Sync() }
 func (s *FileStore) Contents() ([]byte, error) { return os.ReadFile(s.f.Name()) }
 
 // Rewrite implements Rewriter by writing the new image to a temp file,
-// syncing it, and renaming it over the log.
+// syncing it, renaming it over the log, and syncing the parent directory
+// so the rename itself is durable — without that, a crash after Rewrite
+// returns could resurrect the pre-rewrite file, re-exposing exactly the
+// bytes the caller truncated away (for TruncateTail on a rejoining
+// ex-primary, the divergent tail the failover safety argument discards).
 func (s *FileStore) Rewrite(raw []byte) error {
 	path := s.f.Name()
 	tmp := path + ".rewrite"
@@ -374,6 +379,9 @@ func (s *FileStore) Rewrite(raw []byte) error {
 	if err := os.Rename(tmp, path); err != nil {
 		return err
 	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return err
+	}
 	nf, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
@@ -381,6 +389,19 @@ func (s *FileStore) Rewrite(raw []byte) error {
 	s.f.Close()
 	s.f = nf
 	return nil
+}
+
+// syncDir fsyncs a directory, making a rename within it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
 }
 
 // Close implements Store.
