@@ -129,3 +129,7 @@ func BenchmarkA2GroupCommit(b *testing.B) {
 func BenchmarkA3Claims(b *testing.B) {
 	runTable(b, func() (*exp.Table, error) { return exp.A3Claims(quickCfg()) })
 }
+
+func BenchmarkE17RedoScalability(b *testing.B) {
+	runTable(b, func() (*exp.Table, error) { return exp.E17RedoScalability(quickCfg()) })
+}

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("exp", "all", "experiment id (e1..e16, a1..a3, comma-separated, or 'all')")
+		which    = flag.String("exp", "all", "experiment id (e1..e17, a1..a3, comma-separated, or 'all')")
 		subs     = flag.Int64("subscribers", 20000, "TATP scale (subscribers)")
 		whs      = flag.Int64("warehouses", 4, "TPC-C scale (warehouses)")
 		branches = flag.Int64("branches", 8, "TPC-B scale (branches)")
@@ -30,25 +30,28 @@ func main() {
 		parts    = flag.Int("partitions", 0, "DORA partitions per table (0 = auto)")
 		arrival  = flag.Float64("arrival", 0, "open-loop offered load in txn/s (0 = 2x measured capacity; E15)")
 		inflight = flag.Int("inflight", 0, "open-loop in-flight cap (0 = 256; E15)")
+		redoW    = flag.Int("redo-workers", 0, "parallel-redo appliers for E17's replica rows (0 = 4)")
 		quick    = flag.Bool("quick", false, "smoke-test scale")
+		asJSON   = flag.Bool("json", false, "emit result tables as JSON (for BENCH_*.json artifacts)")
 	)
 	flag.Parse()
+	jsonOut = *asJSON
 
 	cfg := exp.Config{
 		Subscribers: *subs, Warehouses: *whs, Branches: *branches,
 		Duration: *dur, Clients: *clients, Partitions: *parts, Quick: *quick,
-		ArrivalRate: *arrival, MaxInFlight: *inflight,
+		ArrivalRate: *arrival, MaxInFlight: *inflight, RedoWorkers: *redoW,
 	}
 	if *quick {
 		cfg = exp.Config{
 			Quick: true, Clients: *clients, Partitions: *parts,
-			ArrivalRate: *arrival, MaxInFlight: *inflight,
+			ArrivalRate: *arrival, MaxInFlight: *inflight, RedoWorkers: *redoW,
 		}
 	}
 
 	ids := strings.Split(strings.ToLower(*which), ",")
 	if *which == "all" {
-		ids = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "a1", "a2", "a3"}
+		ids = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "a1", "a2", "a3"}
 	}
 	for _, id := range ids {
 		if err := runOne(strings.TrimSpace(id), cfg); err != nil {
@@ -106,6 +109,8 @@ func runOne(id string, cfg exp.Config) error {
 		return show(exp.E15PageCleaning(cfg))
 	case "e16":
 		return show(exp.E16Replication(cfg))
+	case "e17":
+		return show(exp.E17RedoScalability(cfg))
 	case "a1":
 		return show(exp.A1PartitionCount(cfg, nil))
 	case "a2":
@@ -117,9 +122,21 @@ func runOne(id string, cfg exp.Config) error {
 	}
 }
 
+// jsonOut switches show to machine-readable output; CI redirects it into
+// per-experiment BENCH_*.json files to track the perf trajectory.
+var jsonOut bool
+
 func show(tb *exp.Table, err error) error {
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		s, jerr := tb.JSON()
+		if jerr != nil {
+			return jerr
+		}
+		fmt.Print(s)
+		return nil
 	}
 	fmt.Println(tb.Render())
 	return nil

@@ -44,6 +44,7 @@ func main() {
 		hotFrac = flag.Float64("hot", 0.8, "fraction of accesses hitting the hot spot")
 		replica = flag.Bool("replica", true, "run an in-process read replica of the DORA database")
 		semiK   = flag.Int("semisync", 0, "semi-sync commit rule: acks required per commit (0 = async)")
+		redoW   = flag.Int("redo-workers", 4, "replica parallel-redo appliers (0 or 1 = serial replay)")
 	)
 	flag.Parse()
 
@@ -102,7 +103,7 @@ func main() {
 		sh, err := repl.AttachPrimary(doraDB.SM, doraStore, repl.Rule{K: *semiK})
 		fatal(err)
 		defer sh.Close()
-		rep, err = repl.NewReplica(repl.Options{Frames: 1 << 13, DDL: func(s *sm.SM) error {
+		rep, err = repl.NewReplica(repl.Options{Frames: 1 << 13, RedoWorkers: *redoW, DDL: func(s *sm.SM) error {
 			var derr error
 			repDB, derr = tatp.Schema(s, *subs)
 			return derr
@@ -223,8 +224,15 @@ func printSnapshot(s *monitor.Snapshot) {
 			fmt.Printf("  repl primary: shipped=%d lag=%dB degraded=%d retained=%dB trims=%d\n",
 				rv.ShippedLSN, rv.LagBytes, rv.DegradedCommits, rv.RetainedLog, rv.LogTrims)
 		case "replica":
-			fmt.Printf("  repl replica: applied=%d horizon=%d staleness=%dB reads=%d open=%d\n",
-				rv.AppliedLSN, rv.CommitHorizon, rv.StalenessBytes, rv.ReplicaReads, rv.OpenTxns)
+			fmt.Printf("  repl replica: applied=%d horizon=%d staleness=%dB trend=%dB/s reads=%d open=%d\n",
+				rv.AppliedLSN, rv.CommitHorizon, rv.StalenessBytes, rv.LagTrendBps, rv.ReplicaReads, rv.OpenTxns)
+			if rv.Redo != nil {
+				fmt.Printf("  redo pool: workers=%d max queue=%d appliers:", rv.Redo.Workers, rv.Redo.MaxQueueDepth)
+				for i, a := range rv.Redo.Appliers {
+					fmt.Printf(" %d@%d(q%d)", i, a.AppliedLSN, a.QueueDepth)
+				}
+				fmt.Println()
+			}
 		}
 	}
 	byTable := map[string]int{}

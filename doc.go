@@ -81,6 +81,29 @@
 // on resolver probes like action bodies do, keeping the coordinator
 // unparked.
 //
+// The backward paths are partitioned too (experiment E17): crash-
+// recovery redo and replica streaming apply share a partition-parallel
+// redo pipeline (sm.Options.RedoWorkers / repl.Options.RedoWorkers). A
+// dispatcher scans records in LSN order and keeps everything global —
+// committed-prefix admission, checkpoint attachments, transaction
+// resolutions, index maintenance, commit-horizon advancement — while
+// physical records fan out to applier workers sharded by page ID; each
+// applier drains a FIFO, so per-page LSN order (the redo-skip
+// idempotence invariant) holds by construction while distinct pages
+// redo concurrently, and the dispatcher consumes completions through a
+// reorder buffer in dispatch order. Replica delivery syncs the pool at
+// each extent boundary inside the state lock, so bounded-staleness
+// readers still observe only extent-consistent states; any applier
+// error fail-stops the whole pool; promotion drains and retires it
+// before the serial winner/loser pass. Undo orders losers
+// deterministically, so parallel recovery is byte-for-byte identical to
+// serial — E17 asserts that digest equality at 1/2/4/8 appliers and
+// races a serial against a parallel replica on one shipped stream.
+// Checkpoint FlushAll pipelines its owner-coordinated snapshot ships
+// the same way: all stamped frames' ships go out at once and the copies
+// harden from a completion queue, so checkpoint latency stops scaling
+// with owner count.
+//
 // See README.md for the package tour, quickstart, and the experiment
 // index. The packages live under internal/; the runnable entry points
 // are the examples/ programs and the cmd/ tools.

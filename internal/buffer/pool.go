@@ -112,6 +112,16 @@ type PageSnapshot struct {
 // stamped (or the owner retired mid-ship); the caller re-resolves.
 type Snapshotter func(id page.ID) (PageSnapshot, bool)
 
+// SnapshotterAsync is the pipelined form: it ships the snapshot request
+// and returns immediately; done fires exactly once — possibly on the
+// owning worker's thread — with the copy (or ok=false when the page is no
+// longer stamped or the owner retired mid-ship, in which case the caller
+// re-resolves). Checkpoints use it to keep MANY ships in flight at once
+// instead of serializing on one owner round-trip per stamped page; the
+// receiver must never block in done (hardening happens on the caller's
+// side, off the owner's thread).
+type SnapshotterAsync func(id page.ID, done func(PageSnapshot, bool))
+
 // Pool is the buffer pool. The frame table and clock state are sharded by
 // page id; hot counters are shared (they are padded atomics).
 type Pool struct {
@@ -138,8 +148,9 @@ type Pool struct {
 	// but no snapshotter (direct owned sessions in tests), write-back
 	// falls back to the latched path — safe only because such rigs
 	// quiesce owner mutators before flushing.
-	stamped     sync.Map // page.ID -> struct{}
-	snapshotter atomic.Pointer[Snapshotter]
+	stamped          sync.Map // page.ID -> struct{}
+	snapshotter      atomic.Pointer[Snapshotter]
+	snapshotterAsync atomic.Pointer[SnapshotterAsync]
 	// cleanq carries page ids the eviction path found dirty-and-stamped:
 	// it cannot clean them itself (that needs the owner's thread), so it
 	// nudges the cleaner daemon and moves on. Best effort: a full queue
@@ -253,6 +264,10 @@ func (p *Pool) UnmarkStamped(id page.ID) { p.stamped.Delete(id) }
 // engine: it resolves the stamp to a partition worker and delivers the
 // copy request through that worker's inbox).
 func (p *Pool) SetSnapshotter(fn Snapshotter) { p.snapshotter.Store(&fn) }
+
+// SetSnapshotterAsync wires the pipelined form of the snapshot ship;
+// FlushAll uses it to overlap every stamped page's owner round-trip.
+func (p *Pool) SetSnapshotterAsync(fn SnapshotterAsync) { p.snapshotterAsync.Store(&fn) }
 
 func (p *Pool) isStamped(id page.ID) bool {
 	_, ok := p.stamped.Load(id)
@@ -584,9 +599,13 @@ func (p *Pool) finishClean(f *Frame, seqAt uint64) {
 }
 
 // FlushAll writes back every dirty frame (checkpoint support). Stamped
-// dirty frames are hardened through the copy-on-write snapshot protocol
-// inside writeBack, so a fuzzy checkpoint never latches a frame whose
-// owner mutates latch-free.
+// dirty frames are hardened through the copy-on-write snapshot protocol,
+// so a fuzzy checkpoint never latches a frame whose owner mutates
+// latch-free. With an async snapshotter wired, the ships PIPELINE: every
+// stamped frame's copy request fans out up front, the latched write-backs
+// of unstamped frames overlap the owner round-trips, and the copies
+// harden from a completion queue as owners reply — a checkpoint pays one
+// ship latency overall, not one per stamped page.
 func (p *Pool) FlushAll() error {
 	var frames []*Frame
 	for _, sh := range p.shards {
@@ -600,11 +619,51 @@ func (p *Pool) FlushAll() error {
 		sh.mu.Unlock()
 	}
 	var first error
-	for _, f := range frames {
-		if err := p.writeBack(f); err != nil && first == nil {
+	record := func(err error) {
+		if err != nil && first == nil {
 			first = err
 		}
+	}
+	type shipReply struct {
+		f  *Frame
+		ps PageSnapshot
+		ok bool
+	}
+	var pending int
+	var replies chan shipReply
+	rest := frames
+	if asnap := p.snapshotterAsync.Load(); asnap != nil {
+		// Buffered to the fan-out size: an owner's done callback can never
+		// block on this checkpoint, however slowly it drains.
+		replies = make(chan shipReply, len(frames))
+		rest = frames[:0]
+		for _, f := range frames {
+			if p.isStamped(f.id) {
+				f := f
+				(*asnap)(f.id, func(ps PageSnapshot, ok bool) {
+					replies <- shipReply{f, ps, ok}
+				})
+				pending++
+			} else {
+				rest = append(rest, f)
+			}
+		}
+	}
+	for _, f := range rest {
+		record(p.writeBack(f))
 		f.pins.Add(-1)
+	}
+	for i := 0; i < pending; i++ {
+		r := <-replies
+		if r.ok {
+			p.SnapshotShips.Inc()
+			record(p.hardenSnapshot(r.ps))
+		} else {
+			// Stamp moved or vanished mid-ship: the synchronous path
+			// re-resolves (new owner, latched fallback, or no-op).
+			record(p.writeBack(r.f))
+		}
+		r.f.pins.Add(-1)
 	}
 	return first
 }

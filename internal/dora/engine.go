@@ -184,6 +184,14 @@ func New(s *sm.SM, cfg Config) *Dora {
 	// than the stamped hot set could run out of victims. Embedders may
 	// run additional cleaners (doramon, E15); they compose.
 	s.Pool.SetSnapshotter(e.snapshotPage)
+	if !cfg.BlockingShips {
+		// Pipelined checkpoint ships: FlushAll fans one async copy request
+		// per stamped page out through the owners' inboxes and hardens the
+		// replies from a completion queue, instead of parking on each owner
+		// round-trip in turn. The blocking-ships baseline keeps the legacy
+		// one-at-a-time protocol everywhere.
+		s.Pool.SetSnapshotterAsync(e.snapshotPageAsync)
+	}
 	e.cleaner = buffer.NewCleaner(s.Pool, buffer.CleanerConfig{Interval: 10 * time.Millisecond})
 	e.cleaner.Start()
 	for _, tbl := range s.Cat.Tables() {

@@ -82,3 +82,65 @@ func (e *Dora) snapshotPage(pid page.ID) (buffer.PageSnapshot, bool) {
 	}
 	return snap, true
 }
+
+// snapshotPageAsync implements buffer.SnapshotterAsync: snapshotPage in
+// continuation-passing style. It returns as soon as the copy request is
+// enqueued on the owner's inbox (or resolution failed); done fires
+// exactly once — inline on the owner's thread right after it took the
+// copy — with ok=false meaning the caller should re-resolve through the
+// synchronous path, exactly like snapshotPage's false. The exec gate is
+// held shared until done fires, mirroring ExecOnOwnerAsync, so a
+// quiescing Repartition never interleaves with an in-flight snapshot. No
+// retry loop here: the pool's completion handler owns the fallback.
+func (e *Dora) snapshotPageAsync(pid page.ID, done func(buffer.PageSnapshot, bool)) {
+	e.execGate.RLock()
+	finish := func(snap buffer.PageSnapshot, ok bool) {
+		e.execGate.RUnlock()
+		done(snap, ok)
+	}
+	if e.closed {
+		finish(buffer.PageSnapshot{}, false)
+		return
+	}
+	var tbl *catalog.Table
+	var tok *btree.Owner
+	for _, t := range e.sm.Cat.Tables() {
+		if o := t.Heap.StampOwner(pid); o != nil {
+			tbl, tok = t, o
+			break
+		}
+	}
+	if tbl == nil {
+		finish(buffer.PageSnapshot{}, false)
+		return
+	}
+	e.topoMu.RLock()
+	var p *partition
+	for _, q := range e.tableParts[tbl.ID] {
+		if q.token == tok {
+			p = q
+			break
+		}
+	}
+	e.topoMu.RUnlock()
+	if p == nil {
+		finish(buffer.PageSnapshot{}, false)
+		return
+	}
+	var snap buffer.PageSnapshot
+	var got bool
+	heap := tbl.Heap
+	// No home executor: the continuation runs inline on the owner's
+	// thread, strictly after fn — snap/got need no synchronization.
+	m := &maintContMsg{contReply: contReply{k: func(ok bool) {
+		finish(snap, ok && got)
+	}}, fn: func(ctx *OwnerCtx) {
+		snap, got = heap.SnapshotOwnedPage(ctx.p.token, pid)
+	}}
+	if det := e.shipDet; det != nil {
+		m.path = det.extendPath(p.worker, false)
+	}
+	if !p.in.pushChecked(m) {
+		finish(buffer.PageSnapshot{}, false)
+	}
+}

@@ -1,0 +1,330 @@
+package exp
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"dora/internal/buffer"
+	"dora/internal/dora"
+	"dora/internal/engine/conventional"
+	"dora/internal/repl"
+	"dora/internal/sm"
+	"dora/internal/wal"
+	"dora/internal/workload"
+	"dora/internal/workload/tatp"
+)
+
+// E17RedoScalability measures the partition-parallel redo pipeline on
+// both of its backward paths.
+//
+// Recovery rows: a logged TATP primary runs the write-heavy mix and
+// crashes (its log survives, its pages do not); the same crash image is
+// then recovered at 1, 2, 4 and 8 appliers, each run over a fresh disk
+// and its own copy of the log. The dispatcher scans the log in LSN order
+// and fans physical records out to appliers sharded by page id, so
+// distinct pages redo concurrently while per-page order — the page-LSN
+// idempotence invariant — is preserved. Every run's end state is
+// digested (all heap pages, byte for byte, plus the undo tail the
+// recovery appended) and compared against the serial run: the speedup
+// column is only meaningful because the column next to it proves the
+// parallel result identical.
+//
+// Replica rows: one DORA primary ships the same full-rate write mix to
+// two replicas at once — one replaying serially, one through the applier
+// pool — and the staleness of each is sampled throughout. After the load
+// quiesces, each replica's remaining catch-up is timed. The parallel
+// replica's lag must stay bounded (trend ~0 once caught up) and its
+// heap must match the serial replica's byte for byte.
+func E17RedoScalability(c Config) (*Table, error) {
+	c = c.fill()
+	tb := &Table{
+		Title:  "E17  parallel redo: recovery scaling and replica catch-up, TATP write mix",
+		Header: []string{"config", "redo ops/s", "peak lag", "end lag", "time", "speedup", "notes"},
+		Caption: "recover rows: same crash image restarted at 1/2/4/8 appliers over fresh\n" +
+			"disks; time = redo+undo+index rebuild, speedup vs the serial run, and every\n" +
+			"run's heap pages and appended undo tail are digest-compared against serial\n" +
+			"(state-equal = byte-identical). replica rows: one primary ships the same\n" +
+			"write mix to a serial and a parallel replica concurrently; peak lag = max\n" +
+			"(primary last-commit LSN - replica commit horizon) during the run, end lag\n" +
+			"after catch-up, time = drain time after the load quiesced. The pipeline\n" +
+			"keeps per-page LSN order on page-sharded appliers; commit horizons and\n" +
+			"index maintenance stay on the dispatcher in LSN order, and readers only\n" +
+			"see extent-consistent states.",
+	}
+
+	// --- Part A: crash-recovery redo scaling. ---
+	store := wal.NewMemStore()
+	s, err := sm.Open(sm.Options{Frames: 1 << 14, LogStore: store})
+	if err != nil {
+		return nil, err
+	}
+	db, err := tatp.Load(s, c.Subscribers)
+	if err != nil {
+		_ = s.Close()
+		return nil, err
+	}
+	ce := conventional.New(s)
+	(&workload.Driver{
+		Engine: ce, Mix: db.WriteMix(tatp.MixOptions{}),
+		Clients: c.Clients, Duration: c.Duration, Seed: 1717,
+	}).Run()
+	_ = ce.Close()
+	if err := s.Log.FlushAll(); err != nil {
+		return nil, err
+	}
+	// "Crash": only the synced log survives; recovery runs on fresh disks.
+	_ = s.Close()
+
+	var serialT time.Duration
+	var serialDigest string
+	for _, workers := range []int{1, 2, 4, 8} {
+		crashed := store.CrashCopy()
+		s2, err := sm.Open(sm.Options{Frames: 1 << 14, Disk: buffer.NewMemDisk(),
+			LogStore: crashed, RedoWorkers: workers})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := tatp.Schema(s2, c.Subscribers); err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		st, err := s2.Recover()
+		if err != nil {
+			return nil, fmt.Errorf("e17 recover workers=%d: %w", workers, err)
+		}
+		el := time.Since(t0)
+		dg, err := e17Digest(s2, crashed)
+		if err != nil {
+			return nil, err
+		}
+		speedup := "1.00x"
+		note := "state-equal baseline"
+		if workers == 1 {
+			serialT, serialDigest = el, dg
+		} else {
+			speedup = fmt.Sprintf("%.2fx", serialT.Seconds()/el.Seconds())
+			note = "state-equal"
+			if p := runtime.GOMAXPROCS(0); p < workers {
+				// Appliers are CPU-bound over a memory disk; below
+				// workers-many cores the pool can only add scheduling
+				// overhead, so the speedup column measures the machine,
+				// not the pipeline.
+				note = fmt.Sprintf("state-equal; gomaxprocs=%d caps scaling", p)
+			}
+			if dg != serialDigest {
+				return nil, fmt.Errorf("e17: recovery at %d appliers diverges from serial end state", workers)
+			}
+		}
+		tb.Rows = append(tb.Rows, []string{
+			fmt.Sprintf("recover %d applier(s)", workers),
+			f1(float64(st.Redone) / el.Seconds()), "-", "-",
+			fmt.Sprintf("%.1fms", float64(el.Microseconds())/1000), speedup, note})
+		_ = s2.Close()
+	}
+
+	// --- Part B: replica apply, serial vs parallel, same stream. ---
+	rows, err := e17Replicas(c)
+	if err != nil {
+		return nil, err
+	}
+	tb.Rows = append(tb.Rows, rows...)
+	return tb, nil
+}
+
+// e17Digest hashes the storage manager's full heap state (every table in
+// catalog order, pages ascending, raw bytes) and the log store contents
+// (the undo tail recovery appended) — the equivalence check's subject.
+func e17Digest(s *sm.SM, store *wal.MemStore) (string, error) {
+	h := sha256.New()
+	for _, tbl := range s.Cat.Tables() {
+		pids := tbl.Heap.Pages()
+		sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+		for _, pid := range pids {
+			f, err := s.Pool.Fetch(pid)
+			if err != nil {
+				return "", err
+			}
+			f.Latch.RLock()
+			h.Write(f.Page.Data[:])
+			f.Latch.RUnlock()
+			s.Pool.Unpin(f, false)
+		}
+	}
+	if store != nil {
+		raw, err := store.Contents()
+		if err != nil {
+			return "", err
+		}
+		h.Write(raw)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
+}
+
+// e17Replicas runs the replica half: a DORA primary drives the write mix
+// while a serial and a parallel replica ingest the same shipped stream,
+// each with its own sender goroutine.
+func e17Replicas(c Config) ([][]string, error) {
+	store := wal.NewMemStore()
+	s, err := sm.Open(sm.Options{Frames: 1 << 14, LogStore: store})
+	if err != nil {
+		return nil, err
+	}
+	db, err := tatp.Load(s, c.Subscribers)
+	if err != nil {
+		_ = s.Close()
+		return nil, err
+	}
+	eng := dora.New(s, dora.Config{PartitionsPerTable: c.Partitions, Domains: db.Domains()})
+	sh, err := repl.AttachPrimary(s, store, repl.Rule{})
+	if err != nil {
+		_ = eng.Close()
+		_ = s.Close()
+		return nil, err
+	}
+	defer func() {
+		_ = sh.Close()
+		_ = eng.Close()
+		_ = s.Close()
+	}()
+	mkRep := func(name string, workers int) (*repl.Replica, error) {
+		r, err := repl.NewReplica(repl.Options{Frames: 1 << 14, RedoWorkers: workers,
+			DDL: func(rs *sm.SM) error {
+				_, derr := tatp.Schema(rs, c.Subscribers)
+				return derr
+			}})
+		if err != nil {
+			return nil, err
+		}
+		return r, sh.AddReplica(name, repl.LocalLink{R: r})
+	}
+	serial, err := mkRep("serial", 0)
+	if err != nil {
+		return nil, err
+	}
+	defer serial.Close()
+	par, err := mkRep("parallel", c.RedoWorkers)
+	if err != nil {
+		return nil, err
+	}
+	defer par.Close()
+	reps := []*repl.Replica{serial, par}
+	for _, r := range reps {
+		if err := e17CatchUp(s, r); err != nil {
+			return nil, fmt.Errorf("e17 initial catch-up: %w", err)
+		}
+	}
+
+	// Drive the write mix while sampling each replica's staleness.
+	redone0 := [2]int64{serial.Redone(), par.Redone()}
+	var peak [2]uint64
+	stop := make(chan struct{})
+	var sampleWG sync.WaitGroup
+	sampleWG.Add(1)
+	go func() {
+		defer sampleWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			p := s.LastCommitLSN()
+			for i, r := range reps {
+				if h := r.CommitHorizon(); p > h && p-h > peak[i] {
+					peak[i] = p - h
+				}
+			}
+		}
+	}()
+	t0 := time.Now()
+	(&workload.Driver{
+		Engine: eng, Mix: db.WriteMix(tatp.MixOptions{}),
+		Clients: c.Clients, Duration: c.Duration, Seed: 7171,
+	}).Run()
+	loadT := time.Since(t0)
+	close(stop)
+	sampleWG.Wait()
+
+	// Timed drain: each replica catches the quiesced primary's horizon.
+	var catchT [2]time.Duration
+	var catchErr [2]error
+	var wg sync.WaitGroup
+	for i, r := range reps {
+		wg.Add(1)
+		go func(i int, r *repl.Replica) {
+			defer wg.Done()
+			t := time.Now()
+			catchErr[i] = e17CatchUp(s, r)
+			catchT[i] = time.Since(t)
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range catchErr {
+		if err != nil {
+			return nil, fmt.Errorf("e17 drain: %w", err)
+		}
+	}
+
+	// Built-in equivalence check: same stream, byte-identical heaps.
+	ds, err := e17Digest(serial.SM(), nil)
+	if err != nil {
+		return nil, err
+	}
+	dp, err := e17Digest(par.SM(), nil)
+	if err != nil {
+		return nil, err
+	}
+	if ds != dp {
+		return nil, fmt.Errorf("e17: parallel replica heap diverges from serial replica")
+	}
+
+	var rows [][]string
+	for i, r := range reps {
+		name := "replica serial"
+		note := "state-equal vs parallel"
+		speedup := "-"
+		if i == 1 {
+			name = fmt.Sprintf("replica %d appliers", c.RedoWorkers)
+			note = "state-equal vs serial"
+			// Catch-up speedup is only meaningful when the serial replica
+			// actually had a backlog to drain; with both caught up at
+			// quiesce the division compares two zeros.
+			if catchT[0] > 2*time.Millisecond && catchT[1] > 0 {
+				speedup = fmt.Sprintf("%.2fx", catchT[0].Seconds()/catchT[1].Seconds())
+			}
+			if p := runtime.GOMAXPROCS(0); p < c.RedoWorkers {
+				note += fmt.Sprintf("; gomaxprocs=%d caps scaling", p)
+			}
+		}
+		total := loadT + catchT[i]
+		endLag := uint64(0)
+		if p, h := s.LastCommitLSN(), r.CommitHorizon(); p > h {
+			endLag = p - h
+		}
+		rows = append(rows, []string{name,
+			f1(float64(r.Redone()-redone0[i]) / total.Seconds()),
+			fmt.Sprintf("%dB", peak[i]), fmt.Sprintf("%dB", endLag),
+			fmt.Sprintf("%.1fms", float64(catchT[i].Microseconds())/1000),
+			speedup, note})
+	}
+	return rows, nil
+}
+
+// e17CatchUp waits until the replica's replayed commit horizon reaches
+// the primary's last commit (flushing so every resolution ships).
+func e17CatchUp(s *sm.SM, r *repl.Replica) error {
+	deadline := time.Now().Add(60 * time.Second)
+	for r.CommitHorizon() < s.LastCommitLSN() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replica stuck at horizon %d, primary last commit %d",
+				r.CommitHorizon(), s.LastCommitLSN())
+		}
+		_ = s.Log.FlushAll()
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}

@@ -1,15 +1,18 @@
-// Package exp implements the reproduction experiments E1–E12 (indexed in
+// Package exp implements the reproduction experiments E1–E17 (indexed in
 // README.md) — the demo paper's exhibited scenarios (access patterns,
 // performance under varying load, load balancing, alignment advisor,
 // designer tools), the companion DORA paper's quantitative claims
 // (critical sections per transaction, peak throughput, scalability), and
-// this repo's own measurements: log-manager scalability (E11) and
-// access-path latching under the partitioned B+tree (E12).
+// this repo's own measurements: log-manager scalability (E11),
+// access-path latching under the partitioned B+tree (E12), and the
+// follow-on subsystems' experiments (E13 maintenance, E14 continuation
+// ships, E15 page cleaning, E16 replication, E17 parallel redo).
 // cmd/dorabench and the root bench_test.go both drive this package, so
 // the printed tables and the testing.B benchmarks are the same code.
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"strings"
@@ -47,6 +50,9 @@ type Config struct {
 	// MaxInFlight caps the open-loop row's concurrent transactions
 	// (default 256).
 	MaxInFlight int
+	// RedoWorkers is the parallel-redo applier count the replica rows of
+	// E17 use (default 4; recovery rows sweep 1/2/4/8 regardless).
+	RedoWorkers int
 	// Quick shrinks everything for unit tests and smoke benches.
 	Quick bool
 }
@@ -81,6 +87,9 @@ func (c Config) fill() Config {
 	}
 	if c.Clients == 0 {
 		c.Clients = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.RedoWorkers == 0 {
+		c.RedoWorkers = 4
 	}
 	if c.Partitions == 0 {
 		c.Partitions = runtime.GOMAXPROCS(0)
@@ -175,6 +184,23 @@ func (t *Table) Render() string {
 		fmt.Fprintf(&b, "%s\n", t.Caption)
 	}
 	return b.String()
+}
+
+// JSON renders the table as one indented JSON object. CI redirects this
+// into BENCH_<id>.json artifacts so the perf trajectory (apply
+// throughput, recovery time, ...) is recorded per commit and can be
+// diffed across the history.
+func (t *Table) JSON() (string, error) {
+	b, err := json.MarshalIndent(struct {
+		Title   string     `json:"title"`
+		Header  []string   `json:"header"`
+		Rows    [][]string `json:"rows"`
+		Caption string     `json:"caption,omitempty"`
+	}{t.Title, t.Header, t.Rows, t.Caption}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b) + "\n", nil
 }
 
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -428,3 +428,40 @@ func TestE16Quick(t *testing.T) {
 		t.Fatal("promoted replica committed nothing")
 	}
 }
+
+func TestE17Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if raceEnabled {
+		// Race coverage for the parallel-redo pipeline lives in
+		// internal/sm and internal/repl's dedicated storm tests; the
+		// timing rows are meaningless under the detector.
+		t.Skip("throughput experiment is not meaningful under the race detector")
+	}
+	// E17RedoScalability errors out internally if any parallel run's end
+	// state diverges from the serial one — running it IS the equivalence
+	// assertion; the checks below are structural.
+	tb, err := E17RedoScalability(Config{Quick: true, Duration: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (4 recovery + 2 replica)", len(tb.Rows))
+	}
+	for _, r := range tb.Rows[:4] {
+		if !strings.Contains(r[6], "state-equal") {
+			t.Fatalf("%s: missing equivalence note: %v", r[0], r)
+		}
+	}
+	for _, r := range tb.Rows[4:] {
+		if !strings.HasSuffix(r[2], "B") || !strings.HasSuffix(r[3], "B") {
+			t.Fatalf("%s: lag columns not byte-denominated: %v", r[0], r)
+		}
+		// Bounded lag: after the quiesced drain the replica caught the
+		// primary's commit horizon exactly.
+		if r[3] != "0B" {
+			t.Fatalf("%s: residual lag %s after catch-up", r[0], r[3])
+		}
+	}
+}

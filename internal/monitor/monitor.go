@@ -101,6 +101,17 @@ type ReplicationView struct {
 	// fail-stop reason, empty while healthy.
 	Warming int    `json:"warming,omitempty"`
 	Failed  string `json:"failed,omitempty"`
+	// ApplyLagBytes is the delivered-but-unapplied backlog (DeliveredLSN
+	// minus AppliedLSN): what the replay pipeline still owes readers.
+	ApplyLagBytes uint64 `json:"apply_lag_bytes,omitempty"`
+	// LagTrendBps is the staleness rate of change in bytes/second since
+	// the previous snapshot — negative while the replica catches up,
+	// positive while it falls behind (zero with no previous sample).
+	LagTrendBps int64 `json:"lag_trend_bps,omitempty"`
+	// Redo is the parallel-redo applier pool's view (nil when replaying
+	// serially): worker count, high-water queue depth, and each applier's
+	// last-applied LSN and current queue depth.
+	Redo *sm.RedoStats `json:"redo,omitempty"`
 }
 
 // ReplSource bundles the replication endpoints the monitor samples. Any
@@ -145,6 +156,12 @@ func (r *ReplSource) views() []ReplicationView {
 		}
 		if err := r.Replica.Failed(); err != nil {
 			v.Failed = err.Error()
+		}
+		if v.DeliveredLSN > v.AppliedLSN {
+			v.ApplyLagBytes = v.DeliveredLSN - v.AppliedLSN
+		}
+		if rs := r.Replica.RedoStats(); rs.Workers > 0 {
+			v.Redo = &rs
 		}
 		if r.Primary != nil {
 			if pc := r.Primary.LastCommitLSN(); pc > v.CommitHorizon {
@@ -251,6 +268,23 @@ func (s *Source) Sample(prev *Snapshot, dt time.Duration) *Snapshot {
 	}
 	if s.Repl != nil {
 		snap.Replication = s.Repl.views()
+		// Staleness trend: rate of change of the replica's lag against the
+		// matching view of the previous snapshot.
+		if prev != nil && dt > 0 {
+			for i := range snap.Replication {
+				v := &snap.Replication[i]
+				if v.Role != "replica" {
+					continue
+				}
+				for _, pv := range prev.Replication {
+					if pv.Role == "replica" {
+						d := int64(v.StalenessBytes) - int64(pv.StalenessBytes)
+						v.LagTrendBps = int64(float64(d) / dt.Seconds())
+						break
+					}
+				}
+			}
+		}
 	}
 	if s.Dora != nil {
 		snap.Partitions = s.Dora.PartitionStats()

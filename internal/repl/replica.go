@@ -157,6 +157,12 @@ type Options struct {
 	Bootstrap bool
 	// CS receives critical-section accounting (optional).
 	CS *metrics.CriticalSectionStats
+	// RedoWorkers sets the replica's parallel-redo applier count (see
+	// sm.Options.RedoWorkers): 0 or 1 replays serially, >1 fans physical
+	// records out to page-sharded appliers while delivery stays the
+	// dispatcher. Each extent still becomes visible to readers atomically —
+	// Deliver syncs the pool before releasing the state lock.
+	RedoWorkers int
 }
 
 // Replica is a live backup: it ingests the primary's log stream, replays
@@ -206,7 +212,7 @@ func NewReplica(opt Options) (*Replica, error) {
 		return nil, err
 	}
 	rlog := &replicaLog{store: opt.LogStore, durable: next}
-	s, err := sm.Open(sm.Options{Frames: opt.Frames, Disk: opt.Disk, Log: rlog, CS: opt.CS})
+	s, err := sm.Open(sm.Options{Frames: opt.Frames, Disk: opt.Disk, Log: rlog, CS: opt.CS, RedoWorkers: opt.RedoWorkers})
 	if err != nil {
 		return nil, err
 	}
@@ -314,6 +320,14 @@ func (r *Replica) Deliver(base uint64, data []byte) (uint64, error) {
 			r.stateMu.Unlock()
 			return r.rlog.Durable(), r.fail(err)
 		}
+	}
+	// Extent barrier: with parallel redo, wait until every applier has
+	// finished and the dispatcher has consumed the completion stream before
+	// readers are readmitted — reads only ever observe extent-consistent
+	// states. An applier error fail-stops the replica like any replay error.
+	if err := r.replayer.Sync(); err != nil {
+		r.stateMu.Unlock()
+		return r.rlog.Durable(), r.fail(err)
 	}
 	r.stateMu.Unlock()
 	r.Extents.Inc()
@@ -429,8 +443,19 @@ func (r *Replica) Promote() (*sm.SM, sm.PromoteStats, error) {
 	return r.sm, st, nil
 }
 
-// Close shuts the replica's storage manager down.
-func (r *Replica) Close() error { return r.sm.Close() }
+// Redone returns the count of physical operations replayed.
+func (r *Replica) Redone() int64 { return r.replayer.Redone() }
+
+// RedoStats exposes the replayer's applier-pool monitoring view (zero
+// workers when replaying serially or after promotion retired the pool).
+func (r *Replica) RedoStats() sm.RedoStats { return r.replayer.RedoStats() }
+
+// Close shuts the replica down: the applier pool drains and joins first,
+// then the storage manager closes.
+func (r *Replica) Close() error {
+	r.replayer.Close()
+	return r.sm.Close()
+}
 
 // ReadEngine adapts a replica to the engine.Engine interface so workload
 // drivers can point read-only mixes at it.

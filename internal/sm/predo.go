@@ -1,0 +1,290 @@
+package sm
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dora/internal/tuple"
+	"dora/internal/wal"
+)
+
+// Partition-parallel redo: the paper's thread-to-data principle applied
+// to the backward paths. Crash-recovery redo and replica streaming apply
+// both replay physical log records whose only ordering requirement is
+// PER PAGE — page-LSN idempotence and RedoInsert's slot-allocation
+// determinism are per-page invariants, and two records touching distinct
+// pages commute. So a single dispatcher scans the log in LSN order and
+// fans physical records (KInsert/KUpdate/KDelete/KCLR) out to a pool of
+// applier workers sharded by page id (wal.PageKey): each worker drains
+// its own FIFO queue, which preserves LSN order within every page while
+// distinct pages redo concurrently — each applier exclusively "owns" the
+// slice of pages that hash to it, exactly the ownership discipline the
+// forward path uses.
+//
+// Everything with global ordering requirements stays on the dispatcher:
+// transaction-resolution records (commit-horizon advancement must not
+// outrun a commit's effects), checkpoint attachment maps, page
+// attachment (before the page's first task is enqueued), loser undo, and
+// — on a live replica — incremental index maintenance, because one key's
+// index operations can span pages (an update that relocates a record
+// deletes on one page and reinserts on another), so they cannot ride the
+// page shard. The dispatcher therefore consumes a COMPLETION stream in
+// dispatch (= LSN) order: appliers do the heap work and capture pre-redo
+// before-images; the dispatcher finishes each task — index fixes, commit
+// horizon, applied-LSN advancement — strictly in order, like a
+// reorder buffer.
+//
+// Failure is fail-stop for the whole pool: the first applier error
+// latches, subsequent tasks complete without applying, and the barrier
+// reports the first error — callers (recovery, the replica's delivery
+// path) treat it exactly like a serial redo error.
+
+// redoTask is one log record in flight through the pool.
+type redoTask struct {
+	rec *wal.Record
+	// oldRec/newRec are decoded on the applier: the pre-redo before image
+	// (updates and deletes; nil when the slot was empty or undecodable,
+	// matching the serial path's tolerance) and the after image. The
+	// dispatcher's in-order completion uses them for index maintenance.
+	oldRec tuple.Record
+	newRec tuple.Record
+	err    error
+	// done is guarded by the pool mutex.
+	done bool
+}
+
+// end returns the end LSN of the task's record.
+func (t *redoTask) end() uint64 { return t.rec.LSN + uint64(wal.EncodedSize(t.rec)) }
+
+// redoWorker is one applier: a FIFO queue of tasks for the pages that
+// hash to it, drained by a dedicated goroutine.
+type redoWorker struct {
+	pool *redoPool
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []*redoTask
+	closed bool
+
+	// depth mirrors len(q) for lock-free monitoring; applied is the end
+	// LSN of the last record this applier finished (monitoring only — the
+	// authoritative applied horizon is the dispatcher's in-order one).
+	depth   atomic.Int64
+	applied atomic.Uint64
+}
+
+func (w *redoWorker) push(t *redoTask) int {
+	w.mu.Lock()
+	w.q = append(w.q, t)
+	d := len(w.q)
+	w.cond.Signal()
+	w.mu.Unlock()
+	w.depth.Store(int64(d))
+	return d
+}
+
+func (w *redoWorker) run() {
+	defer w.pool.wg.Done()
+	for {
+		w.mu.Lock()
+		for len(w.q) == 0 && !w.closed {
+			w.cond.Wait()
+		}
+		if len(w.q) == 0 {
+			w.mu.Unlock()
+			return
+		}
+		t := w.q[0]
+		w.q = w.q[1:]
+		w.mu.Unlock()
+		w.depth.Add(-1)
+		p := w.pool
+		// Fail-stop: once any applier errored, the rest of the stream is
+		// marked done without applying — the pool is poisoned and the
+		// barrier surfaces the first error.
+		if !p.failed.Load() {
+			p.apply(t)
+		}
+		p.mu.Lock()
+		t.done = true
+		if t.err != nil && p.err == nil {
+			p.err = t.err
+			p.failed.Store(true)
+		}
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		if t.err == nil {
+			w.applied.Store(t.end())
+		}
+	}
+}
+
+// redoPool is the dispatcher-side handle: sharded applier queues plus the
+// in-order completion stream. The dispatcher is single-threaded (callers
+// serialize on the recovery pass or the replayer's mutex); only the
+// completion bookkeeping is shared with appliers, under mu.
+type redoPool struct {
+	apply   func(*redoTask) // applier-side work; must only touch the record's page
+	workers []*redoWorker
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signaled as tasks complete
+	inflight []*redoTask
+	head     int // consumed prefix of inflight
+	err      error
+	failed   atomic.Bool
+
+	maxDepth int64 // high-water applier queue depth (monitoring)
+}
+
+func newRedoPool(n int, apply func(*redoTask)) *redoPool {
+	p := &redoPool{apply: apply}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < n; i++ {
+		w := &redoWorker{pool: p}
+		w.cond = sync.NewCond(&w.mu)
+		p.workers = append(p.workers, w)
+		p.wg.Add(1)
+		go w.run()
+	}
+	return p
+}
+
+// dispatch hands a physical record's task to the applier owning its page.
+// Tasks for one page always land on the same worker queue, so per-page
+// LSN order is preserved by FIFO; the task also joins the in-order
+// completion stream.
+func (p *redoPool) dispatch(t *redoTask) {
+	w := p.workers[int(uint64(t.rec.Page))%len(p.workers)]
+	p.mu.Lock()
+	p.inflight = append(p.inflight, t)
+	p.mu.Unlock()
+	if d := int64(w.push(t)); d > atomic.LoadInt64(&p.maxDepth) {
+		atomic.StoreInt64(&p.maxDepth, d)
+	}
+}
+
+// dispatchLocal appends a task that needs no applier work (transaction
+// resolution, checkpoints) to the completion stream, already done — it
+// exists so the dispatcher's in-order consumption sees EVERY record in
+// LSN order, physical or not.
+func (p *redoPool) dispatchLocal(t *redoTask) {
+	p.mu.Lock()
+	t.done = true
+	p.inflight = append(p.inflight, t)
+	p.mu.Unlock()
+}
+
+// takeReadyLocked pops the completed prefix of the stream (mu held).
+func (p *redoPool) takeReadyLocked() []*redoTask {
+	lo := p.head
+	for p.head < len(p.inflight) && p.inflight[p.head].done {
+		p.head++
+	}
+	batch := p.inflight[lo:p.head]
+	if p.head == len(p.inflight) {
+		p.inflight = p.inflight[:0]
+		p.head = 0
+	}
+	return batch
+}
+
+// drainReady consumes completed head tasks in dispatch (= LSN) order
+// without blocking. consume runs with no pool locks held, so it may take
+// whatever caller locks it needs (the replayer calls it under rp.mu).
+func (p *redoPool) drainReady(consume func(*redoTask) error) error {
+	p.mu.Lock()
+	batch := p.takeReadyLocked()
+	p.mu.Unlock()
+	return p.consumeBatch(batch, consume)
+}
+
+// barrier blocks until every dispatched task has completed and been
+// consumed in order — the epoch boundary recovery places at the end of
+// redo and the replica places at the end of every extent (before
+// releasing stateMu to readers). Returns the pool's first error.
+func (p *redoPool) barrier(consume func(*redoTask) error) error {
+	for {
+		p.mu.Lock()
+		for p.head < len(p.inflight) && !p.inflight[p.head].done {
+			p.cond.Wait()
+		}
+		batch := p.takeReadyLocked()
+		empty := p.head == len(p.inflight)
+		p.mu.Unlock()
+		if err := p.consumeBatch(batch, consume); err != nil {
+			return err
+		}
+		if empty {
+			return p.Err()
+		}
+	}
+}
+
+func (p *redoPool) consumeBatch(batch []*redoTask, consume func(*redoTask) error) error {
+	for _, t := range batch {
+		if t.err != nil {
+			return p.Err()
+		}
+		if consume != nil {
+			if err := consume(t); err != nil {
+				p.mu.Lock()
+				if p.err == nil {
+					p.err = err
+					p.failed.Store(true)
+				}
+				p.mu.Unlock()
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Err returns the pool's sticky first error (fail-stop latch).
+func (p *redoPool) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// close drains and joins the appliers. Callers barrier first; close only
+// tears the goroutines down.
+func (p *redoPool) close() {
+	for _, w := range p.workers {
+		w.mu.Lock()
+		w.closed = true
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	}
+	p.wg.Wait()
+}
+
+// RedoApplierStat is one applier's monitoring sample.
+type RedoApplierStat struct {
+	// AppliedLSN is the end LSN of the last record this applier finished
+	// (per-page progress; the transaction-consistent horizon is the
+	// dispatcher's).
+	AppliedLSN uint64 `json:"applied_lsn"`
+	// QueueDepth is the applier's current inbox depth.
+	QueueDepth int `json:"queue_depth"`
+}
+
+// RedoStats is the redo pool's monitoring view.
+type RedoStats struct {
+	Workers       int               `json:"workers"`
+	MaxQueueDepth int64             `json:"max_queue_depth"`
+	Appliers      []RedoApplierStat `json:"appliers,omitempty"`
+}
+
+func (p *redoPool) stats() RedoStats {
+	st := RedoStats{Workers: len(p.workers), MaxQueueDepth: atomic.LoadInt64(&p.maxDepth)}
+	for _, w := range p.workers {
+		st.Appliers = append(st.Appliers, RedoApplierStat{
+			AppliedLSN: w.applied.Load(),
+			QueueDepth: int(w.depth.Load()),
+		})
+	}
+	return st
+}

@@ -2,6 +2,7 @@ package sm
 
 import (
 	"fmt"
+	"sort"
 
 	"dora/internal/storage"
 	"dora/internal/tuple"
@@ -85,9 +86,26 @@ func (s *SM) Recover() (RecoveryStats, error) {
 	// the last checkpoint's redo point reached disk with their pages when
 	// the checkpoint flushed, so their physical apply is skipped — but
 	// their pages must still be attached to the owning heaps so the
-	// index rebuild scan sees them. ---
+	// index rebuild scan sees them.
+	//
+	// With Options.RedoWorkers > 1 the physical applies fan out to the
+	// partition-parallel pool (predo.go): the dispatcher loop below keeps
+	// attachment and checkpoint handling in LSN order and ships each
+	// physical record to the applier owning its page; per-page FIFO
+	// preserves the idempotence invariant while distinct pages redo
+	// concurrently. Recovery rebuilds indexes at the end, so — unlike
+	// replica replay — no in-order completion work is needed: a single
+	// barrier before undo is the only synchronization. ---
+	var pool *redoPool
+	if s.redoWorkers > 1 {
+		pool = newRedoPool(s.redoWorkers, func(t *redoTask) { t.err = s.redoOne(t.rec) })
+	}
 	for _, r := range recs {
 		if err := s.attachOne(r); err != nil {
+			if pool != nil {
+				pool.barrier(nil)
+				pool.close()
+			}
 			return st, fmt.Errorf("sm: attach lsn %d: %w", r.LSN, err)
 		}
 		if r.Kind == wal.KCheckpoint {
@@ -95,10 +113,21 @@ func (s *SM) Recover() (RecoveryStats, error) {
 			// would attach pages below the redo point; the checkpoint's
 			// attachment map restores them.
 			if err := s.applyAttachments(r.Redo); err != nil {
+				if pool != nil {
+					pool.barrier(nil)
+					pool.close()
+				}
 				return st, err
 			}
 		}
 		if r.LSN < redoPoint {
+			continue
+		}
+		if pool != nil {
+			if _, ok := wal.PageKey(r); ok {
+				pool.dispatch(&redoTask{rec: r})
+				st.Redone++
+			}
 			continue
 		}
 		if err := s.redoOne(r); err != nil {
@@ -109,14 +138,29 @@ func (s *SM) Recover() (RecoveryStats, error) {
 			st.Redone++
 		}
 	}
+	if pool != nil {
+		err := pool.barrier(nil)
+		pool.close()
+		if err != nil {
+			return st, fmt.Errorf("sm: parallel redo: %w", err)
+		}
+	}
 
-	// --- Undo losers ---
+	// --- Undo losers, in descending-id order. The order is deterministic
+	// so two recoveries of the same crash image — serial or parallel —
+	// append identical CLR/KEnd sequences and leave byte-identical pages
+	// (the end-state equivalence E17 asserts). ---
+	var losers []uint64
 	for id, ts := range states {
 		if ts.committed || ts.ended {
 			continue
 		}
+		losers = append(losers, id)
+	}
+	sort.Slice(losers, func(i, j int) bool { return losers[i] > losers[j] })
+	for _, id := range losers {
 		st.Losers++
-		n, err := s.undoLoser(id, ts.lastLSN, byLSN)
+		n, err := s.undoLoser(id, states[id].lastLSN, byLSN)
 		if err != nil {
 			return st, fmt.Errorf("sm: undo txn %d: %w", id, err)
 		}
@@ -168,17 +212,7 @@ func (s *SM) rebuildIndexes() (int, error) {
 	return rebuilt, nil
 }
 
-func physicalKind(r *wal.Record) wal.Kind {
-	kind := r.Kind
-	if kind == wal.KCLR {
-		kind = r.Sub
-	}
-	switch kind {
-	case wal.KInsert, wal.KUpdate, wal.KDelete:
-		return kind
-	}
-	return 0 // commit/abort/end/checkpoint: no physical effect
-}
+func physicalKind(r *wal.Record) wal.Kind { return wal.PhysicalKind(r) }
 
 // attachOne ensures the record's page exists on the rebuilt disk view
 // and is owned by its table's heap.

@@ -2,6 +2,7 @@ package sm
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"dora/internal/storage"
@@ -36,6 +37,29 @@ import (
 // the replica into a primary at the end of the delivered stream — can
 // close committed-but-unended winners and roll back in-flight losers with
 // CLRs, exactly as restart undo would.
+//
+// With SM.Options.RedoWorkers > 1 the replayer splits into dispatcher
+// and appliers (predo.go): Apply becomes the dispatcher — analysis,
+// admission, page attachment, checkpoint handling stay here, in LSN
+// order — while the heap redo of physical records fans out to applier
+// workers sharded by page id. Appliers capture the pre-redo before image
+// of each slot; the dispatcher consumes the completion stream strictly
+// in dispatch (= LSN) order and performs everything order-sensitive
+// there: incremental index maintenance (a key's index operations can
+// span pages — an update relocation deletes on one page and reinserts on
+// another — so they cannot ride the page shard), commit-horizon
+// advancement, and applied-LSN accounting. Sync is the epoch barrier the
+// delivery path places at every extent boundary, so readers admitted
+// under the replica's stateMu only ever observe extent-consistent state.
+//
+// Lock ordering: rp.mu is the OUTER lock; the pool's internal mutexes
+// are strictly inner and never held while acquiring rp.mu (appliers
+// touch only the task, the heaps, and the catalog — never the maps
+// below). Every accessor (AppliedLSN, Warming, OpenTxns, Redone,
+// RedoStats) takes rp.mu exactly like Apply, Sync and Promote do; the
+// analysis maps (txns, resolved, warm) are mutated by the dispatcher
+// only, under rp.mu, so the parallel split never exposes them to an
+// applier thread.
 type Replayer struct {
 	sm *SM
 
@@ -48,6 +72,10 @@ type Replayer struct {
 	delivered uint64 // end LSN of the last record delivered
 	applied   uint64 // end LSN of the last record applied
 	redone    int64  // physical operations replayed
+
+	// pool is the partition-parallel applier pool; nil = serial replay.
+	// Guarded by mu (created at construction, torn down by Promote/Close).
+	pool *redoPool
 }
 
 // rtxn is the live analysis state of one unended transaction.
@@ -59,9 +87,32 @@ type rtxn struct {
 
 // NewReplayer creates a replayer over s. Tables must already be
 // registered (schema DDL is code, not logged), in the same order as on
-// the primary, so table ids line up.
+// the primary, so table ids line up. When s was opened with RedoWorkers
+// > 1 the replayer runs the partition-parallel pipeline; Close tears the
+// pool down.
 func NewReplayer(s *SM) *Replayer {
-	return &Replayer{sm: s, txns: make(map[uint64]*rtxn), resolved: make(map[uint64]bool)}
+	rp := &Replayer{sm: s, txns: make(map[uint64]*rtxn), resolved: make(map[uint64]bool)}
+	if s.redoWorkers > 1 {
+		rp.pool = newRedoPool(s.redoWorkers, rp.applierApply)
+	}
+	return rp
+}
+
+// Close stops the applier pool (no-op for a serial replayer). The caller
+// must not Apply afterwards.
+func (rp *Replayer) Close() {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	rp.closePoolLocked()
+}
+
+func (rp *Replayer) closePoolLocked() {
+	if rp.pool == nil {
+		return
+	}
+	rp.pool.barrier(nil)
+	rp.pool.close()
+	rp.pool = nil
 }
 
 func (rp *Replayer) ensure(id uint64) *rtxn {
@@ -107,7 +158,10 @@ func (rp *Replayer) Apply(r *wal.Record) error {
 // drainLocked applies the transaction-consistent prefix of the pending
 // queue: it stops at the first record whose transaction has not delivered
 // its commit or end yet, so nothing uncommitted — and no partial slice of
-// a committed transaction — ever reaches the heap.
+// a committed transaction — ever reaches the heap. In parallel mode the
+// prefix is dispatched to the applier pool instead, and whatever
+// completions are already in — in LSN order — are finished
+// opportunistically (the extent-boundary Sync finishes the rest).
 func (rp *Replayer) drainLocked() error {
 	n := 0
 	for ; n < len(rp.pending); n++ {
@@ -115,7 +169,13 @@ func (rp *Replayer) drainLocked() error {
 		if r.TxnID != 0 && !rp.resolved[r.TxnID] {
 			break
 		}
-		if err := rp.applyOneLocked(r); err != nil {
+		var err error
+		if rp.pool != nil {
+			err = rp.dispatchOneLocked(r)
+		} else {
+			err = rp.applyOneLocked(r)
+		}
+		if err != nil {
 			rp.pending = rp.pending[n:]
 			return err
 		}
@@ -125,6 +185,150 @@ func (rp *Replayer) drainLocked() error {
 	} else {
 		rp.pending = rp.pending[n:]
 	}
+	if rp.pool != nil {
+		return rp.pool.drainReady(rp.finishOneLocked)
+	}
+	return nil
+}
+
+// Sync is the epoch barrier of parallel replay: it blocks until every
+// dispatched record has been applied by its applier AND finished in LSN
+// order by the dispatcher (index maintenance, commit horizon, applied
+// accounting). The replica's delivery path calls it before releasing
+// stateMu at the end of each extent, so read-only sessions only ever
+// observe extent-consistent states; Promote calls it before undoing
+// losers. Serial replayers return immediately.
+func (rp *Replayer) Sync() error {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.syncLocked()
+}
+
+func (rp *Replayer) syncLocked() error {
+	if rp.pool == nil {
+		return nil
+	}
+	return rp.pool.barrier(rp.finishOneLocked)
+}
+
+// dispatchOneLocked is the dispatcher half of applyOneLocked: checkpoint
+// handling and page attachment run here in LSN order (attachment must
+// precede the page's task, and the per-worker FIFO orders the task after
+// anything already queued for its page), the heap work ships to the
+// applier owning the record's page, and everything else rides the
+// completion stream so finishOneLocked sees every record in order.
+func (rp *Replayer) dispatchOneLocked(r *wal.Record) error {
+	s := rp.sm
+	if r.Kind == wal.KCheckpoint {
+		if ck := uint64(r.Key); ck > s.lastCkptRedo.Load() {
+			s.lastCkptRedo.Store(ck)
+		}
+		if err := s.applyAttachments(r.Redo); err != nil {
+			return err
+		}
+	}
+	if err := s.attachOne(r); err != nil {
+		return err
+	}
+	t := &redoTask{rec: r}
+	if _, ok := wal.PageKey(r); ok {
+		rp.pool.dispatch(t)
+	} else {
+		rp.pool.dispatchLocal(t)
+	}
+	return nil
+}
+
+// applierApply runs on an applier worker's thread: heap-only redo of one
+// physical record plus before/after-image capture for the dispatcher's
+// in-order index maintenance. It touches nothing guarded by rp.mu.
+func (rp *Replayer) applierApply(t *redoTask) {
+	r := t.rec
+	kind := physicalKind(r)
+	if kind == 0 {
+		return
+	}
+	s := rp.sm
+	tbl := s.Cat.TableByID(r.Table)
+	if tbl == nil {
+		t.err = fmt.Errorf("sm: replay references unknown table %d", r.Table)
+		return
+	}
+	rid := storage.RID{Page: r.Page, Slot: r.Slot}
+	switch kind {
+	case wal.KInsert:
+		if err := tbl.Heap.RedoInsert(rid, r.Redo, r.LSN); err != nil {
+			t.err = err
+			return
+		}
+		t.newRec, t.err = tuple.Decode(r.Redo)
+	case wal.KUpdate:
+		// Pre-redo before image: per-page FIFO makes this exactly the
+		// state the serial path would have read at this record's turn.
+		// (Get and Decode both copy, so the captured record cannot alias
+		// page bytes a later record on this page mutates.)
+		if img, err := tbl.Heap.Get(rid); err == nil {
+			t.oldRec, _ = tuple.Decode(img)
+		}
+		if err := tbl.Heap.RedoUpdate(rid, r.Redo, r.LSN); err != nil {
+			t.err = err
+			return
+		}
+		t.newRec, t.err = tuple.Decode(r.Redo)
+	case wal.KDelete:
+		if img, err := tbl.Heap.Get(rid); err == nil {
+			t.oldRec, _ = tuple.Decode(img)
+		}
+		t.err = tbl.Heap.RedoDelete(rid, r.LSN)
+	}
+}
+
+// finishOneLocked consumes one completed task in dispatch (= LSN) order
+// on the dispatcher, under rp.mu: the order-sensitive remainder of
+// applyOneLocked — index maintenance from the applier's captured images,
+// commit-horizon advancement, resolution cleanup, applied accounting.
+func (rp *Replayer) finishOneLocked(t *redoTask) error {
+	r := t.rec
+	s := rp.sm
+	if kind := physicalKind(r); kind != 0 {
+		tbl := s.Cat.TableByID(r.Table)
+		if tbl == nil {
+			return fmt.Errorf("sm: replay references unknown table %d", r.Table)
+		}
+		rid := storage.RID{Page: r.Page, Slot: r.Slot}
+		switch kind {
+		case wal.KInsert:
+			_ = tbl.Primary.Tree.PutAs(nil, tbl.Primary.Key(t.newRec), rid.Pack())
+			for _, ix := range tbl.Secondaries {
+				_ = ix.Tree.PutAs(nil, ix.Key(t.newRec), rid.Pack())
+			}
+		case wal.KUpdate:
+			if t.oldRec != nil {
+				for _, ix := range tbl.Secondaries {
+					if ok, nk := ix.Key(t.oldRec), ix.Key(t.newRec); ok != nk {
+						ix.Tree.DeleteAs(nil, ok)
+						_ = ix.Tree.PutAs(nil, nk, rid.Pack())
+					}
+				}
+			}
+		case wal.KDelete:
+			if t.oldRec != nil {
+				tbl.Primary.Tree.DeleteAs(nil, tbl.Primary.Key(t.oldRec))
+				for _, ix := range tbl.Secondaries {
+					ix.Tree.DeleteAs(nil, ix.Key(t.oldRec))
+				}
+			}
+		}
+		rp.redone++
+	}
+	switch r.Kind {
+	case wal.KCommit:
+		s.NoteCommitLSN(r.LSN)
+	case wal.KEnd:
+		delete(rp.resolved, r.TxnID)
+		delete(rp.warm, r.TxnID)
+	}
+	rp.applied = r.LSN + uint64(wal.EncodedSize(r))
 	return nil
 }
 
@@ -275,6 +479,17 @@ func (rp *Replayer) Redone() int64 {
 	return rp.redone
 }
 
+// RedoStats returns the applier pool's monitoring view. A serial replayer
+// (or one whose pool Promote retired) reports zero workers.
+func (rp *Replayer) RedoStats() RedoStats {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if rp.pool == nil {
+		return RedoStats{}
+	}
+	return rp.pool.stats()
+}
+
 // PromoteStats summarizes a completed Promote.
 type PromoteStats struct {
 	Open    int // transactions open at the end of the stream
@@ -299,6 +514,14 @@ func (rp *Replayer) Promote() (PromoteStats, error) {
 	defer rp.mu.Unlock()
 	s := rp.sm
 	var st PromoteStats
+	// Drain the applier pool first: every dispatched record finishes and is
+	// consumed in order before the stream's tail is applied, and the pool
+	// retires — promotion's loser undo and everything the new primary does
+	// afterwards run single-threaded on this side, like restart undo.
+	if err := rp.syncLocked(); err != nil {
+		return st, err
+	}
+	rp.closePoolLocked()
 	// Delivery ends here: apply everything still queued — including the
 	// records of unresolved transactions held back from readers — so the
 	// heap reflects the full delivered stream before winners are closed
@@ -311,7 +534,16 @@ func (rp *Replayer) Promote() (PromoteStats, error) {
 	rp.pending = nil
 	rp.warm = nil
 	st.Open = len(rp.txns)
-	for id, ts := range rp.txns {
+	// Descending-id order, like recovery's loser undo: deterministic, so a
+	// serial and a parallel replica promoted from the same stream append
+	// identical KEnd/CLR sequences and leave byte-identical pages.
+	ids := make([]uint64, 0, len(rp.txns))
+	for id := range rp.txns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] > ids[j] })
+	for _, id := range ids {
+		ts := rp.txns[id]
 		if ts.committed {
 			s.Log.Append(&wal.Record{Kind: wal.KEnd, TxnID: id, PrevLSN: ts.lastLSN})
 			st.Winners++

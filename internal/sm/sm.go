@@ -54,6 +54,11 @@ type Options struct {
 	CS *metrics.CriticalSectionStats
 	// Tracer receives record-access events (optional, experiment E1).
 	Tracer *metrics.AccessTracer
+	// RedoWorkers selects partition-parallel redo for the backward paths:
+	// restart recovery (Recover) and replica streaming apply (Replayer)
+	// fan physical records out to this many applier workers sharded by
+	// page id. 0 or 1 keeps the classic serial redo.
+	RedoWorkers int
 }
 
 // SM is an open storage manager instance.
@@ -88,6 +93,10 @@ type SM struct {
 	// lastCkptRedo is the redo point of the latest hardened checkpoint —
 	// the analysis/redo floor a truncated log must preserve.
 	lastCkptRedo atomic.Uint64
+
+	// redoWorkers is Options.RedoWorkers: the applier fan-out of the
+	// partition-parallel redo pipeline (0/1 = serial).
+	redoWorkers int
 
 	// Commits and Aborts count finished transactions.
 	Commits metrics.Counter
@@ -141,15 +150,20 @@ func Open(opt Options) (*SM, error) {
 		pool.SetStats(opt.CS)
 	}
 	return &SM{
-		Disk:   opt.Disk,
-		Pool:   pool,
-		Log:    log,
-		Cat:    catalog.New(),
-		CS:     opt.CS,
-		Tracer: opt.Tracer,
-		active: make(map[*tx.Txn]struct{}),
+		Disk:        opt.Disk,
+		Pool:        pool,
+		Log:         log,
+		Cat:         catalog.New(),
+		CS:          opt.CS,
+		Tracer:      opt.Tracer,
+		active:      make(map[*tx.Txn]struct{}),
+		redoWorkers: opt.RedoWorkers,
 	}, nil
 }
+
+// RedoWorkers returns the configured applier fan-out of the partition-
+// parallel redo pipeline (0/1 = serial).
+func (s *SM) RedoWorkers() int { return s.redoWorkers }
 
 // AdoptLog swaps the storage manager's log manager and rewires the buffer
 // pool's write-ahead rule to it. The caller must quiesce appenders first;
