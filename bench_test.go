@@ -133,3 +133,7 @@ func BenchmarkA3Claims(b *testing.B) {
 func BenchmarkE17RedoScalability(b *testing.B) {
 	runTable(b, func() (*exp.Table, error) { return exp.E17RedoScalability(quickCfg()) })
 }
+
+func BenchmarkE18LatencyAttribution(b *testing.B) {
+	runTable(b, func() (*exp.Table, error) { return exp.E18LatencyAttribution(quickCfg()) })
+}

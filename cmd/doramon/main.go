@@ -29,6 +29,7 @@ import (
 	"dora/internal/monitor"
 	"dora/internal/repl"
 	"dora/internal/sm"
+	"dora/internal/trace"
 	"dora/internal/wal"
 	"dora/internal/workload"
 	"dora/internal/workload/tatp"
@@ -45,25 +46,41 @@ func main() {
 		replica = flag.Bool("replica", true, "run an in-process read replica of the DORA database")
 		semiK   = flag.Int("semisync", 0, "semi-sync commit rule: acks required per commit (0 = async)")
 		redoW   = flag.Int("redo-workers", 4, "replica parallel-redo appliers (0 or 1 = serial replay)")
+		adaptW  = flag.Bool("adaptive-redo", false, "let the replica's applier pool resize itself from queue depth")
+		httpOn  = flag.String("http", "", "HTTP observability address (/metrics, /snapshot, /debug/pprof; empty = off)")
+		sample  = flag.Int("trace-sample", 64, "latency tracer: trace 1 in N transactions (0 = tracing off)")
+		slowMS  = flag.Int("trace-slow-ms", 0, "emit JSON span trees for traced txns slower than this (0 = off)")
 	)
 	flag.Parse()
 
+	// The latency tracer follows 1/N of the DORA engine's transactions end
+	// to end; its per-stage aggregates feed the snapshot stream and the
+	// /metrics exposition.
+	var tracer *trace.Tracer
+	if *sample > 0 {
+		tracer = trace.New(trace.Config{
+			SampleEvery:   *sample,
+			SlowThreshold: time.Duration(*slowMS) * time.Millisecond,
+		})
+		defer tracer.Close()
+	}
+
 	fmt.Printf("loading two TATP databases (%d subscribers each)...\n", *subs)
-	mk := func(store wal.Store) (*tatp.DB, *metrics.CriticalSectionStats) {
+	mk := func(store wal.Store, tr *trace.Tracer) (*tatp.DB, *metrics.CriticalSectionStats) {
 		cs := &metrics.CriticalSectionStats{}
-		s, err := sm.Open(sm.Options{Frames: 1 << 14, CS: cs, LogStore: store})
+		s, err := sm.Open(sm.Options{Frames: 1 << 14, CS: cs, LogStore: store, Spans: tr})
 		fatal(err)
 		db, err := tatp.Load(s, *subs)
 		fatal(err)
 		return db, cs
 	}
-	convDB, _ := mk(nil)
+	convDB, _ := mk(nil, nil)
 	doraStore := wal.NewMemStore()
-	doraDB, doraCS := mk(doraStore)
+	doraDB, doraCS := mk(doraStore, tracer)
 	_ = doraCS
 
 	conv := conventional.New(convDB.SM)
-	de := dora.New(doraDB.SM, dora.Config{PartitionsPerTable: 2, Domains: doraDB.Domains()})
+	de := dora.New(doraDB.SM, dora.Config{PartitionsPerTable: 2, Domains: doraDB.Domains(), Tracer: tracer})
 	// Background physical maintenance keeps the partitioned layout
 	// converged behind the balancer's moves, and the balancer consults
 	// its convergence state so it never re-partitions a table
@@ -103,7 +120,7 @@ func main() {
 		sh, err := repl.AttachPrimary(doraDB.SM, doraStore, repl.Rule{K: *semiK})
 		fatal(err)
 		defer sh.Close()
-		rep, err = repl.NewReplica(repl.Options{Frames: 1 << 13, RedoWorkers: *redoW, DDL: func(s *sm.SM) error {
+		rep, err = repl.NewReplica(repl.Options{Frames: 1 << 13, RedoWorkers: *redoW, AdaptiveRedo: *adaptW, Tracer: tracer, DDL: func(s *sm.SM) error {
 			var derr error
 			repDB, derr = tatp.Schema(s, *subs)
 			return derr
@@ -121,6 +138,7 @@ func main() {
 		Dora:  de,
 		Maint: md,
 		Repl:  rsrc,
+		Trace: tracer,
 		Engines: []monitor.CommitCounter{
 			monitor.CounterAdapter{EngineName: "conventional", Committed: &conv.Committed, Aborted: &conv.Aborted},
 			monitor.CounterAdapter{EngineName: "dora", Committed: &de.Committed, Aborted: &de.Aborted},
@@ -131,6 +149,12 @@ func main() {
 	fatal(err)
 	defer sv.Close()
 	fmt.Printf("stats socket: %s (one JSON snapshot per line)\n", addr)
+	if *httpOn != "" {
+		haddr, closeHTTP, err := monitor.ListenHTTP(src, *httpOn)
+		fatal(err)
+		defer func() { _ = closeHTTP() }()
+		fmt.Printf("http: http://%s/metrics  /snapshot  /debug/pprof/\n", haddr)
+	}
 
 	runDur := 100 * 365 * 24 * time.Hour
 	if *dur > 0 {
@@ -234,6 +258,15 @@ func printSnapshot(s *monitor.Snapshot) {
 				fmt.Println()
 			}
 		}
+	}
+	if sl := s.StageLatency; sl != nil && sl.Sampled > 0 {
+		fmt.Printf("  trace: sampled=%d slow=%d coverage=%.0f%% e2e p50=%dus p99=%dus\n",
+			sl.Sampled, sl.Slow, sl.CoveragePct, sl.TotalP50US, sl.TotalP99US)
+		fmt.Printf("  stages:")
+		for _, sv := range sl.Stages {
+			fmt.Printf(" %s=%dus", sv.Stage, sv.P50US)
+		}
+		fmt.Println()
 	}
 	byTable := map[string]int{}
 	for _, p := range s.Partitions {

@@ -104,6 +104,27 @@
 // harden from a completion queue, so checkpoint latency stops scaling
 // with owner count.
 //
+// Observability (experiment E18) closes the loop on all of it: an
+// always-on sampled latency tracer (internal/trace) follows one
+// transaction in N end to end — admission, queue wait, execution,
+// suspends, ships, the commit queue, log reserve/fill, the
+// flush-hardening wait, early lock release, semi-sync ack waits, and
+// replica delivery/apply — recording spans on per-worker lock-free
+// rings (drop-on-full, never a stall) that an aggregator drains into
+// per-stage power-of-two histograms. The monitor snapshot carries the
+// per-stage decomposition with traced end-to-end quantiles and a
+// span-coverage percentage; monitor.ListenHTTP serves it pull-style as
+// Prometheus text exposition on /metrics (dependency-free) alongside
+// /snapshot JSON and the explicitly wired /debug/pprof profiles; and
+// traced transactions past a slow threshold emit their full span tree
+// as one JSON line. The parallel-redo pool feeds the same stats back
+// into itself: with AdaptiveRedo set, the dispatcher resizes the
+// applier pool from windowed queue-depth averages, only at barrier
+// points where the drained queues make the page remap order-safe. E18
+// verifies the decomposition (stage sum ≈ traced p50, queue_wait — not
+// exec — grows past the saturation knee) and the sampling cost (<2%
+// throughput, measured drift-robustly in alternating windows).
+//
 // See README.md for the package tour, quickstart, and the experiment
 // index. The packages live under internal/; the runnable entry points
 // are the examples/ programs and the cmd/ tools.

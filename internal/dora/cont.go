@@ -2,8 +2,10 @@ package dora
 
 import (
 	"sync/atomic"
+	"time"
 
 	"dora/internal/btree"
+	"dora/internal/trace"
 	"dora/internal/xct"
 )
 
@@ -55,10 +57,13 @@ func (m *contReply) failShip() { m.deliver(false) }
 
 // contMsg ships a foreign access-path operation with a continuation
 // instead of a parked sender: the owner runs fn with its own token,
-// then delivers the reply.
+// then delivers the reply. at is the enqueue time of a hop the latency
+// tracer sampled (zero otherwise); the receiving worker turns it into a
+// ship-flight span.
 type contMsg struct {
 	contReply
 	fn func(tok *btree.Owner)
+	at time.Time
 }
 
 // maintContMsg is contMsg for background-maintenance operations (the
@@ -74,16 +79,23 @@ type maintContMsg struct {
 // must never be lost (a lost one strands its transaction's RVP), so
 // dispose forwards them along the merge chain and, with no successor
 // left (engine shutdown, access paths already released), runs them
-// inline.
-type kontMsg struct{ k func() }
+// inline. at is a sampled hop's enqueue time (see contMsg.at).
+type kontMsg struct {
+	k  func()
+	at time.Time
+}
 
 // deliverHome enqueues k on this partition's inbox, following the
 // forwarding chain a merge leaves behind; with every hop retired it runs
 // k inline (shutdown fall-through: the subtrees are back on the shared
 // path, so the continuation's accesses need no owner thread).
 func (p *partition) deliverHome(k func()) {
+	m := &kontMsg{k: k}
+	if p.eng.cfg.Tracer.SampleHop() {
+		m.at = time.Now()
+	}
 	for q := p; q != nil; q = q.fwd.Load() {
-		if q.in.pushChecked(&kontMsg{k: k}) {
+		if q.in.pushChecked(m) {
 			return
 		}
 	}
@@ -99,6 +111,9 @@ func (p *partition) deliverHome(k func()) {
 func (p *partition) ownerExecAsync() btree.OwnerExecAsync {
 	return func(home btree.ContExec, fn func(tok *btree.Owner), done func(ok bool)) bool {
 		m := &contMsg{contReply: contReply{home: home, k: done}, fn: fn}
+		if p.eng.cfg.Tracer.SampleHop() {
+			m.at = time.Now()
+		}
 		if det := p.eng.shipDet; det != nil {
 			m.path = det.extendPath(p.worker, false)
 		}
@@ -138,10 +153,21 @@ func (h *actionHost) Suspend() func(error) {
 	h.suspended = true
 	p, am := h.p, h.am
 	p.SuspendedNow.Add(1)
+	// Traced transactions time the suspension: Suspend → resume is the
+	// foreign round trip (ship out, remote exec, kont back) as the
+	// transaction experiences it.
+	tt := am.run.txn.Trace
+	var t0 time.Time
+	if tt != nil {
+		t0 = time.Now()
+	}
 	done := new(atomic.Bool)
 	return func(err error) {
 		if !done.CompareAndSwap(false, true) {
 			return
+		}
+		if tt != nil {
+			tt.Span(trace.StageSuspend, p.worker, t0, time.Since(t0))
 		}
 		p.SuspendedNow.Add(-1)
 		p.eng.report(am.rvp, err)

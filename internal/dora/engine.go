@@ -34,6 +34,7 @@ import (
 	"dora/internal/dora/router"
 	"dora/internal/metrics"
 	"dora/internal/sm"
+	"dora/internal/trace"
 	"dora/internal/xct"
 )
 
@@ -84,6 +85,11 @@ type Config struct {
 	// owner writes are the default. Page cleaning still runs through the
 	// snapshot ship either way.
 	LatchedOwnerWrites bool
+	// Tracer, when non-nil, samples transactions for end-to-end latency
+	// attribution: admission, inbox queue wait, action execution, ship
+	// hops, and the commit pipeline all record spans against it. Give
+	// the same tracer to sm.Options.Spans so the log stages join in.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) fill() {
@@ -310,6 +316,10 @@ func (e *Dora) ExecAsync(worker int, flow *xct.Flow, done func(error)) {
 	// panic out of the dispatch must release it too — once, even if a
 	// partially dispatched run still completes later — or the next
 	// writer (Repartition, Close) would wedge the whole engine.
+	var t0 time.Time
+	if e.cfg.Tracer.Enabled() {
+		t0 = time.Now()
+	}
 	e.execGate.RLock()
 	released := new(atomic.Bool)
 	release := func() {
@@ -323,8 +333,16 @@ func (e *Dora) ExecAsync(worker int, flow *xct.Flow, done func(error)) {
 			panic(r)
 		}
 	}()
-	run := newFlowRun(e, flow, e.sm.Begin(), func(err error) {
+	txn := e.sm.Begin()
+	tt := e.cfg.Tracer.Begin(txn.ID)
+	if tt != nil {
+		tt.SetStart(t0)
+		tt.Span(trace.StageAdmission, worker, t0, time.Since(t0))
+		txn.Trace = tt
+	}
+	run := newFlowRun(e, flow, txn, func(err error) {
 		release()
+		tt.Finish(err)
 		done(err)
 	})
 	e.dispatchPhase(run, 0)
@@ -475,6 +493,9 @@ func (e *Dora) report(r *rvp, err error) {
 	}
 	run := r.run
 	if run.failed() || r.phase+1 >= len(run.flow.Phases) {
+		if run.txn.Trace != nil {
+			run.commitqAt = time.Now()
+		}
 		e.commitq <- run
 		return
 	}
@@ -493,6 +514,10 @@ func (e *Dora) report(r *rvp, err error) {
 func (e *Dora) committer() {
 	defer e.commitWG.Done()
 	for run := range e.commitq {
+		tt := run.txn.Trace
+		if tt != nil && !run.commitqAt.IsZero() {
+			tt.Span(trace.StageCommitQueue, -1, run.commitqAt, time.Since(run.commitqAt))
+		}
 		if ferr := run.firstErr(); ferr != nil {
 			// Rollback is safe off-partition: the run still holds its
 			// local locks, so no other transaction can touch its data
@@ -531,7 +556,14 @@ func (e *Dora) committer() {
 			}
 			run.finish(err)
 		})
+		var relAt time.Time
+		if tt != nil {
+			relAt = time.Now()
+		}
 		e.broadcastRelease(run)
+		if tt != nil {
+			tt.Span(trace.StageLockRelease, -1, relAt, time.Since(relAt))
+		}
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"dora/internal/page"
 	"dora/internal/sm"
 	"dora/internal/storage"
+	"dora/internal/trace"
 	"dora/internal/xct"
 )
 
@@ -327,6 +328,9 @@ func (p *partition) handle(m msg) bool {
 		// fast on this thread rather than deliver a half-executed op as
 		// success.
 		p.ContShipped.Inc()
+		if !t.at.IsZero() {
+			p.eng.cfg.Tracer.RecordSpan(trace.StageShip, p.worker, time.Since(t.at))
+		}
 		if cyc := p.runShipped(t.path, func() { t.fn(p.token) }); cyc != nil {
 			panic(cyc)
 		}
@@ -341,6 +345,9 @@ func (p *partition) handle(m msg) bool {
 		// continuation on this thread (it may resume an action body, ship
 		// again, or report to an RVP).
 		p.KontRun.Inc()
+		if !t.at.IsZero() {
+			p.eng.cfg.Tracer.RecordSpan(trace.StageKont, p.worker, time.Since(t.at))
+		}
 		t.k()
 	case releaseMsg:
 		runnable := p.locks.release(t.txn)
@@ -477,11 +484,24 @@ func (p *partition) execute(am *actionMsg) {
 	if p.SuspendedNow.Load() > 0 {
 		p.OverlapExec.Inc()
 	}
+	// Traced transactions: the span from dispatch to here is inbox queue
+	// wait (plus any local lock wait); the body that follows is exec. A
+	// suspending body's exec span covers the portion before Run returns —
+	// the foreign round trip shows up as its suspend span instead.
+	tt := am.run.txn.Trace
+	var execAt time.Time
+	if tt != nil {
+		execAt = time.Now()
+		tt.Span(trace.StageQueueWait, p.worker, am.at, execAt.Sub(am.at))
+	}
 	env := &xct.Env{Txn: am.run.txn, Ses: p.ses}
 	if !p.eng.cfg.BlockingShips {
 		host := &actionHost{p: p, am: am}
 		env.Async = host
 		err := am.act.Run(env)
+		if tt != nil {
+			tt.Span(trace.StageExec, p.worker, execAt, time.Since(execAt))
+		}
 		if host.suspended {
 			return // the resume continuation owns the RVP report
 		}
@@ -489,6 +509,9 @@ func (p *partition) execute(am *actionMsg) {
 		return
 	}
 	err := am.act.Run(env)
+	if tt != nil {
+		tt.Span(trace.StageExec, p.worker, execAt, time.Since(execAt))
+	}
 	p.eng.report(am.rvp, err)
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dora/internal/tx"
 	"dora/internal/xct"
@@ -30,6 +31,12 @@ type flowRun struct {
 	mu     sync.Mutex
 	err    error
 	tables map[uint32]struct{}
+
+	// commitqAt is when the last action's report pushed the run onto the
+	// commit queue (set only for traced transactions; the committer turns
+	// it into the commit-queue-wait span). Written by the last reporter,
+	// read by the committer — the channel hand-off orders the accesses.
+	commitqAt time.Time
 
 	failedFlag atomic.Bool
 }

@@ -10,6 +10,8 @@
 package metrics
 
 import (
+	"math/bits"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,16 +53,51 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 // Load returns the current value.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 
-// Histogram is a fixed-bucket latency histogram with power-of-two bucket
-// boundaries starting at 1µs. It records durations and can report count,
-// mean, and approximate percentiles.
-type Histogram struct {
-	mu      sync.Mutex
-	buckets [40]int64 // bucket i covers [2^i, 2^(i+1)) microseconds
-	count   int64
-	sumUS   int64
-	maxUS   int64
+// HistogramBuckets is the number of power-of-two latency buckets.
+const HistogramBuckets = 40
+
+// histStripes spreads concurrent Observe calls over independent cache
+// lines; must be a power of two.
+const histStripes = 8
+
+// histStripe is one writer shard of a Histogram. Each field group is a
+// plain atomic; the trailing pad keeps neighbouring stripes off each
+// other's cache lines.
+type histStripe struct {
+	buckets [HistogramBuckets]atomic.Int64
+	count   atomic.Int64
+	sumUS   atomic.Int64
+	maxUS   atomic.Int64
+	_       [cacheLine]byte
 }
+
+// Histogram is a fixed-bucket latency histogram with power-of-two bucket
+// boundaries starting at 1µs: bucket 0 counts observations in [0,1]µs and
+// bucket i counts (2^(i-1), 2^i]µs, so the bucket index IS the log2 of the
+// inclusive upper bound. Observe is lock-free — each call picks one of
+// several cache-padded stripes of atomic buckets, so traced hot paths
+// never serialize on a histogram mutex. Readers sum the stripes without
+// synchronization; a snapshot taken while writers race may be off by the
+// in-flight observations, which is fine for monitoring.
+type Histogram struct {
+	stripes [histStripes]histStripe
+}
+
+// bucketIndex maps a non-negative µs value to its bucket: 0 for us ≤ 1,
+// else the smallest i with us ≤ 2^i, capped at the last bucket.
+func bucketIndex(us int64) int {
+	if us <= 1 {
+		return 0
+	}
+	idx := bits.Len64(uint64(us - 1)) // smallest i with 2^i >= us
+	if idx > HistogramBuckets-1 {
+		idx = HistogramBuckets - 1
+	}
+	return idx
+}
+
+// BucketUpperMicros returns bucket i's inclusive upper bound in µs (2^i).
+func BucketUpperMicros(i int) int64 { return int64(1) << uint(i) }
 
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
@@ -68,72 +105,107 @@ func (h *Histogram) Observe(d time.Duration) {
 	if us < 0 {
 		us = 0
 	}
-	idx := 0
-	for v := us; v > 1 && idx < len(h.buckets)-1; v >>= 1 {
-		idx++
+	s := &h.stripes[rand.Uint32()&(histStripes-1)]
+	s.buckets[bucketIndex(us)].Add(1)
+	s.count.Add(1)
+	s.sumUS.Add(us)
+	for {
+		cur := s.maxUS.Load()
+		if us <= cur || s.maxUS.CompareAndSwap(cur, us) {
+			break
+		}
 	}
-	h.mu.Lock()
-	h.buckets[idx]++
-	h.count++
-	h.sumUS += us
-	if us > h.maxUS {
-		h.maxUS = us
-	}
-	h.mu.Unlock()
 }
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
+	var n int64
+	for i := range h.stripes {
+		n += h.stripes[i].count.Load()
+	}
+	return n
+}
+
+// SumMicros returns the sum of all observations in microseconds.
+func (h *Histogram) SumMicros() int64 {
+	var s int64
+	for i := range h.stripes {
+		s += h.stripes[i].sumUS.Load()
+	}
+	return s
 }
 
 // MeanMicros returns the mean observation in microseconds (0 if empty).
 func (h *Histogram) MeanMicros() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	n := h.Count()
+	if n == 0 {
 		return 0
 	}
-	return float64(h.sumUS) / float64(h.count)
+	return float64(h.SumMicros()) / float64(n)
 }
 
 // MaxMicros returns the largest observation in microseconds.
 func (h *Histogram) MaxMicros() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.maxUS
+	var m int64
+	for i := range h.stripes {
+		if v := h.stripes[i].maxUS.Load(); v > m {
+			m = v
+		}
+	}
+	return m
 }
 
-// Quantile returns an upper bound (bucket boundary) for quantile q in
-// microseconds; q must be in (0,1].
+// Buckets returns the per-bucket counts summed over all stripes. Bucket i
+// holds observations ≤ BucketUpperMicros(i) µs (and > the previous bound).
+func (h *Histogram) Buckets() [HistogramBuckets]int64 {
+	var out [HistogramBuckets]int64
+	for i := range h.stripes {
+		for b := 0; b < HistogramBuckets; b++ {
+			out[b] += h.stripes[i].buckets[b].Load()
+		}
+	}
+	return out
+}
+
+// Quantile returns an upper bound (the bucket's inclusive upper edge) for
+// quantile q in microseconds; q must be in (0,1]. An observation of
+// exactly 2^i µs lands in bucket i and is reported as bounded by 2^i, not
+// 2^(i+1).
 func (h *Histogram) Quantile(q float64) int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	buckets := h.Buckets()
+	var count int64
+	for _, b := range buckets {
+		count += b
+	}
+	if count == 0 {
 		return 0
 	}
-	target := int64(q * float64(h.count))
+	target := int64(q * float64(count))
 	if target < 1 {
 		target = 1
 	}
 	var seen int64
-	for i, b := range h.buckets {
+	for i, b := range buckets {
 		seen += b
 		if seen >= target {
-			return int64(1) << uint(i+1)
+			return BucketUpperMicros(i)
 		}
 	}
-	return h.maxUS
+	return h.MaxMicros()
 }
 
-// Reset clears the histogram.
+// Reset clears the histogram. Not atomic with respect to concurrent
+// Observe calls — racing observations may straddle the reset.
 func (h *Histogram) Reset() {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.buckets = [40]int64{}
-	h.count, h.sumUS, h.maxUS = 0, 0, 0
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		for b := range s.buckets {
+			s.buckets[b].Store(0)
+		}
+		s.count.Store(0)
+		s.sumUS.Store(0)
+		s.maxUS.Store(0)
+	}
 }
 
 // Meter measures throughput: events per second over the lifetime of the

@@ -66,6 +66,60 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramExactPowerOfTwo(t *testing.T) {
+	// An observation of exactly 2^i µs must be reported as bounded by
+	// 2^i, not 2^(i+1) (the bucket edges are inclusive upper bounds).
+	for _, us := range []int64{1, 2, 4, 256, 1024} {
+		var h Histogram
+		h.Observe(time.Duration(us) * time.Microsecond)
+		if got := h.Quantile(1.0); got != us {
+			t.Fatalf("Quantile(1.0) after Observe(%dµs) = %d, want %d", us, got, us)
+		}
+	}
+	// Just past the edge spills into the next bucket.
+	var h Histogram
+	h.Observe(257 * time.Microsecond)
+	if got := h.Quantile(1.0); got != 512 {
+		t.Fatalf("Quantile(1.0) after Observe(257µs) = %d, want 512", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const writers, per = 8, 5000
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				h.Observe(time.Duration(1+i) * time.Microsecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if h.Count() != writers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), writers*per)
+	}
+	wantSum := int64(0)
+	for i := 0; i < writers; i++ {
+		wantSum += int64(1+i) * per
+	}
+	if h.SumMicros() != wantSum {
+		t.Fatalf("sum = %d, want %d", h.SumMicros(), wantSum)
+	}
+	if h.MaxMicros() != writers {
+		t.Fatalf("max = %d, want %d", h.MaxMicros(), writers)
+	}
+	var total int64
+	for _, b := range h.Buckets() {
+		total += b
+	}
+	if total != writers*per {
+		t.Fatalf("bucket total = %d, want %d", total, writers*per)
+	}
+}
+
 func TestMeter(t *testing.T) {
 	m := NewMeter()
 	m.Mark(10)

@@ -19,6 +19,7 @@ import (
 	"dora/internal/metrics"
 	"dora/internal/repl"
 	"dora/internal/sm"
+	"dora/internal/trace"
 )
 
 // EngineView is the per-engine slice of a snapshot.
@@ -68,7 +69,15 @@ type Snapshot struct {
 	// plays (a primary shipping its log, a replica replaying one, or
 	// both when a read replica runs in-process).
 	Replication []ReplicationView `json:"replication,omitempty"`
+	// StageLatency is the transaction tracer's per-stage latency
+	// decomposition (nil when no tracer is wired into the Source).
+	StageLatency *StageLatencyView `json:"stage_latency,omitempty"`
 }
+
+// StageLatencyView is the tracer's aggregate snapshot as it appears on
+// the monitoring wire: sample accounting, end-to-end quantiles, span
+// coverage, and one StageView per stage with observations.
+type StageLatencyView = trace.StageLatency
 
 // ReplicationView is the replication slice of a snapshot: the shipping
 // and acknowledgement horizons on a primary, the delivery/replay/commit
@@ -211,6 +220,7 @@ type Source struct {
 	Dora    *dora.Dora      // optional
 	Maint   *maint.Daemon   // optional
 	Repl    *ReplSource     // optional replication endpoints
+	Trace   *trace.Tracer   // optional latency tracer
 	Engines []CommitCounter // any number of engines
 }
 
@@ -285,6 +295,9 @@ func (s *Source) Sample(prev *Snapshot, dt time.Duration) *Snapshot {
 				}
 			}
 		}
+	}
+	if sl := s.Trace.Snapshot(); sl != nil && sl.Sampled > 0 {
+		snap.StageLatency = sl
 	}
 	if s.Dora != nil {
 		snap.Partitions = s.Dora.PartitionStats()

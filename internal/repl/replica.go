@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"dora/internal/buffer"
 	"dora/internal/metrics"
 	"dora/internal/sm"
+	"dora/internal/trace"
 	"dora/internal/wal"
 	"dora/internal/wal/clog"
 	"dora/internal/xct"
@@ -163,6 +165,13 @@ type Options struct {
 	// dispatcher. Each extent still becomes visible to readers atomically —
 	// Deliver syncs the pool before releasing the state lock.
 	RedoWorkers int
+	// AdaptiveRedo lets the applier pool grow/shrink between extent
+	// barriers from observed queue depth (sm.Options.AdaptiveRedo).
+	AdaptiveRedo bool
+	// Tracer, when non-nil, samples deliveries for the latency tracer's
+	// repl_deliver (stream hardening) and repl_apply (redo + barrier)
+	// stages.
+	Tracer *trace.Tracer
 }
 
 // Replica is a live backup: it ingests the primary's log stream, replays
@@ -174,6 +183,7 @@ type Replica struct {
 	rlog     *replicaLog
 	replayer *sm.Replayer
 	cs       *metrics.CriticalSectionStats
+	tracer   *trace.Tracer
 
 	// roleMu guards the promotion flip (and the sm.Log swap inside it):
 	// delivery and read-only execution hold it shared, Promote holds it
@@ -212,7 +222,11 @@ func NewReplica(opt Options) (*Replica, error) {
 		return nil, err
 	}
 	rlog := &replicaLog{store: opt.LogStore, durable: next}
-	s, err := sm.Open(sm.Options{Frames: opt.Frames, Disk: opt.Disk, Log: rlog, CS: opt.CS, RedoWorkers: opt.RedoWorkers})
+	s, err := sm.Open(sm.Options{
+		Frames: opt.Frames, Disk: opt.Disk, Log: rlog, CS: opt.CS,
+		RedoWorkers: opt.RedoWorkers, AdaptiveRedo: opt.AdaptiveRedo,
+		Spans: opt.Tracer,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -221,7 +235,7 @@ func NewReplica(opt Options) (*Replica, error) {
 			return nil, err
 		}
 	}
-	r := &Replica{sm: s, store: opt.LogStore, rlog: rlog, cs: opt.CS}
+	r := &Replica{sm: s, store: opt.LogStore, rlog: rlog, cs: opt.CS, tracer: opt.Tracer}
 	r.replayer = sm.NewReplayer(s)
 	if opt.Bootstrap {
 		if _, err := r.replayer.Bootstrap(); err != nil {
@@ -309,10 +323,23 @@ func (r *Replica) Deliver(base uint64, data []byte) (uint64, error) {
 	if consumed == 0 {
 		return exp, nil
 	}
+	// Sampled deliveries time the replica lag stages: hardening the
+	// extent into our log (repl_deliver), then redo-applying it through
+	// the barrier (repl_apply).
+	var t0 time.Time
+	traced := r.tracer.Enabled() && r.tracer.SampleHop()
+	if traced {
+		t0 = time.Now()
+	}
 	// Harden before applying: the commit horizon must never run ahead of
 	// the replica's own durability.
 	if err := r.rlog.append(data[:consumed]); err != nil {
 		return exp, r.fail(err)
+	}
+	if traced {
+		now := time.Now()
+		r.tracer.RecordSpan(trace.StageReplDeliver, -1, now.Sub(t0))
+		t0 = now
 	}
 	r.stateMu.Lock()
 	for _, rec := range recs {
@@ -330,6 +357,9 @@ func (r *Replica) Deliver(base uint64, data []byte) (uint64, error) {
 		return r.rlog.Durable(), r.fail(err)
 	}
 	r.stateMu.Unlock()
+	if traced {
+		r.tracer.RecordSpan(trace.StageReplApply, -1, time.Since(t0))
+	}
 	r.Extents.Inc()
 	r.Bytes.Add(int64(consumed))
 	return r.rlog.Durable(), nil

@@ -136,19 +136,109 @@ type redoPool struct {
 	failed   atomic.Bool
 
 	maxDepth int64 // high-water applier queue depth (monitoring)
+
+	// Adaptive sizing (setAdaptive): the pool grows or shrinks between
+	// barriers from observed queue depth. The window counters are mutated
+	// only by the dispatcher thread (dispatch/maybeResize run under the
+	// caller's dispatcher lock), so they need no synchronization of their
+	// own; resizes is atomic because stats() may race a resize in
+	// recovery-style callers.
+	adaptive      bool
+	minWorkers    int
+	maxWorkers    int
+	winDispatches int64 // physical tasks dispatched since the last resize decision
+	winDepthSum   int64 // sum of post-push queue depths over the window
+	resizes       atomic.Int64
 }
 
 func newRedoPool(n int, apply func(*redoTask)) *redoPool {
 	p := &redoPool{apply: apply}
 	p.cond = sync.NewCond(&p.mu)
 	for i := 0; i < n; i++ {
-		w := &redoWorker{pool: p}
-		w.cond = sync.NewCond(&w.mu)
-		p.workers = append(p.workers, w)
-		p.wg.Add(1)
-		go w.run()
+		p.spawnWorker()
 	}
 	return p
+}
+
+func (p *redoPool) spawnWorker() {
+	w := &redoWorker{pool: p}
+	w.cond = sync.NewCond(&w.mu)
+	p.workers = append(p.workers, w)
+	p.wg.Add(1)
+	go w.run()
+}
+
+// setAdaptive arms barrier-point resizing: between [min, max] appliers,
+// driven by the queue depth dispatch observes. Call before the first
+// dispatch, from the dispatcher thread.
+func (p *redoPool) setAdaptive(min, max int) {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	p.adaptive, p.minWorkers, p.maxWorkers = true, min, max
+}
+
+// Resize thresholds: average post-push queue depth above depthGrow means
+// appliers are the bottleneck (the dispatcher outruns them) — double the
+// pool; at or below depthShrink the appliers keep pace with dispatch
+// (post-push depth is never below 1: it counts the task just pushed), so
+// the fan-out is idle overhead — halve it. The window must hold enough
+// samples for the average to mean anything.
+const (
+	redoDepthGrow    = 8
+	redoDepthShrink  = 1
+	redoResizeWindow = 64
+)
+
+// maybeResize applies the sizing policy. It must only run at a barrier
+// point — every dispatched task consumed, all applier queues empty —
+// because changing len(workers) remaps pages to appliers, and the
+// per-page FIFO guarantee only survives a remap across an empty pool.
+// Dispatcher thread only.
+func (p *redoPool) maybeResize() {
+	if !p.adaptive || p.winDispatches < redoResizeWindow || p.failed.Load() {
+		return
+	}
+	avg := p.winDepthSum / p.winDispatches
+	p.winDispatches, p.winDepthSum = 0, 0
+	n := len(p.workers)
+	switch {
+	case avg > redoDepthGrow && n < p.maxWorkers:
+		n *= 2
+		if n > p.maxWorkers {
+			n = p.maxWorkers
+		}
+	case avg <= redoDepthShrink && n > p.minWorkers:
+		n /= 2
+		if n < p.minWorkers {
+			n = p.minWorkers
+		}
+	default:
+		return
+	}
+	p.resize(n)
+}
+
+// resize grows or shrinks the applier set to n. Caller guarantees the
+// pool is drained (see maybeResize); excess workers have empty queues,
+// so closing them lets run() return at once (wg tracks the exit — close
+// still joins whatever set is live then).
+func (p *redoPool) resize(n int) {
+	for len(p.workers) > n {
+		w := p.workers[len(p.workers)-1]
+		p.workers = p.workers[:len(p.workers)-1]
+		w.mu.Lock()
+		w.closed = true
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	}
+	for len(p.workers) < n {
+		p.spawnWorker()
+	}
+	p.resizes.Add(1)
 }
 
 // dispatch hands a physical record's task to the applier owning its page.
@@ -160,8 +250,13 @@ func (p *redoPool) dispatch(t *redoTask) {
 	p.mu.Lock()
 	p.inflight = append(p.inflight, t)
 	p.mu.Unlock()
-	if d := int64(w.push(t)); d > atomic.LoadInt64(&p.maxDepth) {
+	d := int64(w.push(t))
+	if d > atomic.LoadInt64(&p.maxDepth) {
 		atomic.StoreInt64(&p.maxDepth, d)
+	}
+	if p.adaptive {
+		p.winDispatches++
+		p.winDepthSum += d
 	}
 }
 
@@ -275,11 +370,16 @@ type RedoApplierStat struct {
 type RedoStats struct {
 	Workers       int               `json:"workers"`
 	MaxQueueDepth int64             `json:"max_queue_depth"`
+	Resizes       int64             `json:"resizes,omitempty"` // adaptive grow/shrink events
 	Appliers      []RedoApplierStat `json:"appliers,omitempty"`
 }
 
 func (p *redoPool) stats() RedoStats {
-	st := RedoStats{Workers: len(p.workers), MaxQueueDepth: atomic.LoadInt64(&p.maxDepth)}
+	st := RedoStats{
+		Workers:       len(p.workers),
+		MaxQueueDepth: atomic.LoadInt64(&p.maxDepth),
+		Resizes:       p.resizes.Load(),
+	}
 	for _, w := range p.workers {
 		st.Appliers = append(st.Appliers, RedoApplierStat{
 			AppliedLSN: w.applied.Load(),

@@ -59,7 +59,11 @@ import (
 // RedoStats) takes rp.mu exactly like Apply, Sync and Promote do; the
 // analysis maps (txns, resolved, warm) are mutated by the dispatcher
 // only, under rp.mu, so the parallel split never exposes them to an
-// applier thread.
+// applier thread. The latency tracer (internal/trace) adds no edges to
+// this order: replay-path spans are pushed onto per-worker lock-free
+// rings, so instrumented code may record while holding rp.mu (or the
+// replica's stateMu) and the trace aggregator goroutine never acquires
+// rp.mu or the pool's inner mutexes.
 type Replayer struct {
 	sm *SM
 
@@ -94,6 +98,11 @@ func NewReplayer(s *SM) *Replayer {
 	rp := &Replayer{sm: s, txns: make(map[uint64]*rtxn), resolved: make(map[uint64]bool)}
 	if s.redoWorkers > 1 {
 		rp.pool = newRedoPool(s.redoWorkers, rp.applierApply)
+		if s.adaptiveRedo {
+			// Grow up to 4x the configured fan-out, shrink down to serial;
+			// decisions only ever fire at the Sync barrier below.
+			rp.pool.setAdaptive(1, 4*s.redoWorkers)
+		}
 	}
 	return rp
 }
@@ -208,7 +217,14 @@ func (rp *Replayer) syncLocked() error {
 	if rp.pool == nil {
 		return nil
 	}
-	return rp.pool.barrier(rp.finishOneLocked)
+	if err := rp.pool.barrier(rp.finishOneLocked); err != nil {
+		return err
+	}
+	// The barrier left every applier queue empty, so the page→applier
+	// remap a resize implies cannot reorder any page's records: adaptive
+	// sizing decisions are only ever taken here.
+	rp.pool.maybeResize()
+	return nil
 }
 
 // dispatchOneLocked is the dispatcher half of applyOneLocked: checkpoint

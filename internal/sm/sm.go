@@ -17,12 +17,14 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dora/internal/btree"
 	"dora/internal/buffer"
 	"dora/internal/catalog"
 	"dora/internal/metrics"
 	"dora/internal/storage"
+	"dora/internal/trace"
 	"dora/internal/tuple"
 	"dora/internal/tx"
 	"dora/internal/wal"
@@ -59,6 +61,15 @@ type Options struct {
 	// fan physical records out to this many applier workers sharded by
 	// page id. 0 or 1 keeps the classic serial redo.
 	RedoWorkers int
+	// AdaptiveRedo lets the parallel-redo pool grow and shrink between
+	// extent barriers from observed per-applier queue depth (RedoWorkers
+	// becomes the starting size).
+	AdaptiveRedo bool
+	// Spans, when non-nil, is the end-to-end latency tracer: the commit
+	// pipeline (log append, flush wait, ack wait) records spans for
+	// sampled transactions, and the clog log manager records its
+	// reserve/fill stages at the same sampling rate.
+	Spans *trace.Tracer
 }
 
 // SM is an open storage manager instance.
@@ -95,8 +106,13 @@ type SM struct {
 	lastCkptRedo atomic.Uint64
 
 	// redoWorkers is Options.RedoWorkers: the applier fan-out of the
-	// partition-parallel redo pipeline (0/1 = serial).
-	redoWorkers int
+	// partition-parallel redo pipeline (0/1 = serial); adaptiveRedo
+	// enables queue-depth-driven pool resizing between extent barriers.
+	redoWorkers  int
+	adaptiveRedo bool
+
+	// spans is Options.Spans: the end-to-end latency tracer (nil = off).
+	spans *trace.Tracer
 
 	// Commits and Aborts count finished transactions.
 	Commits metrics.Counter
@@ -149,15 +165,20 @@ func Open(opt Options) (*SM, error) {
 	if opt.CS != nil {
 		pool.SetStats(opt.CS)
 	}
+	if cl, ok := log.(*clog.Log); ok && opt.Spans != nil {
+		cl.SetTracer(opt.Spans)
+	}
 	return &SM{
-		Disk:        opt.Disk,
-		Pool:        pool,
-		Log:         log,
-		Cat:         catalog.New(),
-		CS:          opt.CS,
-		Tracer:      opt.Tracer,
-		active:      make(map[*tx.Txn]struct{}),
-		redoWorkers: opt.RedoWorkers,
+		Disk:         opt.Disk,
+		Pool:         pool,
+		Log:          log,
+		Cat:          catalog.New(),
+		CS:           opt.CS,
+		Tracer:       opt.Tracer,
+		active:       make(map[*tx.Txn]struct{}),
+		redoWorkers:  opt.RedoWorkers,
+		adaptiveRedo: opt.AdaptiveRedo,
+		spans:        opt.Spans,
 	}, nil
 }
 
@@ -345,9 +366,17 @@ func (s *SM) CommitAsync(t *tx.Txn, done func(error)) {
 		s.commitReadOnly(t, done)
 		return
 	}
+	tt := t.Trace
+	var appendAt time.Time
+	if tt != nil {
+		appendAt = time.Now()
+	}
 	lsn := t.Chain(func(prev uint64) uint64 {
 		return s.Log.Append(&wal.Record{Kind: wal.KCommit, TxnID: t.ID, PrevLSN: prev})
 	})
+	if tt != nil {
+		tt.Span(trace.StageLogAppend, -1, appendAt, time.Since(appendAt))
+	}
 	for {
 		cur := s.lastCommit.Load()
 		if cur >= lsn || s.lastCommit.CompareAndSwap(cur, lsn) {
@@ -378,10 +407,29 @@ func (s *SM) CommitAsync(t *tx.Txn, done func(error)) {
 				finish(err)
 				return
 			}
-			gate(lsn, finish)
+			if tt == nil {
+				gate(lsn, finish)
+				return
+			}
+			gateAt := time.Now()
+			gate(lsn, func(err error) {
+				tt.Span(trace.StageAckWait, -1, gateAt, time.Since(gateAt))
+				finish(err)
+			})
 		}
 	}
 	if af, ok := s.Log.(wal.AsyncForcer); ok {
+		if tt != nil {
+			// The flush-wait span runs from the force request to the
+			// flush daemon hardening the commit LSN; the ack-wait span
+			// (inside complete) starts only after it ends.
+			flushAt := time.Now()
+			inner := complete
+			complete = func(err error) {
+				tt.Span(trace.StageFlushWait, -1, flushAt, time.Since(flushAt))
+				inner(err)
+			}
+		}
 		af.ForceAsync(lsn, complete)
 		return
 	}

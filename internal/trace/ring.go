@@ -1,0 +1,84 @@
+package trace
+
+import "sync/atomic"
+
+// spanRec is the fixed-size record workers push into the rings. startNS is
+// nanoseconds since the tracer epoch (not wall time) so records stay
+// comparable across workers.
+type spanRec struct {
+	txnID   uint64
+	startNS int64
+	durNS   int64
+	stage   Stage
+	worker  int32
+}
+
+type pad struct{ _ [64]byte } //nolint:unused // padding only
+
+// ring is a bounded multi-producer single-consumer span queue (the
+// classic sequence-number bounded queue). Producers claim a slot by
+// CASing head only when the slot's sequence says it is free, write the
+// record, then publish by storing seq = pos+1; the consumer reads when
+// seq == pos+1 and recycles the slot with seq = pos+capacity. A full ring
+// drops the record (counted by the tracer) instead of blocking or lapping
+// — a lapping writer could hand the consumer a torn record, a dropped
+// span only costs a sample.
+type ring struct {
+	mask  uint64
+	slots []ringSlot
+	_     pad
+	head  atomic.Uint64 // next producer position
+	_     pad
+	tail  atomic.Uint64 // next consumer position (single consumer)
+	_     pad
+}
+
+type ringSlot struct {
+	seq atomic.Uint64
+	rec spanRec
+}
+
+// newRing returns a ring with 2^bits slots.
+func newRing(bits int) *ring {
+	n := 1 << bits
+	r := &ring{mask: uint64(n - 1), slots: make([]ringSlot, n)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// push enqueues rec; it returns false (record dropped) when the ring is
+// full. Safe for concurrent producers.
+func (r *ring) push(rec spanRec) bool {
+	for {
+		pos := r.head.Load()
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch diff := int64(seq) - int64(pos); {
+		case diff == 0:
+			if r.head.CompareAndSwap(pos, pos+1) {
+				slot.rec = rec
+				slot.seq.Store(pos + 1)
+				return true
+			}
+		case diff < 0:
+			return false // consumer hasn't freed this slot: full
+		}
+		// diff > 0: another producer claimed pos; reload head and retry.
+	}
+}
+
+// pop dequeues into out, returning false when the ring is empty. Only one
+// goroutine may pop at a time (the tracer serializes drains).
+func (r *ring) pop(out *spanRec) bool {
+	pos := r.tail.Load()
+	slot := &r.slots[pos&r.mask]
+	if int64(slot.seq.Load())-int64(pos+1) < 0 {
+		return false // producer hasn't published this slot yet
+	}
+	*out = slot.rec
+	slot.seq.Store(pos + r.mask + 1)
+	r.tail.Store(pos + 1)
+	return true
+}

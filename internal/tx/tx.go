@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"dora/internal/storage"
+	"dora/internal/trace"
 )
 
 // Status is the transaction state.
@@ -68,6 +69,12 @@ type Undo struct {
 type Txn struct {
 	// ID is the globally unique transaction id.
 	ID uint64
+
+	// Trace is non-nil when this transaction was sampled by the latency
+	// tracer; every TxnTrace method tolerates nil, so instrumentation
+	// sites use it unguarded. Set once at admission, read from workers
+	// and the commit pipeline.
+	Trace *trace.TxnTrace
 
 	mu       sync.Mutex
 	status   Status

@@ -32,8 +32,10 @@ import (
 	"math/rand/v2"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dora/internal/metrics"
+	"dora/internal/trace"
 	"dora/internal/wal"
 )
 
@@ -156,6 +158,10 @@ type Log struct {
 	doneCh  chan struct{}
 	closed  atomic.Bool
 
+	// tracer, when set, samples appends for the latency tracer's
+	// log_reserve / log_fill stages (the Aether decomposition).
+	tracer atomic.Pointer[trace.Tracer]
+
 	// Appends counts records; Groups counts consolidated reservations;
 	// Forces/GroupedCommits/Syncs mirror the legacy log's counters.
 	Appends        metrics.Counter
@@ -194,6 +200,27 @@ func New(store wal.Store, cs *metrics.CriticalSectionStats) (*Log, error) {
 func (l *Log) Append(rec *wal.Record) wal.LSN {
 	size := int64(wal.EncodedSize(rec))
 	l.Appends.Inc()
+	// Sampled appends time the two phases Aether decomposes: reserve
+	// (entry to base-LSN assignment, the only serialized step) and fill
+	// (the parallel serialization into the extent).
+	var t0 time.Time
+	tr := l.tracer.Load()
+	traced := tr.Enabled() && tr.SampleHop()
+	if traced {
+		t0 = time.Now()
+	}
+	reserved := func() {
+		if traced {
+			now := time.Now()
+			tr.RecordSpan(trace.StageLogReserve, -1, now.Sub(t0))
+			t0 = now
+		}
+	}
+	filled := func() {
+		if traced {
+			tr.RecordSpan(trace.StageLogFill, -1, time.Since(t0))
+		}
+	}
 	// Adaptive fast path: with the tail uncontended there is nothing to
 	// consolidate with — reserve a solo extent directly. Under contention
 	// the TryLock fails and appends consolidate instead, which is exactly
@@ -205,9 +232,11 @@ func (l *Log) Append(rec *wal.Record) wal.LSN {
 			l.cs.Log.Inc()
 		}
 		g.extent(size)
+		reserved()
 		rec.LSN = g.base
 		wal.EncodeInto(g.buf[:size], rec)
 		l.finishCopy(g, size)
+		filled()
 		return rec.LSN
 	}
 	slot := &l.slots[rand.IntN(numSlots)]
@@ -225,9 +254,11 @@ func (l *Log) Append(rec *wal.Record) wal.LSN {
 				sl = nil
 			}
 			l.lead(sl, ng)
+			reserved()
 			rec.LSN = ng.base
 			wal.EncodeInto(ng.buf[:size], rec)
 			l.finishCopy(ng, size)
+			filled()
 			return rec.LSN
 		}
 		off, ok := join(g, size)
@@ -235,9 +266,11 @@ func (l *Log) Append(rec *wal.Record) wal.LSN {
 			continue // group closed under us; retry with a fresh one
 		}
 		l.awaitBase(g)
+		reserved()
 		rec.LSN = g.base + uint64(off)
 		wal.EncodeInto(g.buf[off:off+size], rec)
 		l.finishCopy(g, size)
+		filled()
 		return rec.LSN
 	}
 }
@@ -597,6 +630,10 @@ func (l *Log) Stats() wal.Stats {
 		Consolidated:   a - g,
 	}
 }
+
+// SetTracer installs (or, with nil, removes) the latency tracer whose
+// log_reserve / log_fill stages sampled appends feed.
+func (l *Log) SetTracer(t *trace.Tracer) { l.tracer.Store(t) }
 
 // Close implements wal.Manager: it hardens everything appended so far and
 // stops the flush daemon. Appends after Close are invalid; forces fail
