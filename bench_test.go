@@ -137,3 +137,7 @@ func BenchmarkE17RedoScalability(b *testing.B) {
 func BenchmarkE18LatencyAttribution(b *testing.B) {
 	runTable(b, func() (*exp.Table, error) { return exp.E18LatencyAttribution(quickCfg()) })
 }
+
+func BenchmarkE19LockHierarchy(b *testing.B) {
+	runTable(b, func() (*exp.Table, error) { return exp.E19LockHierarchy(quickCfg()) })
+}

@@ -242,6 +242,11 @@ func printSnapshot(s *monitor.Snapshot) {
 		fmt.Printf("  page cleaning: snap ships=%d cleans=%d stamped evictions=%d dirty writes=%d\n",
 			pc.SnapshotShips, pc.SnapshotCleans, pc.StampedEvictions, pc.DirtyWrites)
 	}
+	if lk := s.Locks; lk != nil {
+		fmt.Printf("  locks: acq=%d range=%d esc=%d deesc=%d probes key=%d range=%d\n",
+			lk.Acquisitions, lk.RangeLocks, lk.Escalations, lk.Deescalations,
+			lk.KeyProbes, lk.RangeProbes)
+	}
 	for _, rv := range s.Replication {
 		switch rv.Role {
 		case "primary":

@@ -37,6 +37,10 @@ type Frame struct {
 	idx   int // index within the owning shard
 	pins  atomic.Int32
 	dirty atomic.Bool
+	// pool points back at the owning pool for dirty-transition
+	// accounting (the Swap in setDirty/clearDirty makes each
+	// clean<->dirty transition count exactly once).
+	pool  *Pool
 	ref   atomic.Bool
 	valid bool
 	// loading is set while a Fetch miss reads the page image from disk.
@@ -69,7 +73,30 @@ func (f *Frame) ID() page.ID { return f.id }
 
 // MarkDirty records that the caller modified the page. Call while holding
 // the frame latch exclusively.
-func (f *Frame) MarkDirty() { f.dirty.Store(true) }
+func (f *Frame) MarkDirty() { f.setDirty() }
+
+func (f *Frame) setDirty() {
+	p := f.pool
+	if f.dirty.Swap(true) || p == nil {
+		return
+	}
+	p.dirtyEst.Add(1)
+	// Tell the cleaner where the dirty page is. Callers hold the frame
+	// in use (latch or owner thread), so f.id is stable here; the
+	// consumer re-validates through the shard table anyway. A full
+	// queue drops the hint and flags one fallback scan instead.
+	select {
+	case p.dirtyq <- f.id:
+	default:
+		p.dirtyScan.Store(true)
+	}
+}
+
+func (f *Frame) clearDirty() {
+	if f.dirty.Swap(false) && f.pool != nil {
+		f.pool.dirtyEst.Add(-1)
+	}
+}
 
 // Loading reports whether the frame's page image is still being read
 // from disk. The atomic store that clears it is ordered after the disk
@@ -159,6 +186,21 @@ type Pool struct {
 	// cleanCursor rotates CleanSome's shard start so a batch cap cannot
 	// starve high-index shards behind persistently dirty low ones.
 	cleanCursor atomic.Uint32
+	// dirtyEst estimates the pool's dirty-frame count (exact transition
+	// accounting; momentarily low while a clear races a re-dirty). It
+	// bounds CleanSome's scan pass — without it the paced daemon
+	// would lock and scan EVERY shard each tick whenever the pool holds
+	// fewer dirty frames than its batch, i.e. precisely when it is
+	// keeping up.
+	dirtyEst atomic.Int64
+	// dirtyq carries page ids on their clean->dirty transition, so the
+	// paced cleaner drains KNOWN dirty locations instead of scanning
+	// all shards to find a few scattered dirty frames. Entries are
+	// hints, re-validated through the shard table before cleaning; an
+	// overflow drops the hint and sets dirtyScan, making the next
+	// CleanSome fall back to one bounded scan.
+	dirtyq    chan page.ID
+	dirtyScan atomic.Bool
 
 	// Hits and Misses count page lookups served from memory vs disk.
 	Hits   metrics.Counter
@@ -199,6 +241,7 @@ func NewPool(n int, disk Disk, log LogForcer) *Pool {
 		disk:   disk,
 		frames: make([]*Frame, n),
 		cleanq: make(chan page.ID, 256),
+		dirtyq: make(chan page.ID, n),
 	}
 	p.SetLogForcer(log)
 	nsh := shardCountFor(n)
@@ -208,7 +251,7 @@ func NewPool(n int, disk Disk, log LogForcer) *Pool {
 	}
 	for i := range p.frames {
 		sh := p.shards[i%nsh]
-		f := &Frame{idx: len(sh.frames)}
+		f := &Frame{idx: len(sh.frames), pool: p}
 		p.frames[i] = f
 		sh.frames = append(sh.frames, f)
 	}
@@ -354,7 +397,7 @@ func (p *Pool) NewPage() (*Frame, error) {
 	f.Latch.Lock()
 	sh.mu.Unlock()
 	f.Page.Init(id)
-	f.dirty.Store(true)
+	f.setDirty()
 	f.Latch.Unlock()
 	return f, nil
 }
@@ -362,7 +405,7 @@ func (p *Pool) NewPage() (*Frame, error) {
 // Unpin releases one pin. If dirty, the page is marked for write-back.
 func (p *Pool) Unpin(f *Frame, dirty bool) {
 	if dirty {
-		f.dirty.Store(true)
+		f.setDirty()
 	}
 	if n := f.pins.Add(-1); n < 0 {
 		panic(fmt.Sprintf("buffer: negative pin count on page %d", f.id))
@@ -541,7 +584,7 @@ func (p *Pool) writeBackLatched(f *Frame) error {
 	if seqAt > f.hardened {
 		f.hardened = seqAt
 	}
-	f.dirty.Store(false)
+	f.clearDirty()
 	return nil
 }
 
@@ -590,9 +633,9 @@ func (p *Pool) finishClean(f *Frame, seqAt uint64) {
 	if f.seq.Load() != seqAt {
 		return
 	}
-	f.dirty.Store(false)
+	f.clearDirty()
 	if f.seq.Load() != seqAt {
-		f.dirty.Store(true)
+		f.setDirty()
 		return
 	}
 	p.SnapshotCleans.Inc()
@@ -674,20 +717,55 @@ func (p *Pool) FlushAll() error {
 // on so one wedged page cannot starve the rest of a sweep; a rotating
 // shard cursor keeps capped sweeps fair across shards.
 func (p *Pool) CleanSome(max int) (int, error) {
+	want := int(p.dirtyEst.Load())
+	if want <= 0 && !p.dirtyScan.Load() {
+		return 0, nil
+	}
 	var frames []*Frame
-	start := int(p.cleanCursor.Add(1)) % len(p.shards)
-	for i := 0; i < len(p.shards); i++ {
-		sh := p.shards[(start+i)%len(p.shards)]
-		sh.mu.Lock()
-		for _, f := range sh.frames {
-			if f.valid && f.dirty.Load() && (max <= 0 || len(frames) < max) {
-				f.pins.Add(1)
-				frames = append(frames, f)
+	if max > 0 && !p.dirtyScan.Swap(false) {
+		// Fast path: the dirty-transition queue says WHERE the dirty
+		// frames are — drain it instead of scanning the shards for a
+		// few scattered frames. Each id is a hint: re-resolve and pin
+		// through the shard table (the frame may have been recycled or
+		// cleaned since).
+	drain:
+		for len(frames) < max {
+			select {
+			case pid := <-p.dirtyq:
+				sh := p.shardOf(pid)
+				sh.mu.Lock()
+				if idx, ok := sh.table[pid]; ok {
+					if f := sh.frames[idx]; f.valid && f.dirty.Load() {
+						f.pins.Add(1)
+						frames = append(frames, f)
+					}
+				}
+				sh.mu.Unlock()
+			default:
+				break drain
 			}
 		}
-		sh.mu.Unlock()
-		if max > 0 && len(frames) >= max {
-			break
+	} else {
+		// Scan path: a queue overflow dropped hints (or the caller
+		// asked for everything) — sweep and collect EVERY known-dirty
+		// frame, ignoring the batch cap: a frame whose hint was
+		// dropped is otherwise invisible until eviction, so the rare
+		// recovery pass must cover them all (the post-write re-enqueue
+		// below restores the queue invariant for frames that stay
+		// dirty). The dirty estimate still stops a mostly-clean sweep
+		// early.
+		max = want
+		start := int(p.cleanCursor.Add(1)) % len(p.shards)
+		for i := 0; i < len(p.shards) && len(frames) < max; i++ {
+			sh := p.shards[(start+i)%len(p.shards)]
+			sh.mu.Lock()
+			for _, f := range sh.frames {
+				if f.valid && f.dirty.Load() && len(frames) < max {
+					f.pins.Add(1)
+					frames = append(frames, f)
+				}
+			}
+			sh.mu.Unlock()
 		}
 	}
 	cleaned := 0
@@ -700,10 +778,23 @@ func (p *Pool) CleanSome(max int) (int, error) {
 		} else {
 			cleaned++
 		}
+		if f.dirty.Load() {
+			// Still dirty — a mutation raced the harden, or the write
+			// failed. Keep the page visible to the next tick.
+			select {
+			case p.dirtyq <- f.id:
+			default:
+				p.dirtyScan.Store(true)
+			}
+		}
 		f.pins.Add(-1)
 	}
 	return cleaned, first
 }
+
+// DirtyEstimate returns the pool's running dirty-frame estimate (the
+// bound CleanSome sweeps under; monitoring).
+func (p *Pool) DirtyEstimate() int64 { return p.dirtyEst.Load() }
 
 // HitRate returns hits / (hits+misses), or 1 when no lookups happened.
 func (p *Pool) HitRate() float64 {

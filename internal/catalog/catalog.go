@@ -55,6 +55,18 @@ func (ix *Index) Partitioned() *btree.PartitionedTree {
 	return pt
 }
 
+// FieldMap declares an order-preserving interval bijection between two
+// routable fields of a table (e.g. TATP's sub_nbr = N+1-s_id). Map
+// takes an inclusive interval of From-field values and returns the
+// inclusive interval of To-field values it corresponds to. With a map
+// from the table's current partitioning field to an index's RouteField,
+// the index stays claimable after re-partitioning even though its
+// RouteRange was declared for the original field (see Table.RouteFor).
+type FieldMap struct {
+	From, To string
+	Map      func(lo, hi int64) (int64, int64)
+}
+
 // Table is a table: schema, heap, primary index and secondaries.
 type Table struct {
 	// ID is the stable numeric id used in log records and lock names.
@@ -69,6 +81,10 @@ type Table struct {
 	Primary *Index
 	// Secondaries are additional unique indexes.
 	Secondaries []*Index
+	// FieldMaps are the declared interval bijections between routable
+	// fields, consulted by RouteFor when the partitioning field is not
+	// the one an index's RouteRange was declared for.
+	FieldMaps []FieldMap
 
 	// PartitionField names the column DORA currently routes on. It is
 	// mutable: the alignment advisor (E7) can re-partition on a new field.
@@ -98,6 +114,29 @@ func (t *Table) SetPartitionField(f string) {
 	t.partMu.Lock()
 	t.partitionField = f
 	t.partMu.Unlock()
+}
+
+// RouteFor returns a function mapping inclusive intervals of the named
+// field's values to ix's key intervals, or nil when the index is not
+// routable on that field. The identity case returns ix.RouteRange
+// directly; otherwise a declared FieldMap composing field →
+// ix.RouteField → keys makes the index claimable under a partitioning
+// field its RouteRange was not declared for (re-claim beyond identity
+// on Repartition).
+func (t *Table) RouteFor(ix *Index, field string) func(lo, hi int64) (int64, int64) {
+	if ix.RouteRange == nil {
+		return nil
+	}
+	if ix.RouteField == field {
+		return ix.RouteRange
+	}
+	for _, fm := range t.FieldMaps {
+		if fm.From == field && fm.To == ix.RouteField {
+			m, rr := fm.Map, ix.RouteRange
+			return func(lo, hi int64) (int64, int64) { return rr(m(lo, hi)) }
+		}
+	}
+	return nil
 }
 
 // Indexes returns the primary index followed by all secondaries.

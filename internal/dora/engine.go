@@ -19,6 +19,21 @@
 // arbitrary action bodies deadlock-safe by construction.
 // Config.BlockingShips restores the parked-sender protocol as a
 // measurement baseline.
+//
+// Each partition's private lock table is hierarchical (hierlock.go): a
+// partition root, 256-key granules, and key nodes, with the classic
+// IS/IX/S/SIX/X multigranularity modes. Point actions take intents down
+// the path and a key lock at the leaf; range scans take one coarse S
+// (or X) per covered granule — root-level when the range spans too many
+// — instead of expanding key by key; maintenance gates clear whole
+// ranges with one coarse probe. A transaction that accumulates
+// Config.EscalateAt key locks under one granule escalates them to a
+// single granule hold, and a later conflicting request de-escalates it
+// back to key granularity (re-materializing the holder's keys), with an
+// adaptive backoff that suppresses re-escalation after a conflict.
+// Because the table is thread-private, all of this is latch-free: no
+// lock-manager mutex exists at any granularity. Config.FlatLocks keeps
+// the per-key flat table as the measurement baseline (experiment E19).
 package dora
 
 import (
@@ -90,6 +105,21 @@ type Config struct {
 	// hops, and the commit pipeline all record spans against it. Give
 	// the same tracer to sm.Options.Spans so the log stages join in.
 	Tracer *trace.Tracer
+	// FlatLocks selects the flat per-key local lock tables instead of
+	// the multigranularity hierarchy (hierlock.go). Only the lock-
+	// hierarchy ablation (E19) uses this: it is the baseline that shows
+	// what coarse range locks, one-intent maintenance gating and lock
+	// escalation save.
+	FlatLocks bool
+	// EscalateAt is the per-(transaction, granule) key-lock count that
+	// triggers lock escalation in the hierarchical tables (default 16;
+	// negative disables escalation).
+	EscalateAt int
+	// NoPinWorkers leaves partition workers on the Go scheduler's
+	// default placement instead of pinning each to its OS thread. The
+	// baseline for the thread-migration counters: unpinned workers'
+	// ThreadSwitches show the migrations pinning avoids.
+	NoPinWorkers bool
 }
 
 func (c *Config) fill() {
@@ -156,6 +186,9 @@ type Dora struct {
 	retiredShips struct {
 		blocking, cont, konts, overlap metrics.Counter
 	}
+	// retiredLocks does the same for the lock-table accounting (workers
+	// merged away, tables replaced by Repartition).
+	retiredLocks retiredLockStats
 
 	unalignedMu sync.Mutex
 	unaligned   map[uint32]map[string]int64 // table -> probed field -> count
@@ -260,7 +293,8 @@ func (e *Dora) claimAccessPaths(tbl *catalog.Table) {
 	pf := tbl.PartitionField()
 	for _, ix := range tbl.Indexes() {
 		pt := ix.Partitioned()
-		if pt == nil || ix.RouteRange == nil || ix.RouteField != pf {
+		rr := tbl.RouteFor(ix, pf)
+		if pt == nil || rr == nil {
 			continue
 		}
 		claims := make([]btree.ClaimRange, 0, len(ranges))
@@ -268,7 +302,7 @@ func (e *Dora) claimAccessPaths(tbl *catalog.Table) {
 			if targets[i].tok == nil {
 				continue
 			}
-			keyLo, keyHi := ix.RouteRange(r.Lo, r.Hi)
+			keyLo, keyHi := rr(r.Lo, r.Hi)
 			claims = append(claims, btree.ClaimRange{
 				Lo: keyLo, Hi: keyHi, Owner: targets[i].tok,
 				Exec: targets[i].exec, ExecAsync: targets[i].async,

@@ -15,8 +15,16 @@ func mkMsg(txnID uint64, mode xct.Mode, claim bool) *actionMsg {
 	}
 }
 
+// park queues am as a waiter on key (the park position acquire would
+// have recorded).
+func park(lt lockTable, key int64, am *actionMsg) {
+	am.routeKey = key
+	am.wnLevel, am.wnID = wnKey, key
+	lt.wait(am)
+}
+
 func TestLocalLockReadersShare(t *testing.T) {
-	lt := newLocalLockTable()
+	lt := newFlatLockTable()
 	if !lt.tryAcquire(1, 10, xct.Read) {
 		t.Fatal("first reader refused")
 	}
@@ -29,7 +37,7 @@ func TestLocalLockReadersShare(t *testing.T) {
 }
 
 func TestLocalLockWriterExcludes(t *testing.T) {
-	lt := newLocalLockTable()
+	lt := newFlatLockTable()
 	if !lt.tryAcquire(1, 10, xct.Write) {
 		t.Fatal("writer refused on free key")
 	}
@@ -43,7 +51,7 @@ func TestLocalLockWriterExcludes(t *testing.T) {
 }
 
 func TestLocalLockUpgrade(t *testing.T) {
-	lt := newLocalLockTable()
+	lt := newFlatLockTable()
 	if !lt.tryAcquire(5, 20, xct.Read) {
 		t.Fatal("reader refused")
 	}
@@ -55,7 +63,7 @@ func TestLocalLockUpgrade(t *testing.T) {
 		t.Fatal("reader admitted under upgraded writer")
 	}
 	// Shared holders cannot upgrade.
-	lt2 := newLocalLockTable()
+	lt2 := newFlatLockTable()
 	lt2.tryAcquire(7, 30, xct.Read)
 	lt2.tryAcquire(7, 31, xct.Read)
 	if lt2.tryAcquire(7, 30, xct.Write) {
@@ -64,18 +72,16 @@ func TestLocalLockUpgrade(t *testing.T) {
 }
 
 func TestLocalLockFIFOWaiters(t *testing.T) {
-	lt := newLocalLockTable()
+	lt := newFlatLockTable()
 	lt.tryAcquire(1, 10, xct.Write)
 	w1 := mkMsg(11, xct.Write, false)
-	w1.routeKey = 1
-	lt.wait(1, w1)
+	park(lt, 1, w1)
 	// A reader arriving later must not overtake the queued writer.
 	if lt.tryAcquire(1, 12, xct.Read) {
 		t.Fatal("reader overtook queued writer")
 	}
 	w2 := mkMsg(12, xct.Read, false)
-	w2.routeKey = 1
-	lt.wait(1, w2)
+	park(lt, 1, w2)
 	if lt.waiting != 2 {
 		t.Fatalf("waiting = %d", lt.waiting)
 	}
@@ -93,11 +99,11 @@ func TestLocalLockFIFOWaiters(t *testing.T) {
 }
 
 func TestLocalLockBatchedReaderGrant(t *testing.T) {
-	lt := newLocalLockTable()
+	lt := newFlatLockTable()
 	lt.tryAcquire(1, 10, xct.Write)
 	r1, r2 := mkMsg(11, xct.Read, false), mkMsg(12, xct.Read, false)
-	lt.wait(1, r1)
-	lt.wait(1, r2)
+	park(lt, 1, r1)
+	park(lt, 1, r2)
 	runnable := lt.release(10)
 	if len(runnable) != 2 {
 		t.Fatalf("released %d readers, want both", len(runnable))
@@ -105,10 +111,10 @@ func TestLocalLockBatchedReaderGrant(t *testing.T) {
 }
 
 func TestLocalLockReleaseDropsWaitingClaims(t *testing.T) {
-	lt := newLocalLockTable()
+	lt := newFlatLockTable()
 	lt.tryAcquire(1, 10, xct.Write)
 	cl := mkMsg(11, xct.Write, true)
-	lt.wait(1, cl)
+	park(lt, 1, cl)
 	// Txn 11 aborts elsewhere; its release must purge the parked claim
 	// even though it holds nothing.
 	_ = lt.release(11)
@@ -125,14 +131,14 @@ func TestLocalLockReleaseDropsWaitingClaims(t *testing.T) {
 }
 
 func TestLocalLockExtractAndAdopt(t *testing.T) {
-	lt := newLocalLockTable()
+	lt := newFlatLockTable()
 	lt.tryAcquire(10, 1, xct.Write)
 	lt.tryAcquire(90, 2, xct.Write)
 	w := mkMsg(3, xct.Write, false)
-	lt.wait(90, w)
+	park(lt, 90, w)
 	moved := lt.extractAbove(50)
-	if len(moved) != 1 || moved[90] == nil {
-		t.Fatalf("moved = %v", moved)
+	if len(moved.keys) != 1 || moved.keys[90] == nil {
+		t.Fatalf("moved = %v", moved.keys)
 	}
 	if lt.waiting != 0 {
 		t.Fatalf("waiting after extract = %d", lt.waiting)
@@ -141,7 +147,7 @@ func TestLocalLockExtractAndAdopt(t *testing.T) {
 		t.Fatal("low key lost in split")
 	}
 
-	dst := newLocalLockTable()
+	dst := newFlatLockTable()
 	runnable := dst.adopt(moved)
 	if len(runnable) != 0 {
 		t.Fatal("waiter granted while holder still present")

@@ -7,6 +7,7 @@ import (
 	"dora/internal/catalog"
 	"dora/internal/sm"
 	"dora/internal/tuple"
+	"dora/internal/xct"
 )
 
 // TestRepartitionReclaimsIdentityRoutableIndex: repartitioning AWAY from
@@ -46,6 +47,106 @@ func TestRepartitionReclaimsIdentityRoutableIndex(t *testing.T) {
 	}
 	if bal != 100 {
 		t.Fatalf("balance = %d", bal)
+	}
+}
+
+// TestRepartitionReclaimsMappedRoutableIndex: repartitioning onto a
+// field RELATED to an index's declared RouteField by a declared
+// FieldMap bijection keeps the index claimed — the derived re-claim
+// beyond the identity case. The ledger table partitions on id; its
+// secondary's RouteRange is declared for id; FieldMaps carry
+// nbr = id + 10000 in both directions, so repartitioning onto nbr
+// composes nbr → id → keys for both indexes.
+func TestRepartitionReclaimsMappedRoutableIndex(t *testing.T) {
+	s, err := sm.Open(sm.Options{Frames: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := s.CreateTable(sm.TableSpec{
+		Name: "ledger",
+		Fields: []catalog.Field{
+			{Name: "id", Type: tuple.TInt},
+			{Name: "nbr", Type: tuple.TInt},
+			{Name: "balance", Type: tuple.TInt},
+		},
+		KeyFields: []string{"id"},
+		Key:       func(r tuple.Record) int64 { return r[0].Int },
+		Secondaries: []sm.IndexSpec{{
+			Name:   "ledger_by_nbr",
+			Fields: []string{"nbr"},
+			Key:    func(r tuple.Record) int64 { return r[1].Int },
+			RouteRange: func(lo, hi int64) (int64, int64) {
+				return lo + 10000, hi + 10000
+			},
+		}},
+		FieldMaps: []catalog.FieldMap{
+			{From: "nbr", To: "id",
+				Map: func(lo, hi int64) (int64, int64) { return lo - 10000, hi - 10000 }},
+			{From: "id", To: "nbr",
+				Map: func(lo, hi int64) (int64, int64) { return lo + 10000, hi + 10000 }},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses := s.Session(0)
+	load := s.Begin()
+	for i := int64(1); i <= 100; i++ {
+		if err := ses.Insert(load, tbl, tuple.Record{tuple.I(i), tuple.I(i + 10000), tuple.I(100)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(load); err != nil {
+		t.Fatal(err)
+	}
+	e := New(s, Config{
+		PartitionsPerTable: 4,
+		Domains:            map[string][2]int64{"ledger": {1, 100}},
+	})
+	defer func() { _ = e.Close() }()
+	ppt, spt := tbl.Primary.Partitioned(), tbl.Secondaries[0].Partitioned()
+	if ppt == nil || spt == nil {
+		t.Fatal("both indexes should be partitioned trees")
+	}
+	if ppt.OwnedSubtrees() == 0 || spt.OwnedSubtrees() == 0 {
+		t.Fatal("initial claims missing")
+	}
+	// Onto nbr: neither index declares RouteField "nbr", but the field
+	// map derives both routes — everything stays claimed.
+	if err := e.Repartition("ledger", "nbr", 10001, 10100); err != nil {
+		t.Fatal(err)
+	}
+	if ppt.OwnedSubtrees() == 0 {
+		t.Fatal("primary released despite nbr → id field map")
+	}
+	if spt.OwnedSubtrees() == 0 {
+		t.Fatal("secondary released despite nbr → id → keys composition")
+	}
+	// Aligned execution by nbr works against the re-claimed paths.
+	var bal int64
+	flow := xct.NewFlow("by-nbr").AddPhase(&xct.Action{
+		Table: "ledger", KeyField: "nbr", Key: 10007, Mode: xct.Read,
+		Run: func(env *xct.Env) error {
+			rec, rerr := env.Ses.ReadByIndex(env.Txn, tbl, "ledger_by_nbr", 10007)
+			if rerr != nil {
+				return rerr
+			}
+			bal = rec[2].Int
+			return nil
+		},
+	})
+	if err := e.Exec(0, flow); err != nil {
+		t.Fatal(err)
+	}
+	if bal != 100 {
+		t.Fatalf("balance = %d", bal)
+	}
+	// And back onto id (identity for the primary, map for the secondary).
+	if err := e.Repartition("ledger", "id", 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if ppt.OwnedSubtrees() == 0 || spt.OwnedSubtrees() == 0 {
+		t.Fatal("claims lost repartitioning back onto id")
 	}
 }
 

@@ -51,12 +51,31 @@ func (c *OwnerCtx) Ranges() []router.Range {
 	return out
 }
 
-// KeyBusy reports whether the routing value has any entry in the local
-// lock table (held or waited). Maintenance skips records of busy values:
-// an in-flight transaction may hold undo entries naming their current
-// RIDs, and migration would invalidate them. Safe to read here because
-// lock-table mutations happen on this same thread.
-func (c *OwnerCtx) KeyBusy(v int64) bool { return c.p.locks.entries[v] != nil }
+// KeyBusy reports whether the routing value has any lock state (held or
+// waited, at any granularity covering it). Maintenance skips records of
+// busy values: an in-flight transaction may hold undo entries naming
+// their current RIDs, and migration would invalidate them. Safe to read
+// here because lock-table mutations happen on this same thread.
+func (c *OwnerCtx) KeyBusy(v int64) bool { return c.p.locks.keyBusy(v) }
+
+// RangeBusy reports whether any routing value of [lo, hi] has lock
+// state — the one-intent maintenance gate: with a hierarchical table a
+// whole page's record interval is cleared in O(granules-with-state)
+// instead of a KeyBusy probe per record. Conservative: coarse coverage
+// may report busy for values nothing touches.
+func (c *OwnerCtx) RangeBusy(lo, hi int64) bool { return c.p.locks.rangeBusy(lo, hi) }
+
+// CoarseProbes reports whether RangeBusy/PartitionBusy are cheap on
+// this worker's lock table (hierarchical: yes; flat baseline: a range
+// probe sweeps every entry, so callers should prefer per-key probes).
+func (c *OwnerCtx) CoarseProbes() bool { return c.p.locks.coarseProbes() }
+
+// PartitionBusy reports whether the partition has any lock state at all
+// (held or waiting) — the gate for whole-partition maintenance such as
+// subtree compaction.
+func (c *OwnerCtx) PartitionBusy() bool {
+	return c.p.locks.heldKeys() > 0 || c.p.locks.waitingCount() > 0
+}
 
 // QueueLen returns the worker's inbox depth (backpressure signal).
 func (c *OwnerCtx) QueueLen() int { return c.p.queueLen() }

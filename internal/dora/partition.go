@@ -1,6 +1,7 @@
 package dora
 
 import (
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -31,6 +32,14 @@ type actionMsg struct {
 	// order, which is DORA's deadlock-avoidance protocol. A claim has no
 	// body and reports to no RVP.
 	claim bool
+	// wnLevel/wnID record where the lock table blocked this action (the
+	// node wait() parks it at): a key, a granule, or the partition root.
+	// rangeNext is a ranged acquire's resume cursor — the next key (flat
+	// table) or granule id (hierarchical) not yet locked, so a promoted
+	// range continues instead of restarting.
+	wnLevel   uint8
+	wnID      int64
+	rangeNext int64
 }
 
 // releaseMsg tells a partition that txn finished; drop its local locks.
@@ -46,7 +55,7 @@ type splitMsg struct {
 }
 
 // adoptMsg delivers migrated lock-table state.
-type adoptMsg struct{ entries map[int64]*llEntry }
+type adoptMsg struct{ locks *movedLocks }
 
 // evacuateMsg tells a partition to hand everything to partition to and
 // enter forwarding mode (merge).
@@ -122,7 +131,7 @@ type partition struct {
 	worker int // global worker id; also the routing handle
 	token  *btree.Owner
 	in     *inbox
-	locks  *localLockTable
+	locks  lockTable
 	ses    *sm.Session
 
 	// forward is non-nil after evacuation (merge): everything is
@@ -167,6 +176,21 @@ type partition struct {
 	HeldKeys     metrics.Gauge
 	WaitingNow   metrics.Gauge
 	SuspendedNow metrics.Gauge
+	// Lock-hierarchy accounting, mirrored from the (single-threaded)
+	// lock table after each inbox batch: grant operations, coarse range
+	// locks, escalations/de-escalations, and maintenance busy probes.
+	LockAcquisitions metrics.Gauge
+	RangeLocks       metrics.Gauge
+	Escalations      metrics.Gauge
+	Deescalations    metrics.Gauge
+	MaintKeyProbes   metrics.Gauge
+	MaintRangeProbes metrics.Gauge
+	// ThreadSwitches counts OS-thread migrations observed at timeout
+	// ticks (tid changed since the previous tick). Zero while the worker
+	// is pinned (the default); the NoPinWorkers baseline shows what
+	// pinning avoids.
+	ThreadSwitches metrics.Counter
+	lastTID        int64
 }
 
 func newPartition(e *Dora, tbl *catalog.Table, worker int, adoptWait bool) *partition {
@@ -184,7 +208,7 @@ func newPartition(e *Dora, tbl *catalog.Table, worker int, adoptWait bool) *part
 		worker:    worker,
 		token:     tok,
 		in:        newInbox(),
-		locks:     newLocalLockTable(),
+		locks:     newLockTable(&e.cfg),
 		ses:       ses,
 		adoptWait: adoptWait,
 	}
@@ -215,9 +239,19 @@ func (p *partition) ownerExec() btree.OwnerExec {
 }
 
 // loop is the worker body: batch-drain the inbox (one mutex round per
-// batch), process serially.
+// batch), process serially. By default the goroutine is pinned to its
+// OS thread for its whole life: a micro-engine's cache/NUMA locality is
+// the point of thread-to-data, and the scheduler migrating it between
+// threads (and with them, cores) forfeits it. Config.NoPinWorkers opts
+// out (measurement baseline; ThreadSwitches then counts the migrations
+// pinning would have avoided).
 func (p *partition) loop() {
 	defer p.eng.wg.Done()
+	if !p.eng.cfg.NoPinWorkers {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	p.lastTID = osThreadID()
 	if det := p.eng.shipDet; det != nil {
 		p.frame = det.register(p.worker)
 		defer det.unregister()
@@ -241,24 +275,53 @@ func (p *partition) loop() {
 				return
 			}
 		}
-		p.WaitingNow.Set(int64(p.locks.waiting))
-		p.HeldKeys.Set(int64(p.locks.heldKeys()))
+		p.mirrorLockStats()
 		buf = batch
 	}
 }
 
+// mirrorLockStats publishes the thread-private lock table's accounting
+// through the partition's atomic gauges (monitor, E19).
+func (p *partition) mirrorLockStats() {
+	p.WaitingNow.Set(int64(p.locks.waitingCount()))
+	p.HeldKeys.Set(int64(p.locks.heldKeys()))
+	st := p.locks.snapshotStats()
+	p.LockAcquisitions.Set(st.acquisitions)
+	p.RangeLocks.Set(st.rangeLocks)
+	p.Escalations.Set(st.escalations)
+	p.Deescalations.Set(st.deescalations)
+	p.MaintKeyProbes.Set(st.keyProbes)
+	p.MaintRangeProbes.Set(st.rangeProbes)
+}
+
 // dispose routes a message this retiring worker will never process:
-// forwarded when a successor exists, failed back to the sender when it is
-// a shipped op, dropped otherwise (parity with messages that used to rot
-// in a dead worker's queue). Continuations are special: losing one
-// strands a transaction's RVP, so with no live successor they run inline
-// on this (the disposing) goroutine — the shutdown fall-through, where
-// the access paths are back on the shared latched path.
+// forwarded when a successor exists, failed back to the sender when its
+// sender is parked on the reply, dropped otherwise (parity with messages
+// that used to rot in a dead worker's queue). Continuations are special:
+// losing one strands a transaction's RVP, so with no live successor they
+// run inline on this (the disposing) goroutine — the shutdown
+// fall-through, where the access paths are back on the shared latched
+// path.
+//
+// Parked-sender ships (applyMsg, maintMsg) must NEVER be forwarded: the
+// merge successor can be the ship's own sender — a worker blocked on
+// <-done inside its current action — and a forwarded ship then sits in
+// the blocked sender's own inbox forever (self-deadlock, which then
+// wedges the next split's adoption and the merge's evacuate ack).
+// Failing the ship instead wakes the sender with ok=false; the
+// ascendAs/runAt/ExecOnOwner loops re-resolve the subtree — already
+// reassigned to the successor before forwarding mode starts — and retry
+// there, or run locally if the sender itself adopted the range.
 func (p *partition) dispose(m msg) {
 	if km, isKont := m.(*kontMsg); isKont {
 		if p.forward == nil || !p.forward.in.pushChecked(m) {
 			km.k()
 		}
+		return
+	}
+	switch m.(type) {
+	case *applyMsg, *maintMsg:
+		m.(shipped).failShip()
 		return
 	}
 	if sh, isShipped := m.(shipped); isShipped {
@@ -288,7 +351,7 @@ func (p *partition) handle(m msg) bool {
 		switch t := m.(type) {
 		case *adoptMsg:
 			p.adoptWait = false
-			runnable := p.locks.adopt(t.entries)
+			runnable := p.locks.adopt(t.locks)
 			pend := p.pending
 			p.pending = nil
 			for _, am := range runnable {
@@ -356,7 +419,7 @@ func (p *partition) handle(m msg) bool {
 			p.execute(am)
 		}
 	case *splitMsg:
-		entries := p.locks.extractAbove(t.at)
+		moved := p.locks.extractAbove(t.at)
 		p.HeldKeys.Set(int64(p.locks.heldKeys()))
 		// Heap hand-over: pages holding records of the moved interval
 		// lose our exclusivity promise — the new owner's mutations will
@@ -368,16 +431,16 @@ func (p *partition) handle(m msg) bool {
 		// maps to the moved routing interval changes owner, on this
 		// thread, so no latch-free descent of ours can be in flight.
 		p.moveAccessPaths(t.at, t.hi, t.to)
-		t.to.in.push(&adoptMsg{entries: entries})
+		t.to.in.push(&adoptMsg{locks: moved})
 	case *adoptMsg:
 		// Merge adoption into a live partition.
-		runnable := p.locks.adopt(t.entries)
+		runnable := p.locks.adopt(t.locks)
 		p.HeldKeys.Set(int64(p.locks.heldKeys()))
 		for _, am := range runnable {
 			p.execute(am)
 		}
 	case *evacuateMsg:
-		entries := p.locks.extractAll()
+		moved := p.locks.extractAll()
 		p.HeldKeys.Set(0)
 		// The adopter takes our subtrees wholesale (no data movement)
 		// — and with them our heap-page stamps: it inherits all our
@@ -388,15 +451,25 @@ func (p *partition) handle(m msg) bool {
 			}
 		}
 		p.tbl.Heap.ReassignStamps(p.token, t.to.token)
-		t.to.in.push(&adoptMsg{entries: entries})
+		t.to.in.push(&adoptMsg{locks: moved})
 		p.forward = t.to
 		p.fwd.Store(t.to)
 		close(t.ack)
 	case *clearMsg:
-		p.locks = newLocalLockTable()
-		p.HeldKeys.Set(0)
+		// The table is replaced (its key space changed meaning); fold its
+		// cumulative accounting into the engine's retired totals first so
+		// LockSnapshot never goes backward.
+		p.eng.retiredLocks.fold(p.locks.snapshotStats())
+		p.locks = newLockTable(&p.eng.cfg)
+		p.mirrorLockStats()
 		close(t.ack)
 	case tickMsg:
+		if tid := osThreadID(); tid != p.lastTID {
+			if p.lastTID != 0 && tid != 0 {
+				p.ThreadSwitches.Inc()
+			}
+			p.lastTID = tid
+		}
 		p.sweepTimeouts()
 	case *dieMsg:
 		close(t.ack)
@@ -412,10 +485,11 @@ func (p *partition) handle(m msg) bool {
 // hand-over.
 func (p *partition) unstampMoved(at, hi int64) {
 	pk := p.tbl.Primary
-	if pk.Partitioned() == nil || pk.RouteRange == nil || pk.RouteField != p.tbl.PartitionField() {
+	rr := p.tbl.RouteFor(pk, p.tbl.PartitionField())
+	if pk.Partitioned() == nil || rr == nil {
 		return
 	}
-	keyLo, keyHi := pk.RouteRange(at, hi)
+	keyLo, keyHi := rr(at, hi)
 	var pids []page.ID
 	seen := make(map[page.ID]bool)
 	pk.Tree.AscendRangeAs(p.token, keyLo, keyHi, func(_ int64, v uint64) bool {
@@ -435,10 +509,11 @@ func (p *partition) moveAccessPaths(at, hi int64, q *partition) {
 	pf := p.tbl.PartitionField()
 	for _, ix := range p.tbl.Indexes() {
 		pt := ix.Partitioned()
-		if pt == nil || ix.RouteRange == nil || ix.RouteField != pf {
+		rr := p.tbl.RouteFor(ix, pf)
+		if pt == nil || rr == nil {
 			continue
 		}
-		keyLo, keyHi := ix.RouteRange(at, hi)
+		keyLo, keyHi := rr(at, hi)
 		pt.MoveRange(p.token, keyLo, keyHi, q.token, q.ownerExec(), p.eng.asyncHookFor(q))
 	}
 }
@@ -454,13 +529,13 @@ func (p *partition) handleAction(am *actionMsg) {
 	if am.claim && am.run.failed() {
 		return // aborted before the claim was processed: drop it
 	}
-	if p.locks.tryAcquire(am.routeKey, am.run.txn.ID, am.act.Mode) {
+	if p.locks.acquire(am) {
 		p.HeldKeys.Set(int64(p.locks.heldKeys()))
 		p.execute(am)
 		return
 	}
 	p.Waited.Inc()
-	p.locks.wait(am.routeKey, am)
+	p.locks.wait(am)
 }
 
 // execute runs a granted action and reports to its RVP. Granted claims
@@ -517,42 +592,32 @@ func (p *partition) execute(am *actionMsg) {
 
 // sweepTimeouts aborts waiters stuck beyond the engine's local timeout —
 // the safety net for cross-partition waits the canonical enqueue order
-// cannot serialize (multi-phase conflicts).
+// cannot serialize (multi-phase conflicts). The lock table walks its
+// parked waiters; this judge decides who stays.
 func (p *partition) sweepTimeouts() {
 	limit := p.eng.cfg.LocalTimeout
 	if limit <= 0 {
 		return
 	}
 	now := time.Now()
-	for key, e := range p.locks.entries {
-		kept := e.waiters[:0]
-		for _, w := range e.waiters {
-			if w.claim {
-				// Claims never time out (the claimed action's own wait
-				// does); drop them once their transaction has failed.
-				if w.run.failed() {
-					continue
-				}
-				kept = append(kept, w)
-				continue
-			}
-			if now.Sub(w.at) > limit && !w.run.failed() {
-				p.eng.Timeouts.Inc()
-				p.eng.report(w.rvp, ErrLocalTimeout)
-				continue
-			}
-			// Already-failed runs: flush them out too, reporting.
-			if w.run.failed() {
-				p.eng.report(w.rvp, nil)
-				continue
-			}
-			kept = append(kept, w)
+	p.locks.sweepWaiters(func(w *actionMsg) bool {
+		if w.claim {
+			// Claims never time out (the claimed action's own wait does);
+			// drop them once their transaction has failed.
+			return !w.run.failed()
 		}
-		e.waiters = kept
-		if len(e.holders) == 0 && len(e.waiters) == 0 {
-			delete(p.locks.entries, key)
+		if now.Sub(w.at) > limit && !w.run.failed() {
+			p.eng.Timeouts.Inc()
+			p.eng.report(w.rvp, ErrLocalTimeout)
+			return false
 		}
-	}
+		// Already-failed runs: flush them out too, reporting.
+		if w.run.failed() {
+			p.eng.report(w.rvp, nil)
+			return false
+		}
+		return true
+	})
 }
 
 // queueLen reports the inbox length (load-balancing signal).

@@ -1,0 +1,10 @@
+//go:build linux
+
+package dora
+
+import "syscall"
+
+// osThreadID returns the kernel task id of the calling thread — the
+// identity whose changes ThreadSwitches counts. Linux only; elsewhere
+// the counter reads zero.
+func osThreadID() int64 { return int64(syscall.Gettid()) }

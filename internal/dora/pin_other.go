@@ -1,0 +1,8 @@
+//go:build !linux
+
+package dora
+
+// osThreadID has no portable implementation off Linux; worker pinning
+// still works (runtime.LockOSThread is portable) but migration counting
+// is disabled.
+func osThreadID() int64 { return 0 }

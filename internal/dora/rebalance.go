@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dora/internal/dora/router"
+	"dora/internal/metrics"
 )
 
 // PartitionStat is a monitoring snapshot of one micro-engine.
@@ -32,6 +33,13 @@ type PartitionStat struct {
 	Suspended   int64 `json:"suspended"`
 	OverlapExec int64 `json:"overlap_exec"`
 	HeldKeys    int64 `json:"held_keys"`
+	// Lock-hierarchy accounting (see LockStats for field meanings) and
+	// the OS-thread migrations observed at ticks (zero while pinned).
+	LockAcquisitions int64 `json:"lock_acquisitions"`
+	RangeLocks       int64 `json:"range_locks"`
+	Escalations      int64 `json:"escalations"`
+	Deescalations    int64 `json:"deescalations"`
+	ThreadSwitches   int64 `json:"thread_switches"`
 	// Ranges is the number of routing ranges assigned to this worker and
 	// Width their total value-space width.
 	Ranges int   `json:"ranges"`
@@ -60,6 +68,12 @@ func (e *Dora) PartitionStats() []PartitionStat {
 				Suspended:   p.SuspendedNow.Load(),
 				OverlapExec: p.OverlapExec.Load(),
 				HeldKeys:    p.HeldKeys.Load(),
+
+				LockAcquisitions: p.LockAcquisitions.Load(),
+				RangeLocks:       p.RangeLocks.Load(),
+				Escalations:      p.Escalations.Load(),
+				Deescalations:    p.Deescalations.Load(),
+				ThreadSwitches:   p.ThreadSwitches.Load(),
 			}
 			if rt != nil {
 				for _, r := range rt.Ranges() {
@@ -133,6 +147,72 @@ func (e *Dora) ShipSnapshot() ShipStats {
 	return s
 }
 
+// LockStats aggregates the local lock tables' hierarchy accounting
+// across all live partitions plus retired history (monitor, E19).
+type LockStats struct {
+	// Acquisitions counts lock-table grant operations: per key in the
+	// flat tables, per hierarchy node in the hierarchical ones — the
+	// O(keys) vs O(1) range-scan signal.
+	Acquisitions int64 `json:"acquisitions"`
+	// RangeLocks counts coarse (granule- or partition-level) S/X grants
+	// taken by ranged actions.
+	RangeLocks int64 `json:"range_locks"`
+	// Escalations / Deescalations count lock escalation events and the
+	// release of escalated holds.
+	Escalations   int64 `json:"escalations"`
+	Deescalations int64 `json:"deescalations"`
+	// KeyProbes / RangeProbes count maintenance busy-gating probes:
+	// per-record KeyBusy checks vs one-intent RangeBusy checks.
+	KeyProbes   int64 `json:"key_probes"`
+	RangeProbes int64 `json:"range_probes"`
+	// ThreadSwitches counts worker OS-thread migrations observed at
+	// ticks (zero while pinned, the default).
+	ThreadSwitches int64 `json:"thread_switches"`
+}
+
+// retiredLockStats accumulates the lock accounting of tables that went
+// away (workers merged, tables cleared by Repartition); atomic because
+// the folding happens on worker threads and under the topology lock.
+type retiredLockStats struct {
+	acq, rng, esc, deesc, keyProbes, rangeProbes metrics.Counter
+}
+
+func (r *retiredLockStats) fold(st lockStats) {
+	r.acq.Add(st.acquisitions)
+	r.rng.Add(st.rangeLocks)
+	r.esc.Add(st.escalations)
+	r.deesc.Add(st.deescalations)
+	r.keyProbes.Add(st.keyProbes)
+	r.rangeProbes.Add(st.rangeProbes)
+}
+
+// LockSnapshot sums lock-table statistics over every live partition plus
+// the retired history (cumulative totals never decrease across
+// rebalancing, like ShipSnapshot).
+func (e *Dora) LockSnapshot() LockStats {
+	var s LockStats
+	e.topoMu.RLock()
+	s.Acquisitions = e.retiredLocks.acq.Load()
+	s.RangeLocks = e.retiredLocks.rng.Load()
+	s.Escalations = e.retiredLocks.esc.Load()
+	s.Deescalations = e.retiredLocks.deesc.Load()
+	s.KeyProbes = e.retiredLocks.keyProbes.Load()
+	s.RangeProbes = e.retiredLocks.rangeProbes.Load()
+	for _, parts := range e.tableParts {
+		for _, p := range parts {
+			s.Acquisitions += p.LockAcquisitions.Load()
+			s.RangeLocks += p.RangeLocks.Load()
+			s.Escalations += p.Escalations.Load()
+			s.Deescalations += p.Deescalations.Load()
+			s.KeyProbes += p.MaintKeyProbes.Load()
+			s.RangeProbes += p.MaintRangeProbes.Load()
+			s.ThreadSwitches += p.ThreadSwitches.Load()
+		}
+	}
+	e.topoMu.RUnlock()
+	return s
+}
+
 // SplitPartition splits the range of worker `from` of table `table` at
 // value mid: keys >= mid move to a freshly started micro-engine. The
 // migration is safe while transactions run: the new partition buffers
@@ -186,7 +266,15 @@ func (e *Dora) MergePartition(table string, from, into int) error {
 	}
 	// 1. Evacuate lock state first; src enters forwarding mode. Anything
 	//    routed to src during the window is forwarded after the adopt
-	//    message, preserving order at dst.
+	//    message, preserving order at dst. The hierarchical table moves
+	//    wholesale — granules travel with their coarse/escalated holds,
+	//    pinned range covers, and parked waiters — so no transaction ever
+	//    observes a window where its lock is held by neither table. Order
+	//    at the handoff: the evacuating worker extracts from its private
+	//    table (latch-free), reassigns subtree claims under the access
+	//    path's topology latch, and only then starts forwarding — never
+	//    the reverse, so a sender whose parked ship was failed back
+	//    re-resolves to claims that already point at the adopter.
 	ack := make(chan struct{})
 	src.in.push(&evacuateMsg{to: dst, ack: ack})
 	<-ack
@@ -209,6 +297,15 @@ func (e *Dora) MergePartition(table string, from, into int) error {
 	e.retiredShips.cont.Add(src.ContShipped.Load())
 	e.retiredShips.konts.Add(src.KontRun.Load())
 	e.retiredShips.overlap.Add(src.OverlapExec.Load())
+	// The lock gauges are final too: a forwarder acquires nothing. The
+	// evacuation already moved the table's state; its accounting stays
+	// behind and retires here.
+	e.retiredLocks.acq.Add(src.LockAcquisitions.Load())
+	e.retiredLocks.rng.Add(src.RangeLocks.Load())
+	e.retiredLocks.esc.Add(src.Escalations.Load())
+	e.retiredLocks.deesc.Add(src.Deescalations.Load())
+	e.retiredLocks.keyProbes.Add(src.MaintKeyProbes.Load())
+	e.retiredLocks.rangeProbes.Add(src.MaintRangeProbes.Load())
 	e.topoMu.Unlock()
 	// 3. Let the forwarder drain and die.
 	dack := make(chan struct{})

@@ -1,0 +1,215 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dora/internal/dora"
+	"dora/internal/maint"
+	"dora/internal/sm"
+	"dora/internal/workload"
+	"dora/internal/workload/tatp"
+	"dora/internal/xct"
+)
+
+// E19LockHierarchy is the flat-vs-hierarchical local-lock-table ablation
+// (Config.FlatLocks keeps the per-key baseline):
+//
+//   - range scans: a BatchScanSubscribers flow locks a subscriber-id
+//     interval with ONE ranged S request; the hierarchical table grants
+//     it as a root intent plus a couple of granule locks (O(1) in the
+//     scan width) while the flat baseline expands it key by key
+//     (O(keys)). Measured as lock acquisitions per scan.
+//   - maintenance gating: heap-migration units clear a whole assigned
+//     range with one RangeBusy probe on the hierarchical table instead
+//     of a KeyBusy probe per record (the flat baseline keeps per-key
+//     probes — its range probe would sweep every entry). Measured as
+//     busy-gate probes per maintenance unit.
+//   - hot-key storm: zipfian single-key writers compete with multi-key
+//     audit transactions whose point-lock runs trip per-transaction
+//     escalation to a granule lock; rows compare flat, hierarchical
+//     with escalation, and hierarchical with escalation disabled.
+//   - aligned mix: the standard TATP mix, where almost every
+//     transaction touches 1-4 keys — the hierarchy's intent overhead
+//     must stay in the noise.
+func E19LockHierarchy(c Config) (*Table, error) {
+	c = c.fill()
+	tb := &Table{
+		Title: "E19  hierarchical intention locking vs flat per-key lock tables, TATP",
+		Header: []string{"locks", "scenario", "acq/op", "rangelocks/op",
+			"keyprobes/unit", "rangeprobes/unit", "esc", "deesc", "tps"},
+		Caption: "acq/op = lock-table grant operations per range scan (width " +
+			fmt.Sprint(e19ScanWidth) + " ids);\n" +
+			"probes/unit = maintenance busy-gate probes per heap-migration unit;\n" +
+			"esc/deesc = lock escalations and de-escalations during the storm;\n" +
+			"storm = zipfian hot-key writers + " + fmt.Sprint(e19AuditSpan) +
+			"-key audit readers. hier-noesc disables escalation.",
+	}
+
+	type variant struct {
+		name string
+		mut  func(*dora.Config)
+		full bool // run scan/maint/mix scenarios, not just the storm
+	}
+	variants := []variant{
+		{"flat", func(dc *dora.Config) { dc.FlatLocks = true }, true},
+		{"hier", func(dc *dora.Config) {}, true},
+		{"hier-noesc", func(dc *dora.Config) { dc.EscalateAt = -1 }, false},
+	}
+	for _, v := range variants {
+		if err := e19Variant(c, tb, v.name, v.mut, v.full); err != nil {
+			return nil, fmt.Errorf("e19 %s: %w", v.name, err)
+		}
+	}
+	return tb, nil
+}
+
+const (
+	// e19ScanWidth is the subscriber-id interval a batch scan locks.
+	e19ScanWidth = 64
+	// e19AuditSpan is the consecutive-key count of the storm's audit
+	// transactions — above the default escalation threshold, so a full
+	// run under one granule escalates.
+	e19AuditSpan = 20
+)
+
+func e19Variant(c Config, tb *Table, name string, mut func(*dora.Config), full bool) error {
+	db, eng, closeRig, err := tatpRigE19(c, mut)
+	if err != nil {
+		return err
+	}
+	defer closeRig()
+
+	dash := []string{"-", "-", "-", "-", "-", "-", "-"}
+	row := func(scenario string, cells map[int]string) {
+		r := append([]string{name, scenario}, dash...)
+		for i, s := range cells {
+			r[2+i] = s
+		}
+		tb.Rows = append(tb.Rows, r)
+	}
+
+	if full {
+		// Range scans: serial, fixed op count — the signal is lock
+		// acquisitions per op, not throughput.
+		ops := 400
+		if c.Quick {
+			ops = 60
+		}
+		rng := rand.New(rand.NewSource(1919))
+		before := eng.LockSnapshot()
+		for i := 0; i < ops; i++ {
+			lo := 1 + rng.Int63n(db.N-e19ScanWidth)
+			if err := eng.Exec(0, db.BatchScanSubscribers(lo, lo+e19ScanWidth-1)); err != nil {
+				return fmt.Errorf("batch scan: %w", err)
+			}
+		}
+		after := eng.LockSnapshot()
+		row("range-scan", map[int]string{
+			0: f1(float64(after.Acquisitions-before.Acquisitions) / float64(ops)),
+			1: f1(float64(after.RangeLocks-before.RangeLocks) / float64(ops)),
+		})
+
+		// Maintenance gating: drain heap migration over the fresh
+		// (unstamped) load and count busy-gate probes per unit.
+		d := maint.New(db.SM, eng, maint.Config{})
+		before = eng.LockSnapshot()
+		d.Drain("subscriber")
+		after = eng.LockSnapshot()
+		st := d.Snapshot()
+		units := st.UnitsRun
+		if units == 0 {
+			units = 1
+		}
+		row("maintenance", map[int]string{
+			2: f1(float64(after.KeyProbes-before.KeyProbes) / float64(units)),
+			3: f1(float64(after.RangeProbes-before.RangeProbes) / float64(units)),
+		})
+		_ = d.Close()
+	}
+
+	// Hot-key storm: zipfian single-key writers + multi-key audits.
+	zipf := workload.NewZipf(1, db.N, 1.2)
+	mix := workload.Mix{
+		{Name: "hot-write", Weight: 3, Build: func(rng *rand.Rand) *xct.Flow {
+			sid := zipf.Next(rng)
+			return db.UpdateSubscriberData(sid, 1+rng.Int63n(4), rng.Int63n(2), rng.Int63n(256))
+		}},
+		{Name: "batch-audit", Weight: 1, Build: func(rng *rand.Rand) *xct.Flow {
+			base := 1 + rng.Int63n(db.N-e19AuditSpan)
+			return e19AuditFlow(db, base)
+		}},
+	}
+	// Warm up first (faults pages in, lets the adaptive escalation
+	// backoff converge), then report the best of two measured runs —
+	// short runs on a shared box are noisy downward, not upward.
+	before := eng.LockSnapshot()
+	tps := e19Measure(eng, mix, c, 1901)
+	after := eng.LockSnapshot()
+	row("hot-key storm", map[int]string{
+		4: d2(after.Escalations - before.Escalations),
+		5: d2(after.Deescalations - before.Deescalations),
+		6: f1(tps),
+	})
+
+	if full {
+		tps := e19Measure(eng, db.NewMix(tatp.MixOptions{}), c, 1902)
+		row("aligned mix", map[int]string{6: f1(tps)})
+	}
+	return nil
+}
+
+// e19Measure runs mix for one unmeasured warmup leg and two measured
+// legs, returning the best measured throughput.
+func e19Measure(eng *dora.Dora, mix workload.Mix, c Config, seed int64) float64 {
+	warm := c.Duration / 2
+	(&workload.Driver{Engine: eng, Mix: mix, Clients: c.Clients, Duration: warm, Seed: seed - 1}).Run()
+	best := 0.0
+	for leg := int64(0); leg < 2; leg++ {
+		res := (&workload.Driver{
+			Engine: eng, Mix: mix,
+			Clients: c.Clients, Duration: c.Duration, Seed: seed + leg,
+		}).Run()
+		if res.Throughput > best {
+			best = res.Throughput
+		}
+	}
+	return best
+}
+
+// e19AuditFlow reads e19AuditSpan consecutive subscribers as one
+// single-phase transaction: each point lock lands under (usually) one
+// granule, so on the hierarchical table the run trips escalation at the
+// default threshold and the remaining reads ride the granule lock.
+func e19AuditFlow(db *tatp.DB, base int64) *xct.Flow {
+	acts := make([]*xct.Action, 0, e19AuditSpan)
+	for i := int64(0); i < e19AuditSpan; i++ {
+		sid := base + i
+		acts = append(acts, &xct.Action{
+			Table: "subscriber", KeyField: "s_id", Key: sid, Mode: xct.Read,
+			Label: "audit",
+			Run: func(env *xct.Env) error {
+				_, err := env.Ses.Read(env.Txn, db.Subscriber, sid)
+				return err
+			},
+		})
+	}
+	return xct.NewFlow("BatchAudit").AddPhase(acts...)
+}
+
+// tatpRigE19 is tatpRig with a DORA config hook (FlatLocks/EscalateAt).
+func tatpRigE19(c Config, mut func(*dora.Config)) (*tatp.DB, *dora.Dora, func(), error) {
+	s, err := sm.Open(sm.Options{Frames: 1 << 14})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	db, err := tatp.Load(s, c.Subscribers)
+	if err != nil {
+		_ = s.Close()
+		return nil, nil, nil, err
+	}
+	dc := dora.Config{PartitionsPerTable: c.Partitions, Domains: db.Domains()}
+	mut(&dc)
+	eng := dora.New(s, dc)
+	return db, eng, func() { _ = eng.Close(); _ = s.Close() }, nil
+}

@@ -1,4 +1,4 @@
-// Package exp implements the reproduction experiments E1–E17 (indexed in
+// Package exp implements the reproduction experiments E1–E19 (indexed in
 // README.md) — the demo paper's exhibited scenarios (access patterns,
 // performance under varying load, load balancing, alignment advisor,
 // designer tools), the companion DORA paper's quantitative claims

@@ -429,6 +429,71 @@ func TestE16Quick(t *testing.T) {
 	}
 }
 
+func TestE19Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tb, err := E19LockHierarchy(Config{Quick: true, Duration: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// flat and hier contribute 4 rows each, hier-noesc just the storm.
+	if len(tb.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(tb.Rows))
+	}
+	cell := func(locks, scenario string, col int) float64 {
+		for _, r := range tb.Rows {
+			if r[0] == locks && r[1] == scenario {
+				v, perr := strconv.ParseFloat(r[col], 64)
+				if perr != nil {
+					t.Fatalf("%s/%s col %d = %q: %v", locks, scenario, col, r[col], perr)
+				}
+				return v
+			}
+		}
+		t.Fatalf("no row %s/%s", locks, scenario)
+		return 0
+	}
+	// Range scans: the flat table expands the interval per key, the
+	// hierarchical one grants a root intent plus a couple of granule
+	// locks — O(keys) vs O(1) in the scan width.
+	flatAcq, hierAcq := cell("flat", "range-scan", 2), cell("hier", "range-scan", 2)
+	if flatAcq < float64(e19ScanWidth) {
+		t.Fatalf("flat scan acq/op = %.1f, want >= width %d", flatAcq, e19ScanWidth)
+	}
+	if hierAcq > 8 {
+		t.Fatalf("hier scan acq/op = %.1f, want O(1) (<= 8)", hierAcq)
+	}
+	if cell("hier", "range-scan", 3) == 0 {
+		t.Fatal("hier scans took no coarse range locks")
+	}
+	// Maintenance: per-record key probes on flat, one range probe per
+	// assigned range on hier.
+	if cell("flat", "maintenance", 4) == 0 {
+		t.Fatal("flat maintenance did no per-key busy probes")
+	}
+	if cell("flat", "maintenance", 5) != 0 {
+		t.Fatal("flat maintenance should not range-probe")
+	}
+	if cell("hier", "maintenance", 4) != 0 {
+		t.Fatal("hier maintenance still key-probing")
+	}
+	if cell("hier", "maintenance", 5) == 0 {
+		t.Fatal("hier maintenance did no range probes")
+	}
+	// Storm: escalation fires with the default threshold, never with it
+	// disabled, and de-escalation matches releases of escalated holds.
+	if cell("hier", "hot-key storm", 6) == 0 {
+		t.Fatal("no escalations under the audit storm")
+	}
+	if cell("hier-noesc", "hot-key storm", 6) != 0 {
+		t.Fatal("escalation fired while disabled")
+	}
+	if cell("hier", "hot-key storm", 7) == 0 {
+		t.Fatal("no de-escalations under the audit storm")
+	}
+}
+
 func TestE17Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

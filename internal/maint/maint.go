@@ -129,6 +129,7 @@ type Daemon struct {
 	PagesStamped    metrics.Counter
 	RecordsMigrated metrics.Counter
 	RecordsSkipped  metrics.Counter // busy keys deferred to a later pass
+	RangesCleared   metrics.Counter // units whose ranges were lock-free in one probe each
 	SubtreesMerged  metrics.Counter
 	SubtreesRebuilt metrics.Counter
 	GhostsPurged    metrics.Counter
@@ -332,8 +333,8 @@ func (d *Daemon) heapUnit(ctx *dora.OwnerCtx) bool {
 	ses := ctx.Ses()
 	tok := ses.Owner()
 	pk := tbl.Primary
-	if tok == nil || pk.Partitioned() == nil || pk.RouteRange == nil ||
-		pk.RouteField != tbl.PartitionField() {
+	rr := tbl.RouteFor(pk, tbl.PartitionField())
+	if tok == nil || pk.Partitioned() == nil || rr == nil {
 		return false
 	}
 	ranges := ctx.Ranges()
@@ -361,7 +362,7 @@ func (d *Daemon) heapUnit(ctx *dora.OwnerCtx) bool {
 		if total >= d.cfg.RecordBudget {
 			break
 		}
-		keyLo, keyHi := pk.RouteRange(r.Lo, r.Hi)
+		keyLo, keyHi := rr(r.Lo, r.Hi)
 		pk.Tree.AscendRangeAs(tok, keyLo, keyHi, func(key int64, val uint64) bool {
 			pid := storage.UnpackRID(val).Page
 			if tbl.Heap.StampOwner(pid) == tok {
@@ -377,6 +378,24 @@ func (d *Daemon) heapUnit(ctx *dora.OwnerCtx) bool {
 	}
 	if total == 0 {
 		return false
+	}
+	// One-intent gate: the whole unit runs on the owner's thread, so
+	// lock state cannot appear underneath it. One RangeBusy probe per
+	// assigned range (O(granules-with-state) on the hierarchical table)
+	// clears every per-record KeyBusy probe below; when some range
+	// reports busy — or the lock table has no cheap coarse probes (flat
+	// baseline) — migration falls back to key-by-key gating.
+	quiet := ctx.CoarseProbes()
+	for _, r := range ranges {
+		if !quiet {
+			break
+		}
+		if ctx.RangeBusy(r.Lo, r.Hi) {
+			quiet = false
+		}
+	}
+	if quiet {
+		d.RangesCleared.Inc()
 	}
 	worked := false
 	txn := d.sm.Begin()
@@ -399,7 +418,7 @@ func (d *Daemon) heapUnit(ctx *dora.OwnerCtx) bool {
 			if rerr != nil || rec == nil {
 				continue
 			}
-			if ctx.KeyBusy(rec[pfIdx].Int) {
+			if !quiet && ctx.KeyBusy(rec[pfIdx].Int) {
 				d.RecordsSkipped.Inc()
 				continue
 			}
@@ -493,6 +512,15 @@ func (d *Daemon) compactTable(table string) bool {
 			if tok == nil {
 				return
 			}
+			// One partition-level probe instead of any key gating:
+			// defer compaction while the partition has lock state (an
+			// in-flight transaction may be mid-descent in a subtree a
+			// rebuild would reshape). The periodic sweep re-marks the
+			// table, so a deferred pass retries once traffic drains.
+			if ctx.PartitionBusy() {
+				d.UnitsDeferred.Inc()
+				return
+			}
 			for _, ix := range ctx.Table().Indexes() {
 				pt := ix.Partitioned()
 				if pt == nil {
@@ -583,6 +611,7 @@ type Stats struct {
 	PagesStamped    int64 `json:"pages_stamped"`
 	RecordsMigrated int64 `json:"records_migrated"`
 	RecordsSkipped  int64 `json:"records_skipped"`
+	RangesCleared   int64 `json:"ranges_cleared"`
 	SubtreesMerged  int64 `json:"subtrees_merged"`
 	SubtreesRebuilt int64 `json:"subtrees_rebuilt"`
 	GhostsPurged    int64 `json:"ghosts_purged"`
@@ -600,6 +629,7 @@ func (d *Daemon) Snapshot() Stats {
 		PagesStamped:    d.PagesStamped.Load(),
 		RecordsMigrated: d.RecordsMigrated.Load(),
 		RecordsSkipped:  d.RecordsSkipped.Load(),
+		RangesCleared:   d.RangesCleared.Load(),
 		SubtreesMerged:  d.SubtreesMerged.Load(),
 		SubtreesRebuilt: d.SubtreesRebuilt.Load(),
 		GhostsPurged:    d.GhostsPurged.Load(),

@@ -65,6 +65,10 @@ type Snapshot struct {
 	// depth continuation traffic contributes, and any diagnosed ship
 	// cycles (nil without a DORA engine).
 	Ships *dora.ShipStats `json:"ships,omitempty"`
+	// Locks is the DORA engine's local-lock-table accounting: grant
+	// operations, coarse range locks, escalations/de-escalations, and
+	// maintenance busy-gate probes (nil without a DORA engine).
+	Locks *dora.LockStats `json:"locks,omitempty"`
 	// Replication carries one view per replication role this process
 	// plays (a primary shipping its log, a replica replaying one, or
 	// both when a read replica runs in-process).
@@ -303,6 +307,8 @@ func (s *Source) Sample(prev *Snapshot, dt time.Duration) *Snapshot {
 		snap.Partitions = s.Dora.PartitionStats()
 		ships := s.Dora.ShipSnapshot()
 		snap.Ships = &ships
+		locks := s.Dora.LockSnapshot()
+		snap.Locks = &locks
 		for _, tbl := range s.SM.Cat.Tables() {
 			rt := s.Dora.Router(tbl.Name)
 			if rt == nil {

@@ -269,6 +269,10 @@ type TableSpec struct {
 	// and the primary index is provisioned partitioned automatically.
 	RouteRange  func(routeLo, routeHi int64) (keyLo, keyHi int64)
 	Secondaries []IndexSpec
+	// FieldMaps declares interval bijections between routable fields, so
+	// indexes stay claimable after re-partitioning onto a field their
+	// RouteRange was not declared for (see catalog.Table.RouteFor).
+	FieldMaps []catalog.FieldMap
 }
 
 // newIndexTree provisions an index structure: partitioned when the index
@@ -296,9 +300,10 @@ func (s *SM) CreateTable(spec TableSpec) (*catalog.Table, error) {
 		spec.RouteRange = func(lo, hi int64) (int64, int64) { return lo, hi }
 	}
 	t := &catalog.Table{
-		Name:   spec.Name,
-		Fields: spec.Fields,
-		Heap:   storage.NewHeap(s.Pool),
+		Name:      spec.Name,
+		Fields:    spec.Fields,
+		FieldMaps: spec.FieldMaps,
+		Heap:      storage.NewHeap(s.Pool),
 		Primary: &catalog.Index{
 			Name:       spec.Name + "_pk",
 			Fields:     spec.KeyFields,

@@ -102,6 +102,17 @@ func Schema(s *sm.SM, n int64) (*DB, error) {
 				return n + 1 - hi, n + 1 - lo
 			},
 		}},
+		// The same bijection declared as field maps in both directions,
+		// so a Repartition onto sub_nbr keeps BOTH indexes claimed: the
+		// primary's s_id keys route through sub_nbr → s_id, and the
+		// secondary composes sub_nbr → s_id → sub_nbr keys (the
+		// round trip is the identity on its own key space).
+		FieldMaps: []catalog.FieldMap{
+			{From: "sub_nbr", To: "s_id",
+				Map: func(lo, hi int64) (int64, int64) { return n + 1 - hi, n + 1 - lo }},
+			{From: "s_id", To: "sub_nbr",
+				Map: func(lo, hi int64) (int64, int64) { return n + 1 - hi, n + 1 - lo }},
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -380,6 +391,27 @@ func (db *DB) GetAccessData(sid, aiType int64) *xct.Flow {
 				return nil // ~37% of probes are misses by design
 			}
 			return err
+		},
+	})
+}
+
+// BatchScanSubscribers returns a flow reading every subscriber with
+// lo <= s_id <= hi under ONE ranged S lock instead of a lock per id:
+// the hierarchical local lock table grants it as a handful of
+// granule-level locks (or a single partition-level lock for wide
+// spans), while the flat table expands it key by key — the ablation
+// experiment E19 measures exactly that difference. The action routes to
+// the partition owning lo; the lock protects the interval's
+// intersection with that partition's ranges, so callers wanting full
+// coverage keep [lo, hi] inside one partition (the scan itself ships
+// foreign segments to their owners like any range scan).
+func (db *DB) BatchScanSubscribers(lo, hi int64) *xct.Flow {
+	return xct.NewFlow("BatchScanSubscribers").AddPhase(&xct.Action{
+		Table: "subscriber", KeyField: "s_id", Key: lo, Mode: xct.Read,
+		Ranged: true, RangeLo: lo, RangeHi: hi, Label: "scan-subs",
+		Run: func(env *xct.Env) error {
+			return env.Ses.ScanRange(env.Txn, db.Subscriber, lo, hi,
+				func(int64, tuple.Record) bool { return true })
 		},
 	})
 }

@@ -43,6 +43,111 @@ func (m Mode) String() string {
 	return "R"
 }
 
+// LockMode is a multigranularity lock mode in DORA's hierarchical local
+// lock tables (partition → key-range granule → key). Point accesses take
+// S/X at the key level with IS/IX intents on the path above; range scans
+// and partition-wide operations take S/X directly at the granule or
+// partition level; SIX is the standard "read the whole subtree, write
+// some of it" combination a transaction reaches by upgrading a coarse S
+// with write intents.
+type LockMode uint8
+
+// Lock modes, ordered so that numeric comparison means nothing — use
+// LockCovers/LockLub for lattice queries and LockCompatible for the
+// conflict matrix.
+const (
+	LockNone LockMode = iota
+	LockIS
+	LockIX
+	LockS
+	LockSIX
+	LockX
+)
+
+// String implements fmt.Stringer.
+func (m LockMode) String() string {
+	switch m {
+	case LockIS:
+		return "IS"
+	case LockIX:
+		return "IX"
+	case LockS:
+		return "S"
+	case LockSIX:
+		return "SIX"
+	case LockX:
+		return "X"
+	}
+	return "-"
+}
+
+// lockCompat is the standard multigranularity compatibility matrix
+// (Gray et al.): rows/columns IS, IX, S, SIX, X.
+var lockCompat = [6][6]bool{
+	LockNone: {LockNone: true, LockIS: true, LockIX: true, LockS: true, LockSIX: true, LockX: true},
+	LockIS:   {LockNone: true, LockIS: true, LockIX: true, LockS: true, LockSIX: true},
+	LockIX:   {LockNone: true, LockIS: true, LockIX: true},
+	LockS:    {LockNone: true, LockIS: true, LockS: true},
+	LockSIX:  {LockNone: true, LockIS: true},
+	LockX:    {LockNone: true},
+}
+
+// LockCompatible reports whether two holds by DIFFERENT transactions can
+// coexist on one node.
+func LockCompatible(a, b LockMode) bool { return lockCompat[a][b] }
+
+// LockCovers reports whether holding `held` makes a request for `want`
+// on the same node by the same transaction redundant. The lattice:
+// X covers everything; SIX covers S, IX, IS; S covers IS; IX covers IS.
+func LockCovers(held, want LockMode) bool {
+	if held == want || want == LockNone {
+		return true
+	}
+	switch held {
+	case LockX:
+		return true
+	case LockSIX:
+		return want == LockS || want == LockIX || want == LockIS
+	case LockS, LockIX:
+		return want == LockIS
+	}
+	return false
+}
+
+// LockLub returns the least upper bound of two modes — the weakest
+// single mode covering both (S ∨ IX = SIX; anything ∨ X = X).
+func LockLub(a, b LockMode) LockMode {
+	if LockCovers(a, b) {
+		return a
+	}
+	if LockCovers(b, a) {
+		return b
+	}
+	// The only incomparable pairs below X are {S, IX} and {S/IX, SIX}
+	// variants; all of them join at SIX.
+	if a == LockX || b == LockX {
+		return LockX
+	}
+	return LockSIX
+}
+
+// LockFor maps an action's access mode to the key-level lock it needs.
+func (m Mode) LockFor() LockMode {
+	if m == Write {
+		return LockX
+	}
+	return LockS
+}
+
+// IntentFor maps an action's access mode to the intent its ancestors in
+// the hierarchy need.
+func (m Mode) IntentFor() LockMode {
+	if m == Write {
+		return LockIX
+	}
+	return LockIS
+}
+
 // Env is the execution environment handed to action bodies: the shared
 // transaction context plus the worker-tagged storage session of whichever
 // thread runs the action.
@@ -100,6 +205,17 @@ type Action struct {
 	Key int64
 	// Mode is Read or Write.
 	Mode Mode
+	// Ranged declares that the action logically touches every routing
+	// value in [RangeLo, RangeHi] (a range scan) rather than just Key.
+	// A hierarchical local lock table covers the interval with one
+	// coarse S/X lock per granule instead of per-key locks; the flat
+	// baseline expands it to a lock per value. Key must lie inside the
+	// interval (it remains the routing target), and the lock covers the
+	// intersection of the interval with the owning partition's ranges —
+	// partition-local logical locking, exactly as for point actions.
+	Ranged  bool
+	RangeLo int64
+	RangeHi int64
 	// Resolve translates Key into other fields' value spaces when the
 	// engine locks or routes on a different field. May be nil when
 	// KeyField always matches the lock and partition fields.
