@@ -141,3 +141,7 @@ func BenchmarkE18LatencyAttribution(b *testing.B) {
 func BenchmarkE19LockHierarchy(b *testing.B) {
 	runTable(b, func() (*exp.Table, error) { return exp.E19LockHierarchy(quickCfg()) })
 }
+
+func BenchmarkE20OverloadAutopilot(b *testing.B) {
+	runTable(b, func() (*exp.Table, error) { return exp.E20OverloadAutopilot(quickCfg()) })
+}

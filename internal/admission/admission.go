@@ -1,0 +1,551 @@
+// Package admission implements an SLO-targeted admission controller
+// that sits in front of an asynchronous execution engine (dora.Dora's
+// ExecAsync). The controller adapts a global in-flight cap with an
+// AIMD loop driven by live windowed p99 and queue-wait latency
+// signals: while the observed p99 sits under the SLO target the cap
+// grows additively, and every control interval that observes the p99
+// over the target cuts the cap multiplicatively. Arrivals beyond the
+// cap are shed with a typed, client-visible ErrOverload carrying a
+// RetryAfter hint — overload degrades goodput by refusing work early
+// instead of letting queueing delay collapse the latency of the work
+// that is admitted.
+//
+// Shedding is priority-ordered. Read-only flows are shed last (and,
+// when a read offload engine such as repl.ReadEngine is wired, they
+// are diverted to it instead of shed); update flows shed next; and
+// maintenance-class flows shed first. The controller also exports a
+// Shedding() gate so background actuators — the maint.Daemon's
+// migration batches and the balancer's repartitions — can yield to
+// foreground SLO instead of competing with it while the system is
+// over the target.
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dora/internal/metrics"
+	"dora/internal/xct"
+)
+
+// Class is the priority class of a flow for shedding decisions. Lower
+// classes shed first.
+type Class uint8
+
+const (
+	// ClassMaintenance is background/batch work: shed first.
+	ClassMaintenance Class = iota
+	// ClassWrite is foreground update work: shed after maintenance.
+	ClassWrite
+	// ClassRead is foreground read-only work: shed last (offloaded to a
+	// read replica instead, when one is wired).
+	ClassRead
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassMaintenance:
+		return "maintenance"
+	case ClassWrite:
+		return "write"
+	case ClassRead:
+		return "read"
+	}
+	return "unknown"
+}
+
+// ClassOf derives a flow's priority class from its action modes: a
+// flow whose every action is a read is ClassRead, anything touching a
+// write is ClassWrite. Maintenance flows are never derived — callers
+// submitting background batches tag them via ExecClassAsync.
+func ClassOf(flow *xct.Flow) Class {
+	if flow == nil {
+		return ClassWrite // conservative: unknown shape sheds with writes
+	}
+	for _, p := range flow.Phases {
+		for _, a := range p.Actions {
+			if a.Mode != xct.Read {
+				return ClassWrite
+			}
+		}
+	}
+	return ClassRead
+}
+
+// ErrOverload is the typed refusal returned (through the done
+// callback or Exec) for a shed flow. RetryAfter is the controller's
+// hint for how long the client should back off before retrying; it
+// grows with consecutive over-SLO control intervals.
+type ErrOverload struct {
+	Class      Class
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e ErrOverload) Error() string {
+	return fmt.Sprintf("overload: %s flow shed, retry after %v", e.Class, e.RetryAfter)
+}
+
+// Overload marks the error as a shed and returns the backoff hint;
+// callers that must not import this package can probe for the method.
+func (e ErrOverload) Overload() time.Duration { return e.RetryAfter }
+
+// IsOverload reports whether err is (or wraps) a shed refusal, and
+// returns its RetryAfter hint.
+func IsOverload(err error) (time.Duration, bool) {
+	var oe interface{ Overload() time.Duration }
+	if errors.As(err, &oe) {
+		return oe.Overload(), true
+	}
+	return 0, false
+}
+
+// AsyncEngine is the slice of an engine the controller fronts
+// (dora.Dora.ExecAsync satisfies it; so does workload.AsyncEngine).
+type AsyncEngine interface {
+	ExecAsync(worker int, flow *xct.Flow, done func(error))
+}
+
+// SyncEngine is a synchronous engine usable as a read-offload target
+// (repl.ReadEngine and any engine.Engine satisfy it).
+type SyncEngine interface {
+	Exec(worker int, flow *xct.Flow) error
+}
+
+// Config parameterizes the controller. The zero value of every field
+// except SLO gets a sensible default.
+type Config struct {
+	// SLO is the end-to-end p99 latency target (required; the knob).
+	SLO time.Duration
+	// MinCap / MaxCap bound the adaptive in-flight cap (8 / 4096).
+	MinCap int
+	MaxCap int
+	// InitialCap seeds the cap (default MaxCap/8, at least MinCap):
+	// start conservative, grow additively while under the SLO.
+	InitialCap int
+	// Interval is the control-loop period (default 50ms). Each tick
+	// reads the windowed p99 observed since the previous tick.
+	Interval time.Duration
+	// Decrease is the multiplicative-decrease factor applied to the cap
+	// on an over-SLO tick (default 0.7).
+	Decrease float64
+	// IncreaseFrac is the additive-increase step as a fraction of the
+	// current cap, at least one slot per tick (default 1/8).
+	IncreaseFrac float64
+	// LowWater is the fraction of the SLO below which the cap grows
+	// (default 0.85); between LowWater*SLO and SLO the cap holds.
+	LowWater float64
+	// QueueWaitFrac sheds early: a windowed queue-wait p99 above
+	// QueueWaitFrac*SLO counts as an over tick even before the
+	// end-to-end p99 crosses the target (default 0.5; <0 disables).
+	QueueWaitFrac float64
+	// MinSamples is the number of windowed observations below which a
+	// tick holds the cap rather than acting on noise (default 16).
+	MinSamples int64
+	// Signal, when set, supplies an external windowed (p99, queue-wait
+	// p99, sample count) — see TraceSignal, which derives both from the
+	// tracer histograms the monitor already publishes. The controller
+	// always also observes its own admitted-completion latencies; the
+	// effective p99 is the worse of the two signals.
+	Signal func() (p99, queueWait time.Duration, samples int64)
+	// Offload, when set, receives read-only flows that would otherwise
+	// be shed (replica read offload). Offloaded reads do not consume
+	// the primary's in-flight cap; they are bounded by OffloadCap.
+	Offload SyncEngine
+	// OffloadCap bounds concurrently offloaded reads (default MaxCap).
+	OffloadCap int
+}
+
+func (c *Config) fill() {
+	if c.MinCap <= 0 {
+		c.MinCap = 8
+	}
+	if c.MaxCap <= 0 {
+		c.MaxCap = 4096
+	}
+	if c.MaxCap < c.MinCap {
+		c.MaxCap = c.MinCap
+	}
+	if c.InitialCap <= 0 {
+		c.InitialCap = c.MaxCap / 8
+	}
+	if c.InitialCap < c.MinCap {
+		c.InitialCap = c.MinCap
+	}
+	if c.InitialCap > c.MaxCap {
+		c.InitialCap = c.MaxCap
+	}
+	if c.Interval <= 0 {
+		c.Interval = 50 * time.Millisecond
+	}
+	if c.Decrease <= 0 || c.Decrease >= 1 {
+		c.Decrease = 0.7
+	}
+	if c.IncreaseFrac <= 0 {
+		c.IncreaseFrac = 1.0 / 8
+	}
+	if c.LowWater <= 0 || c.LowWater > 1 {
+		c.LowWater = 0.85
+	}
+	if c.QueueWaitFrac == 0 {
+		c.QueueWaitFrac = 0.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 16
+	}
+	if c.OffloadCap <= 0 {
+		c.OffloadCap = c.MaxCap
+	}
+}
+
+// calmTicks is how many consecutive under-SLO ticks with no sheds it
+// takes for Shedding() to clear, so the pacing gates don't flap.
+const calmTicks = 2
+
+// Controller fronts an AsyncEngine with SLO-driven admission control.
+// Create with New; it satisfies engine.Engine (Exec blocks) as well as
+// the async shape workload.OpenLoop drives.
+type Controller struct {
+	cfg Config
+	eng AsyncEngine
+
+	cap      atomic.Int64 // current adaptive in-flight cap
+	inFlight atomic.Int64
+	offloadN atomic.Int64
+	shedding atomic.Bool
+	retryNS  atomic.Int64 // current RetryAfter hint
+
+	// winLat collects admitted-completion latencies for the current
+	// control window; each tick reads its p99 and resets it.
+	winLat    metrics.Histogram
+	winSheds  metrics.Counter
+	lastP99US atomic.Int64
+	lastQWUS  atomic.Int64
+
+	admitted  [3]metrics.Counter
+	shed      [3]metrics.Counter
+	offloaded metrics.Counter
+	capIncs   metrics.Counter
+	capDecs   metrics.Counter
+	ticksOver metrics.Counter
+	ticks     metrics.Counter
+
+	overTicks int // consecutive over-SLO ticks (loop goroutine only)
+	calm      int // consecutive calm ticks while shedding
+
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// New returns a running controller fronting eng. Close (or Stop)
+// stops the control loop; the underlying engine is never closed.
+func New(eng AsyncEngine, cfg Config) *Controller {
+	cfg.fill()
+	c := &Controller{
+		cfg:  cfg,
+		eng:  eng,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	c.cap.Store(int64(cfg.InitialCap))
+	c.retryNS.Store(int64(cfg.Interval))
+	go c.loop()
+	return c
+}
+
+// SLO returns the configured p99 target.
+func (c *Controller) SLO() time.Duration { return c.cfg.SLO }
+
+// Name implements engine.Engine.
+func (c *Controller) Name() string {
+	if n, ok := c.eng.(interface{ Name() string }); ok {
+		return "admission+" + n.Name()
+	}
+	return "admission"
+}
+
+// Stop halts the control loop (idempotent). The cap freezes at its
+// current value; admission checks keep working.
+func (c *Controller) Stop() {
+	c.closeOnce.Do(func() {
+		close(c.stop)
+		<-c.done
+	})
+}
+
+// Close implements engine.Engine; it stops the control loop and does
+// NOT close the underlying engine (the controller does not own it).
+func (c *Controller) Close() error {
+	c.Stop()
+	return nil
+}
+
+// Shedding reports whether the controller is currently over the SLO
+// or actively refusing arrivals. Background actuators (maintenance
+// migration batches, balancer repartitions) use it as a pacing gate:
+// while true, convergence work should yield to foreground load.
+func (c *Controller) Shedding() bool { return c.shedding.Load() }
+
+// Cap returns the current adaptive in-flight cap.
+func (c *Controller) Cap() int64 { return c.cap.Load() }
+
+// InFlight returns the number of admitted, uncompleted flows.
+func (c *Controller) InFlight() int64 { return c.inFlight.Load() }
+
+// classLimit is the in-flight threshold for a class against the
+// current cap: reads use the whole cap, writes leave a 1/8 headroom
+// reserve for reads, and maintenance batches only half the cap — so
+// as in-flight rises toward the cap, maintenance sheds first, then
+// writes, then reads.
+func classLimit(cap int64, class Class) int64 {
+	switch class {
+	case ClassRead:
+		return cap
+	case ClassWrite:
+		return cap - cap/8
+	default:
+		return cap / 2
+	}
+}
+
+// ExecAsync admits or sheds flow and, when admitted, hands it to the
+// underlying engine. The priority class is derived from the flow's
+// action modes (ClassOf); done receives ErrOverload on a shed.
+func (c *Controller) ExecAsync(worker int, flow *xct.Flow, done func(error)) {
+	c.ExecClassAsync(worker, ClassOf(flow), flow, done)
+}
+
+// ExecClassAsync is ExecAsync with an explicit priority class (for
+// maintenance-class batch submitters; foreground callers normally let
+// ExecAsync derive read/write from the flow).
+func (c *Controller) ExecClassAsync(worker int, class Class, flow *xct.Flow, done func(error)) {
+	if int(class) > int(ClassRead) {
+		class = ClassWrite
+	}
+	limit := classLimit(c.cap.Load(), class)
+	if n := c.inFlight.Add(1); n > limit {
+		c.inFlight.Add(-1)
+		if class == ClassRead && c.cfg.Offload != nil &&
+			c.offloadN.Add(1) <= int64(c.cfg.OffloadCap) {
+			c.offloaded.Inc()
+			go func() {
+				err := c.cfg.Offload.Exec(worker, flow)
+				c.offloadN.Add(-1)
+				done(err)
+			}()
+			return
+		} else if class == ClassRead && c.cfg.Offload != nil {
+			c.offloadN.Add(-1)
+		}
+		c.shed[class].Inc()
+		c.winSheds.Inc()
+		c.shedding.Store(true)
+		done(ErrOverload{Class: class, RetryAfter: c.RetryAfter()})
+		return
+	}
+	c.admitted[class].Inc()
+	t0 := time.Now()
+	c.eng.ExecAsync(worker, flow, func(err error) {
+		c.winLat.Observe(time.Since(t0))
+		c.inFlight.Add(-1)
+		done(err)
+	})
+}
+
+// Exec is the blocking form of ExecAsync (engine.Engine's shape): it
+// returns ErrOverload when the flow is shed.
+func (c *Controller) Exec(worker int, flow *xct.Flow) error {
+	ch := make(chan error, 1)
+	c.ExecAsync(worker, flow, func(err error) { ch <- err })
+	return <-ch
+}
+
+// RetryAfter returns the current backoff hint attached to sheds: the
+// control interval, doubled for every consecutive over-SLO tick (so
+// clients back off harder the longer the overload lasts), capped at
+// one second.
+func (c *Controller) RetryAfter() time.Duration {
+	return time.Duration(c.retryNS.Load())
+}
+
+func (c *Controller) loop() {
+	defer close(c.done)
+	tick := time.NewTicker(c.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+			p99, qw, n := c.windowSignals()
+			c.step(p99, qw, n)
+		}
+	}
+}
+
+// windowSignals merges the controller's own windowed completion p99
+// with the external (tracer) signal, taking the worse of the two.
+func (c *Controller) windowSignals() (p99, queueWait time.Duration, samples int64) {
+	samples = c.winLat.Count()
+	p99 = time.Duration(c.winLat.Quantile(0.99)) * time.Microsecond
+	c.winLat.Reset()
+	if c.cfg.Signal != nil {
+		sp99, sqw, sn := c.cfg.Signal()
+		if sp99 > p99 {
+			p99 = sp99
+		}
+		queueWait = sqw
+		samples += sn
+	}
+	return p99, queueWait, samples
+}
+
+// step runs one AIMD control decision against the windowed signals.
+// Exported behavior is tested directly (no timers) in the unit tests.
+func (c *Controller) step(p99, queueWait time.Duration, samples int64) {
+	c.ticks.Inc()
+	c.lastP99US.Store(p99.Microseconds())
+	c.lastQWUS.Store(queueWait.Microseconds())
+	sheds := c.winSheds.Reset()
+	cap := c.cap.Load()
+	over := false
+	if samples >= c.cfg.MinSamples {
+		over = p99 > c.cfg.SLO
+		if !over && c.cfg.QueueWaitFrac > 0 && queueWait > 0 {
+			over = float64(queueWait) > c.cfg.QueueWaitFrac*float64(c.cfg.SLO)
+		}
+	} else if inflight := c.inFlight.Load(); inflight > 0 && inflight >= cap/2 {
+		// Stall detection: a window in which almost nothing completed
+		// while the pipe was at least half full is the worst latency
+		// signal there is — a convoy (hot-owner serialization, a lock
+		// chain) has everything admitted and nothing finishing, so the
+		// completion-based p99 goes silent exactly when it matters.
+		// Treat the silence itself as an over-SLO tick.
+		over = true
+	}
+	switch {
+	case over:
+		c.ticksOver.Inc()
+		c.overTicks++
+		c.calm = 0
+		next := int64(float64(cap) * c.cfg.Decrease)
+		if next < int64(c.cfg.MinCap) {
+			next = int64(c.cfg.MinCap)
+		}
+		if next < cap {
+			c.cap.Store(next)
+			c.capDecs.Inc()
+		}
+		c.shedding.Store(true)
+	case samples >= c.cfg.MinSamples && float64(p99) <= c.cfg.LowWater*float64(c.cfg.SLO):
+		c.overTicks = 0
+		step := int64(float64(cap) * c.cfg.IncreaseFrac)
+		if step < 1 {
+			step = 1
+		}
+		next := cap + step
+		if next > int64(c.cfg.MaxCap) {
+			next = int64(c.cfg.MaxCap)
+		}
+		if next > cap {
+			c.cap.Store(next)
+			c.capIncs.Inc()
+		}
+	default:
+		// Deadband (or too few samples): hold the cap.
+		c.overTicks = 0
+	}
+	if !over {
+		if sheds == 0 {
+			c.calm++
+			if c.calm >= calmTicks {
+				c.shedding.Store(false)
+			}
+		} else {
+			c.calm = 0
+		}
+	}
+	// Backoff hint: interval doubled per consecutive over tick, ≤ 1s.
+	shift := c.overTicks
+	if shift > 4 {
+		shift = 4
+	}
+	ra := c.cfg.Interval << uint(shift)
+	if ra > time.Second {
+		ra = time.Second
+	}
+	c.retryNS.Store(int64(ra))
+}
+
+// Stats is a point-in-time snapshot of the controller, serialized by
+// the monitor into its snapshot stream.
+type Stats struct {
+	SLOMS      float64 `json:"slo_ms"`
+	Cap        int64   `json:"cap"`
+	InFlight   int64   `json:"in_flight"`
+	OffloadNow int64   `json:"offload_now,omitempty"`
+	Shedding   bool    `json:"shedding"`
+	// Windowed signals as of the last control tick.
+	WindowP99MS       float64 `json:"window_p99_ms"`
+	WindowQueueWaitMS float64 `json:"window_queue_wait_ms,omitempty"`
+	// Cumulative admission outcomes by class.
+	AdmittedRead   int64 `json:"admitted_read"`
+	AdmittedWrite  int64 `json:"admitted_write"`
+	AdmittedMaint  int64 `json:"admitted_maint,omitempty"`
+	ShedRead       int64 `json:"shed_read"`
+	ShedWrite      int64 `json:"shed_write"`
+	ShedMaint      int64 `json:"shed_maint,omitempty"`
+	OffloadedReads int64 `json:"offloaded_reads,omitempty"`
+	// Control-loop activity.
+	CapIncreases int64 `json:"cap_increases"`
+	CapDecreases int64 `json:"cap_decreases"`
+	TicksOver    int64 `json:"ticks_over"`
+	Ticks        int64 `json:"ticks"`
+}
+
+// SLOAttainedPct is the fraction of control ticks that observed the
+// windowed p99 within the SLO, as a percentage (100 when no tick has
+// fired yet).
+func (s Stats) SLOAttainedPct() float64 {
+	if s.Ticks == 0 {
+		return 100
+	}
+	return 100 * float64(s.Ticks-s.TicksOver) / float64(s.Ticks)
+}
+
+// ShedTotal sums sheds across classes.
+func (s Stats) ShedTotal() int64 { return s.ShedRead + s.ShedWrite + s.ShedMaint }
+
+// AdmittedTotal sums admissions across classes.
+func (s Stats) AdmittedTotal() int64 {
+	return s.AdmittedRead + s.AdmittedWrite + s.AdmittedMaint
+}
+
+// Snapshot returns current controller statistics.
+func (c *Controller) Snapshot() Stats {
+	return Stats{
+		SLOMS:             float64(c.cfg.SLO.Microseconds()) / 1e3,
+		Cap:               c.cap.Load(),
+		InFlight:          c.inFlight.Load(),
+		OffloadNow:        c.offloadN.Load(),
+		Shedding:          c.shedding.Load(),
+		WindowP99MS:       float64(c.lastP99US.Load()) / 1e3,
+		WindowQueueWaitMS: float64(c.lastQWUS.Load()) / 1e3,
+		AdmittedRead:      c.admitted[ClassRead].Load(),
+		AdmittedWrite:     c.admitted[ClassWrite].Load(),
+		AdmittedMaint:     c.admitted[ClassMaintenance].Load(),
+		ShedRead:          c.shed[ClassRead].Load(),
+		ShedWrite:         c.shed[ClassWrite].Load(),
+		ShedMaint:         c.shed[ClassMaintenance].Load(),
+		OffloadedReads:    c.offloaded.Load(),
+		CapIncreases:      c.capIncs.Load(),
+		CapDecreases:      c.capDecs.Load(),
+		TicksOver:         c.ticksOver.Load(),
+		Ticks:             c.ticks.Load(),
+	}
+}

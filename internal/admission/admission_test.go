@@ -1,0 +1,385 @@
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dora/internal/xct"
+)
+
+// fakeEngine is an AsyncEngine whose completion the test controls:
+// with block set, flows park until Release.
+type fakeEngine struct {
+	mu     sync.Mutex
+	block  bool
+	parked []func(error)
+	execs  int
+}
+
+func (f *fakeEngine) Name() string { return "fake" }
+
+func (f *fakeEngine) ExecAsync(worker int, flow *xct.Flow, done func(error)) {
+	f.mu.Lock()
+	f.execs++
+	if f.block {
+		f.parked = append(f.parked, done)
+		f.mu.Unlock()
+		return
+	}
+	f.mu.Unlock()
+	done(nil)
+}
+
+func (f *fakeEngine) Release() {
+	f.mu.Lock()
+	parked := f.parked
+	f.parked = nil
+	f.mu.Unlock()
+	for _, done := range parked {
+		done(nil)
+	}
+}
+
+// fakeSync is a SyncEngine counting offloaded executions.
+type fakeSync struct {
+	mu    sync.Mutex
+	execs int
+}
+
+func (f *fakeSync) Exec(worker int, flow *xct.Flow) error {
+	f.mu.Lock()
+	f.execs++
+	f.mu.Unlock()
+	return nil
+}
+
+func readFlow() *xct.Flow {
+	return xct.NewFlow("r").AddPhase(&xct.Action{
+		Table: "t", KeyField: "id", Key: 1, Mode: xct.Read,
+	})
+}
+
+func writeFlow() *xct.Flow {
+	return xct.NewFlow("w").AddPhase(&xct.Action{
+		Table: "t", KeyField: "id", Key: 1, Mode: xct.Read,
+	}).AddPhase(&xct.Action{
+		Table: "t", KeyField: "id", Key: 2, Mode: xct.Write,
+	})
+}
+
+// idleCfg keeps the control loop from ever ticking, so tests drive
+// step() deterministically.
+func idleCfg(cfg Config) Config {
+	cfg.Interval = time.Hour
+	return cfg
+}
+
+func TestClassOf(t *testing.T) {
+	if got := ClassOf(readFlow()); got != ClassRead {
+		t.Fatalf("all-read flow classed %v", got)
+	}
+	if got := ClassOf(writeFlow()); got != ClassWrite {
+		t.Fatalf("mixed flow classed %v", got)
+	}
+	if got := ClassOf(nil); got != ClassWrite {
+		t.Fatalf("nil flow classed %v, want conservative write", got)
+	}
+}
+
+func TestOverloadError(t *testing.T) {
+	err := ErrOverload{Class: ClassWrite, RetryAfter: 5 * time.Millisecond}
+	ra, ok := IsOverload(err)
+	if !ok || ra != 5*time.Millisecond {
+		t.Fatalf("IsOverload = (%v, %v)", ra, ok)
+	}
+	// Wrapped errors still answer through errors.As.
+	if _, ok := IsOverload(fmt.Errorf("submit: %w", err)); !ok {
+		t.Fatal("wrapped overload not detected")
+	}
+	if _, ok := IsOverload(errors.New("other")); ok {
+		t.Fatal("non-overload detected as overload")
+	}
+}
+
+// TestClassLimits: the shed order is maintenance first, then writes,
+// then reads — encoded as strictly rising in-flight thresholds.
+func TestClassLimits(t *testing.T) {
+	const cap = 64
+	m, w, r := classLimit(cap, ClassMaintenance), classLimit(cap, ClassWrite), classLimit(cap, ClassRead)
+	if !(m < w && w < r) {
+		t.Fatalf("limits maint=%d write=%d read=%d, want maint < write < read", m, w, r)
+	}
+	if r != cap {
+		t.Fatalf("read limit %d, want full cap %d", r, cap)
+	}
+}
+
+// TestShedPriorityOrdering fills the controller to each class threshold
+// with parked flows and verifies who sheds at that level.
+func TestShedPriorityOrdering(t *testing.T) {
+	eng := &fakeEngine{block: true}
+	c := New(eng, idleCfg(Config{SLO: 10 * time.Millisecond, MinCap: 8, MaxCap: 64, InitialCap: 64}))
+	defer c.Stop()
+	defer eng.Release()
+
+	admit := func(class Class) error {
+		ch := make(chan error, 1)
+		c.ExecClassAsync(0, class, readFlow(), func(err error) { ch <- err })
+		select {
+		case err := <-ch:
+			return err
+		default:
+			return nil // parked = admitted
+		}
+	}
+	// Fill to the maintenance threshold (cap/2 = 32).
+	for i := int64(0); i < classLimit(64, ClassMaintenance); i++ {
+		if err := admit(ClassRead); err != nil {
+			t.Fatalf("fill admit %d: %v", i, err)
+		}
+	}
+	if err := admit(ClassMaintenance); err == nil {
+		t.Fatal("maintenance admitted at cap/2")
+	} else if _, ok := IsOverload(err); !ok {
+		t.Fatalf("maintenance shed with %v, want ErrOverload", err)
+	}
+	if err := admit(ClassWrite); err != nil {
+		t.Fatalf("write shed at cap/2: %v", err)
+	}
+	// Fill to the write threshold (cap - cap/8 = 56): note one write
+	// slot is already used by the admit above.
+	for c.InFlight() < classLimit(64, ClassWrite) {
+		if err := admit(ClassRead); err != nil {
+			t.Fatalf("fill to write limit: %v", err)
+		}
+	}
+	if err := admit(ClassWrite); err == nil {
+		t.Fatal("write admitted at write threshold")
+	}
+	if err := admit(ClassRead); err != nil {
+		t.Fatalf("read shed below full cap: %v", err)
+	}
+	// Fill to the full cap: now even reads shed.
+	for c.InFlight() < 64 {
+		if err := admit(ClassRead); err != nil {
+			t.Fatalf("fill to cap: %v", err)
+		}
+	}
+	if err := admit(ClassRead); err == nil {
+		t.Fatal("read admitted past the cap")
+	}
+	if !c.Shedding() {
+		t.Fatal("Shedding() false after sheds")
+	}
+	st := c.Snapshot()
+	if st.ShedMaint == 0 || st.ShedWrite == 0 || st.ShedRead == 0 {
+		t.Fatalf("shed counters %d/%d/%d, want all > 0", st.ShedRead, st.ShedWrite, st.ShedMaint)
+	}
+	eng.Release()
+	if got := c.InFlight(); got != 0 {
+		t.Fatalf("in-flight %d after release, want 0", got)
+	}
+}
+
+// TestAIMDConvergence drives step() against a queueing model where p99
+// is proportional to the cap (latency = in-flight work / service rate):
+// the cap must settle around the knee implied by the SLO, using both
+// increase and decrease actions, instead of pinning to a bound.
+func TestAIMDConvergence(t *testing.T) {
+	eng := &fakeEngine{}
+	c := New(eng, idleCfg(Config{SLO: 10 * time.Millisecond, MinCap: 8, MaxCap: 4096, InitialCap: 512}))
+	defer c.Stop()
+	// Model: p99 = cap * 100us, so the SLO knee is cap = 100.
+	perUnit := 100 * time.Microsecond
+	for i := 0; i < 100; i++ {
+		p99 := time.Duration(c.Cap()) * perUnit
+		c.step(p99, 0, 1000)
+	}
+	st := c.Snapshot()
+	if st.Cap < 50 || st.Cap > 160 {
+		t.Fatalf("cap = %d after convergence, want near knee 100", st.Cap)
+	}
+	if st.CapIncreases == 0 || st.CapDecreases == 0 {
+		t.Fatalf("incs=%d decs=%d, want both active (AIMD oscillation)", st.CapIncreases, st.CapDecreases)
+	}
+	if st.TicksOver == 0 || st.TicksOver >= st.Ticks {
+		t.Fatalf("ticksOver=%d of %d, want some but not all", st.TicksOver, st.Ticks)
+	}
+}
+
+// TestAIMDQueueWaitSignal: a queue-wait p99 past QueueWaitFrac*SLO is an
+// over tick even while the end-to-end p99 still looks healthy.
+func TestAIMDQueueWaitSignal(t *testing.T) {
+	c := New(&fakeEngine{}, idleCfg(Config{SLO: 100 * time.Millisecond, InitialCap: 512}))
+	defer c.Stop()
+	before := c.Cap()
+	c.step(10*time.Millisecond, 60*time.Millisecond, 1000)
+	if got := c.Cap(); got >= before {
+		t.Fatalf("cap %d -> %d, want decrease on queue-wait signal", before, got)
+	}
+	if !c.Shedding() {
+		t.Fatal("not shedding after queue-wait over tick")
+	}
+}
+
+// TestStallDetection: a window with (almost) no completions while the
+// pipe is at least half full must count as over — a convoy's silence is
+// the worst latency signal there is.
+func TestStallDetection(t *testing.T) {
+	eng := &fakeEngine{block: true}
+	c := New(eng, idleCfg(Config{SLO: 10 * time.Millisecond, MinCap: 8, MaxCap: 64, InitialCap: 64}))
+	defer c.Stop()
+	defer eng.Release()
+	for i := 0; i < 40; i++ { // fill past cap/2 with parked flows
+		c.ExecClassAsync(0, ClassRead, readFlow(), func(error) {})
+	}
+	before := c.Cap()
+	c.step(0, 0, 0) // silent window
+	if got := c.Cap(); got >= before {
+		t.Fatalf("cap %d -> %d, want decrease on stalled window", before, got)
+	}
+	if !c.Shedding() {
+		t.Fatal("not shedding during stall")
+	}
+	// An idle window (nothing in flight) is NOT a stall.
+	eng.Release()
+	c2 := New(&fakeEngine{}, idleCfg(Config{SLO: 10 * time.Millisecond, InitialCap: 64}))
+	defer c2.Stop()
+	before = c2.Cap()
+	c2.step(0, 0, 0)
+	if got := c2.Cap(); got != before {
+		t.Fatalf("idle window moved cap %d -> %d", before, got)
+	}
+}
+
+// TestSheddingClearsAfterCalm: shed state latches until calmTicks
+// consecutive healthy, shed-free windows pass.
+func TestSheddingClearsAfterCalm(t *testing.T) {
+	c := New(&fakeEngine{}, idleCfg(Config{SLO: 10 * time.Millisecond, InitialCap: 64}))
+	defer c.Stop()
+	c.step(50*time.Millisecond, 0, 1000) // over: sheds begin
+	if !c.Shedding() {
+		t.Fatal("not shedding after over tick")
+	}
+	for i := 0; i < calmTicks; i++ {
+		if !c.Shedding() {
+			t.Fatalf("shedding cleared after only %d calm ticks", i)
+		}
+		c.step(time.Millisecond, 0, 1000)
+	}
+	if c.Shedding() {
+		t.Fatal("shedding still set after calm ticks")
+	}
+}
+
+// TestRetryAfterBackoff: the hint doubles per consecutive over tick and
+// is capped.
+func TestRetryAfterBackoff(t *testing.T) {
+	iv := 50 * time.Millisecond
+	c := New(&fakeEngine{}, idleCfg(Config{SLO: 10 * time.Millisecond, InitialCap: 64}))
+	c.Stop()            // park the autonomous loop; the test drives step() itself
+	c.cfg.Interval = iv // restore a real interval for the hint math
+	c.step(time.Second, 0, 1000)
+	if got := c.RetryAfter(); got != 2*iv {
+		t.Fatalf("retry after 1 over tick = %v, want %v", got, 2*iv)
+	}
+	for i := 0; i < 10; i++ {
+		c.step(time.Second, 0, 1000)
+	}
+	if got := c.RetryAfter(); got != 16*iv {
+		t.Fatalf("retry after many over ticks = %v, want capped %v", got, 16*iv)
+	}
+	c.step(time.Millisecond, 0, 1000) // healthy: backoff resets
+	if got := c.RetryAfter(); got != iv {
+		t.Fatalf("retry after recovery = %v, want %v", got, iv)
+	}
+}
+
+// TestOffloadReads: a read that would shed goes to the offload engine
+// instead and does not consume the primary cap.
+func TestOffloadReads(t *testing.T) {
+	eng := &fakeEngine{block: true}
+	off := &fakeSync{}
+	c := New(eng, idleCfg(Config{SLO: 10 * time.Millisecond, MinCap: 8, MaxCap: 16, InitialCap: 16, Offload: off}))
+	defer c.Stop()
+	defer eng.Release()
+	for i := 0; i < 16; i++ {
+		c.ExecClassAsync(0, ClassRead, readFlow(), func(error) {})
+	}
+	ch := make(chan error, 1)
+	c.ExecAsync(0, readFlow(), func(err error) { ch <- err })
+	select {
+	case err := <-ch:
+		if err != nil {
+			t.Fatalf("offloaded read failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("offloaded read never completed")
+	}
+	off.mu.Lock()
+	execs := off.execs
+	off.mu.Unlock()
+	if execs != 1 {
+		t.Fatalf("offload execs = %d, want 1", execs)
+	}
+	st := c.Snapshot()
+	if st.OffloadedReads != 1 || st.ShedRead != 0 {
+		t.Fatalf("offloaded=%d shedRead=%d, want 1/0", st.OffloadedReads, st.ShedRead)
+	}
+	// Writes never offload: they shed.
+	c.ExecAsync(0, writeFlow(), func(err error) { ch <- err })
+	if err := <-ch; err == nil {
+		t.Fatal("write admitted past cap with offload set")
+	} else if _, ok := IsOverload(err); !ok {
+		t.Fatalf("write shed with %v", err)
+	}
+}
+
+// TestExecSyncShape: the blocking form returns the shed error directly.
+func TestExecSyncShape(t *testing.T) {
+	c := New(&fakeEngine{}, idleCfg(Config{SLO: 10 * time.Millisecond, InitialCap: 16}))
+	defer c.Stop()
+	if err := c.Exec(0, readFlow()); err != nil {
+		t.Fatalf("uncontended exec: %v", err)
+	}
+	st := c.Snapshot()
+	if st.AdmittedRead != 1 {
+		t.Fatalf("admitted read = %d", st.AdmittedRead)
+	}
+	if c.Name() != "admission+fake" {
+		t.Fatalf("Name() = %q", c.Name())
+	}
+}
+
+// TestSnapshotAttainment: SLO attainment is the share of ticks not over.
+func TestSnapshotAttainment(t *testing.T) {
+	c := New(&fakeEngine{}, idleCfg(Config{SLO: 10 * time.Millisecond, InitialCap: 64}))
+	defer c.Stop()
+	for i := 0; i < 3; i++ {
+		c.step(time.Second, 0, 1000) // over
+	}
+	c.step(time.Millisecond, 0, 1000) // healthy
+	st := c.Snapshot()
+	if st.Ticks != 4 || st.TicksOver != 3 {
+		t.Fatalf("ticks=%d over=%d", st.Ticks, st.TicksOver)
+	}
+	if got := st.SLOAttainedPct(); got != 25 {
+		t.Fatalf("attained = %.1f, want 25", got)
+	}
+	if st.SLOMS != 10 {
+		t.Fatalf("slo ms = %v", st.SLOMS)
+	}
+}
+
+// TestTraceSignalNil: a signal over a nil tracer reports silence, not a
+// panic.
+func TestTraceSignalNil(t *testing.T) {
+	var s TraceSignal
+	p99, qw, n := s.Window()
+	if p99 != 0 || qw != 0 || n != 0 {
+		t.Fatalf("nil tracer window = %v %v %d", p99, qw, n)
+	}
+}

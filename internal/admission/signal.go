@@ -1,0 +1,88 @@
+package admission
+
+import (
+	"sync"
+	"time"
+
+	"dora/internal/metrics"
+	"dora/internal/trace"
+)
+
+// TraceSignal adapts a trace.Tracer into the controller's Signal
+// shape. The tracer publishes cumulative per-stage histograms (the
+// same ones the monitor's StageLatency view serializes); TraceSignal
+// turns them into per-window signals by differencing the bucket
+// counts between successive calls, yielding the p99 of the "total"
+// (end-to-end) histogram and of the queue_wait stage over just the
+// last control interval. Windowing matters: a cumulative p99 reacts
+// to an overload spike only after the spike dominates the whole run,
+// far too slowly to drive a control loop.
+type TraceSignal struct {
+	T *trace.Tracer
+
+	mu        sync.Mutex
+	prevTotal [metrics.HistogramBuckets]int64
+	prevQW    [metrics.HistogramBuckets]int64
+}
+
+// Window returns the p99 of end-to-end latency and of queue wait over
+// the observations recorded since the previous call, plus the number
+// of new end-to-end samples. Safe on a nil receiver or nil tracer
+// (returns zeros).
+func (s *TraceSignal) Window() (p99, queueWait time.Duration, samples int64) {
+	if s == nil || s.T == nil {
+		return 0, 0, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	qwName := trace.StageQueueWait.String()
+	s.T.ForEachStage(func(name string, h *metrics.Histogram) {
+		switch name {
+		case "total":
+			var us int64
+			us, samples = deltaQuantile(&s.prevTotal, h.Buckets(), 0.99)
+			p99 = time.Duration(us) * time.Microsecond
+		case qwName:
+			us, _ := deltaQuantile(&s.prevQW, h.Buckets(), 0.99)
+			queueWait = time.Duration(us) * time.Microsecond
+		}
+	})
+	return p99, queueWait, samples
+}
+
+// deltaQuantile computes the quantile upper bound (µs) of the bucket
+// deltas cur-prev and stores cur into prev. A tracer Reset between
+// calls makes some delta negative; the window then falls back to the
+// post-reset counts alone.
+func deltaQuantile(prev *[metrics.HistogramBuckets]int64, cur [metrics.HistogramBuckets]int64, q float64) (us, count int64) {
+	var delta [metrics.HistogramBuckets]int64
+	reset := false
+	for i := range cur {
+		delta[i] = cur[i] - prev[i]
+		if delta[i] < 0 {
+			reset = true
+		}
+	}
+	if reset {
+		delta = cur
+	}
+	*prev = cur
+	for _, d := range delta {
+		count += d
+	}
+	if count == 0 {
+		return 0, 0
+	}
+	target := int64(q * float64(count))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, d := range delta {
+		seen += d
+		if seen >= target {
+			return metrics.BucketUpperMicros(i), count
+		}
+	}
+	return metrics.BucketUpperMicros(metrics.HistogramBuckets - 1), count
+}

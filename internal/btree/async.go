@@ -2,7 +2,6 @@ package btree
 
 import (
 	"math"
-	"runtime"
 )
 
 // Continuation-passing access to owned subtrees.
@@ -33,7 +32,7 @@ import (
 // ExecAt plus one function call. A foreign subtree without an async hook
 // (blocking-ships configuration) falls back to the parked-sender path.
 func (pt *PartitionedTree) ExecAtAsync(caller *Owner, key int64, home ContExec, fn func(tok *Owner), done func()) {
-	for {
+	for attempt := 0; ; attempt++ {
 		pt.mu.RLock()
 		st := pt.locate(key)
 		owner, execAsync := st.owner, st.execAsync
@@ -73,7 +72,7 @@ func (pt *PartitionedTree) ExecAtAsync(caller *Owner, key int64, home ContExec, 
 		}
 		// Could not even enqueue (owner retired between the topology read
 		// and the push); re-resolve inline.
-		runtime.Gosched()
+		pt.shipRetry(attempt)
 	}
 }
 
@@ -85,6 +84,7 @@ func (pt *PartitionedTree) ExecAtAsync(caller *Owner, key int64, home ContExec, 
 // comes from the lock protocol above.
 func (pt *PartitionedTree) AscendRangeAsync(caller *Owner, lo, hi int64, home ContExec, fn func(key int64, val uint64) bool, done func()) {
 	cur := lo
+	attempt := 0
 	for cur <= hi {
 		var segHi int64
 		cont := true
@@ -158,7 +158,8 @@ func (pt *PartitionedTree) AscendRangeAsync(caller *Owner, lo, hi int64, home Co
 		}) {
 			return
 		}
-		runtime.Gosched()
+		pt.shipRetry(attempt)
+		attempt++
 	}
 	done()
 }

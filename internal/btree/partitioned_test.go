@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 )
 
 // fakeWorker simulates a DORA partition worker for access-path tests: a
@@ -397,5 +398,29 @@ func TestStopEarlyAcrossSubtrees(t *testing.T) {
 	})
 	if seen != 61 {
 		t.Fatalf("scan visited %d keys, want 61 (0..60 inclusive)", seen)
+	}
+}
+
+// TestShipRetryPacing: the fail-back pacing discipline — the first
+// rounds only yield (counted as retries, not waits), later rounds sleep
+// with exponential growth capped at 1ms, and the stats expose the split.
+func TestShipRetryPacing(t *testing.T) {
+	pt := NewPartitioned(nil)
+	for a := 0; a < shipRetryYields; a++ {
+		pt.shipRetry(a)
+	}
+	if r, w := pt.ShipRetryStats(); r != int64(shipRetryYields) || w != 0 {
+		t.Fatalf("yield-only rounds: retries=%d waits=%d", r, w)
+	}
+	// A deep attempt must sleep, but no longer than the cap (plus
+	// scheduler slop).
+	start := time.Now()
+	pt.shipRetry(shipRetryYields + 20)
+	el := time.Since(start)
+	if el > 50*shipRetryMaxWait {
+		t.Fatalf("capped backoff slept %v (cap %v)", el, shipRetryMaxWait)
+	}
+	if r, w := pt.ShipRetryStats(); r != int64(shipRetryYields)+1 || w != 1 {
+		t.Fatalf("after deep attempt: retries=%d waits=%d", r, w)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"dora/internal/metrics"
 )
@@ -153,8 +154,51 @@ type subtree struct {
 type PartitionedTree struct {
 	cs *metrics.CriticalSectionStats
 
+	// Ship-retry accounting: every fail-back re-resolution of a shipped
+	// operation (stale hop, retired owner) counts a retry; the subset
+	// that slept (past the yield-only rounds) counts a wait.
+	retries    metrics.Counter
+	retryWaits metrics.Counter
+
 	mu   sync.RWMutex
 	subs []*subtree // sorted by lo, contiguous, covering all of int64
+}
+
+// Ship-retry pacing. A fail-back retry loop re-resolves immediately
+// for the first few rounds (the common transient: ownership moved one
+// hop while the ship was in flight), then backs off with
+// exponentially growing sleeps capped at shipRetryMaxWait — a long
+// rebalance storm must not spin a core hot re-shipping into a
+// topology that keeps moving.
+const (
+	shipRetryYields  = 4
+	shipRetryMaxWait = time.Millisecond
+)
+
+// shipRetry paces one fail-back retry round.
+func (pt *PartitionedTree) shipRetry(attempt int) {
+	pt.retries.Inc()
+	if attempt < shipRetryYields {
+		runtime.Gosched()
+		return
+	}
+	pt.retryWaits.Inc()
+	shift := attempt - shipRetryYields
+	if shift > 10 {
+		shift = 10
+	}
+	d := time.Duration(int64(1)<<uint(shift)) * time.Microsecond
+	if d > shipRetryMaxWait {
+		d = shipRetryMaxWait
+	}
+	time.Sleep(d)
+}
+
+// ShipRetryStats returns the cumulative fail-back retry count and the
+// subset that slept (see shipRetry); dora's ShipSnapshot aggregates
+// these across a catalog.
+func (pt *PartitionedTree) ShipRetryStats() (retries, waits int64) {
+	return pt.retries.Load(), pt.retryWaits.Load()
 }
 
 // NewPartitioned returns a partitioned tree with a single unowned subtree
@@ -186,7 +230,7 @@ func (pt *PartitionedTree) locate(key int64) *subtree {
 // back and the ORIGINAL caller re-resolves — ships are always a single
 // sender→owner hop.
 func (pt *PartitionedTree) runAt(caller *Owner, key int64, op func(t *Tree, latchFree bool)) {
-	for {
+	for attempt := 0; ; attempt++ {
 		pt.mu.RLock()
 		st := pt.locate(key)
 		if st.owner == nil || st.owner == caller {
@@ -216,7 +260,7 @@ func (pt *PartitionedTree) runAt(caller *Owner, key int64, op func(t *Tree, latc
 		}
 		// The owner retired or the range moved on between the topology
 		// read and the hand-off; re-resolve.
-		runtime.Gosched()
+		pt.shipRetry(attempt)
 	}
 }
 
@@ -283,7 +327,7 @@ func (pt *PartitionedTree) ascendAs(caller *Owner, lo, hi int64, fn func(key int
 	for cur <= hi {
 		var segHi int64
 		done := true
-		for {
+		for attempt := 0; ; attempt++ {
 			pt.mu.RLock()
 			st := pt.locate(cur)
 			segHi = st.hi
@@ -334,7 +378,7 @@ func (pt *PartitionedTree) ascendAs(caller *Owner, lo, hi int64, fn func(key int
 			if ok && ran {
 				break
 			}
-			runtime.Gosched()
+			pt.shipRetry(attempt)
 		}
 		if !done {
 			return false
@@ -357,7 +401,7 @@ func (pt *PartitionedTree) ascendAs(caller *Owner, lo, hi int64, fn func(key int
 // matters: while fn runs on the owner, no latch-free access of that
 // owner can race it.
 func (pt *PartitionedTree) ExecAt(caller *Owner, key int64, fn func(tok *Owner)) {
-	for {
+	for attempt := 0; ; attempt++ {
 		pt.mu.RLock()
 		st := pt.locate(key)
 		owner, exec := st.owner, st.exec
@@ -389,7 +433,7 @@ func (pt *PartitionedTree) ExecAt(caller *Owner, key int64, fn func(tok *Owner))
 		}
 		// Owner retired or the range moved on between the topology read
 		// and the hand-off (split/merge/shutdown race); re-resolve.
-		runtime.Gosched()
+		pt.shipRetry(attempt)
 	}
 }
 

@@ -186,6 +186,11 @@ type Dora struct {
 	retiredShips struct {
 		blocking, cont, konts, overlap metrics.Counter
 	}
+	// shipRetries / shipRetryWaits count ExecOnOwner fail-back
+	// re-resolutions and the subset that slept under backoff (the
+	// access-path loops keep their own; ShipSnapshot sums both).
+	shipRetries    metrics.Counter
+	shipRetryWaits metrics.Counter
 	// retiredLocks does the same for the lock-table accounting (workers
 	// merged away, tables replaced by Repartition).
 	retiredLocks retiredLockStats

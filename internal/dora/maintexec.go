@@ -2,6 +2,7 @@ package dora
 
 import (
 	"runtime"
+	"time"
 
 	"dora/internal/catalog"
 	"dora/internal/dora/router"
@@ -80,6 +81,29 @@ func (c *OwnerCtx) PartitionBusy() bool {
 // QueueLen returns the worker's inbox depth (backpressure signal).
 func (c *OwnerCtx) QueueLen() int { return c.p.queueLen() }
 
+// shipRetryPause paces an ExecOnOwner fail-back retry: yield-only for
+// the first few rounds, then exponentially growing sleeps capped at
+// 1ms — the same discipline as the access-path retry loops, so a
+// rebalance storm cannot spin the maintenance daemon (or a worker
+// chasing a moved owner) hot.
+func (e *Dora) shipRetryPause(tries int) {
+	e.shipRetries.Inc()
+	if tries < 4 {
+		runtime.Gosched()
+		return
+	}
+	e.shipRetryWaits.Inc()
+	shift := tries - 4
+	if shift > 10 {
+		shift = 10
+	}
+	d := time.Duration(int64(1)<<uint(shift)) * time.Microsecond
+	if d > time.Millisecond {
+		d = time.Millisecond
+	}
+	time.Sleep(d)
+}
+
 // ExecOnOwner ships fn to the partition worker currently owning routing
 // value v of table and blocks until it ran. It holds the engine's
 // execution gate shared for the duration, so a quiescing Repartition
@@ -119,7 +143,7 @@ func (e *Dora) ExecOnOwner(table string, v int64, fn func(*OwnerCtx)) bool {
 		}
 		// The worker retired between the topology read and the push
 		// (split/merge race); re-resolve.
-		runtime.Gosched()
+		e.shipRetryPause(tries)
 	}
 	return false
 }
@@ -178,7 +202,7 @@ func (e *Dora) ExecOnOwnerAsync(table string, v int64, fn func(*OwnerCtx), done 
 			if p.in.pushChecked(m) {
 				return
 			}
-			runtime.Gosched()
+			e.shipRetryPause(tries)
 		}
 		finish(false)
 	}

@@ -113,6 +113,13 @@ type ShipStats struct {
 	// the detector is off or fail-fast).
 	CyclesDiagnosed int64  `json:"cycles_diagnosed,omitempty"`
 	LastCycle       string `json:"last_cycle,omitempty"`
+	// ShipRetries counts fail-back re-resolutions of shipped operations
+	// (stale hop or retired owner during rebalancing), summed over the
+	// access-path retry loops and ExecOnOwner; ShipRetryWaits is the
+	// subset that slept under the capped exponential backoff instead of
+	// just yielding.
+	ShipRetries    int64 `json:"ship_retries"`
+	ShipRetryWaits int64 `json:"ship_retry_waits"`
 }
 
 // ShipSnapshot sums ship statistics over every live partition, plus the
@@ -143,6 +150,17 @@ func (e *Dora) ShipSnapshot() ShipStats {
 	if det := e.shipDet; det != nil {
 		s.CyclesDiagnosed = det.Cycles.Load()
 		s.LastCycle = det.LastCycle()
+	}
+	s.ShipRetries = e.shipRetries.Load()
+	s.ShipRetryWaits = e.shipRetryWaits.Load()
+	for _, tbl := range e.sm.Cat.Tables() {
+		for _, ix := range tbl.Indexes() {
+			if pt := ix.Partitioned(); pt != nil {
+				r, w := pt.ShipRetryStats()
+				s.ShipRetries += r
+				s.ShipRetryWaits += w
+			}
+		}
 	}
 	return s
 }

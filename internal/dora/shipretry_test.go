@@ -1,0 +1,46 @@
+package dora
+
+import (
+	"testing"
+	"time"
+)
+
+// TestShipRetryPauseAndAggregation: the engine-side fail-back pacing
+// mirrors the btree discipline (yield-only early rounds, bounded sleeps
+// after), and ShipSnapshot folds the engine counters together with
+// every partitioned index's own retry stats.
+func TestShipRetryPauseAndAggregation(t *testing.T) {
+	s, _, _, e := rig2(t, 50, 2, Config{})
+
+	for tries := 0; tries < 4; tries++ {
+		e.shipRetryPause(tries)
+	}
+	if r, w := e.shipRetries.Load(), e.shipRetryWaits.Load(); r != 4 || w != 0 {
+		t.Fatalf("yield-only rounds: retries=%d waits=%d", r, w)
+	}
+	start := time.Now()
+	e.shipRetryPause(30) // deep attempt: sleep, but capped at 1ms
+	if el := time.Since(start); el > 50*time.Millisecond {
+		t.Fatalf("capped backoff slept %v", el)
+	}
+	if r, w := e.shipRetries.Load(), e.shipRetryWaits.Load(); r != 5 || w != 1 {
+		t.Fatalf("after deep attempt: retries=%d waits=%d", r, w)
+	}
+
+	// The snapshot view = engine counters + per-index tree stats.
+	var treeR, treeW int64
+	for _, tbl := range s.Cat.Tables() {
+		for _, ix := range tbl.Indexes() {
+			if pt := ix.Partitioned(); pt != nil {
+				r, w := pt.ShipRetryStats()
+				treeR += r
+				treeW += w
+			}
+		}
+	}
+	ss := e.ShipSnapshot()
+	if ss.ShipRetries != 5+treeR || ss.ShipRetryWaits != 1+treeW {
+		t.Fatalf("ShipSnapshot retries=%d waits=%d, want %d/%d",
+			ss.ShipRetries, ss.ShipRetryWaits, 5+treeR, 1+treeW)
+	}
+}

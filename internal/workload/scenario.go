@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"time"
+)
+
+// Adversarial load scenarios for the overload suite (E20). A Scenario
+// bundles the three dimensions an overload storm varies — key
+// distribution (via the Mix's key generators), arrival shape over
+// time (constant or RateFn), and mid-run disturbances (a skew shift,
+// a forced repartition) — behind one Run entry so experiments and
+// tests exercise a named catalog instead of ad-hoc wiring.
+
+// FlashCrowd returns a time-varying arrival rate: base transactions
+// per second with a spike to peak during [from, from+width). This is
+// the canonical "everyone shows up at once" adversarial arrival
+// process — the offered load steps far past capacity and then steps
+// back, so a controller must both shed fast at the edge and recover
+// promptly after.
+func FlashCrowd(base, peak float64, from, width time.Duration) RateFn {
+	return func(elapsed time.Duration) float64 {
+		if elapsed >= from && elapsed < from+width {
+			return peak
+		}
+		return base
+	}
+}
+
+// Ramp returns an arrival rate that grows linearly from lo to hi over
+// dur, then holds at hi — the classic knee-finding sweep shape.
+func Ramp(lo, hi float64, dur time.Duration) RateFn {
+	return func(elapsed time.Duration) float64 {
+		if elapsed >= dur || dur <= 0 {
+			return hi
+		}
+		return lo + (hi-lo)*float64(elapsed)/float64(dur)
+	}
+}
+
+// Disturbance is a one-shot mid-run mutation of workload or system
+// state: At is the fraction of the run duration at which Do fires
+// (0.5 = halfway). Scenarios use it to shift a hot-key window or
+// force a live repartition while the storm is in progress.
+type Disturbance struct {
+	At float64
+	Do func()
+}
+
+// Scenario is one named adversarial load shape.
+type Scenario struct {
+	Name string
+	Mix  Mix
+	// Rate is the constant offered rate; RateOf (when set) makes it
+	// time-varying and wins over Rate.
+	Rate   float64
+	RateOf RateFn
+	// Disturb lists mid-run disturbances, fired once each by Run.
+	Disturb []Disturbance
+}
+
+// Run drives the scenario through the open-loop driver against eng
+// for dur, firing each disturbance at its scheduled fraction of the
+// run from a timer goroutine (so the arrival loop never stalls).
+func (s *Scenario) Run(eng AsyncEngine, maxInFlight int, dur time.Duration, seed int64) OpenResult {
+	stop := make(chan struct{})
+	defer close(stop)
+	for _, d := range s.Disturb {
+		if d.Do == nil {
+			continue
+		}
+		delay := time.Duration(float64(dur) * d.At)
+		go func(do func()) {
+			t := time.NewTimer(delay)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				do()
+			case <-stop:
+			}
+		}(d.Do)
+	}
+	ol := &OpenLoop{
+		Engine:      eng,
+		Mix:         s.Mix,
+		Rate:        s.Rate,
+		RateOf:      s.RateOf,
+		MaxInFlight: maxInFlight,
+		Duration:    dur,
+		Seed:        seed,
+	}
+	return ol.Run()
+}

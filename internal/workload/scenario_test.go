@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dora/internal/xct"
+)
+
+// shedEngine commits read-only flows instantly and sheds everything
+// else with a typed overload error carrying a RetryAfter hint — the
+// shape admission.ErrOverload has, without importing the package.
+type shedEngine struct {
+	sheds   atomic.Int64
+	commits atomic.Int64
+}
+
+type tstOverload struct{ after time.Duration }
+
+func (e tstOverload) Error() string           { return "overloaded" }
+func (e tstOverload) Overload() time.Duration { return e.after }
+
+func (e *shedEngine) ExecAsync(_ int, flow *xct.Flow, done func(error)) {
+	if flowReadOnly(flow) {
+		e.commits.Add(1)
+		done(nil)
+		return
+	}
+	e.sheds.Add(1)
+	done(tstOverload{after: 10 * time.Millisecond})
+}
+
+func rwMix() Mix {
+	return Mix{
+		{Name: "r", Weight: 1, Build: func(*rand.Rand) *xct.Flow {
+			return xct.NewFlow("r").AddPhase(&xct.Action{Table: "t", KeyField: "id", Key: 1, Mode: xct.Read})
+		}},
+		{Name: "w", Weight: 1, Build: func(*rand.Rand) *xct.Flow {
+			return xct.NewFlow("w").AddPhase(&xct.Action{Table: "t", KeyField: "id", Key: 1, Mode: xct.Write})
+		}},
+	}
+}
+
+// TestFlashCrowdShape: base rate outside the spike window, peak inside.
+func TestFlashCrowdShape(t *testing.T) {
+	fn := FlashCrowd(100, 1000, time.Second, time.Second)
+	for _, tc := range []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 100}, {500 * time.Millisecond, 100},
+		{1100 * time.Millisecond, 1000}, {1900 * time.Millisecond, 1000},
+		{2100 * time.Millisecond, 100},
+	} {
+		if got := fn(tc.at); got != tc.want {
+			t.Fatalf("FlashCrowd(%v) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+}
+
+// TestRampShape: linear interpolation lo -> hi over dur, clamped after.
+func TestRampShape(t *testing.T) {
+	fn := Ramp(100, 300, 2*time.Second)
+	if got := fn(0); got != 100 {
+		t.Fatalf("Ramp(0) = %v", got)
+	}
+	if got := fn(time.Second); got < 195 || got > 205 {
+		t.Fatalf("Ramp(mid) = %v, want ~200", got)
+	}
+	if got := fn(3 * time.Second); got != 300 {
+		t.Fatalf("Ramp(past end) = %v, want clamped 300", got)
+	}
+}
+
+// TestOpenLoopShedClassification: typed overload errors land in Shed
+// (with the RetryAfter hint averaged), not in Aborted, and the
+// committed side splits into per-class latency summaries.
+func TestOpenLoopShedClassification(t *testing.T) {
+	eng := &shedEngine{}
+	d := OpenLoop{
+		Engine: eng, Mix: rwMix(),
+		Rate: 2000, MaxInFlight: 64, Duration: 150 * time.Millisecond, Seed: 7,
+	}
+	res := d.Run()
+	if res.Offered == 0 || res.Committed == 0 || res.Shed == 0 {
+		t.Fatalf("offered=%d committed=%d shed=%d, want all > 0",
+			res.Offered, res.Committed, res.Shed)
+	}
+	if got := res.Dropped + res.Shed + res.Committed + res.Aborted; got != res.Offered {
+		t.Fatalf("accounting: %d+%d+%d+%d = %d, offered %d",
+			res.Dropped, res.Shed, res.Committed, res.Aborted, got, res.Offered)
+	}
+	if res.Aborted != 0 {
+		t.Fatalf("typed sheds misfiled as aborts: %d", res.Aborted)
+	}
+	if res.Shed != eng.sheds.Load() {
+		t.Fatalf("driver shed count %d != engine sheds %d", res.Shed, eng.sheds.Load())
+	}
+	// All commits were reads; all sheds were writes.
+	if res.ReadLat.Committed != res.Committed || res.WriteLat.Committed != 0 {
+		t.Fatalf("class split read=%d write=%d of committed %d",
+			res.ReadLat.Committed, res.WriteLat.Committed, res.Committed)
+	}
+	if res.RetryAfterMeanMS < 9 || res.RetryAfterMeanMS > 11 {
+		t.Fatalf("RetryAfterMeanMS = %.2f, want ~10", res.RetryAfterMeanMS)
+	}
+}
+
+// TestOpenLoopPerClassLatency: with both classes committing, the class
+// summaries partition the total and carry their own quantiles.
+func TestOpenLoopPerClassLatency(t *testing.T) {
+	eng := &slowAsyncEngine{delay: time.Millisecond}
+	d := OpenLoop{
+		Engine: eng, Mix: rwMix(),
+		Rate: 500, MaxInFlight: 64, Duration: 150 * time.Millisecond, Seed: 8,
+	}
+	res := d.Run()
+	if res.ReadLat.Committed+res.WriteLat.Committed != res.Committed {
+		t.Fatalf("class commits %d+%d != %d",
+			res.ReadLat.Committed, res.WriteLat.Committed, res.Committed)
+	}
+	if res.ReadLat.Committed == 0 || res.WriteLat.Committed == 0 {
+		t.Fatalf("one class empty: read=%d write=%d", res.ReadLat.Committed, res.WriteLat.Committed)
+	}
+	if res.ReadLat.P99US == 0 || res.WriteLat.P99US == 0 {
+		t.Fatal("per-class quantiles missing")
+	}
+}
+
+// TestRateFnDrivesArrivals: a RateOf returning zero stalls arrivals; a
+// flash crowd produces more arrivals in the spike than outside it.
+func TestRateFnDrivesArrivals(t *testing.T) {
+	eng := &shedEngine{}
+	d := OpenLoop{
+		Engine: eng, Mix: rwMix(),
+		RateOf:      FlashCrowd(100, 4000, 50*time.Millisecond, 50*time.Millisecond),
+		MaxInFlight: 64, Duration: 150 * time.Millisecond, Seed: 9,
+	}
+	res := d.Run()
+	// Mean offered ~ (100*2/3 + 4000*1/3) = ~1400/s over 150ms => ~200.
+	// A constant 100/s would offer ~15. The spike must dominate.
+	if res.Offered < 60 {
+		t.Fatalf("offered %d arrivals: RateOf spike not applied", res.Offered)
+	}
+}
+
+// TestScenarioDisturbanceFires: the disturbance fires once mid-run, at
+// its scheduled fraction, and the run completes normally.
+func TestScenarioDisturbanceFires(t *testing.T) {
+	eng := &shedEngine{}
+	var fired atomic.Int64
+	sc := &Scenario{
+		Name: "dist",
+		Mix:  rwMix(),
+		Rate: 1000,
+		Disturb: []Disturbance{
+			{At: 0.2, Do: func() { fired.Add(1) }},
+			{At: 0.5, Do: func() { fired.Add(1) }},
+		},
+	}
+	res := sc.Run(eng, 64, 200*time.Millisecond, 10)
+	if res.Offered == 0 {
+		t.Fatal("scenario offered nothing")
+	}
+	if got := fired.Load(); got != 2 {
+		t.Fatalf("disturbances fired %d times, want 2", got)
+	}
+}
